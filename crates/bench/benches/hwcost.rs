@@ -1,0 +1,19 @@
+//! Criterion benchmark of the Table I resource-model composition (it is
+//! trivially fast; the bench documents that regenerating the table is
+//! effectively free).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tagio_hwcost::{proposed_blocks, render_table1, total_cost};
+
+fn bench_hwcost(c: &mut Criterion) {
+    c.bench_function("table1-compose", |b| {
+        b.iter(|| black_box(total_cost(&proposed_blocks())));
+    });
+    c.bench_function("table1-render", |b| {
+        b.iter(|| black_box(render_table1()));
+    });
+}
+
+criterion_group!(benches, bench_hwcost);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the two hardware substrates: NoC cycle
+//! throughput and controller schedule replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tagio_bench::generate_systems;
+use tagio_controller::sim::{execute_partitioned, partition_jobs};
+use tagio_core::schedule::{entry_for, Schedule};
+use tagio_noc::sim::{NocConfig, NocSim};
+use tagio_noc::topology::{Mesh, NodeId};
+use tagio_noc::traffic::UniformTraffic;
+use tagio_sched::{Scheduler, StaticScheduler};
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("noc-4x4-500cycles", |b| {
+        b.iter(|| {
+            let mut sim = NocSim::new(Mesh::new(4, 4), NocConfig::default());
+            let mut rng = StdRng::seed_from_u64(1);
+            UniformTraffic::light().schedule(&mut sim, 200, &mut rng);
+            sim.send(NodeId::new(0, 0), NodeId::new(3, 3), 4, 7, 0);
+            sim.run_until(500);
+            black_box(sim.delivered().len())
+        });
+    });
+}
+
+fn bench_controller_replay(c: &mut Criterion) {
+    let sys = generate_systems(0.5, 1, 3).pop().expect("one system");
+    let schedules: std::collections::BTreeMap<_, _> = partition_jobs(&sys.tasks)
+        .into_iter()
+        .map(|(dev, jobs)| {
+            // A real (conflict-free) offline schedule; fall back to the
+            // all-ideal layout if the heuristic declines the partition.
+            let s = StaticScheduler::new().schedule(&jobs).unwrap_or_else(|| {
+                jobs.iter()
+                    .map(|j| entry_for(j, j.ideal_start()))
+                    .collect::<Schedule>()
+            });
+            (dev, s)
+        })
+        .collect();
+    c.bench_function("controller-hyperperiod-replay", |b| {
+        b.iter(|| black_box(execute_partitioned(&sys.tasks, &schedules).expect("fits")));
+    });
+}
+
+criterion_group!(benches, bench_noc, bench_controller_replay);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Extended baseline comparison: adds non-preemptive EDF (deadline-driven,
+//! timing-accuracy-blind) next to the paper's methods, confirming that *any*
+//! work-conserving classic scheduler — priority- or deadline-driven — gets
+//! Ψ ≈ 0 and a Vmin-floor Υ, regardless of its schedulability.
+//!
+//! ```text
+//! cargo run --release -p tagio-bench --bin ablation_baselines -- --systems 30
+//! ```
+
+use tagio_bench::{generate_systems, mean, parallel_map, Options};
+use tagio_core::metrics;
+use tagio_sched::{EdfOffline, FpsOffline, Gpiocp, Scheduler, StaticScheduler};
+
+fn main() {
+    let opts = Options::from_args();
+    println!(
+        "# baselines at a glance ({} systems/point): schedulable | psi | upsilon",
+        opts.systems
+    );
+    println!(
+        "{:<6} {:>24} {:>24} {:>24} {:>24}",
+        "U", "fps-offline", "edf-offline", "gpiocp", "static"
+    );
+    for u in [0.3, 0.5, 0.7, 0.9] {
+        let systems = generate_systems(u, opts.systems, opts.seed);
+        print!("{u:<6.2}");
+        let methods: Vec<Box<dyn Scheduler + Sync>> = vec![
+            Box::new(FpsOffline::new()),
+            Box::new(EdfOffline::new()),
+            Box::new(Gpiocp::new()),
+            Box::new(StaticScheduler::new()),
+        ];
+        for method in &methods {
+            let results = parallel_map(&systems, |sys| {
+                method
+                    .schedule(&sys.jobs)
+                    .map(|s| (metrics::psi(&s, &sys.jobs), metrics::upsilon(&s, &sys.jobs)))
+            });
+            let sched =
+                results.iter().filter(|r| r.is_some()).count() as f64 / results.len() as f64;
+            let psis: Vec<f64> = results.iter().filter_map(|r| r.map(|x| x.0)).collect();
+            let upss: Vec<f64> = results.iter().filter_map(|r| r.map(|x| x.1)).collect();
+            print!(
+                "   {sched:>5.2} |{:>5.2} |{:>5.2}  ",
+                mean(&psis),
+                mean(&upss)
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Table I**: hardware overhead of the evaluated I/O
+//! controllers, plus the §V.B headline ratios.
+//!
+//! ```text
+//! cargo run --release -p tagio-bench --bin table1_hwcost
+//! ```
+
+use tagio_hwcost::components::{gpiocp, microblaze_basic, microblaze_full, proposed};
+use tagio_hwcost::render_table1;
+
+fn main() {
+    println!("# Table I — hardware overhead of evaluated I/O controllers");
+    println!("{}", render_table1());
+
+    let p = proposed().cost;
+    let g = gpiocp().cost;
+    let mbb = microblaze_basic().cost;
+    let mbf = microblaze_full().cost;
+    println!("# paper's headline comparisons (section V.B)");
+    println!(
+        "vs MB-F : {:.1}% LUTs, {:.1}% registers, {:.1}% power",
+        p.lut_ratio_percent(&mbf),
+        p.register_ratio_percent(&mbf),
+        p.power_ratio_percent(&mbf),
+    );
+    println!(
+        "vs MB-B : {:.1}% LUTs, {:.1}% registers, {:.1}% power",
+        p.lut_ratio_percent(&mbb),
+        p.register_ratio_percent(&mbb),
+        p.power_ratio_percent(&mbb),
+    );
+    println!(
+        "vs GPIOCP: +{:.1}% LUTs, +{:.1}% registers (scheduling support)",
+        p.lut_ratio_percent(&g) - 100.0,
+        p.register_ratio_percent(&g) - 100.0,
+    );
+}

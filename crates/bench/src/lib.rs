@@ -1,0 +1,231 @@
+//! # tagio-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! paper's evaluation (Section V). Each figure has a dedicated binary:
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `fig5_schedulability` | Fig. 5 — schedulability vs. utilisation |
+//! | `fig6_psi` | Fig. 6 — Ψ of the offline methods |
+//! | `fig7_upsilon` | Fig. 7 — Υ of the offline methods |
+//! | `table1_hwcost` | Table I — hardware overhead |
+//! | `noc_latency` | §I motivation — request-path latency under contention |
+//! | `ablation_lccd` | LCC-D vs First-/Best-/Worst-Fit slot policies |
+//! | `ablation_ga` | GA budget sensitivity (population × generations) |
+//!
+//! Binaries accept `--systems N`, `--pop N`, `--gens N` and `--seed N`
+//! overrides; defaults are laptop-scale (documented in EXPERIMENTS.md),
+//! the paper's full scale is `--systems 1000 --pop 300 --gens 500`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagio_core::job::JobSet;
+use tagio_core::task::TaskSet;
+use tagio_ga::GaConfig;
+use tagio_workload::SystemConfig;
+
+/// Common command-line options of the experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Synthetic systems per utilisation point (paper: 1000).
+    pub systems: usize,
+    /// GA population (paper: 300).
+    pub population: usize,
+    /// GA generations (paper: 500).
+    pub generations: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            systems: 20,
+            population: 60,
+            generations: 80,
+            seed: 2020,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--systems`, `--pop`, `--gens`, `--seed` from the process
+    /// arguments, falling back to the defaults.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut opts = Options::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> u64 {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value"))
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} needs an integer"))
+            };
+            match flag.as_str() {
+                "--systems" => opts.systems = value("--systems") as usize,
+                "--pop" => opts.population = value("--pop") as usize,
+                "--gens" => opts.generations = value("--gens") as usize,
+                "--seed" => opts.seed = value("--seed"),
+                other => panic!("unknown flag {other} (try --systems/--pop/--gens/--seed)"),
+            }
+        }
+        opts
+    }
+
+    /// The GA configuration implied by these options.
+    #[must_use]
+    pub fn ga_config(&self) -> GaConfig {
+        GaConfig {
+            population: self.population,
+            generations: self.generations,
+            ..GaConfig::default()
+        }
+    }
+}
+
+/// One generated evaluation system with its expanded jobs.
+#[derive(Debug, Clone)]
+pub struct EvalSystem {
+    /// Per-system seed (derived from the base seed).
+    pub seed: u64,
+    /// The task set.
+    pub tasks: TaskSet,
+    /// Its jobs over one hyper-period.
+    pub jobs: JobSet,
+}
+
+/// Generates `count` systems at utilisation `u` (paper §V.A parameters).
+#[must_use]
+pub fn generate_systems(u: f64, count: usize, base_seed: u64) -> Vec<EvalSystem> {
+    (0..count)
+        .map(|i| {
+            let seed = base_seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add((u * 100.0) as u64 * 7919)
+                .wrapping_add(i as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tasks = SystemConfig::paper(u).generate(&mut rng);
+            let jobs = JobSet::expand(&tasks);
+            EvalSystem { seed, tasks, jobs }
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` on all available cores, preserving order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (slots, values) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (slot, item) in slots.iter_mut().zip(values) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// Arithmetic mean, 0.0 for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// The Fig. 5 utilisation sweep (0.2 … 0.9, step 0.05).
+#[must_use]
+pub fn fig5_sweep() -> Vec<f64> {
+    tagio_workload::paper_utilisation_sweep()
+}
+
+/// The Figs. 6–7 utilisation sweep (0.3 … 0.7, step 0.1 as plotted).
+#[must_use]
+pub fn fig67_sweep() -> Vec<f64> {
+    vec![0.3, 0.4, 0.5, 0.6, 0.7]
+}
+
+/// Prints a row of `values` under a label, space-aligned (our figures are
+/// textual tables; pipe into a plotting tool of your choice).
+pub fn print_series(label: &str, values: &[f64]) {
+    print!("{label:<14}");
+    for v in values {
+        print!(" {v:>7.3}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_laptop_scale() {
+        let o = Options::default();
+        assert!(o.systems <= 50);
+        assert!(o.population < 300);
+    }
+
+    #[test]
+    fn generate_systems_is_deterministic() {
+        let a = generate_systems(0.4, 3, 1);
+        let b = generate_systems(0.4, 3, 1);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tasks, y.tasks);
+        }
+    }
+
+    #[test]
+    fn systems_differ_across_seeds_and_indices() {
+        let a = generate_systems(0.4, 2, 1);
+        let b = generate_systems(0.4, 2, 2);
+        assert_ne!(a[0].tasks, a[1].tasks);
+        assert_ne!(a[0].tasks, b[0].tasks);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(&items, |x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn sweeps_match_paper_ranges() {
+        assert_eq!(fig5_sweep().len(), 15);
+        assert_eq!(fig67_sweep(), vec![0.3, 0.4, 0.5, 0.6, 0.7]);
+    }
+}

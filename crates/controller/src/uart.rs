@@ -1,0 +1,226 @@
+//! A UART transmitter device model.
+//!
+//! Table I compares the controller against vendor UART/SPI/CAN IP; this
+//! module provides a UART-shaped [`IoDevice`] so examples and tests can
+//! drive a serial peripheral through the same EXU path as GPIO:
+//! [`GpioCommand::WriteWord`] queues one byte, which is shifted out as a
+//! start bit, eight data bits (LSB first) and a stop bit, each lasting one
+//! `bit_time`. The line trace records every edge with its timestamp.
+
+use crate::command::GpioCommand;
+use crate::device::IoDevice;
+use serde::{Deserialize, Serialize};
+use tagio_core::time::{Duration, Time};
+
+/// One recorded line level change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineEdge {
+    /// When the level was driven.
+    pub time: Time,
+    /// The driven level (idle is high).
+    pub high: bool,
+}
+
+/// A tracing UART transmitter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UartTx {
+    bit_time: Duration,
+    edges: Vec<LineEdge>,
+    bytes_sent: usize,
+}
+
+impl UartTx {
+    /// A transmitter with the given bit time (e.g. 104 µs ≈ 9600 baud).
+    ///
+    /// # Panics
+    /// Panics if the bit time is zero.
+    #[must_use]
+    pub fn new(bit_time: Duration) -> Self {
+        assert!(!bit_time.is_zero(), "bit time must be positive");
+        UartTx {
+            bit_time,
+            edges: Vec::new(),
+            bytes_sent: 0,
+        }
+    }
+
+    /// The configured bit time.
+    #[must_use]
+    pub fn bit_time(&self) -> Duration {
+        self.bit_time
+    }
+
+    /// All recorded line levels (one per bit of every frame).
+    #[must_use]
+    pub fn edges(&self) -> &[LineEdge] {
+        &self.edges
+    }
+
+    /// Number of bytes transmitted.
+    #[must_use]
+    pub fn bytes_sent(&self) -> usize {
+        self.bytes_sent
+    }
+
+    /// Duration of one 10-bit frame (start + 8 data + stop).
+    #[must_use]
+    pub fn frame_time(&self) -> Duration {
+        self.bit_time * 10
+    }
+
+    /// Decodes the recorded trace back into bytes (for assertions).
+    #[must_use]
+    pub fn decode(&self) -> Vec<u8> {
+        self.edges
+            .chunks(10)
+            .filter(|frame| frame.len() == 10 && !frame[0].high && frame[9].high)
+            .map(|frame| {
+                frame[1..9]
+                    .iter()
+                    .enumerate()
+                    .fold(0u8, |acc, (bit, e)| acc | (u8::from(e.high) << bit))
+            })
+            .collect()
+    }
+}
+
+impl IoDevice for UartTx {
+    /// `WriteWord` transmits the low byte of `value`; other commands are
+    /// ignored by this device (a real port decoder would reject them).
+    fn apply(&mut self, time: Time, cmd: &GpioCommand) -> Option<u32> {
+        match *cmd {
+            GpioCommand::WriteWord { value } => {
+                let byte = (value & 0xFF) as u8;
+                // start bit (low)
+                self.edges.push(LineEdge { time, high: false });
+                // data bits, LSB first
+                for bit in 0..8u8 {
+                    self.edges.push(LineEdge {
+                        time: time + self.bit_time * u64::from(bit + 1),
+                        high: byte & (1 << bit) != 0,
+                    });
+                }
+                // stop bit (high)
+                self.edges.push(LineEdge {
+                    time: time + self.bit_time * 9,
+                    high: true,
+                });
+                self.bytes_sent += 1;
+                None
+            }
+            GpioCommand::ReadWord => Some(self.bytes_sent as u32),
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "uart-tx"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uart() -> UartTx {
+        UartTx::new(Duration::from_micros(104))
+    }
+
+    #[test]
+    fn frame_has_start_data_stop() {
+        let mut u = uart();
+        u.apply(Time::ZERO, &GpioCommand::WriteWord { value: 0x55 });
+        assert_eq!(u.edges().len(), 10);
+        assert!(!u.edges()[0].high, "start bit is low");
+        assert!(u.edges()[9].high, "stop bit is high");
+    }
+
+    #[test]
+    fn bits_are_lsb_first_at_bit_times() {
+        let mut u = uart();
+        u.apply(
+            Time::from_millis(1),
+            &GpioCommand::WriteWord { value: 0x01 },
+        );
+        // bit 0 (value 1) is driven one bit time after the start bit.
+        let e = u.edges()[1];
+        assert!(e.high);
+        assert_eq!(e.time, Time::from_millis(1) + Duration::from_micros(104));
+        // bit 7 (value 0) is low.
+        assert!(!u.edges()[8].high);
+    }
+
+    #[test]
+    fn decode_roundtrips_bytes() {
+        let mut u = uart();
+        for (i, b) in [0x00u8, 0xFF, 0xA5, 0x3C].iter().enumerate() {
+            u.apply(
+                Time::from_millis(i as u64 * 2),
+                &GpioCommand::WriteWord {
+                    value: u32::from(*b),
+                },
+            );
+        }
+        assert_eq!(u.decode(), vec![0x00, 0xFF, 0xA5, 0x3C]);
+        assert_eq!(u.bytes_sent(), 4);
+    }
+
+    #[test]
+    fn read_reports_bytes_sent() {
+        let mut u = uart();
+        u.apply(Time::ZERO, &GpioCommand::WriteWord { value: 1 });
+        let r = u.apply(Time::from_millis(2), &GpioCommand::ReadWord);
+        assert_eq!(r, Some(1));
+    }
+
+    #[test]
+    fn non_uart_commands_are_ignored() {
+        let mut u = uart();
+        u.apply(Time::ZERO, &GpioCommand::SetHigh { pin: 3 });
+        u.apply(Time::ZERO, &GpioCommand::Delay { micros: 5 });
+        assert!(u.edges().is_empty());
+    }
+
+    #[test]
+    fn frame_time_is_ten_bits() {
+        assert_eq!(uart().frame_time(), Duration::from_micros(1040));
+    }
+
+    #[test]
+    #[should_panic(expected = "bit time")]
+    fn zero_bit_time_panics() {
+        let _ = UartTx::new(Duration::ZERO);
+    }
+
+    #[test]
+    fn works_behind_a_controller_processor() {
+        use crate::execution::ControllerProcessor;
+        use crate::memory::ControllerMemory;
+        use crate::table::SchedulingTable;
+        use tagio_core::job::JobId;
+        use tagio_core::schedule::{Schedule, ScheduleEntry};
+        use tagio_core::task::TaskId;
+
+        let mut mem = ControllerMemory::new();
+        mem.preload(
+            TaskId(0),
+            crate::command::CommandBlock::new().with(GpioCommand::WriteWord { value: 0x42 }),
+        )
+        .unwrap();
+        let schedule: Schedule = vec![ScheduleEntry {
+            job: JobId::new(TaskId(0), 0),
+            start: Time::from_millis(5),
+            duration: Duration::from_micros(10),
+        }]
+        .into_iter()
+        .collect();
+        let mut cp = ControllerProcessor::new(uart());
+        cp.load_table(SchedulingTable::from_schedule(&schedule));
+        cp.table_mut().enable_all();
+        let trace = cp.run(&mem);
+        assert!(trace.fault_free());
+        let dev = cp.into_device();
+        assert_eq!(dev.decode(), vec![0x42]);
+        assert_eq!(dev.edges()[0].time, Time::from_millis(5));
+    }
+}

@@ -1,0 +1,262 @@
+//! The paper's I/O performance metrics.
+//!
+//! * **Ψ (psi)** — Eq. (1): the fraction of jobs that start *exactly* at
+//!   their ideal instant, `Ψ = |E| / |λ|` with
+//!   `E = {λi^j | Ti·j + δi − κi^j = 0}`.
+//! * **Υ (upsilon)** — Eq. (2): the overall timing-accuracy performance,
+//!   `Υ = Σ V(κ) / Σ V(δ)` — aggregate achieved quality normalised by the
+//!   aggregate peak quality.
+//!
+//! Both are computed from a [`Schedule`] against the [`JobSet`] it schedules;
+//! callers should [`Schedule::validate`] first (the metrics do not re-check
+//! feasibility, and jobs missing from the schedule simply contribute zero
+//! achieved quality).
+
+use crate::job::JobSet;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Ψ (Eq. (1)): fraction of jobs with exact timing-accurate control.
+///
+/// Returns 1.0 for an empty job set (vacuously all-exact).
+///
+/// ```
+/// use tagio_core::{metrics, job::JobSet, schedule::Schedule};
+/// # use tagio_core::{task::*, time::*, schedule::entry_for};
+/// # let set: TaskSet = vec![IoTask::builder(TaskId(0), DeviceId(0))
+/// #     .wcet(Duration::from_micros(100)).period(Duration::from_millis(4))
+/// #     .ideal_offset(Duration::from_millis(2)).margin(Duration::from_millis(1))
+/// #     .build().unwrap()].into_iter().collect();
+/// # let jobs = JobSet::expand(&set);
+/// # let job = &jobs.as_slice()[0];
+/// let schedule: Schedule = vec![entry_for(job, job.ideal_start())].into_iter().collect();
+/// assert_eq!(metrics::psi(&schedule, &jobs), 1.0);
+/// ```
+#[must_use]
+pub fn psi(schedule: &Schedule, jobs: &JobSet) -> f64 {
+    if jobs.is_empty() {
+        return 1.0;
+    }
+    let exact = jobs
+        .iter()
+        .filter(|j| schedule.start_of(j.id()) == Some(j.ideal_start()))
+        .count();
+    exact as f64 / jobs.len() as f64
+}
+
+/// Υ (Eq. (2)): aggregate achieved quality normalised by aggregate peak
+/// quality.
+///
+/// Jobs absent from the schedule contribute zero achieved quality. Returns
+/// 1.0 for an empty job set, and 0.0 if the aggregate peak quality is not a
+/// positive number (degenerate task sets).
+#[must_use]
+pub fn upsilon(schedule: &Schedule, jobs: &JobSet) -> f64 {
+    if jobs.is_empty() {
+        return 1.0;
+    }
+    let peak = jobs.peak_quality();
+    if peak <= 0.0 || peak.is_nan() {
+        return 0.0;
+    }
+    let achieved: f64 = jobs
+        .iter()
+        .filter_map(|j| schedule.start_of(j.id()).map(|s| j.quality_at(s)))
+        .sum();
+    achieved / peak
+}
+
+/// Distributional statistics of timing-accuracy error `|κ − ideal|`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccuracyStats {
+    /// Total jobs considered.
+    pub total: usize,
+    /// Jobs scheduled exactly at their ideal instant.
+    pub exact: usize,
+    /// Jobs scheduled inside their quality window `[δ−θ, δ+θ]`.
+    pub within_window: usize,
+    /// Mean absolute error in microseconds.
+    pub mean_abs_error_us: f64,
+    /// Maximum absolute error in microseconds.
+    pub max_abs_error_us: u64,
+}
+
+impl AccuracyStats {
+    /// Computes error statistics for `schedule` against `jobs`.
+    ///
+    /// Jobs missing from the schedule are counted in `total` but excluded
+    /// from the error aggregates.
+    #[must_use]
+    pub fn compute(schedule: &Schedule, jobs: &JobSet) -> Self {
+        let mut stats = AccuracyStats {
+            total: jobs.len(),
+            ..AccuracyStats::default()
+        };
+        let mut err_sum: u128 = 0;
+        let mut err_count: usize = 0;
+        for job in jobs {
+            let Some(start) = schedule.start_of(job.id()) else {
+                continue;
+            };
+            let err = start.abs_diff(job.ideal_start()).as_micros();
+            err_sum += u128::from(err);
+            err_count += 1;
+            stats.max_abs_error_us = stats.max_abs_error_us.max(err);
+            if err == 0 {
+                stats.exact += 1;
+            }
+            if start.abs_diff(job.ideal_start()) <= job.margin() {
+                stats.within_window += 1;
+            }
+        }
+        if err_count > 0 {
+            stats.mean_abs_error_us = err_sum as f64 / err_count as f64;
+        }
+        stats
+    }
+
+    /// Ψ as derivable from these statistics (`exact / total`; 1.0 when
+    /// empty).
+    #[must_use]
+    pub fn psi(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.exact as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSet;
+    use crate::schedule::entry_for;
+    use crate::task::{DeviceId, IoTask, TaskId, TaskSet};
+    use crate::time::Duration;
+
+    fn two_task_jobs() -> JobSet {
+        let set: TaskSet = vec![
+            IoTask::builder(TaskId(0), DeviceId(0))
+                .wcet(Duration::from_micros(100))
+                .period(Duration::from_millis(4))
+                .ideal_offset(Duration::from_millis(2))
+                .margin(Duration::from_millis(1))
+                .quality(2.0, 1.0)
+                .build()
+                .unwrap(),
+            IoTask::builder(TaskId(1), DeviceId(0))
+                .wcet(Duration::from_micros(100))
+                .period(Duration::from_millis(4))
+                .ideal_offset(Duration::from_millis(1))
+                .margin(Duration::from_micros(500))
+                .quality(3.0, 1.0)
+                .build()
+                .unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        JobSet::expand(&set)
+    }
+
+    #[test]
+    fn psi_counts_exact_starts_only() {
+        let jobs = two_task_jobs();
+        let a = jobs.get(crate::job::JobId::new(TaskId(0), 0)).unwrap();
+        let b = jobs.get(crate::job::JobId::new(TaskId(1), 0)).unwrap();
+        let s: Schedule = vec![
+            entry_for(a, a.ideal_start()),
+            entry_for(b, b.ideal_start() + Duration::from_micros(1)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(psi(&s, &jobs), 0.5);
+    }
+
+    #[test]
+    fn psi_of_empty_jobset_is_one() {
+        let jobs = JobSet::from_jobs(vec![], Duration::from_millis(1));
+        assert_eq!(psi(&Schedule::new(), &jobs), 1.0);
+    }
+
+    #[test]
+    fn upsilon_is_one_for_all_ideal() {
+        let jobs = two_task_jobs();
+        let s: Schedule = jobs.iter().map(|j| entry_for(j, j.ideal_start())).collect();
+        assert!((upsilon(&s, &jobs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upsilon_degrades_with_distance() {
+        let jobs = two_task_jobs();
+        let s_ideal: Schedule = jobs.iter().map(|j| entry_for(j, j.ideal_start())).collect();
+        let s_late: Schedule = jobs
+            .iter()
+            .map(|j| entry_for(j, j.ideal_start() + Duration::from_micros(400)))
+            .collect();
+        assert!(upsilon(&s_late, &jobs) < upsilon(&s_ideal, &jobs));
+        assert!(upsilon(&s_late, &jobs) > 0.0);
+    }
+
+    #[test]
+    fn upsilon_floor_is_vmin_ratio() {
+        let jobs = two_task_jobs();
+        // Schedule everything far outside its window (but still; metrics do
+        // not check feasibility).
+        let s: Schedule = jobs
+            .iter()
+            .map(|j| entry_for(j, j.ideal_start() + Duration::from_millis(50)))
+            .collect();
+        // peak = 2+3, floor = 1+1
+        assert!((upsilon(&s, &jobs) - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unscheduled_jobs_contribute_zero_quality() {
+        let jobs = two_task_jobs();
+        let a = jobs.get(crate::job::JobId::new(TaskId(0), 0)).unwrap();
+        let s: Schedule = vec![entry_for(a, a.ideal_start())].into_iter().collect();
+        // achieved = 2 (task0 at peak), peak total = 5
+        assert!((upsilon(&s, &jobs) - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_stats_aggregate_errors() {
+        let jobs = two_task_jobs();
+        let a = jobs.get(crate::job::JobId::new(TaskId(0), 0)).unwrap();
+        let b = jobs.get(crate::job::JobId::new(TaskId(1), 0)).unwrap();
+        let s: Schedule = vec![
+            entry_for(a, a.ideal_start()),
+            entry_for(b, b.ideal_start() + Duration::from_micros(600)),
+        ]
+        .into_iter()
+        .collect();
+        let stats = AccuracyStats::compute(&s, &jobs);
+        assert_eq!(stats.total, 2);
+        assert_eq!(stats.exact, 1);
+        // task1's margin is 500us, the 600us error is outside the window
+        assert_eq!(stats.within_window, 1);
+        assert_eq!(stats.max_abs_error_us, 600);
+        assert!((stats.mean_abs_error_us - 300.0).abs() < 1e-12);
+        assert_eq!(stats.psi(), 0.5);
+    }
+
+    #[test]
+    fn accuracy_stats_empty_schedule() {
+        let jobs = two_task_jobs();
+        let stats = AccuracyStats::compute(&Schedule::new(), &jobs);
+        assert_eq!(stats.total, 2);
+        assert_eq!(stats.exact, 0);
+        assert_eq!(stats.mean_abs_error_us, 0.0);
+    }
+
+    #[test]
+    fn exact_schedule_means_window_hit_too() {
+        let jobs = two_task_jobs();
+        let s: Schedule = jobs.iter().map(|j| entry_for(j, j.ideal_start())).collect();
+        let stats = AccuracyStats::compute(&s, &jobs);
+        assert_eq!(stats.exact, stats.total);
+        assert_eq!(stats.within_window, stats.total);
+        assert_eq!(stats.max_abs_error_us, 0);
+    }
+}

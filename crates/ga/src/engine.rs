@@ -1,0 +1,514 @@
+//! The GA engine: uniform-weight scalarised parent selection (as in the
+//! paper) with NSGA-II elitist survivor selection, returning the archive of
+//! non-dominated solutions found during the search.
+
+use crate::nsga2::rank_and_crowd;
+use crate::objectives::Objectives;
+use crate::weights::uniform_spread_2d;
+use rand::{Rng, RngExt};
+
+/// A problem solvable by the engine. Objectives are **maximised**.
+///
+/// Implementations encode one decision variable per locus; the engine never
+/// inspects genes beyond cloning them, so repairs/decoding stay inside
+/// [`Problem::evaluate`].
+pub trait Problem {
+    /// One decision variable.
+    type Gene: Clone;
+
+    /// Number of loci in a genome.
+    fn genome_len(&self) -> usize;
+
+    /// Draws a random gene for `locus` (used for initialisation and, by
+    /// default, mutation).
+    fn random_gene(&self, locus: usize, rng: &mut dyn Rng) -> Self::Gene;
+
+    /// Mutates the gene at `locus`. The default re-draws a random gene,
+    /// which matches the paper's mutation (re-sample `κ` inside the quality
+    /// window).
+    fn mutate_gene(&self, locus: usize, gene: &Self::Gene, rng: &mut dyn Rng) -> Self::Gene {
+        let _ = gene;
+        self.random_gene(locus, rng)
+    }
+
+    /// An optional domain hint for `locus` (e.g. a job's ideal start).
+    /// When [`GaConfig::hint_fraction`] is positive, that fraction of the
+    /// initial population is built from hint genes instead of random ones.
+    /// The default provides no hint.
+    fn hint_gene(&self, locus: usize) -> Option<Self::Gene> {
+        let _ = locus;
+        None
+    }
+
+    /// Evaluates a genome into its objective vector.
+    fn evaluate(&self, genome: &[Self::Gene]) -> Objectives;
+}
+
+/// Engine parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaConfig {
+    /// Population size (the paper uses 300).
+    pub population: usize,
+    /// Number of generations (the paper uses 500).
+    pub generations: usize,
+    /// Per-offspring probability of crossover (otherwise cloning).
+    pub crossover_rate: f64,
+    /// Per-locus mutation probability.
+    pub mutation_rate: f64,
+    /// Maximum archive size (pruned by crowding distance).
+    pub archive_capacity: usize,
+    /// Fraction of the initial population built from [`Problem::hint_gene`]
+    /// values (0.0 = the paper's fully-random initialisation).
+    pub hint_fraction: f64,
+}
+
+impl GaConfig {
+    /// The paper's published parameters: population 300, 500 generations.
+    #[must_use]
+    pub fn paper() -> Self {
+        GaConfig {
+            population: 300,
+            generations: 500,
+            ..GaConfig::default()
+        }
+    }
+
+    /// A reduced configuration for fast experimentation.
+    #[must_use]
+    pub fn quick() -> Self {
+        GaConfig {
+            population: 60,
+            generations: 80,
+            ..GaConfig::default()
+        }
+    }
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 100,
+            generations: 100,
+            crossover_rate: 0.9,
+            mutation_rate: 0.05,
+            archive_capacity: 256,
+            hint_fraction: 0.0,
+        }
+    }
+}
+
+/// One non-dominated solution.
+#[derive(Debug, Clone)]
+pub struct Solution<G> {
+    /// The genome.
+    pub genome: Vec<G>,
+    /// Its objective vector.
+    pub objectives: Objectives,
+}
+
+/// The archive of non-dominated solutions found during a run.
+#[derive(Debug, Clone)]
+pub struct ParetoFront<G> {
+    solutions: Vec<Solution<G>>,
+}
+
+impl<G: Clone> ParetoFront<G> {
+    fn new() -> Self {
+        ParetoFront {
+            solutions: Vec::new(),
+        }
+    }
+
+    fn offer(&mut self, genome: &[G], objectives: &Objectives, capacity: usize) {
+        if self
+            .solutions
+            .iter()
+            .any(|s| s.objectives.dominates(objectives) || s.objectives == *objectives)
+        {
+            return;
+        }
+        self.solutions
+            .retain(|s| !objectives.dominates(&s.objectives));
+        self.solutions.push(Solution {
+            genome: genome.to_vec(),
+            objectives: objectives.clone(),
+        });
+        if self.solutions.len() > capacity {
+            self.prune(capacity);
+        }
+    }
+
+    fn prune(&mut self, capacity: usize) {
+        let pts: Vec<Objectives> = self
+            .solutions
+            .iter()
+            .map(|s| s.objectives.clone())
+            .collect();
+        let front: Vec<usize> = (0..pts.len()).collect();
+        let crowd = crate::nsga2::crowding_distance(&pts, &front);
+        let mut order: Vec<usize> = (0..pts.len()).collect();
+        order.sort_by(|&a, &b| {
+            crowd[b]
+                .partial_cmp(&crowd[a])
+                .unwrap_or(core::cmp::Ordering::Equal)
+        });
+        order.truncate(capacity);
+        order.sort_unstable();
+        let mut kept = Vec::with_capacity(capacity);
+        for idx in order {
+            kept.push(self.solutions[idx].clone());
+        }
+        self.solutions = kept;
+    }
+
+    /// The archived solutions (non-dominated, unordered).
+    #[must_use]
+    pub fn solutions(&self) -> &[Solution<G>] {
+        &self.solutions
+    }
+
+    /// `true` when no feasible solution was archived.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.solutions.is_empty()
+    }
+
+    /// Number of archived solutions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.solutions.len()
+    }
+
+    /// The solution maximising objective `k`.
+    #[must_use]
+    pub fn best_by(&self, k: usize) -> Option<&Solution<G>> {
+        self.solutions.iter().max_by(|a, b| {
+            a.objectives.values()[k]
+                .partial_cmp(&b.objectives.values()[k])
+                .unwrap_or(core::cmp::Ordering::Equal)
+        })
+    }
+
+    /// The solution maximising the weighted sum of objectives.
+    #[must_use]
+    pub fn best_weighted(&self, weights: &[f64]) -> Option<&Solution<G>> {
+        self.solutions.iter().max_by(|a, b| {
+            a.objectives
+                .weighted_sum(weights)
+                .partial_cmp(&b.objectives.weighted_sum(weights))
+                .unwrap_or(core::cmp::Ordering::Equal)
+        })
+    }
+}
+
+/// Runs the GA and returns the archive of non-dominated solutions.
+///
+/// Parent selection is a binary tournament on each offspring slot's own
+/// weight vector (uniformly spread across the population, as in the paper);
+/// survivor selection is elitist NSGA-II (rank, then crowding) over the
+/// combined parent+offspring pool. Infeasible solutions should evaluate to a
+/// dominated sentinel (the paper returns −1 for both objectives).
+///
+/// # Panics
+/// Panics if the problem has an empty genome or the population is zero.
+pub fn run<P: Problem, R: Rng>(
+    problem: &P,
+    config: &GaConfig,
+    rng: &mut R,
+) -> ParetoFront<P::Gene> {
+    assert!(problem.genome_len() > 0, "empty genome");
+    assert!(config.population > 0, "empty population");
+    let len = problem.genome_len();
+    let weights = uniform_spread_2d(config.population);
+
+    let hinted = (config.hint_fraction.clamp(0.0, 1.0) * config.population as f64).round() as usize;
+    let mut population: Vec<Vec<P::Gene>> = (0..config.population)
+        .map(|i| {
+            (0..len)
+                .map(|l| {
+                    if i < hinted {
+                        problem
+                            .hint_gene(l)
+                            .unwrap_or_else(|| problem.random_gene(l, rng))
+                    } else {
+                        problem.random_gene(l, rng)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut scores: Vec<Objectives> = population.iter().map(|g| problem.evaluate(g)).collect();
+
+    let mut front = ParetoFront::new();
+    for (g, o) in population.iter().zip(&scores) {
+        offer_if_finite(&mut front, g, o, config.archive_capacity);
+    }
+
+    for _gen in 0..config.generations {
+        // --- variation ---
+        let mut offspring: Vec<Vec<P::Gene>> = Vec::with_capacity(config.population);
+        for slot in 0..config.population {
+            let w = &weights[slot % weights.len()];
+            let a = tournament(&scores, w, rng);
+            let b = tournament(&scores, w, rng);
+            let mut child: Vec<P::Gene> = if rng.random::<f64>() < config.crossover_rate {
+                // uniform crossover
+                (0..len)
+                    .map(|l| {
+                        if rng.random::<bool>() {
+                            population[a][l].clone()
+                        } else {
+                            population[b][l].clone()
+                        }
+                    })
+                    .collect()
+            } else {
+                population[a].clone()
+            };
+            for (l, gene) in child.iter_mut().enumerate() {
+                if rng.random::<f64>() < config.mutation_rate {
+                    *gene = problem.mutate_gene(l, gene, rng);
+                }
+            }
+            offspring.push(child);
+        }
+        let offspring_scores: Vec<Objectives> =
+            offspring.iter().map(|g| problem.evaluate(g)).collect();
+        for (g, o) in offspring.iter().zip(&offspring_scores) {
+            offer_if_finite(&mut front, g, o, config.archive_capacity);
+        }
+
+        // --- elitist survivor selection (NSGA-II over parents+offspring) ---
+        let mut pool = population;
+        pool.extend(offspring);
+        let mut pool_scores = scores;
+        pool_scores.extend(offspring_scores);
+        let rc = rank_and_crowd(&pool_scores);
+        let mut order: Vec<usize> = (0..pool.len()).collect();
+        order.sort_by(|&x, &y| {
+            rc[x].0.cmp(&rc[y].0).then(
+                rc[y]
+                    .1
+                    .partial_cmp(&rc[x].1)
+                    .unwrap_or(core::cmp::Ordering::Equal),
+            )
+        });
+        order.truncate(config.population);
+        population = order.iter().map(|&i| pool[i].clone()).collect();
+        scores = order.iter().map(|&i| pool_scores[i].clone()).collect();
+    }
+    front
+}
+
+fn offer_if_finite<G: Clone>(
+    front: &mut ParetoFront<G>,
+    genome: &[G],
+    objectives: &Objectives,
+    capacity: usize,
+) {
+    // Infeasible sentinels (e.g. the paper's −1) and NaNs stay out of the
+    // archive.
+    if objectives
+        .values()
+        .iter()
+        .all(|v| v.is_finite() && *v >= 0.0)
+    {
+        front.offer(genome, objectives, capacity);
+    }
+}
+
+fn tournament<R: Rng + ?Sized>(scores: &[Objectives], weights: &[f64; 2], rng: &mut R) -> usize {
+    let i = rng.random_range(0..scores.len());
+    let j = rng.random_range(0..scores.len());
+    let wi = scores[i].weighted_sum(weights);
+    let wj = scores[j].weighted_sum(weights);
+    if wi >= wj {
+        i
+    } else {
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Maximise (x, 1-x) over genes in [0,1]: the whole segment is
+    /// Pareto-optimal, objectives trade off linearly.
+    struct Segment;
+
+    impl Problem for Segment {
+        type Gene = f64;
+        fn genome_len(&self) -> usize {
+            1
+        }
+        fn random_gene(&self, _locus: usize, rng: &mut dyn Rng) -> f64 {
+            rng.random::<f64>()
+        }
+        fn evaluate(&self, genome: &[f64]) -> Objectives {
+            let x = genome[0].clamp(0.0, 1.0);
+            Objectives::from(vec![x, 1.0 - x])
+        }
+    }
+
+    /// A single-optimum problem: maximise (v, v) with v = 1 - |x - 0.7|.
+    struct Peak;
+
+    impl Problem for Peak {
+        type Gene = f64;
+        fn genome_len(&self) -> usize {
+            1
+        }
+        fn random_gene(&self, _locus: usize, rng: &mut dyn Rng) -> f64 {
+            rng.random::<f64>()
+        }
+        fn evaluate(&self, genome: &[f64]) -> Objectives {
+            let v = 1.0 - (genome[0] - 0.7).abs();
+            Objectives::from(vec![v, v])
+        }
+    }
+
+    #[test]
+    fn finds_spread_on_linear_front() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = GaConfig {
+            population: 40,
+            generations: 30,
+            ..GaConfig::default()
+        };
+        let front = run(&Segment, &cfg, &mut rng);
+        assert!(front.len() >= 10, "front too small: {}", front.len());
+        let best_x = front.best_by(0).unwrap().objectives.values()[0];
+        let best_y = front.best_by(1).unwrap().objectives.values()[1];
+        assert!(best_x > 0.95 && best_y > 0.95);
+    }
+
+    #[test]
+    fn converges_to_single_peak() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = GaConfig {
+            population: 30,
+            generations: 40,
+            ..GaConfig::default()
+        };
+        let front = run(&Peak, &cfg, &mut rng);
+        // identical objectives => archive keeps exactly the best point
+        assert_eq!(front.len(), 1);
+        assert!(front.solutions()[0].objectives.values()[0] > 0.99);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GaConfig::quick();
+        let a = run(&Segment, &cfg, &mut StdRng::seed_from_u64(3));
+        let b = run(&Segment, &cfg, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.len(), b.len());
+        let ax: Vec<f64> = a.solutions().iter().map(|s| s.genome[0]).collect();
+        let bx: Vec<f64> = b.solutions().iter().map(|s| s.genome[0]).collect();
+        assert_eq!(ax, bx);
+    }
+
+    #[test]
+    fn archive_respects_capacity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = GaConfig {
+            population: 50,
+            generations: 30,
+            archive_capacity: 8,
+            ..GaConfig::default()
+        };
+        let front = run(&Segment, &cfg, &mut rng);
+        assert!(front.len() <= 8);
+    }
+
+    #[test]
+    fn infeasible_sentinels_never_archived() {
+        struct AlwaysInfeasible;
+        impl Problem for AlwaysInfeasible {
+            type Gene = f64;
+            fn genome_len(&self) -> usize {
+                1
+            }
+            fn random_gene(&self, _l: usize, rng: &mut dyn Rng) -> f64 {
+                rng.random::<f64>()
+            }
+            fn evaluate(&self, _g: &[f64]) -> Objectives {
+                Objectives::from(vec![-1.0, -1.0])
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let front = run(&AlwaysInfeasible, &GaConfig::quick(), &mut rng);
+        assert!(front.is_empty());
+    }
+
+    #[test]
+    fn best_weighted_picks_extremes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let front = run(&Segment, &GaConfig::quick(), &mut rng);
+        let x_heavy = front.best_weighted(&[1.0, 0.0]).unwrap();
+        let y_heavy = front.best_weighted(&[0.0, 1.0]).unwrap();
+        assert!(x_heavy.objectives.values()[0] >= y_heavy.objectives.values()[0]);
+    }
+
+    #[test]
+    fn paper_and_quick_configs_differ() {
+        assert_eq!(GaConfig::paper().population, 300);
+        assert_eq!(GaConfig::paper().generations, 500);
+        assert!(GaConfig::quick().population < GaConfig::paper().population);
+    }
+
+    #[test]
+    fn hint_fraction_seeds_initial_population() {
+        /// A problem whose only good solution is the hint: random genes are
+        /// far from the optimum, so a hinted run must find a better point
+        /// within zero generations than random init alone would start from.
+        struct Needle;
+        impl Problem for Needle {
+            type Gene = f64;
+            fn genome_len(&self) -> usize {
+                1
+            }
+            fn random_gene(&self, _l: usize, rng: &mut dyn Rng) -> f64 {
+                rng.random::<f64>() * 0.1 // far from the needle at 0.9
+            }
+            fn hint_gene(&self, _l: usize) -> Option<f64> {
+                Some(0.9)
+            }
+            fn evaluate(&self, g: &[f64]) -> Objectives {
+                let v = 1.0 - (g[0] - 0.9).abs();
+                Objectives::from(vec![v, v])
+            }
+        }
+        let cfg = GaConfig {
+            population: 10,
+            generations: 0,
+            hint_fraction: 0.5,
+            ..GaConfig::default()
+        };
+        let front = run(&Needle, &cfg, &mut StdRng::seed_from_u64(8));
+        let best = front.best_by(0).expect("non-empty").objectives.values()[0];
+        assert!(best > 0.99, "hint not used: best {best}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty genome")]
+    fn empty_genome_panics() {
+        struct Empty;
+        impl Problem for Empty {
+            type Gene = f64;
+            fn genome_len(&self) -> usize {
+                0
+            }
+            fn random_gene(&self, _l: usize, _r: &mut dyn Rng) -> f64 {
+                0.0
+            }
+            fn evaluate(&self, _g: &[f64]) -> Objectives {
+                Objectives::from(vec![0.0, 0.0])
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = run(&Empty, &GaConfig::quick(), &mut rng);
+    }
+}

@@ -1,0 +1,126 @@
+//! The 2-D hypervolume indicator: the area dominated by a front relative to
+//! a reference point. Used by the GA ablation bench to compare fronts as a
+//! whole rather than only their extremes.
+
+use crate::objectives::Objectives;
+
+/// Hypervolume of a two-objective front w.r.t. `reference` (both objectives
+/// maximised). Points that do not strictly dominate the reference are
+/// ignored.
+///
+/// ```
+/// use tagio_ga::hypervolume::hypervolume_2d;
+/// use tagio_ga::Objectives;
+///
+/// let front = vec![
+///     Objectives::from(vec![1.0, 0.1]),
+///     Objectives::from(vec![0.1, 1.0]),
+///     Objectives::from(vec![0.6, 0.6]),
+/// ];
+/// let hv = hypervolume_2d(&front, [0.0, 0.0]);
+/// assert!(hv > 0.36 && hv < 1.0);
+/// ```
+///
+/// # Panics
+/// Panics if any point has an arity other than 2 or non-finite values.
+#[must_use]
+pub fn hypervolume_2d(front: &[Objectives], reference: [f64; 2]) -> f64 {
+    let mut pts: Vec<[f64; 2]> = front
+        .iter()
+        .map(|o| {
+            assert_eq!(o.len(), 2, "hypervolume_2d needs two objectives");
+            let v = o.values();
+            assert!(v.iter().all(|x| x.is_finite()), "objectives must be finite");
+            [v[0], v[1]]
+        })
+        .filter(|p| p[0] > reference[0] && p[1] > reference[1])
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Staircase integral: walk points by descending first objective; each
+    // improvement of the best-seen second objective closes a rectangle.
+    pts.sort_by(|a, b| b[0].partial_cmp(&a[0]).expect("finite"));
+    let mut area = 0.0;
+    let mut right_x = pts[0][0];
+    let mut best_y = reference[1];
+    for p in &pts {
+        if p[1] > best_y {
+            area += (right_x - p[0]) * (best_y - reference[1]);
+            right_x = p[0];
+            best_y = p[1];
+        }
+    }
+    area += (right_x - reference[0]) * (best_y - reference[1]);
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(x: f64, y: f64) -> Objectives {
+        Objectives::from(vec![x, y])
+    }
+
+    #[test]
+    fn single_point_is_a_rectangle() {
+        let hv = hypervolume_2d(&[o(0.5, 0.4)], [0.0, 0.0]);
+        assert!((hv - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_add_nothing() {
+        let base = hypervolume_2d(&[o(0.8, 0.8)], [0.0, 0.0]);
+        let with_dominated = hypervolume_2d(&[o(0.8, 0.8), o(0.5, 0.5)], [0.0, 0.0]);
+        assert!((base - with_dominated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staircase_adds_union_not_sum() {
+        // Two incomparable points overlapping in area.
+        let hv = hypervolume_2d(&[o(1.0, 0.5), o(0.5, 1.0)], [0.0, 0.0]);
+        // union = 1.0*0.5 + 0.5*(1.0-0.5) = 0.75
+        assert!((hv - 0.75).abs() < 1e-12, "hv = {hv}");
+    }
+
+    #[test]
+    fn three_step_staircase() {
+        let hv = hypervolume_2d(&[o(0.9, 0.1), o(0.6, 0.6), o(0.1, 0.9)], [0.0, 0.0]);
+        // rectangles: (0.9-0.6)*0.1 + (0.6-0.1)*0.6 + 0.1*0.9 = 0.03+0.3+0.09
+        assert!((hv - 0.42).abs() < 1e-12, "hv = {hv}");
+    }
+
+    #[test]
+    fn points_below_reference_are_ignored() {
+        let hv = hypervolume_2d(&[o(-1.0, 0.5), o(0.5, -0.1)], [0.0, 0.0]);
+        assert_eq!(hv, 0.0);
+    }
+
+    #[test]
+    fn empty_front_is_zero() {
+        assert_eq!(hypervolume_2d(&[], [0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn larger_front_has_larger_hypervolume() {
+        let small = hypervolume_2d(&[o(0.5, 0.5)], [0.0, 0.0]);
+        let big = hypervolume_2d(&[o(0.5, 0.5), o(0.9, 0.2), o(0.2, 0.9)], [0.0, 0.0]);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn reference_shift_shrinks_area() {
+        let front = [o(1.0, 1.0)];
+        let a = hypervolume_2d(&front, [0.0, 0.0]);
+        let b = hypervolume_2d(&front, [0.5, 0.5]);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "two objectives")]
+    fn wrong_arity_panics() {
+        let _ = hypervolume_2d(&[Objectives::from(vec![1.0])], [0.0, 0.0]);
+    }
+}

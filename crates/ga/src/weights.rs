@@ -1,0 +1,68 @@
+//! Uniform weight spreads for scalarised multi-objective selection.
+//!
+//! The paper assigns each GA individual its own weight vector, "spread
+//! uniformly from `[1.0, 0]` to `[0, 1.0]`" across the population, so
+//! different individuals feel selection pressure toward different regions of
+//! the Pareto front.
+
+/// `count` two-objective weight vectors spread uniformly from `[1, 0]` to
+/// `[0, 1]` (inclusive at both ends).
+///
+/// ```
+/// let ws = tagio_ga::weights::uniform_spread_2d(3);
+/// assert_eq!(ws, vec![[1.0, 0.0], [0.5, 0.5], [0.0, 1.0]]);
+/// ```
+///
+/// # Panics
+/// Panics if `count == 0`.
+#[must_use]
+pub fn uniform_spread_2d(count: usize) -> Vec<[f64; 2]> {
+    assert!(count > 0, "need at least one weight vector");
+    if count == 1 {
+        return vec![[0.5, 0.5]];
+    }
+    (0..count)
+        .map(|i| {
+            let w = i as f64 / (count - 1) as f64;
+            [1.0 - w, w]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_pure_objectives() {
+        let ws = uniform_spread_2d(5);
+        assert_eq!(ws[0], [1.0, 0.0]);
+        assert_eq!(ws[4], [0.0, 1.0]);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for w in uniform_spread_2d(17) {
+            assert!((w[0] + w[1] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_vector_is_balanced() {
+        assert_eq!(uniform_spread_2d(1), vec![[0.5, 0.5]]);
+    }
+
+    #[test]
+    fn spread_is_monotone() {
+        let ws = uniform_spread_2d(9);
+        assert!(ws
+            .windows(2)
+            .all(|p| p[0][0] > p[1][0] && p[0][1] < p[1][1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_count_panics() {
+        let _ = uniform_spread_2d(0);
+    }
+}

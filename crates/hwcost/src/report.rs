@@ -1,0 +1,58 @@
+//! Table rendering for the hardware-overhead comparison.
+
+use crate::components::{table1_components, Component};
+use core::fmt::Write as _;
+
+/// Renders Table I as aligned plain text (the `table1_hwcost` experiment
+/// binary prints this).
+#[must_use]
+pub fn render_table1() -> String {
+    render_components(&table1_components())
+}
+
+/// Renders any component list in the Table I format.
+#[must_use]
+pub fn render_components(components: &[Component]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>10} {:>4} {:>8} {:>11}",
+        "Component", "LUTs", "Registers", "DSP", "RAM(KB)", "Power(mW)"
+    );
+    for c in components {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>10} {:>4} {:>8} {:>11}",
+            c.name, c.cost.luts, c.cost.registers, c.cost.dsps, c.cost.bram_kb, c.cost.power_mw
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_every_component() {
+        let t = render_table1();
+        for name in ["Proposed", "MB-B", "MB-F", "UART", "SPI", "CAN", "GPIOCP"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn table_contains_headline_numbers() {
+        let t = render_table1();
+        assert!(t.contains("1156"));
+        assert!(t.contains("982"));
+        assert!(t.contains("4908"));
+    }
+
+    #[test]
+    fn rows_are_aligned() {
+        let t = render_table1();
+        let widths: Vec<usize> = t.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}");
+    }
+}

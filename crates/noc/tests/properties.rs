@@ -1,0 +1,75 @@
+//! Property-based tests of the NoC simulator's invariants.
+
+use proptest::prelude::*;
+use tagio_noc::analysis::zero_load_latency;
+use tagio_noc::sim::{NocConfig, NocSim};
+use tagio_noc::topology::{Mesh, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every injected packet is eventually delivered, exactly once.
+    #[test]
+    fn all_packets_delivered_exactly_once(
+        w in 2u8..5,
+        h in 2u8..5,
+        count in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mesh = Mesh::new(w, h);
+        let mut sim = NocSim::new(mesh, NocConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes: Vec<NodeId> = mesh.nodes().collect();
+        let mut sent = Vec::new();
+        for _ in 0..count {
+            let src = nodes[rng.random_range(0..nodes.len())];
+            let dst = nodes[rng.random_range(0..nodes.len())];
+            let flits = rng.random_range(1..6u32);
+            let prio = rng.random_range(0..4u8);
+            let at = rng.random_range(0..50u64);
+            sent.push(sim.send(src, dst, flits, prio, at));
+        }
+        prop_assert!(sim.run_to_idle(200_000), "network did not drain");
+        prop_assert_eq!(sim.delivered().len(), sent.len());
+        for id in sent {
+            prop_assert_eq!(
+                sim.delivered().iter().filter(|d| d.packet.id == id).count(),
+                1
+            );
+        }
+    }
+
+    /// Measured latency never beats the analytic zero-load bound.
+    #[test]
+    fn latency_respects_zero_load_bound(
+        sx in 0u8..4, sy in 0u8..4, dx in 0u8..4, dy in 0u8..4,
+        flits in 1u32..8,
+    ) {
+        let mesh = Mesh::new(4, 4);
+        let (src, dst) = (NodeId::new(sx, sy), NodeId::new(dx, dy));
+        let mut sim = NocSim::new(mesh, NocConfig::default());
+        sim.send(src, dst, flits, 1, 0);
+        prop_assert!(sim.run_to_idle(100_000));
+        let measured = sim.delivered()[0].latency();
+        prop_assert_eq!(measured, zero_load_latency(&mesh, src, dst, flits));
+    }
+
+    /// Simulation is deterministic: same inputs, same deliveries.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..200) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use tagio_noc::traffic::UniformTraffic;
+        let run = |seed: u64| {
+            let mut sim = NocSim::new(Mesh::new(3, 3), NocConfig::default());
+            let mut rng = StdRng::seed_from_u64(seed);
+            UniformTraffic::light().schedule(&mut sim, 100, &mut rng);
+            assert!(sim.run_to_idle(100_000));
+            sim.delivered()
+                .iter()
+                .map(|d| (d.packet.id, d.delivered_at))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

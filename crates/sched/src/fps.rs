@@ -1,0 +1,207 @@
+//! Non-preemptive fixed-priority scheduling baselines.
+//!
+//! * [`FpsOffline`] — the paper's "FPS-offline": a static schedule produced
+//!   before run-time by simulating non-preemptive fixed-priority dispatching
+//!   over the hyper-period. Work-conserving: whenever the device idles, the
+//!   highest-priority released pending job starts. Ideal start instants are
+//!   ignored entirely — which is why FPS achieves `Ψ = 0` in the paper's
+//!   Fig. 6.
+//! * [`fps_online_schedulable`] — the paper's "FPS-online": the worst-case
+//!   schedulability *test* for dynamic non-preemptive FPS at run-time,
+//!   following the response-time analysis with lower-priority blocking of
+//!   Davis et al. (reference \[18\]); see [`crate::analysis`].
+
+use crate::analysis::taskset_schedulable_np_fps;
+use crate::scheduler::Scheduler;
+use tagio_core::job::JobSet;
+use tagio_core::schedule::{entry_for, Schedule};
+use tagio_core::task::TaskSet;
+use tagio_core::time::Time;
+
+/// The offline non-preemptive fixed-priority scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FpsOffline;
+
+impl FpsOffline {
+    /// Creates the scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        FpsOffline
+    }
+}
+
+impl Scheduler for FpsOffline {
+    fn name(&self) -> &'static str {
+        "fps-offline"
+    }
+
+    /// Simulates non-preemptive FPS dispatching over the hyper-period.
+    ///
+    /// Returns `None` if any job misses its deadline.
+    fn schedule(&self, jobs: &JobSet) -> Option<Schedule> {
+        let mut pending: Vec<usize> = Vec::new();
+        let mut next_release = 0usize; // jobs are sorted by release
+        let all = jobs.as_slice();
+        let mut now = Time::ZERO;
+        let mut out = Schedule::new();
+
+        while next_release < all.len() || !pending.is_empty() {
+            // Admit releases up to `now`.
+            while next_release < all.len() && all[next_release].release() <= now {
+                pending.push(next_release);
+                next_release += 1;
+            }
+            if pending.is_empty() {
+                // Idle until the next release.
+                now = all[next_release].release();
+                continue;
+            }
+            // Highest priority released job; ties by earliest release then id.
+            let (slot, &idx) = pending
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| {
+                    all[a]
+                        .priority()
+                        .cmp(&all[b].priority())
+                        .then(all[b].release().cmp(&all[a].release()))
+                        .then(all[b].id().task.cmp(&all[a].id().task))
+                })
+                .expect("pending is non-empty");
+            pending.swap_remove(slot);
+            let job = &all[idx];
+            let start = now.max(job.release());
+            if start > job.latest_start() {
+                return None; // deadline miss
+            }
+            out.insert(entry_for(job, start));
+            now = start + job.wcet();
+        }
+        Some(out)
+    }
+}
+
+/// The paper's "FPS-online" curve: worst-case schedulability of *dynamic*
+/// non-preemptive FPS, via response-time analysis with blocking (Davis et
+/// al., ECRTS 2011 — reference \[18\]).
+///
+/// This is a test on the task set, not a schedule: at run-time the dispatch
+/// order depends on actual arrivals, so only the analytical worst case can
+/// be guaranteed.
+#[must_use]
+pub fn fps_online_schedulable(tasks: &TaskSet) -> bool {
+    taskset_schedulable_np_fps(tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulingReport;
+    use tagio_core::job::JobId;
+    use tagio_core::metrics;
+    use tagio_core::task::{DeviceId, IoTask, Priority, TaskId};
+    use tagio_core::time::Duration;
+
+    fn mk_task(id: u32, period_ms: u64, wcet_us: u64, prio: u32) -> IoTask {
+        IoTask::builder(TaskId(id), DeviceId(0))
+            .wcet(Duration::from_micros(wcet_us))
+            .period(Duration::from_millis(period_ms))
+            .ideal_offset(Duration::from_millis(period_ms) / 2)
+            .margin(Duration::from_millis(period_ms) / 4)
+            .priority(Priority(prio))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn schedules_all_jobs_work_conserving() {
+        let set: TaskSet = vec![mk_task(0, 4, 500, 1), mk_task(1, 8, 1000, 0)]
+            .into_iter()
+            .collect();
+        let jobs = JobSet::expand(&set);
+        let s = FpsOffline::new().schedule(&jobs).expect("feasible");
+        s.validate(&jobs).unwrap();
+        // Work-conserving: first job starts at time zero.
+        assert_eq!(s.as_slice()[0].start, Time::ZERO);
+    }
+
+    #[test]
+    fn higher_priority_dispatches_first() {
+        let set: TaskSet = vec![mk_task(0, 8, 1000, 0), mk_task(1, 8, 1000, 5)]
+            .into_iter()
+            .collect();
+        let jobs = JobSet::expand(&set);
+        let s = FpsOffline::new().schedule(&jobs).unwrap();
+        // Both release at 0; task 1 has higher priority.
+        assert_eq!(s.as_slice()[0].job, JobId::new(TaskId(1), 0));
+    }
+
+    #[test]
+    fn fps_ignores_ideal_starts() {
+        let set: TaskSet = vec![mk_task(0, 8, 1000, 1)].into_iter().collect();
+        let jobs = JobSet::expand(&set);
+        let s = FpsOffline::new().schedule(&jobs).unwrap();
+        // Starts at release, not at the 4ms ideal instant.
+        assert_eq!(metrics::psi(&s, &jobs), 0.0);
+    }
+
+    #[test]
+    fn non_preemptive_blocking_delays_high_priority() {
+        // Low priority long job starts at 0; high priority releases at 0 too
+        // but dispatch picks high first. Force blocking via staggered period.
+        let set: TaskSet = vec![mk_task(0, 16, 6000, 0), mk_task(1, 8, 100, 5)]
+            .into_iter()
+            .collect();
+        let jobs = JobSet::expand(&set);
+        let s = FpsOffline::new().schedule(&jobs).unwrap();
+        s.validate(&jobs).unwrap();
+        // t=0: task1 (high) runs 100us, then task0 runs 6000us.
+        // task1's second job releases at 8ms while device idle -> immediate.
+        assert_eq!(
+            s.start_of(JobId::new(TaskId(0), 0)),
+            Some(Time::from_micros(100))
+        );
+    }
+
+    #[test]
+    fn overload_returns_none() {
+        // Two tasks each demanding 60% of the same 1ms period cannot fit.
+        let tight = |id| {
+            IoTask::builder(TaskId(id), DeviceId(0))
+                .wcet(Duration::from_micros(600))
+                .period(Duration::from_millis(1))
+                .ideal_offset(Duration::from_micros(400))
+                .margin(Duration::from_micros(300))
+                .build()
+                .unwrap()
+        };
+        let set: TaskSet = vec![tight(0), tight(1)].into_iter().collect();
+        let jobs = JobSet::expand(&set);
+        assert!(FpsOffline::new().schedule(&jobs).is_none());
+    }
+
+    #[test]
+    fn report_integrates_with_trait() {
+        let task = IoTask::builder(TaskId(0), DeviceId(0))
+            .wcet(Duration::from_micros(100))
+            .period(Duration::from_millis(4))
+            .ideal_offset(Duration::from_millis(2))
+            .margin(Duration::from_millis(1))
+            .quality(2.0, 1.0)
+            .build()
+            .unwrap();
+        let set: TaskSet = vec![task].into_iter().collect();
+        let jobs = JobSet::expand(&set);
+        let r = SchedulingReport::evaluate(&FpsOffline::new(), &jobs);
+        assert!(r.schedulable);
+        assert_eq!(r.psi, 0.0); // starts at release, never at ideal
+        assert!(r.upsilon > 0.0); // Vmin floor still counts
+    }
+
+    #[test]
+    fn empty_jobset_yields_empty_schedule() {
+        let jobs = JobSet::from_jobs(vec![], Duration::from_millis(1));
+        let s = FpsOffline::new().schedule(&jobs).unwrap();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,308 @@
+//! Dependency-graph formation and decomposition (Algorithm 1, phases one
+//! and two).
+//!
+//! Jobs are examined at their *ideal* executions `[Ti·j + δi, Ti·j + δi + Ci)`.
+//! Two jobs conflict when those intervals overlap; a **dependency graph** is
+//! a connected component of the conflict graph (paper Fig. 2). The penalty
+//! weight `ψi^j` of a job equals its degree — the number of jobs whose exact
+//! timing accuracy it destroys if executed at its ideal instant.
+//!
+//! Decomposition repeatedly removes the job with the highest penalty weight
+//! (ties broken by *lowest* priority — wider release periods offer more free
+//! slots for reallocation), until no conflicts remain. The surviving jobs
+//! (`λ*`) keep their ideal starts; the removed jobs (`λ¬`) go to the LCC-D
+//! allocator.
+
+use tagio_core::job::JobSet;
+
+/// The conflict adjacency of a job set examined at ideal executions.
+///
+/// Indices refer to positions in `jobs.as_slice()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictGraph {
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl ConflictGraph {
+    /// Builds the conflict graph of `jobs` at their ideal executions.
+    #[must_use]
+    pub fn build(jobs: &JobSet) -> Self {
+        let all = jobs.as_slice();
+        let n = all.len();
+        let mut adjacency = vec![Vec::new(); n];
+        for i in 0..n {
+            let (si, ei) = (all[i].ideal_start(), all[i].ideal_start() + all[i].wcet());
+            for j in (i + 1)..n {
+                let (sj, ej) = (all[j].ideal_start(), all[j].ideal_start() + all[j].wcet());
+                if si < ej && sj < ei {
+                    adjacency[i].push(j);
+                    adjacency[j].push(i);
+                }
+            }
+        }
+        ConflictGraph { adjacency }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// `true` when the graph has no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// The penalty weight `ψ` of job `i` (its degree).
+    #[must_use]
+    pub fn penalty(&self, i: usize) -> usize {
+        self.adjacency[i].len()
+    }
+
+    /// Neighbours of job `i`.
+    #[must_use]
+    pub fn neighbours(&self, i: usize) -> &[usize] {
+        &self.adjacency[i]
+    }
+
+    /// The dependency graphs: connected components (singletons included),
+    /// each sorted ascending; components ordered by smallest member.
+    #[must_use]
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.adjacency.len();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            let mut comp = Vec::new();
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &w in &self.adjacency[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Decomposes the graph (Algorithm 1, lines 2–9).
+    ///
+    /// Repeatedly removes the vertex with the highest current penalty
+    /// weight; ties are broken by lowest priority, then by latest release
+    /// (both favour jobs with more reallocation slack), then by index for
+    /// determinism. Returns `(exact, sacrificed)`: the jobs that keep their
+    /// ideal starts and the removal order of the rest.
+    #[must_use]
+    pub fn decompose(&self, jobs: &JobSet) -> (Vec<usize>, Vec<usize>) {
+        let all = jobs.as_slice();
+        let n = self.adjacency.len();
+        let mut degree: Vec<usize> = (0..n).map(|i| self.adjacency[i].len()).collect();
+        let mut removed = vec![false; n];
+        let mut sacrificed = Vec::new();
+
+        loop {
+            // Highest penalty; ties: lowest priority, latest release, index.
+            let candidate = (0..n)
+                .filter(|&i| !removed[i] && degree[i] > 0)
+                .max_by(|&a, &b| {
+                    degree[a]
+                        .cmp(&degree[b])
+                        .then(all[b].priority().cmp(&all[a].priority()))
+                        .then(all[a].release().cmp(&all[b].release()))
+                        .then(all[b].id().task.cmp(&all[a].id().task))
+                });
+            let Some(v) = candidate else { break };
+            removed[v] = true;
+            sacrificed.push(v);
+            for &w in &self.adjacency[v] {
+                if !removed[w] {
+                    degree[w] -= 1;
+                }
+            }
+            degree[v] = 0;
+        }
+        let exact = (0..n).filter(|&i| !removed[i]).collect();
+        (exact, sacrificed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagio_core::job::{Job, JobId};
+    use tagio_core::quality::QualityCurve;
+    use tagio_core::task::{Priority, TaskId};
+    use tagio_core::time::{Duration, Time};
+
+    /// Builds a job whose *ideal execution* is `[start, start+len)` (ms),
+    /// with a wide release window so graph logic is isolated from window
+    /// clamping.
+    fn job_at(task: u32, start_ms: u64, len_ms: u64, prio: u32) -> Job {
+        Job::new(
+            JobId::new(TaskId(task), 0),
+            Time::ZERO,
+            Time::from_millis(start_ms),
+            Time::from_millis(1000),
+            Duration::from_millis(len_ms),
+            Duration::from_millis(start_ms.min(50)),
+            Priority(prio),
+            QualityCurve::linear(1.0, 0.0),
+        )
+    }
+
+    fn set(jobs: Vec<Job>) -> JobSet {
+        JobSet::from_jobs(jobs, Duration::from_millis(1000))
+    }
+
+    /// The paper's Fig. 2 example: nine jobs forming four dependency graphs
+    /// {1}, {2,3}, {4,5,6} (5 linking 4 and 6), {7,8,9} (mutual conflicts).
+    fn figure2() -> JobSet {
+        set(vec![
+            job_at(1, 0, 4, 1),  // job 1: isolated
+            job_at(2, 10, 4, 2), // jobs 2,3 overlap
+            job_at(3, 12, 4, 3),
+            job_at(4, 20, 4, 4), // 4-5 overlap, 5-6 overlap, 4-6 do not
+            job_at(5, 23, 4, 5),
+            job_at(6, 26, 4, 6),
+            job_at(7, 40, 6, 7), // 7,8,9 mutually overlap
+            job_at(8, 42, 6, 8),
+            job_at(9, 44, 6, 9),
+        ])
+    }
+
+    #[test]
+    fn paper_figure2_example() {
+        let jobs = figure2();
+        let g = ConflictGraph::build(&jobs);
+        let comps = g.components();
+        assert_eq!(comps.len(), 4);
+        let sizes: Vec<usize> = comps.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![1, 2, 3, 3]);
+        // Job 5 (index 4) has penalty weight 2 (paper: "Job 5 has a penalty
+        // weight of 2").
+        assert_eq!(g.penalty(4), 2);
+        // Jobs 4 and 6 are not linked.
+        assert!(!g.neighbours(3).contains(&5));
+    }
+
+    #[test]
+    fn figure2_decomposition_keeps_six_exact() {
+        let jobs = figure2();
+        let g = ConflictGraph::build(&jobs);
+        let (exact, sacrificed) = g.decompose(&jobs);
+        // G1 keeps 1; G2 keeps one of {2,3}; G3 keeps {4,6} (removing 5);
+        // G4 keeps one of {7,8,9}.
+        assert_eq!(exact.len() + sacrificed.len(), 9);
+        assert_eq!(exact.len(), 5);
+        // Job 5 (index 4) must be sacrificed: it has the highest penalty in G3.
+        assert!(sacrificed.contains(&4));
+        // Jobs 4 and 6 (indices 3,5) survive.
+        assert!(exact.contains(&3) && exact.contains(&5));
+        // Job 1 (index 0) is isolated and survives.
+        assert!(exact.contains(&0));
+    }
+
+    #[test]
+    fn exact_jobs_have_no_mutual_conflicts() {
+        let jobs = figure2();
+        let g = ConflictGraph::build(&jobs);
+        let (exact, _) = g.decompose(&jobs);
+        for (a_pos, &a) in exact.iter().enumerate() {
+            for &b in &exact[a_pos + 1..] {
+                assert!(!g.neighbours(a).contains(&b), "{a} and {b} conflict");
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_removes_lowest_priority() {
+        // Two jobs overlapping, equal degree 1: the lower priority goes.
+        let jobs = set(vec![job_at(0, 0, 4, 5), job_at(1, 2, 4, 1)]);
+        let g = ConflictGraph::build(&jobs);
+        let (exact, sacrificed) = g.decompose(&jobs);
+        // job index of task1 (priority 1) sacrificed
+        let idx_low = jobs
+            .as_slice()
+            .iter()
+            .position(|j| j.priority() == Priority(1))
+            .unwrap();
+        assert_eq!(sacrificed, vec![idx_low]);
+        assert_eq!(exact.len(), 1);
+    }
+
+    #[test]
+    fn touching_intervals_do_not_conflict() {
+        let jobs = set(vec![job_at(0, 0, 4, 0), job_at(1, 4, 4, 1)]);
+        let g = ConflictGraph::build(&jobs);
+        assert_eq!(g.penalty(0), 0);
+        assert_eq!(g.components().len(), 2);
+    }
+
+    #[test]
+    fn empty_jobset_yields_empty_graph() {
+        let jobs = set(vec![]);
+        let g = ConflictGraph::build(&jobs);
+        assert!(g.is_empty());
+        assert!(g.components().is_empty());
+        let (exact, sacrificed) = g.decompose(&jobs);
+        assert!(exact.is_empty() && sacrificed.is_empty());
+    }
+
+    #[test]
+    fn clique_keeps_exactly_one() {
+        // Four mutually overlapping jobs: decomposition keeps one.
+        let jobs = set(vec![
+            job_at(0, 10, 10, 0),
+            job_at(1, 11, 10, 1),
+            job_at(2, 12, 10, 2),
+            job_at(3, 13, 10, 3),
+        ]);
+        let g = ConflictGraph::build(&jobs);
+        let (exact, sacrificed) = g.decompose(&jobs);
+        assert_eq!(exact.len(), 1);
+        assert_eq!(sacrificed.len(), 3);
+    }
+
+    #[test]
+    fn star_removes_center_first() {
+        // Center job overlaps three satellites that do not overlap each
+        // other: removing the center (psi=3) frees all satellites.
+        let jobs = set(vec![
+            job_at(0, 10, 30, 9), // center, high priority: still removed first
+            job_at(1, 12, 2, 0),
+            job_at(2, 20, 2, 1),
+            job_at(3, 30, 2, 2),
+        ]);
+        let g = ConflictGraph::build(&jobs);
+        assert_eq!(g.penalty(0), 3);
+        let (exact, sacrificed) = g.decompose(&jobs);
+        assert_eq!(sacrificed, vec![0]);
+        assert_eq!(exact.len(), 3);
+    }
+
+    #[test]
+    fn chain_split_matches_paper_narrative() {
+        // "G3 will split into two graphs with Job 5 removed": a 3-chain
+        // keeps both endpoints.
+        let jobs = set(vec![
+            job_at(4, 20, 4, 4),
+            job_at(5, 23, 4, 5),
+            job_at(6, 26, 4, 6),
+        ]);
+        let g = ConflictGraph::build(&jobs);
+        let (exact, sacrificed) = g.decompose(&jobs);
+        assert_eq!(sacrificed.len(), 1);
+        assert_eq!(exact.len(), 2);
+    }
+}

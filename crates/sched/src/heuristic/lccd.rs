@@ -1,0 +1,527 @@
+//! The LCC-D (Least Contention and Capacity Decreasing) slot allocator
+//! (Algorithm 1, phase three, lines 10–22).
+//!
+//! After graph decomposition, the exact jobs `λ*` sit at their ideal starts
+//! and the sacrificed jobs `λ¬` must be packed into the remaining free
+//! slots — a bin-packing-like problem with per-job release windows.
+//!
+//! For each sacrificed job (highest priority first):
+//!
+//! 1. **Direct fit** (line 12): if one or more slots inside the release
+//!    window can hold the job, choose the slot usable by the *fewest* of the
+//!    still-pending jobs (least contention); ties go to the slot with the
+//!    *least* usable capacity (capacity-decreasing, Best-Fit-like).
+//! 2. **Fit with shifting** (line 15): otherwise, if the total capacity of
+//!    the window's slots suffices, choose the consecutive run of slots whose
+//!    coalescing shifts the fewest timing-accurate jobs, compact those jobs
+//!    leftwards (never before their releases), and place the job in the
+//!    coalesced gap.
+//! 3. Otherwise the allocation — and Algorithm 1 — fails (line 19).
+
+use tagio_core::job::{Job, JobSet};
+use tagio_core::schedule::{Schedule, ScheduleEntry};
+use tagio_core::time::{Duration, Time};
+
+/// Slot-selection policy for the direct-fit case; LCC-D is the paper's
+/// policy, the others exist for the ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlotPolicy {
+    /// Least contention, then capacity-decreasing (the paper's LCC-D).
+    #[default]
+    LeastContentionCapacityDecreasing,
+    /// First (earliest) fitting slot.
+    FirstFit,
+    /// Smallest fitting slot (classical Best-Fit).
+    BestFit,
+    /// Largest fitting slot (classical Worst-Fit).
+    WorstFit,
+}
+
+/// A placed execution on the partition timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Placed {
+    job: usize,
+    start: Time,
+    wcet: Duration,
+    /// `true` while the placement equals the job's ideal start.
+    exact: bool,
+}
+
+impl Placed {
+    fn finish(&self) -> Time {
+        self.start + self.wcet
+    }
+}
+
+/// The partition timeline during allocation: executions sorted by start.
+#[derive(Debug, Clone)]
+pub struct Timeline<'a> {
+    jobs: &'a JobSet,
+    placed: Vec<Placed>,
+    horizon: Time,
+}
+
+impl<'a> Timeline<'a> {
+    /// Starts a timeline holding `exact` jobs at their ideal instants.
+    ///
+    /// # Panics
+    /// Panics if the exact jobs mutually overlap (the decomposition phase
+    /// guarantees they do not).
+    #[must_use]
+    pub fn with_exact_jobs(jobs: &'a JobSet, exact: &[usize]) -> Self {
+        let all = jobs.as_slice();
+        let mut placed: Vec<Placed> = exact
+            .iter()
+            .map(|&i| Placed {
+                job: i,
+                start: all[i].ideal_start(),
+                wcet: all[i].wcet(),
+                exact: true,
+            })
+            .collect();
+        placed.sort_by_key(|p| p.start);
+        for w in placed.windows(2) {
+            assert!(
+                w[0].finish() <= w[1].start,
+                "exact jobs overlap: decomposition bug"
+            );
+        }
+        Timeline {
+            jobs,
+            placed,
+            horizon: jobs.horizon(),
+        }
+    }
+
+    /// Free slots clipped to `[lo, hi]`, in time order.
+    fn slots_within(&self, lo: Time, hi: Time) -> Vec<(Time, Time)> {
+        let mut out = Vec::new();
+        let mut cursor = Time::ZERO;
+        for p in &self.placed {
+            if p.start > cursor {
+                push_clipped(&mut out, cursor, p.start, lo, hi);
+            }
+            cursor = cursor.max(p.finish());
+        }
+        if self.horizon > cursor {
+            push_clipped(&mut out, cursor, self.horizon, lo, hi);
+        }
+        out
+    }
+
+    /// Usable length of a clipped slot for a job with window `[lo, hi]`.
+    fn usable(slot: (Time, Time)) -> Duration {
+        slot.1.saturating_sub(slot.0)
+    }
+
+    /// Attempts to allocate `job_idx` (Algorithm 1 lines 12–20). Returns
+    /// `false` when neither a direct fit nor a shifted fit exists.
+    pub fn allocate(&mut self, job_idx: usize, pending: &[usize], policy: SlotPolicy) -> bool {
+        let job = &self.jobs.as_slice()[job_idx];
+        let (lo, hi) = (job.release(), job.abs_deadline());
+        let slots = self.slots_within(lo, hi);
+        let fitting: Vec<(Time, Time)> = slots
+            .iter()
+            .copied()
+            .filter(|&s| Self::usable(s) >= job.wcet())
+            .collect();
+
+        if !fitting.is_empty() {
+            let slot = self.pick_slot(&fitting, pending, policy);
+            self.place(job_idx, slot.0, false);
+            return true;
+        }
+
+        // Case 2: coalesce consecutive slots by shifting jobs leftwards.
+        let total: Duration = slots.iter().map(|&s| Self::usable(s)).sum();
+        if total >= job.wcet() {
+            return self.allocate_with_shift(job_idx, &slots);
+        }
+        false
+    }
+
+    fn pick_slot(
+        &self,
+        fitting: &[(Time, Time)],
+        pending: &[usize],
+        policy: SlotPolicy,
+    ) -> (Time, Time) {
+        match policy {
+            SlotPolicy::FirstFit => fitting[0],
+            SlotPolicy::BestFit => *fitting
+                .iter()
+                .min_by_key(|&&s| (Self::usable(s), s.0))
+                .expect("fitting is non-empty"),
+            SlotPolicy::WorstFit => *fitting
+                .iter()
+                .max_by(|&&a, &&b| Self::usable(a).cmp(&Self::usable(b)).then(b.0.cmp(&a.0)))
+                .expect("fitting is non-empty"),
+            SlotPolicy::LeastContentionCapacityDecreasing => {
+                let all = self.jobs.as_slice();
+                *fitting
+                    .iter()
+                    .min_by_key(|&&slot| {
+                        let contention = pending
+                            .iter()
+                            .filter(|&&p| {
+                                let other = &all[p];
+                                let olo = slot.0.max(other.release());
+                                let ohi = slot.1.min(other.abs_deadline());
+                                ohi.saturating_sub(olo) >= other.wcet()
+                            })
+                            .count();
+                        (contention, Self::usable(slot), slot.0)
+                    })
+                    .expect("fitting is non-empty")
+            }
+        }
+    }
+
+    /// Case 2 (lines 15–17): find the run of consecutive slots whose total
+    /// usable capacity fits the job while shifting the fewest
+    /// timing-accurate jobs; compact those jobs leftwards and place the job
+    /// in the coalesced gap.
+    fn allocate_with_shift(&mut self, job_idx: usize, slots: &[(Time, Time)]) -> bool {
+        let job = &self.jobs.as_slice()[job_idx];
+        let n = slots.len();
+        // Candidate runs [a..=b], ranked by (exact jobs shifted, start).
+        let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+        for a in 0..n {
+            let mut total = Duration::ZERO;
+            for b in a..n {
+                total += Self::usable(slots[b]);
+                if total >= job.wcet() {
+                    let cost = self.exact_between(slots[a].0, slots[b].1);
+                    candidates.push((cost, a, b));
+                    break; // longer runs only shift more jobs
+                }
+            }
+        }
+        candidates.sort_unstable();
+        for (_, a, b) in candidates {
+            if self.try_compact_and_place(job_idx, slots[a].0, slots[b].1) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of currently-exact placements inside `[lo, hi)`.
+    fn exact_between(&self, lo: Time, hi: Time) -> usize {
+        self.placed
+            .iter()
+            .filter(|p| p.exact && p.start < hi && p.finish() > lo)
+            .count()
+    }
+
+    /// Shifts every placement inside `[lo, hi)` as early as allowed
+    /// (never before its release or `lo`'s preceding boundary), then tries
+    /// to place `job_idx` in the coalesced tail gap. Rolls back on failure.
+    fn try_compact_and_place(&mut self, job_idx: usize, lo: Time, hi: Time) -> bool {
+        let job = &self.jobs.as_slice()[job_idx];
+        let all = self.jobs.as_slice();
+        let snapshot = self.placed.clone();
+
+        let mut cursor = lo;
+        for p in &mut self.placed {
+            if p.start >= hi || p.finish() <= lo {
+                continue;
+            }
+            let new_start = cursor.max(all[p.job].release());
+            if new_start < p.start {
+                p.start = new_start;
+                p.exact = false;
+            }
+            cursor = cursor.max(p.finish());
+        }
+        self.placed.sort_by_key(|p| p.start);
+
+        // The coalesced gap: from the last shifted finish to `hi`, clipped
+        // to the job's own window.
+        let gap_lo = cursor.max(job.release());
+        let gap_hi = hi.min(job.abs_deadline());
+        if gap_hi.saturating_sub(gap_lo) >= job.wcet() && self.is_free(gap_lo, gap_lo + job.wcet())
+        {
+            self.place(job_idx, gap_lo, false);
+            true
+        } else {
+            self.placed = snapshot;
+            false
+        }
+    }
+
+    fn is_free(&self, lo: Time, hi: Time) -> bool {
+        self.placed
+            .iter()
+            .all(|p| p.finish() <= lo || p.start >= hi)
+    }
+
+    fn place(&mut self, job_idx: usize, start: Time, exact: bool) {
+        let job = &self.jobs.as_slice()[job_idx];
+        debug_assert!(self.is_free(start, start + job.wcet()));
+        let placed = Placed {
+            job: job_idx,
+            start,
+            wcet: job.wcet(),
+            exact: exact || start == job.ideal_start(),
+        };
+        let pos = self.placed.partition_point(|p| p.start <= start);
+        self.placed.insert(pos, placed);
+    }
+
+    /// Finalises the timeline into a [`Schedule`].
+    #[must_use]
+    pub fn into_schedule(self) -> Schedule {
+        self.placed
+            .iter()
+            .map(|p| ScheduleEntry {
+                job: self.jobs.as_slice()[p.job].id(),
+                start: p.start,
+                duration: p.wcet,
+            })
+            .collect()
+    }
+
+    /// Number of placements currently at their ideal instants.
+    #[must_use]
+    pub fn exact_count(&self) -> usize {
+        self.placed.iter().filter(|p| p.exact).count()
+    }
+}
+
+fn push_clipped(out: &mut Vec<(Time, Time)>, s: Time, e: Time, lo: Time, hi: Time) {
+    let cs = s.max(lo);
+    let ce = e.min(hi);
+    if ce > cs {
+        out.push((cs, ce));
+    }
+}
+
+/// Convenience used in tests and by the scheduler: a job's usable length in
+/// its release window.
+#[must_use]
+pub fn window_capacity(job: &Job) -> Duration {
+    job.abs_deadline() - job.release()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagio_core::job::{Job, JobId};
+    use tagio_core::quality::QualityCurve;
+    use tagio_core::task::{Priority, TaskId};
+
+    /// A job with explicit release/ideal/deadline in ms and wcet in ms.
+    fn job(
+        task: u32,
+        release_ms: u64,
+        ideal_ms: u64,
+        deadline_ms: u64,
+        wcet_ms: u64,
+        prio: u32,
+    ) -> Job {
+        Job::new(
+            JobId::new(TaskId(task), 0),
+            Time::from_millis(release_ms),
+            Time::from_millis(ideal_ms),
+            Time::from_millis(deadline_ms),
+            Duration::from_millis(wcet_ms),
+            Duration::ZERO,
+            Priority(prio),
+            QualityCurve::linear(1.0, 0.0),
+        )
+    }
+
+    fn jobset(jobs: Vec<Job>, hp_ms: u64) -> JobSet {
+        JobSet::from_jobs(jobs, Duration::from_millis(hp_ms))
+    }
+
+    /// Index of `task`'s job in the (release-sorted) job set.
+    fn idx(js: &JobSet, task: u32) -> usize {
+        js.as_slice()
+            .iter()
+            .position(|j| j.id().task == TaskId(task))
+            .expect("task present")
+    }
+
+    #[test]
+    fn slots_cover_idle_time_between_exact_jobs() {
+        let js = jobset(
+            vec![job(0, 0, 10, 100, 5, 0), job(1, 0, 30, 100, 5, 1)],
+            100,
+        );
+        let tl = Timeline::with_exact_jobs(&js, &[0, 1]);
+        let slots = tl.slots_within(Time::ZERO, Time::from_millis(100));
+        assert_eq!(
+            slots,
+            vec![
+                (Time::ZERO, Time::from_millis(10)),
+                (Time::from_millis(15), Time::from_millis(30)),
+                (Time::from_millis(35), Time::from_millis(100)),
+            ]
+        );
+    }
+
+    #[test]
+    fn direct_fit_places_in_window() {
+        let js = jobset(
+            vec![
+                job(0, 0, 10, 100, 5, 0), // exact at 10..15
+                job(1, 0, 12, 40, 5, 1),  // must be reallocated
+            ],
+            100,
+        );
+        let mut tl = Timeline::with_exact_jobs(&js, &[0]);
+        assert!(tl.allocate(1, &[], SlotPolicy::default()));
+        let s = tl.into_schedule();
+        let start = s.start_of(JobId::new(TaskId(1), 0)).unwrap();
+        // placed either before 10 or after 15, inside [0, 40-5]
+        assert!(start + Duration::from_millis(5) <= Time::from_millis(40));
+    }
+
+    #[test]
+    fn lccd_prefers_least_contended_slot() {
+        // Two slots fit the job: [0,10) (also usable by pending job 2) and
+        // [15,22) (usable by nobody else). LCC-D must pick the second.
+        let js = jobset(
+            vec![
+                job(0, 0, 10, 100, 5, 0), // exact at 10..15
+                job(1, 0, 16, 22, 5, 1),  // to allocate; fits [0,10) and [15,22)
+                job(2, 0, 5, 10, 5, 2),   // pending: only fits [0,10)
+            ],
+            22,
+        );
+        let mut tl = Timeline::with_exact_jobs(&js, &[0]);
+        assert!(tl.allocate(1, &[2], SlotPolicy::LeastContentionCapacityDecreasing));
+        let s = tl.clone().into_schedule();
+        let start = s.start_of(JobId::new(TaskId(1), 0)).unwrap();
+        assert_eq!(start, Time::from_millis(15), "picked the uncontended slot");
+    }
+
+    #[test]
+    fn first_fit_takes_earliest_slot() {
+        let js = jobset(
+            vec![
+                job(0, 0, 10, 100, 5, 0),
+                job(1, 0, 16, 22, 5, 1),
+                job(2, 0, 5, 10, 5, 2),
+            ],
+            22,
+        );
+        let mut tl = Timeline::with_exact_jobs(&js, &[0]);
+        assert!(tl.allocate(1, &[2], SlotPolicy::FirstFit));
+        let start = tl
+            .into_schedule()
+            .start_of(JobId::new(TaskId(1), 0))
+            .unwrap();
+        assert_eq!(start, Time::ZERO);
+    }
+
+    #[test]
+    fn capacity_decreasing_breaks_ties() {
+        // Both slots uncontended; slot sizes 10 and 7: pick the smaller (7).
+        let js = jobset(vec![job(0, 0, 10, 100, 5, 0), job(1, 0, 16, 22, 5, 1)], 22);
+        let mut tl = Timeline::with_exact_jobs(&js, &[0]);
+        assert!(tl.allocate(1, &[], SlotPolicy::LeastContentionCapacityDecreasing));
+        let start = tl
+            .into_schedule()
+            .start_of(JobId::new(TaskId(1), 0))
+            .unwrap();
+        assert_eq!(start, Time::from_millis(15));
+    }
+
+    #[test]
+    fn shifting_coalesces_fragmented_slots() {
+        // Window [0, 20]: exact job occupies 8..12. Slots are [0,8) and
+        // [12,20): job with wcet 10 fits neither alone but fits after
+        // shifting the exact job left to its release.
+        let js = jobset(
+            vec![
+                job(0, 0, 8, 100, 4, 0), // exact at 8..12, release 0
+                job(1, 0, 5, 20, 10, 1), // needs 10 contiguous
+            ],
+            100,
+        );
+        let mut tl = Timeline::with_exact_jobs(&js, &[0]);
+        assert!(tl.allocate(1, &[], SlotPolicy::default()));
+        let s = tl.into_schedule();
+        let j0 = s.start_of(JobId::new(TaskId(0), 0)).unwrap();
+        let j1 = s.start_of(JobId::new(TaskId(1), 0)).unwrap();
+        // exact job was compacted to its release (0), job 1 follows.
+        assert_eq!(j0, Time::ZERO);
+        assert_eq!(j1, Time::from_millis(4));
+    }
+
+    #[test]
+    fn shifting_respects_releases() {
+        // The blocking job cannot move before its release at 6, so the
+        // 10ms job cannot fit in [0,20] and allocation fails.
+        let js = jobset(
+            vec![
+                job(0, 6, 8, 100, 4, 0), // release 6: can shift to 6..10 only
+                job(1, 0, 5, 20, 10, 1),
+            ],
+            100,
+        );
+        let pinned = idx(&js, 0);
+        let movable = idx(&js, 1);
+        let mut tl = Timeline::with_exact_jobs(&js, &[pinned]);
+        // slots in [0,20]: [0,8) cap 8, [12,20) cap 8; total 16 >= 10 but
+        // compaction only frees 10..20 (len 10) => fits!
+        assert!(tl.allocate(movable, &[], SlotPolicy::default()));
+        let s = tl.into_schedule();
+        assert_eq!(
+            s.start_of(JobId::new(TaskId(0), 0)).unwrap(),
+            Time::from_millis(6)
+        );
+        assert_eq!(
+            s.start_of(JobId::new(TaskId(1), 0)).unwrap(),
+            Time::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn allocation_fails_when_window_too_full() {
+        // Window [0,10], wcet 6, but an immovable exact job owns 2..8.
+        let js = jobset(
+            vec![
+                job(0, 2, 2, 100, 6, 0), // exact at 2..8, release 2 (cannot move)
+                job(1, 0, 4, 10, 6, 1),
+            ],
+            100,
+        );
+        let pinned = idx(&js, 0);
+        let movable = idx(&js, 1);
+        let mut tl = Timeline::with_exact_jobs(&js, &[pinned]);
+        assert!(!tl.allocate(movable, &[], SlotPolicy::default()));
+    }
+
+    #[test]
+    fn shifted_jobs_lose_exactness() {
+        let js = jobset(vec![job(0, 0, 8, 100, 4, 0), job(1, 0, 5, 20, 10, 1)], 100);
+        let mut tl = Timeline::with_exact_jobs(&js, &[0]);
+        assert_eq!(tl.exact_count(), 1);
+        assert!(tl.allocate(1, &[], SlotPolicy::default()));
+        assert_eq!(tl.exact_count(), 0, "shifted job is no longer exact");
+    }
+
+    #[test]
+    fn placement_at_ideal_counts_as_exact() {
+        let js = jobset(vec![job(0, 0, 10, 100, 5, 0)], 100);
+        let mut tl = Timeline::with_exact_jobs(&js, &[]);
+        // Free timeline: the direct fit picks the earliest point of the
+        // chosen slot, which here is the whole horizon starting at 0.
+        assert!(tl.allocate(0, &[], SlotPolicy::FirstFit));
+        assert_eq!(tl.exact_count(), 0); // placed at 0, not at ideal 10
+    }
+
+    #[test]
+    #[should_panic(expected = "decomposition bug")]
+    fn overlapping_exact_jobs_panic() {
+        let js = jobset(
+            vec![job(0, 0, 10, 100, 5, 0), job(1, 0, 12, 100, 5, 1)],
+            100,
+        );
+        let _ = Timeline::with_exact_jobs(&js, &[0, 1]);
+    }
+}

@@ -1,0 +1,123 @@
+//! The common interface of all offline I/O schedulers.
+
+use serde::{Deserialize, Serialize};
+use tagio_core::job::JobSet;
+use tagio_core::metrics;
+use tagio_core::schedule::Schedule;
+
+/// An offline job-level I/O scheduler for one partition.
+///
+/// Implementations compute the actual start time `κi^j` of every job in the
+/// hyper-period, or report infeasibility. All schedules returned by
+/// implementations in this crate satisfy
+/// [`Schedule::validate`] against the input job set.
+pub trait Scheduler {
+    /// Human-readable method name (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// Produces a feasible schedule for `jobs`, or `None` if the method
+    /// cannot schedule the set.
+    fn schedule(&self, jobs: &JobSet) -> Option<Schedule>;
+}
+
+/// The outcome of running a scheduler on one job set, with the paper's
+/// metrics attached.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulingReport {
+    /// Scheduler name.
+    pub method: String,
+    /// Whether a feasible schedule was found.
+    pub schedulable: bool,
+    /// Ψ — fraction of exactly timing-accurate jobs (0 when infeasible).
+    pub psi: f64,
+    /// Υ — normalised aggregate quality (0 when infeasible).
+    pub upsilon: f64,
+}
+
+impl SchedulingReport {
+    /// Runs `scheduler` on `jobs` and summarises the result.
+    ///
+    /// # Panics
+    /// Panics if the scheduler returns a schedule that fails validation —
+    /// that is a scheduler bug, not an input error.
+    #[must_use]
+    pub fn evaluate<S: Scheduler + ?Sized>(scheduler: &S, jobs: &JobSet) -> Self {
+        match scheduler.schedule(jobs) {
+            Some(schedule) => {
+                schedule.validate(jobs).unwrap_or_else(|e| {
+                    panic!("{} produced an invalid schedule: {e}", scheduler.name())
+                });
+                SchedulingReport {
+                    method: scheduler.name().to_owned(),
+                    schedulable: true,
+                    psi: metrics::psi(&schedule, jobs),
+                    upsilon: metrics::upsilon(&schedule, jobs),
+                }
+            }
+            None => SchedulingReport {
+                method: scheduler.name().to_owned(),
+                schedulable: false,
+                psi: 0.0,
+                upsilon: 0.0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagio_core::schedule::entry_for;
+    use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+    use tagio_core::time::Duration;
+
+    struct Ideal;
+    impl Scheduler for Ideal {
+        fn name(&self) -> &'static str {
+            "ideal"
+        }
+        fn schedule(&self, jobs: &JobSet) -> Option<Schedule> {
+            Some(jobs.iter().map(|j| entry_for(j, j.ideal_start())).collect())
+        }
+    }
+
+    struct Never;
+    impl Scheduler for Never {
+        fn name(&self) -> &'static str {
+            "never"
+        }
+        fn schedule(&self, _jobs: &JobSet) -> Option<Schedule> {
+            None
+        }
+    }
+
+    fn jobs() -> JobSet {
+        let set: TaskSet = vec![IoTask::builder(TaskId(0), DeviceId(0))
+            .wcet(Duration::from_micros(100))
+            .period(Duration::from_millis(4))
+            .ideal_offset(Duration::from_millis(2))
+            .margin(Duration::from_millis(1))
+            .build()
+            .unwrap()]
+        .into_iter()
+        .collect();
+        JobSet::expand(&set)
+    }
+
+    #[test]
+    fn report_for_feasible_scheduler() {
+        let r = SchedulingReport::evaluate(&Ideal, &jobs());
+        assert!(r.schedulable);
+        assert_eq!(r.psi, 1.0);
+        assert_eq!(r.upsilon, 1.0);
+        assert_eq!(r.method, "ideal");
+    }
+
+    #[test]
+    fn report_for_infeasible_scheduler() {
+        let r = SchedulingReport::evaluate(&Never, &jobs());
+        assert!(!r.schedulable);
+        assert_eq!(r.psi, 0.0);
+        assert_eq!(r.upsilon, 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The UUniFast utilisation distribution algorithm (Bini & Buttazzo,
+//! *Measuring the performance of schedulability tests*, Real-Time Systems
+//! 30(1-2), 2005 — the paper's reference \[17\]).
+//!
+//! UUniFast draws `n` task utilisations that sum exactly to a target total,
+//! uniformly over the valid utilisation simplex.
+
+use rand::{Rng, RngExt};
+
+/// Draws `n` utilisations summing to `total`, uniformly distributed over the
+/// simplex `{u ∈ R^n : u_i > 0, Σ u_i = total}`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let us = tagio_workload::uunifast::uunifast(6, 0.3, &mut rng);
+/// assert_eq!(us.len(), 6);
+/// let sum: f64 = us.iter().sum();
+/// assert!((sum - 0.3).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+/// Panics if `n == 0` or `total` is not a positive finite number.
+#[must_use]
+pub fn uunifast<R: Rng + ?Sized>(n: usize, total: f64, rng: &mut R) -> Vec<f64> {
+    assert!(n > 0, "uunifast needs at least one task");
+    assert!(
+        total.is_finite() && total > 0.0,
+        "total utilisation must be positive and finite"
+    );
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let exp = 1.0 / (n - i) as f64;
+        let next = sum * rng.random::<f64>().powf(exp);
+        utils.push(sum - next);
+        sum = next;
+    }
+    utils.push(sum);
+    utils
+}
+
+/// Draws utilisations with [`uunifast`], retrying up to `attempts` times
+/// until every individual utilisation is at most `cap`.
+///
+/// Returns `None` if no draw satisfied the cap. The paper's evaluation needs
+/// per-task utilisation ≤ 0.25 so that the margin constraint `θi = Ti/4 ≥ Ci`
+/// can hold without distorting `Ci`.
+#[must_use]
+pub fn uunifast_capped<R: Rng + ?Sized>(
+    n: usize,
+    total: f64,
+    cap: f64,
+    attempts: usize,
+    rng: &mut R,
+) -> Option<Vec<f64>> {
+    for _ in 0..attempts {
+        let us = uunifast(n, total, rng);
+        if us.iter().all(|&u| u <= cap) {
+            return Some(us);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sums_to_total() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 20] {
+            for total in [0.1, 0.5, 0.9] {
+                let us = uunifast(n, total, &mut rng);
+                assert_eq!(us.len(), n);
+                let sum: f64 = us.iter().sum();
+                assert!((sum - total).abs() < 1e-9, "n={n} total={total} sum={sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let us = uunifast(8, 0.8, &mut rng);
+            assert!(us.iter().all(|&u| u > 0.0));
+        }
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let us = uunifast(1, 0.42, &mut rng);
+        assert_eq!(us, vec![0.42]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = uunifast(5, 0.5, &mut StdRng::seed_from_u64(9));
+        let b = uunifast(5, 0.5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capped_respects_cap() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // 20 tasks at mean 0.025: cap 0.25 is easy to satisfy.
+        let us = uunifast_capped(20, 0.5, 0.25, 100, &mut rng).expect("cap satisfiable");
+        assert!(us.iter().all(|&u| u <= 0.25));
+    }
+
+    #[test]
+    fn capped_gives_none_when_impossible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // 2 tasks summing to 0.9 cannot both be <= 0.25.
+        assert!(uunifast_capped(2, 0.9, 0.25, 50, &mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = uunifast(0, 0.5, &mut rng);
+    }
+
+    #[test]
+    fn mean_is_roughly_uniform() {
+        // First task's expected utilisation equals total/n.
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 4000;
+        let mut first_sum = 0.0;
+        for _ in 0..trials {
+            first_sum += uunifast(4, 0.4, &mut rng)[0];
+        }
+        let mean = first_sum / f64::from(trials);
+        assert!((mean - 0.1).abs() < 0.01, "mean {mean}");
+    }
+}

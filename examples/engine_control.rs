@@ -1,0 +1,135 @@
+//! Engine-control scenario (the paper's §I motivation): fuel injection
+//! requires periodic I/O pulses at *accurate instants* — injecting early or
+//! late wastes fuel. We model four injectors plus two lower-rate sensor
+//! samplings on one I/O controller partition, compare the schedulers on
+//! timing accuracy, and replay the winning schedule on the simulated
+//! controller to show the pulses landing at their exact instants.
+//!
+//! ```text
+//! cargo run --example engine_control
+//! ```
+
+use tagio::controller::command::CommandBlock;
+use tagio::controller::sim::{max_deviation_micros, IoController};
+use tagio::controller::PinEventKind;
+use tagio::core::job::JobSet;
+use tagio::core::metrics;
+use tagio::core::task::{DeviceId, IoTask, TaskId, TaskSet};
+use tagio::core::time::Duration;
+use tagio::sched::{FpsOffline, Gpiocp, Scheduler, SchedulingReport, StaticScheduler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Four injectors firing every 10ms, phased 2.5ms apart (a 4-cylinder
+    // engine at 12k RPM fires each cylinder every other revolution).
+    let mut tasks = TaskSet::new();
+    for cyl in 0..4u32 {
+        tasks.push(
+            IoTask::builder(TaskId(cyl), DeviceId(0))
+                .wcet(Duration::from_micros(500)) // 0.5ms injection pulse
+                .period(Duration::from_millis(10))
+                .ideal_offset(Duration::from_micros(1_000 + u64::from(cyl) * 2_500))
+                .margin(Duration::from_micros(800))
+                .build()?,
+        )?;
+    }
+    // Two sensor samplings (lambda + manifold pressure), looser timing.
+    for (i, period_ms) in [(4u32, 20u64), (5, 40)] {
+        tasks.push(
+            IoTask::builder(TaskId(i), DeviceId(0))
+                .wcet(Duration::from_micros(300))
+                .period(Duration::from_millis(period_ms))
+                .ideal_offset(Duration::from_millis(period_ms / 2))
+                .margin(Duration::from_millis(period_ms / 4))
+                .build()?,
+        )?;
+    }
+    tasks.assign_dmpo();
+    tasks.set_global_vmin(1.0);
+    let jobs = JobSet::expand(&tasks);
+    println!(
+        "engine workload: {} tasks, {} jobs / {} hyper-period\n",
+        tasks.len(),
+        jobs.len(),
+        jobs.hyperperiod()
+    );
+
+    println!(
+        "{:<14} {:>11} {:>8} {:>9}",
+        "method", "schedulable", "psi", "upsilon"
+    );
+    for report in [
+        SchedulingReport::evaluate(&FpsOffline::new(), &jobs),
+        SchedulingReport::evaluate(&Gpiocp::new(), &jobs),
+        SchedulingReport::evaluate(&StaticScheduler::new(), &jobs),
+    ] {
+        println!(
+            "{:<14} {:>11} {:>8.3} {:>9.3}",
+            report.method, report.schedulable, report.psi, report.upsilon
+        );
+    }
+
+    // Replay the static schedule on the simulated controller hardware.
+    let schedule = StaticScheduler::new().schedule(&jobs).expect("schedulable");
+    schedule.validate(&jobs)?;
+    let mut controller = IoController::new();
+    for task in &tasks {
+        // Injectors pulse pin = cylinder index; sensors sample the port.
+        let block = if task.id().0 < 4 {
+            CommandBlock::pulse(task.id().0 as u8, task.wcet().as_micros() - 2)
+        } else {
+            CommandBlock::sample()
+        };
+        controller.preload(task.id(), block)?;
+    }
+    controller.load_schedule(DeviceId(0), &schedule);
+    controller.enable_all();
+    let traces = controller.run();
+    let trace = &traces[&DeviceId(0)];
+
+    println!(
+        "\ncontroller replay: {} jobs executed, {} faults, max deviation {:?}us",
+        trace.executed.len(),
+        trace.faults.len(),
+        max_deviation_micros(trace, &schedule),
+    );
+    println!(
+        "sensor responses returned via response channel: {}",
+        trace.responses.len()
+    );
+
+    // Show the first few injector edges as seen on the pins.
+    let port = controller
+        .processor(DeviceId(0))
+        .expect("device 0 exists")
+        .device();
+    println!("\nfirst injector edges (pin, level, time):");
+    for e in port.events().iter().take(8) {
+        if let PinEventKind::Level { pin, high } = e.kind {
+            println!(
+                "  pin {pin} -> {} at {}",
+                if high { "HIGH" } else { "LOW " },
+                e.time
+            );
+        }
+    }
+
+    // A logic-analyser view of the first 10ms (1 char = 250us).
+    let wave = tagio::controller::waveform::Waveform::from_port_events(
+        port.events(),
+        Duration::from_micros(250),
+    );
+    println!("\nwaveform of the first engine cycle (1 char = 250us):");
+    print!(
+        "{}",
+        wave.render(
+            tagio::core::time::Time::ZERO,
+            tagio::core::time::Time::from_millis(10)
+        )
+    );
+
+    println!(
+        "\npsi of replayed schedule: {:.3} (exact instants preserved end-to-end)",
+        metrics::psi(&schedule, &jobs)
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! The GA scheduler's Ψ/Υ trade-off: print the non-dominated front found
+//! for one synthetic system, and the two extreme schedules the paper's
+//! Figs. 6 and 7 report.
+//!
+//! ```text
+//! cargo run --release --example pareto_tradeoff
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagio::core::job::JobSet;
+use tagio::core::metrics;
+use tagio::ga::GaConfig;
+use tagio::sched::{GaScheduler, Scheduler, StaticScheduler};
+use tagio::workload::SystemConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let tasks = SystemConfig::paper(0.5).generate(&mut rng);
+    let jobs = JobSet::expand(&tasks);
+    println!(
+        "system: U=0.5, {} tasks, {} jobs / hyper-period",
+        tasks.len(),
+        jobs.len()
+    );
+
+    let ga = GaScheduler::new()
+        .with_config(GaConfig {
+            population: 80,
+            generations: 100,
+            ..GaConfig::default()
+        })
+        .with_seed(3);
+    let result = ga.search(&jobs).expect("feasible");
+
+    let mut front: Vec<(f64, f64)> = result.front.iter().map(|t| (t.0, t.1)).collect();
+    front.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    println!("\nnon-dominated front ({} solutions):", front.len());
+    println!("{:>8} {:>9}", "psi", "upsilon");
+    for (psi, upsilon) in &front {
+        println!("{psi:>8.3} {upsilon:>9.3}");
+    }
+
+    println!("\nextremes (as reported in Figs. 6/7):");
+    println!(
+        "  best-psi schedule    : psi = {:.3}, upsilon = {:.3}",
+        metrics::psi(&result.best_psi, &jobs),
+        metrics::upsilon(&result.best_psi, &jobs)
+    );
+    println!(
+        "  best-upsilon schedule: psi = {:.3}, upsilon = {:.3}",
+        metrics::psi(&result.best_upsilon, &jobs),
+        metrics::upsilon(&result.best_upsilon, &jobs)
+    );
+
+    // Reference point: the static heuristic on the same system.
+    if let Some(s) = StaticScheduler::new().schedule(&jobs) {
+        println!(
+            "  static heuristic     : psi = {:.3}, upsilon = {:.3}",
+            metrics::psi(&s, &jobs),
+            metrics::upsilon(&s, &jobs)
+        );
+    }
+    Ok(())
+}

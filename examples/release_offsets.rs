@@ -1,0 +1,73 @@
+//! Release offsets (paper §III.C): "the proposed methods can also be
+//! applied to I/O tasks with different release offsets".
+//!
+//! Two tasks share a period and would collide at their ideal instants if
+//! released together; phasing one by a release offset de-conflicts them,
+//! and both scheduling methods handle the shifted windows (including jobs
+//! whose deadlines cross the hyper-period boundary).
+//!
+//! ```text
+//! cargo run --example release_offsets
+//! ```
+
+use tagio::core::job::JobSet;
+use tagio::core::metrics;
+use tagio::core::task::{DeviceId, IoTask, TaskId, TaskSet};
+use tagio::core::time::Duration;
+use tagio::sched::{GaScheduler, Scheduler, StaticScheduler};
+
+fn build(offset_ms: u64) -> Result<TaskSet, Box<dyn std::error::Error>> {
+    let mut tasks = TaskSet::new();
+    tasks.push(
+        IoTask::builder(TaskId(0), DeviceId(0))
+            .wcet(Duration::from_millis(2))
+            .period(Duration::from_millis(8))
+            .ideal_offset(Duration::from_millis(4))
+            .margin(Duration::from_millis(2))
+            .build()?,
+    )?;
+    tasks.push(
+        IoTask::builder(TaskId(1), DeviceId(0))
+            .wcet(Duration::from_millis(2))
+            .period(Duration::from_millis(8))
+            .ideal_offset(Duration::from_millis(4))
+            .margin(Duration::from_millis(2))
+            .release_offset(Duration::from_millis(offset_ms))
+            .build()?,
+    )?;
+    tasks.assign_dmpo();
+    tasks.set_global_vmin(1.0);
+    Ok(tasks)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<22} {:>8} {:>9} {:>10}",
+        "scenario", "psi", "upsilon", "horizon"
+    );
+    for (label, offset_ms) in [("in-phase (collide)", 0u64), ("phased by 4ms", 4)] {
+        let tasks = build(offset_ms)?;
+        let jobs = JobSet::expand(&tasks);
+        let schedule = StaticScheduler::new().schedule(&jobs).expect("feasible");
+        schedule.validate(&jobs)?;
+        println!(
+            "{label:<22} {:>8.3} {:>9.3} {:>10}",
+            metrics::psi(&schedule, &jobs),
+            metrics::upsilon(&schedule, &jobs),
+            jobs.horizon(),
+        );
+    }
+    println!();
+
+    // The GA handles the same offset workload.
+    let tasks = build(4)?;
+    let jobs = JobSet::expand(&tasks);
+    let result = GaScheduler::new()
+        .with_seed(1)
+        .search(&jobs)
+        .expect("feasible");
+    let best = result.front.iter().map(|t| t.0).fold(f64::MIN, f64::max);
+    println!("GA on the phased workload: best psi = {best:.3}");
+    println!("-> offsets shift whole windows; both methods schedule them unchanged.");
+    Ok(())
+}

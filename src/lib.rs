@@ -1,0 +1,56 @@
+//! # tagio — Timing-Accurate General-Purpose I/O
+//!
+//! A Rust reproduction of *"Timing-Accurate General-Purpose I/O for Multi-
+//! and Many-Core Systems: Scheduling and Hardware Support"* (Zhao, Jiang,
+//! Dai, Bate, Habli, Chang — DAC 2020): the timed I/O task model, both
+//! offline scheduling methods (the static heuristic of Algorithm 1 and the
+//! multi-objective GA), all evaluation baselines, a simulator of the
+//! proposed I/O controller hardware, an NoC substrate for the motivation,
+//! and the FPGA resource model behind Table I.
+//!
+//! This facade crate re-exports the whole family:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `tagio-core` | tasks, jobs, quality curves, schedules, Ψ/Υ metrics |
+//! | [`workload`] | `tagio-workload` | UUniFast + the paper's §V.A system generator |
+//! | [`sched`] | `tagio-sched` | static heuristic, GA scheduler, FPS & GPIOCP baselines |
+//! | [`ga`] | `tagio-ga` | the multi-objective GA engine |
+//! | [`controller`] | `tagio-controller` | the Section IV controller simulator |
+//! | [`noc`] | `tagio-noc` | flit-level mesh NoC simulator |
+//! | [`hwcost`] | `tagio-hwcost` | Table I resource model |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use tagio::core::job::JobSet;
+//! use tagio::core::metrics;
+//! use tagio::sched::{Scheduler, StaticScheduler};
+//! use tagio::workload::SystemConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let system = SystemConfig::paper(0.4).generate(&mut rng);
+//! let jobs = JobSet::expand(&system);
+//!
+//! let schedule = StaticScheduler::new().schedule(&jobs).expect("feasible");
+//! schedule.validate(&jobs)?;
+//! println!(
+//!     "psi = {:.3}, upsilon = {:.3}",
+//!     metrics::psi(&schedule, &jobs),
+//!     metrics::upsilon(&schedule, &jobs)
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tagio_controller as controller;
+pub use tagio_core as core;
+pub use tagio_ga as ga;
+pub use tagio_hwcost as hwcost;
+pub use tagio_noc as noc;
+pub use tagio_sched as sched;
+pub use tagio_workload as workload;

@@ -1,0 +1,83 @@
+//! Integration-level assertions of every §V.B hardware claim, through the
+//! facade crate (the unit tests in `tagio-hwcost` check the same numbers at
+//! module level; this guards the re-exports and the rendered table).
+
+use tagio::hwcost::components::{
+    can, gpiocp, microblaze_basic, microblaze_full, proposed, spi, table1_components, uart,
+};
+use tagio::hwcost::{render_table1, ResourceEstimate};
+
+#[test]
+fn table1_rows_match_paper_exactly() {
+    let expect = [
+        ("Proposed", 1156, 982, 0, 32, 11),
+        ("MB-B", 854, 529, 0, 16, 127),
+        ("MB-F", 4908, 4385, 6, 128, 238),
+        ("UART", 93, 85, 0, 0, 1),
+        ("SPI", 334, 552, 0, 0, 4),
+        ("CAN", 711, 604, 0, 0, 5),
+        ("GPIOCP", 886, 645, 0, 16, 7),
+    ];
+    let rows = table1_components();
+    assert_eq!(rows.len(), expect.len());
+    for (row, (name, luts, regs, dsp, bram, power)) in rows.iter().zip(expect) {
+        assert_eq!(row.name, name);
+        assert_eq!(row.cost.luts, luts, "{name} LUTs");
+        assert_eq!(row.cost.registers, regs, "{name} registers");
+        assert_eq!(row.cost.dsps, dsp, "{name} DSPs");
+        assert_eq!(row.cost.bram_kb, bram, "{name} BRAM");
+        assert_eq!(row.cost.power_mw, power, "{name} power");
+    }
+}
+
+#[test]
+fn section_vb_claims_hold() {
+    let p = proposed().cost;
+    // "significantly less hardware than a MB-F (i.e., 23.6% LUTs, 22.4%
+    // registers)"
+    assert!((p.lut_ratio_percent(&microblaze_full().cost) - 23.6).abs() < 0.1);
+    assert!((p.register_ratio_percent(&microblaze_full().cost) - 22.4).abs() < 0.1);
+    // "similar to a MB-B (i.e., 135.4% LUTs, 185.6% registers)"
+    assert!((p.lut_ratio_percent(&microblaze_basic().cost) - 135.4).abs() < 0.1);
+    assert!((p.register_ratio_percent(&microblaze_basic().cost) - 185.6).abs() < 0.1);
+    // "additional 30.5% LUTs, 52.2% registers" over GPIOCP
+    assert!((p.lut_ratio_percent(&gpiocp().cost) - 130.5).abs() < 0.1);
+    assert!((p.register_ratio_percent(&gpiocp().cost) - 152.2).abs() < 0.1);
+    // "only 8.7% and 4.6% power ... compared to the MB-B and MB-F"
+    assert!((p.power_ratio_percent(&microblaze_basic().cost) - 8.7).abs() < 0.1);
+    assert!((p.power_ratio_percent(&microblaze_full().cost) - 4.6).abs() < 0.1);
+}
+
+#[test]
+fn proposed_needs_more_than_plain_io_controllers() {
+    // "compared with the I/O controllers, more hardware resources are
+    // required to enable real-time scheduling and timing accuracy"
+    let p = proposed().cost;
+    for c in [uart().cost, spi().cost, can().cost] {
+        assert!(p.luts > c.luts);
+        assert!(p.registers > c.registers);
+    }
+}
+
+#[test]
+fn rendered_table_is_complete() {
+    let table = render_table1();
+    assert_eq!(table.lines().count(), 8); // header + 7 rows
+    for needle in ["1156", "982", "886", "645", "4908"] {
+        assert!(table.contains(needle));
+    }
+}
+
+#[test]
+fn estimates_compose_additively() {
+    let a = ResourceEstimate {
+        luts: 1,
+        registers: 2,
+        dsps: 3,
+        bram_kb: 4,
+        power_mw: 5,
+    };
+    assert_eq!((a + a).luts, 2);
+    let total: ResourceEstimate = vec![a; 3].into_iter().sum();
+    assert_eq!(total.power_mw, 15);
+}

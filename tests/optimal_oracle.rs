@@ -1,0 +1,85 @@
+//! Oracle tests: on small instances, both proposed methods are bounded by
+//! the exact Ψ-optimal reference — and the schedulers are close to it,
+//! which is the quantitative content behind the paper's claim that the
+//! heuristic "maximises" exact timing accuracy despite NP-hardness.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagio::core::job::JobSet;
+use tagio::core::metrics;
+use tagio::core::time::Duration;
+use tagio::ga::GaConfig;
+use tagio::sched::{GaScheduler, OptimalPsi, Scheduler, StaticScheduler};
+use tagio::workload::{PeriodPool, SystemConfig};
+
+/// Tiny systems: ≤ 8 jobs, short hyper-period.
+fn tiny_systems(count: usize, seed: u64) -> Vec<JobSet> {
+    let mut cfg = SystemConfig::paper(0.3);
+    cfg.periods = PeriodPool::divisors_of(
+        Duration::from_millis(40),
+        Duration::from_millis(20),
+        Duration::from_millis(40),
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    while out.len() < count {
+        let sys = cfg.generate(&mut rng);
+        let jobs = JobSet::expand(&sys);
+        if jobs.len() <= 8 {
+            out.push(jobs);
+        }
+    }
+    out
+}
+
+#[test]
+fn static_is_bounded_by_and_close_to_optimal() {
+    let mut total_gap = 0usize;
+    let mut instances = 0usize;
+    for jobs in tiny_systems(15, 1) {
+        let Some((best, optimal_schedule)) = OptimalPsi::new().solve(&jobs) else {
+            continue;
+        };
+        optimal_schedule.validate(&jobs).expect("oracle is valid");
+        let Some(s) = StaticScheduler::new().schedule(&jobs) else {
+            continue;
+        };
+        let heuristic = (metrics::psi(&s, &jobs) * jobs.len() as f64).round() as usize;
+        assert!(heuristic <= best, "heuristic beat the oracle");
+        total_gap += best - heuristic;
+        instances += 1;
+    }
+    assert!(instances >= 10, "not enough comparable instances");
+    // The heuristic should be near-optimal on these easy instances: at most
+    // one sacrificed-exact job of slack per instance on average.
+    assert!(
+        total_gap <= instances,
+        "average gap too large: {total_gap}/{instances}"
+    );
+}
+
+#[test]
+fn ga_is_bounded_by_optimal() {
+    let ga = GaScheduler::new()
+        .with_config(GaConfig {
+            population: 30,
+            generations: 30,
+            ..GaConfig::default()
+        })
+        .with_seed(9);
+    for jobs in tiny_systems(8, 2) {
+        let Some((best, _)) = OptimalPsi::new().solve(&jobs) else {
+            continue;
+        };
+        let Some(result) = ga.search(&jobs) else {
+            continue;
+        };
+        let ga_best = result
+            .front
+            .iter()
+            .map(|t| (t.0 * jobs.len() as f64).round() as usize)
+            .max()
+            .unwrap_or(0);
+        assert!(ga_best <= best, "GA beat the exact oracle: {ga_best} > {best}");
+    }
+}

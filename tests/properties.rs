@@ -1,0 +1,118 @@
+//! Property-based tests of the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagio::core::job::JobSet;
+use tagio::core::metrics;
+use tagio::core::quality::QualityCurve;
+use tagio::core::time::{Duration, Time};
+use tagio::sched::{reconfigure, FpsOffline, Gpiocp, Scheduler, StaticScheduler};
+use tagio::workload::uunifast::uunifast;
+use tagio::workload::SystemConfig;
+
+proptest! {
+    #[test]
+    fn uunifast_sums_and_stays_positive(
+        n in 1usize..30,
+        total in 0.05f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let us = uunifast(n, total, &mut rng);
+        prop_assert_eq!(us.len(), n);
+        prop_assert!((us.iter().sum::<f64>() - total).abs() < 1e-9);
+        prop_assert!(us.iter().all(|&u| u > 0.0));
+    }
+
+    #[test]
+    fn quality_curve_bounded_and_peaked(
+        vmax in 0.0f64..100.0,
+        span in 0.0f64..100.0,
+        theta_us in 1u64..100_000,
+        offset_us in 0u64..200_000,
+    ) {
+        let vmin = vmax - span.min(vmax);
+        let c = QualityCurve::linear(vmax, vmin);
+        let ideal = Time::from_millis(500);
+        let theta = Duration::from_micros(theta_us);
+        let v = c.value(ideal, theta, ideal + Duration::from_micros(offset_us));
+        prop_assert!(v <= vmax + 1e-12);
+        prop_assert!(v >= vmin - 1e-12);
+        prop_assert_eq!(c.value(ideal, theta, ideal), vmax);
+    }
+
+    #[test]
+    fn generated_systems_are_well_formed(seed in 0u64..300, step in 1usize..5) {
+        let u = step as f64 * 0.15 + 0.15; // 0.3 .. 0.75
+        let u = (u / 0.05).round() * 0.05;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks = SystemConfig::paper(u).generate(&mut rng);
+        let jobs = JobSet::expand(&tasks);
+        prop_assert!(!jobs.is_empty());
+        for job in &jobs {
+            prop_assert!(job.release() <= job.ideal_start());
+            prop_assert!(job.ideal_start() + job.wcet() <= job.abs_deadline());
+            prop_assert!(job.window_start() >= job.release());
+            prop_assert!(job.window_end() <= job.latest_start());
+        }
+    }
+
+    #[test]
+    fn schedulers_never_emit_invalid_schedules(seed in 0u64..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks = SystemConfig::paper(0.6).generate(&mut rng);
+        let jobs = JobSet::expand(&tasks);
+        for schedule in [
+            FpsOffline::new().schedule(&jobs),
+            Gpiocp::new().schedule(&jobs),
+            StaticScheduler::new().schedule(&jobs),
+        ].into_iter().flatten() {
+            prop_assert!(schedule.validate(&jobs).is_ok());
+            let psi = metrics::psi(&schedule, &jobs);
+            let upsilon = metrics::upsilon(&schedule, &jobs);
+            prop_assert!((0.0..=1.0).contains(&psi));
+            prop_assert!((0.0..=1.0).contains(&upsilon));
+        }
+    }
+
+    #[test]
+    fn reconfiguration_output_is_always_feasible(seed in 0u64..60, gene_seed in 0u64..50) {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks = SystemConfig::paper(0.5).generate(&mut rng);
+        let jobs = JobSet::expand(&tasks);
+        let mut grng = StdRng::seed_from_u64(gene_seed);
+        let starts: Vec<u64> = jobs.iter().map(|j| {
+            let lo = j.window_start().as_micros();
+            let hi = j.window_end().as_micros().max(lo);
+            grng.random_range(lo..=hi)
+        }).collect();
+        if let Some(schedule) = reconfigure(&jobs, &starts) {
+            prop_assert!(schedule.validate(&jobs).is_ok());
+        }
+    }
+
+    #[test]
+    fn static_schedule_is_deterministic(seed in 0u64..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks = SystemConfig::paper(0.5).generate(&mut rng);
+        let jobs = JobSet::expand(&tasks);
+        let a = StaticScheduler::new().schedule(&jobs);
+        let b = StaticScheduler::new().schedule(&jobs);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn psi_never_exceeds_window_hit_rate(seed in 0u64..40) {
+        // Exact jobs are a subset of within-window jobs.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks = SystemConfig::paper(0.5).generate(&mut rng);
+        let jobs = JobSet::expand(&tasks);
+        if let Some(schedule) = StaticScheduler::new().schedule(&jobs) {
+            let stats = metrics::AccuracyStats::compute(&schedule, &jobs);
+            prop_assert!(stats.exact <= stats.within_window);
+            prop_assert!(stats.within_window <= stats.total);
+        }
+    }
+}
