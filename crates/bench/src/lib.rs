@@ -126,24 +126,26 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    if items.is_empty() {
+        return Vec::new();
+    }
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZero::get)
         .unwrap_or(4)
-        .min(items.len().max(1));
+        .min(items.len());
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     let chunk = items.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slots, values) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, item) in slots.iter_mut().zip(values) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     out.into_iter()
         .map(|r| r.expect("all slots filled"))
         .collect()

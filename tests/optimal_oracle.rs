@@ -80,6 +80,9 @@ fn ga_is_bounded_by_optimal() {
             .map(|t| (t.0 * jobs.len() as f64).round() as usize)
             .max()
             .unwrap_or(0);
-        assert!(ga_best <= best, "GA beat the exact oracle: {ga_best} > {best}");
+        assert!(
+            ga_best <= best,
+            "GA beat the exact oracle: {ga_best} > {best}"
+        );
     }
 }

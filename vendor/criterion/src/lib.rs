@@ -1,0 +1,202 @@
+//! Vendored, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment has no crates.io access, so `cargo bench` runs
+//! against this minimal harness instead: same macros ([`criterion_group!`],
+//! [`criterion_main!`]), same entry points ([`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`BenchmarkId`]),
+//! but measurement is a plain best-of-samples wall-clock median printed to
+//! stdout — no statistics engine, no HTML reports, no regression
+//! detection. Good enough to spot order-of-magnitude movement; swap in the
+//! real crate (one Cargo.toml line) for publication-grade numbers.
+//!
+//! Like the real crate, measurement only engages when the harness is run
+//! with `--bench` (which `cargo bench` passes); any other invocation —
+//! `cargo test --benches`, running the executable directly — is treated
+//! as a smoke test and runs each benchmark exactly once.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level handle passed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` to the harness; `cargo test
+        // --benches` passes nothing. Only measure under `cargo bench`,
+        // so test runs execute each benchmark once and stay fast.
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Times `f`'s [`Bencher::iter`] closure and prints one result line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            median: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else {
+            println!("{name:<50} {:>12.3?}/iter", bencher.median);
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stub keeps its own fixed sampling plan.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against `input` under `id` within this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        self.criterion.run(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Timer handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    median: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing the per-iteration median of several
+    /// timed batches. In `--test` mode the routine runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: grow the batch until it runs for >= 5 ms.
+        let mut batch = 1u32;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measure: median of 7 batches.
+        let mut samples: Vec<Duration> = (0..7)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                start.elapsed() / batch
+            })
+            .collect();
+        samples.sort();
+        self.median = samples[samples.len() / 2];
+    }
+}
+
+/// Declares a benchmark group function, as the real crate does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_nonzero_median() {
+        let mut c = Criterion { test_mode: false };
+        let mut saw = Duration::ZERO;
+        c.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+            saw = b.median;
+        });
+        assert!(saw > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        let id = BenchmarkId::new("static", 0.3);
+        assert_eq!(id.0, "static/0.3");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0;
+        c.bench_function("once", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Vendored, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment has no crates.io access, so this stub implements
+//! the slice of proptest that tagio's property suites use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - range strategies (`0u64..500`, `0.05f64..0.95`, …), tuple
+//!   strategies, [`collection::vec`], and [`Strategy::prop_map`],
+//! - [`prelude::ProptestConfig::with_cases`].
+//!
+//! Semantics versus the real crate: cases are generated from a
+//! deterministic per-case RNG (reproducible across runs and platforms),
+//! and there is **no shrinking** — a failing case panics with the case
+//! index instead of a minimised counterexample. That is a debugging
+//! convenience lost, not soundness: every property the suite checks is
+//! still exercised across the configured number of cases.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generation strategies: how to produce a random value of some type.
+pub mod strategy {
+    use super::TestRng;
+    use rand::RngExt;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.start..self.end)
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(*self.start()..=*self.end())
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.0.random::<f64>()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngExt;
+
+    /// Strategy for `Vec`s with random length and random elements.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.0.random_range(self.len.start..self.len.end);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The deterministic generator threaded through strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Builds the generator for one numbered test case. Deterministic:
+    /// case `i` of a property sees the same inputs on every run.
+    #[must_use]
+    pub fn for_case(case: u32) -> Self {
+        // Offset so case 0 does not collide with user seed_from_u64(0)
+        // streams inside test bodies.
+        TestRng(StdRng::seed_from_u64(
+            0xC0DE_0000_0000_0000 ^ u64::from(case),
+        ))
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Runtime configuration of a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real crate's default is 256; keep parity.
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` across many sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::prelude::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::prelude::ProptestConfig = $config;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::TestRng::for_case(__case);
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+
+        $crate::__proptest_tests!(($config); $($rest)*);
+    };
+    (($config:expr);) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5i32..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in collection::vec((1u64..10, 0u32..3), 2..6).prop_map(|pairs| {
+                pairs.into_iter().map(|(a, b)| a + u64::from(b)).collect::<Vec<_>>()
+            })
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&s| s < 13));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::TestRng::for_case(5);
+        let mut b = crate::TestRng::for_case(5);
+        let sa = (10u64..1000).sample(&mut a);
+        let sb = (10u64..1000).sample(&mut b);
+        assert_eq!(sa, sb);
+    }
+}

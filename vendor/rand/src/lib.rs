@@ -1,0 +1,284 @@
+//! Vendored, dependency-free stand-in for the [`rand`] crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! the small slice of rand's 0.9-era API that tagio actually uses:
+//!
+//! - [`Rng`] — the core generator trait (`next_u64` and friends),
+//! - [`RngExt`] — the value-level extension methods [`RngExt::random`] and
+//!   [`RngExt::random_range`], blanket-implemented for every [`Rng`],
+//! - [`SeedableRng`] with [`SeedableRng::seed_from_u64`],
+//! - [`rngs::StdRng`] — a deterministic xoshiro256++ generator.
+//!
+//! Determinism is the property the test-suite leans on: the same seed must
+//! yield the same stream on every platform and every run. xoshiro256++
+//! (seeded through SplitMix64) provides that with excellent statistical
+//! quality for simulation workloads. Swapping this stub for the real crate
+//! only requires `StdRng` streams not to be baked into expected values —
+//! tagio's tests assert *properties* of sampled systems, never exact
+//! streams, so the swap stays a Cargo.toml-level change.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+#![warn(missing_docs)]
+
+/// A source of random `u64`s plus derived primitive sampling.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits scaled by 2^-53, the standard float-from-bits recipe.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Value-level sampling helpers, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64` in `[0, 1)`, `bool` as a fair coin, integers uniform over
+    /// their full domain).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(&mut &mut *self)
+    }
+
+    /// Samples uniformly from `range` (half-open `lo..hi` or inclusive
+    /// `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(&mut &mut *self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draws one value from the type's standard distribution.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // Use the top bit; low bits of some generators are weaker.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a uniform-over-a-range sampler, for [`RngExt::random_range`].
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Samples uniformly from the inclusive interval `[lo, hi]`.
+    fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                // Width as u128 so `lo..=hi` covering the whole domain
+                // cannot overflow; modulo bias is far below what any
+                // simulation here could observe.
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + (hi - lo) * rng.next_f64()
+    }
+}
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one uniform sample out of `self`.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + One + core::ops::Sub<Output = T>> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_inclusive(rng, self.start, self.end - T::one())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// The multiplicative identity, used to turn `lo..hi` into `lo..=hi-1`.
+pub trait One {
+    /// Returns `1` of the implementing type.
+    fn one() -> Self;
+}
+
+macro_rules! impl_one {
+    ($($t:ty),*) => {$(
+        impl One for $t {
+            fn one() -> Self {
+                1
+            }
+        }
+    )*};
+}
+
+impl_one!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Unlike the real crate's ChaCha-based `StdRng` this is not
+    /// cryptographically secure — tagio only ever uses it for seeded
+    /// simulation, where speed and reproducibility are what matter.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, the seeding scheme xoshiro recommends.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(5u32..=5);
+            assert_eq!(w, 5);
+            let x = rng.random_range(-3i64..=3);
+            assert!((-3..=3).contains(&x));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.random_range(0u64..=u64::MAX);
+        let _ = rng.random_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    fn bool_hits_both_values() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let flips: Vec<bool> = (0..64).map(|_| rng.random()).collect();
+        assert!(flips.iter().any(|&b| b));
+        assert!(flips.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,52 @@
+//! Vendored, dependency-free stand-in for the [`serde`] crate.
+//!
+//! The build environment has no crates.io access. tagio's public data
+//! types advertise serde support (the `C-SERDE` API guideline, asserted by
+//! `tests/api_contracts.rs`), but nothing in the workspace performs actual
+//! serialisation yet — no format crate (serde_json etc.) is in the tree.
+//! So this stub keeps the *contract* compilable while deferring the
+//! *machinery*:
+//!
+//! - [`Serialize`] and [`Deserialize`] are marker traits, blanket-
+//!   implemented for every type;
+//! - [`de::DeserializeOwned`] mirrors the real crate's ownership alias;
+//! - `#[derive(Serialize, Deserialize)]` resolves to no-op derives from
+//!   the sibling `serde_derive` stub.
+//!
+//! Because the blanket impls make every type satisfy the bounds, swapping
+//! in the real serde later is a pure Cargo.toml change plus whatever
+//! `#[serde(...)]` attributes real codegen needs — the type-level API is
+//! identical.
+//!
+//! [`serde`]: https://crates.io/crates/serde
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialised.
+///
+/// Blanket-implemented for every type by the stub; the real crate's
+/// derive-backed impls replace this when serde is un-stubbed.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that can be deserialised from borrowed data.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Deserialisation-side traits.
+pub mod de {
+    /// Marker for types deserialisable without borrowing from the input.
+    pub trait DeserializeOwned {}
+
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+/// Serialisation-side traits (namespace parity with the real crate).
+pub mod ser {
+    /// Re-export of the crate-root [`crate::Serialize`] marker.
+    pub use crate::Serialize;
+}

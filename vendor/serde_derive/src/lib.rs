@@ -1,0 +1,24 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! vendored serde stub.
+//!
+//! The stub's `Serialize`/`Deserialize` traits are blanket-implemented for
+//! every type (see `vendor/serde`), so the derives have nothing to
+//! generate — they exist so that the seed sources' `#[derive(...)]`
+//! attributes and `#[serde(...)]` field annotations compile unchanged,
+//! keeping the diff against a future real-serde build empty.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
