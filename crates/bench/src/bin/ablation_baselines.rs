@@ -3,49 +3,39 @@
 //! work-conserving classic scheduler — priority- or deadline-driven — gets
 //! Ψ ≈ 0 and a Vmin-floor Υ, regardless of its schedulability.
 //!
+//! The method list comes from the scheduler registry and is overridable:
+//! `--methods fps-offline,edf-offline,gpiocp,static` (any registered names).
+//!
+//! Flags: `--systems N --seed N`, `--methods LIST`, `--threads N` (worker
+//! pool, `0` = all cores), `--json` (structured report on stdout; schema
+//! in EXPERIMENTS.md). Selecting `ga` also honours `--pop`/`--gens`.
+//!
 //! ```text
 //! cargo run --release -p tagio-bench --bin ablation_baselines -- --systems 30
 //! ```
 
-use tagio_bench::{generate_systems, mean, parallel_map, Options};
-use tagio_core::metrics;
-use tagio_sched::{EdfOffline, FpsOffline, Gpiocp, Scheduler, StaticScheduler};
+use tagio_bench::{generate_systems, Method, Options, Runner, Sweep};
+use tagio_sched::MethodSet;
 
 fn main() {
     let opts = Options::from_args();
-    println!(
-        "# baselines at a glance ({} systems/point): schedulable | psi | upsilon",
-        opts.systems
+    let set = match &opts.methods {
+        Some(csv) => MethodSet::parse(csv).unwrap_or_else(|e| panic!("--methods: {e}")),
+        None => MethodSet::parse("fps-offline,edf-offline,gpiocp,static").expect("registered"),
+    };
+    let title = format!(
+        "baselines at a glance ({} systems/point): {}",
+        opts.systems,
+        set.names().join(", ")
     );
-    println!(
-        "{:<6} {:>24} {:>24} {:>24} {:>24}",
-        "U", "fps-offline", "edf-offline", "gpiocp", "static"
+    let sweep = Sweep::over("U", [0.3, 0.5, 0.7, 0.9]);
+    // A `ga` entry gets the CLI budget, per-system seeds and the thread
+    // split, keeping its column comparable to the figure binaries.
+    let methods = Method::from_set_with_ga(set, &opts.ga_config());
+    let report = Runner::new(title, opts.clone()).run(
+        &sweep,
+        |p| generate_systems(p.x, opts.systems, opts.seed),
+        &methods,
     );
-    for u in [0.3, 0.5, 0.7, 0.9] {
-        let systems = generate_systems(u, opts.systems, opts.seed);
-        print!("{u:<6.2}");
-        let methods: Vec<Box<dyn Scheduler + Sync>> = vec![
-            Box::new(FpsOffline::new()),
-            Box::new(EdfOffline::new()),
-            Box::new(Gpiocp::new()),
-            Box::new(StaticScheduler::new()),
-        ];
-        for method in &methods {
-            let results = parallel_map(&systems, |sys| {
-                method
-                    .schedule(&sys.jobs)
-                    .map(|s| (metrics::psi(&s, &sys.jobs), metrics::upsilon(&s, &sys.jobs)))
-            });
-            let sched =
-                results.iter().filter(|r| r.is_some()).count() as f64 / results.len() as f64;
-            let psis: Vec<f64> = results.iter().filter_map(|r| r.map(|x| x.0)).collect();
-            let upss: Vec<f64> = results.iter().filter_map(|r| r.map(|x| x.1)).collect();
-            print!(
-                "   {sched:>5.2} |{:>5.2} |{:>5.2}  ",
-                mean(&psis),
-                mean(&upss)
-            );
-        }
-        println!();
-    }
+    report.emit(tagio_bench::Report::render_table);
 }

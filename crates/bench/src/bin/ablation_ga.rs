@@ -1,68 +1,58 @@
 //! Ablation: GA budget sensitivity — how population size and generation
-//! count move Ψ and Υ at a fixed utilisation.
+//! count move Ψ, Υ and front hypervolume at a fixed utilisation.
 //!
 //! The paper runs 300×500; the laptop-scale defaults of the other binaries
 //! run far less. This bench shows what the budget buys (and that the trend
-//! conclusions hold at reduced scale).
+//! conclusions hold at reduced scale). Each budget is one engine method on
+//! a single-point sweep; `+seed` engages the ideal-seeding extension.
+//!
+//! Flags: `--systems N --seed N`, `--threads N` (worker pool for the sweep
+//! and the GA, `0` = all cores), `--json` (structured report on stdout;
+//! schema in EXPERIMENTS.md).
 //!
 //! ```text
 //! cargo run --release -p tagio-bench --bin ablation_ga -- --systems 10
 //! ```
 
-use tagio_bench::{generate_systems, mean, parallel_map, Options};
-use tagio_ga::{hypervolume_2d, GaConfig, Objectives};
-use tagio_sched::GaScheduler;
+use tagio_bench::{generate_systems, Method, Options, Runner, Sweep};
+use tagio_ga::GaConfig;
 
 fn main() {
     let opts = Options::from_args();
+    opts.reject_methods_override("ablation_ga");
+    opts.reject_ga_budget_override("ablation_ga");
     let u = 0.5;
-    println!(
-        "# GA budget ablation at U={u} ({} systems/point): best-psi | best-upsilon | hypervolume",
+    let title = format!(
+        "GA budget ablation at U={u} ({} systems/point): best-psi | best-upsilon | hypervolume",
         opts.systems
     );
-    println!(
-        "{:<14} {:>10} {:>12} {:>13}",
-        "pop x gens (s)", "psi", "upsilon", "hypervolume"
-    );
-    let systems = generate_systems(u, opts.systems, opts.seed);
-    for (pop, gens, seeded) in [
+    let sweep = Sweep::single("U", format!("{u}"), u);
+    let base = opts.ga_config();
+    let methods: Vec<Method<tagio_bench::EvalSystem>> = [
         (20, 20, false),
         (50, 50, false),
         (100, 100, false),
         (150, 200, false),
         (50, 50, true), // ideal-seeding extension at the 50x50 budget
-    ] {
+    ]
+    .into_iter()
+    .map(|(pop, gens, seeded)| {
         let cfg = GaConfig {
             population: pop,
             generations: gens,
             hint_fraction: if seeded { 0.2 } else { 0.0 },
-            ..GaConfig::default()
+            ..base.clone()
         };
-        let results = parallel_map(&systems, |sys| {
-            GaScheduler::new()
-                .with_config(cfg.clone())
-                .with_seed(sys.seed)
-                .search(&sys.jobs)
-                .map(|r| {
-                    let best_psi = r.front.iter().map(|t| t.0).fold(f64::MIN, f64::max);
-                    let best_ups = r.front.iter().map(|t| t.1).fold(f64::MIN, f64::max);
-                    let front: Vec<Objectives> = r
-                        .front
-                        .iter()
-                        .map(|t| Objectives::from(vec![t.0, t.1]))
-                        .collect();
-                    (best_psi, best_ups, hypervolume_2d(&front, [0.0, 0.0]))
-                })
-        });
-        let psis: Vec<f64> = results.iter().filter_map(|r| r.map(|x| x.0)).collect();
-        let upss: Vec<f64> = results.iter().filter_map(|r| r.map(|x| x.1)).collect();
-        let hvs: Vec<f64> = results.iter().filter_map(|r| r.map(|x| x.2)).collect();
-        println!(
-            "{:<14} {:>10.3} {:>12.3} {:>13.3}",
+        Method::ga(
             format!("{pop}x{gens}{}", if seeded { "+seed" } else { "" }),
-            mean(&psis),
-            mean(&upss),
-            mean(&hvs)
-        );
-    }
+            cfg,
+        )
+    })
+    .collect();
+    let report = Runner::new(title, opts.clone()).run(
+        &sweep,
+        |p| generate_systems(p.x, opts.systems, opts.seed),
+        &methods,
+    );
+    report.emit(tagio_bench::Report::render_table);
 }

@@ -2,47 +2,38 @@
 //! First-Fit / Best-Fit / Worst-Fit, on schedulability and Ψ.
 //!
 //! DESIGN.md calls out slot selection as the load-bearing design choice of
-//! the static method's third phase; this bench quantifies it.
+//! the static method's third phase; this bench quantifies it. The policy
+//! variants are the registry's `static:*` entries; `--methods LIST`
+//! swaps in any other registered names.
+//!
+//! Flags: `--systems N --seed N`, `--methods LIST`, `--threads N` (worker
+//! pool, `0` = all cores), `--json` (structured report on stdout; schema
+//! in EXPERIMENTS.md).
 //!
 //! ```text
 //! cargo run --release -p tagio-bench --bin ablation_lccd -- --systems 100
 //! ```
 
-use tagio_bench::{fig5_sweep, generate_systems, mean, parallel_map, Options};
-use tagio_core::metrics;
-use tagio_sched::{Scheduler, SlotPolicy, StaticScheduler};
+use tagio_bench::{fig5_sweep, generate_systems, Method, Options, Runner, Sweep};
+use tagio_sched::MethodSet;
 
 fn main() {
     let opts = Options::from_args();
-    println!(
-        "# LCC-D ablation ({} systems/point): schedulable fraction | mean psi",
+    let title = format!(
+        "LCC-D ablation ({} systems/point): slot policies of Algorithm 1",
         opts.systems
     );
-    let policies = [
-        ("lcc-d", SlotPolicy::LeastContentionCapacityDecreasing),
-        ("first-fit", SlotPolicy::FirstFit),
-        ("best-fit", SlotPolicy::BestFit),
-        ("worst-fit", SlotPolicy::WorstFit),
-    ];
-    print!("{:<11}", "U");
-    for (name, _) in &policies {
-        print!(" {name:>19}");
-    }
-    println!();
-    for &u in fig5_sweep().iter().filter(|u| **u >= 0.4) {
-        let systems = generate_systems(u, opts.systems, opts.seed);
-        print!("{u:<11.2}");
-        for &(_, policy) in &policies {
-            let results = parallel_map(&systems, |sys| {
-                StaticScheduler::with_policy(policy)
-                    .schedule(&sys.jobs)
-                    .map(|s| metrics::psi(&s, &sys.jobs))
-            });
-            let sched =
-                results.iter().filter(|r| r.is_some()).count() as f64 / results.len() as f64;
-            let psis: Vec<f64> = results.iter().filter_map(|r| *r).collect();
-            print!("      {sched:>6.3} |{:>6.3}", mean(&psis));
-        }
-        println!();
-    }
+    let sweep = Sweep::over("U", fig5_sweep().into_iter().filter(|u| *u >= 0.4));
+    let set = match &opts.methods {
+        Some(csv) => MethodSet::parse(csv).unwrap_or_else(|e| panic!("--methods: {e}")),
+        None => MethodSet::parse("static:lcc-d,static:first-fit,static:best-fit,static:worst-fit")
+            .expect("registered"),
+    };
+    let methods = Method::from_set_with_ga(set, &opts.ga_config());
+    let report = Runner::new(title, opts.clone()).run(
+        &sweep,
+        |p| generate_systems(p.x, opts.systems, opts.seed),
+        &methods,
+    );
+    report.emit(tagio_bench::Report::render_table);
 }

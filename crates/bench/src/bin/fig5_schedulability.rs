@@ -2,57 +2,39 @@
 //! vs. total utilisation.
 //!
 //! Methods: FPS-offline (simulated), FPS-online (response-time test \[18\]),
-//! GPIOCP (FIFO replay), the static heuristic (Algorithm 1) and the GA.
+//! GPIOCP (FIFO replay), the static heuristic (Algorithm 1) and the GA —
+//! all but FPS-online resolved by name from the scheduler registry.
+//!
+//! Flags: `--systems N --pop N --gens N --seed N`, `--threads N` (worker
+//! pool for the sweep and the GA, `0` = all cores), `--json` (structured
+//! report on stdout; schema in EXPERIMENTS.md).
 //!
 //! ```text
 //! cargo run --release -p tagio-bench --bin fig5_schedulability -- --systems 100
+//! cargo run --release -p tagio-bench --bin fig5_schedulability -- --systems 2 --gens 5 --json
 //! ```
 
-use tagio_bench::{fig5_sweep, generate_systems, parallel_map, print_series, Options};
-use tagio_sched::{
-    fps_online_schedulable, FpsOffline, GaScheduler, Gpiocp, Scheduler, StaticScheduler,
-};
+use tagio_bench::{fig5_sweep, generate_systems, Method, Options, Runner, Sweep};
 
 fn main() {
     let opts = Options::from_args();
-    println!(
-        "# Fig. 5 — schedulability vs utilisation ({} systems/point, GA {}x{})",
+    opts.reject_methods_override("fig5_schedulability");
+    let title = format!(
+        "Fig. 5 — schedulability vs utilisation ({} systems/point, GA {}x{})",
         opts.systems, opts.population, opts.generations
     );
-    let sweep = fig5_sweep();
-    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); 5];
-
-    for &u in &sweep {
-        let systems = generate_systems(u, opts.systems, opts.seed);
-        let ga_cfg = opts.ga_config();
-        let results = parallel_map(&systems, |sys| {
-            let fps_off = FpsOffline::new().schedule(&sys.jobs).is_some();
-            let fps_on = fps_online_schedulable(&sys.tasks);
-            let gpiocp = Gpiocp::new().schedule(&sys.jobs).is_some();
-            let stat = StaticScheduler::new().schedule(&sys.jobs).is_some();
-            let ga = GaScheduler::new()
-                .with_config(ga_cfg.clone())
-                .with_seed(sys.seed)
-                .search(&sys.jobs)
-                .is_some();
-            [fps_off, fps_on, gpiocp, stat, ga]
-        });
-        for (row, method) in rows.iter_mut().enumerate() {
-            let ok = results.iter().filter(|r| r[row]).count();
-            method.push(ok as f64 / results.len() as f64);
-        }
-        eprintln!("  U={u:.2} done");
-    }
-
-    print!("{:<14}", "U");
-    for u in &sweep {
-        print!(" {u:>7.2}");
-    }
-    println!();
-    for (label, row) in ["fps-offline", "fps-online", "gpiocp", "static", "ga"]
-        .iter()
-        .zip(&rows)
-    {
-        print_series(label, row);
-    }
+    let sweep = Sweep::over("U", fig5_sweep());
+    let methods = vec![
+        Method::scheduler("fps-offline").expect("registered"),
+        Method::fps_online(),
+        Method::scheduler("gpiocp").expect("registered"),
+        Method::scheduler("static").expect("registered"),
+        Method::ga("ga", opts.ga_config()),
+    ];
+    let report = Runner::new(title, opts.clone()).run(
+        &sweep,
+        |p| generate_systems(p.x, opts.systems, opts.seed),
+        &methods,
+    );
+    report.emit(|r| r.render_series(None));
 }

@@ -4,56 +4,34 @@
 //! For the GA the best Ψ over the returned non-dominated front is reported,
 //! as in the paper ("the best result obtained for each objective").
 //!
+//! Flags: `--systems N --pop N --gens N --seed N`, `--threads N` (worker
+//! pool for the sweep and the GA, `0` = all cores), `--json` (structured
+//! report on stdout; schema in EXPERIMENTS.md).
+//!
 //! ```text
 //! cargo run --release -p tagio-bench --bin fig6_psi -- --systems 100
 //! ```
 
-use tagio_bench::{fig67_sweep, generate_systems, mean, parallel_map, print_series, Options};
-use tagio_core::metrics;
-use tagio_sched::{FpsOffline, GaScheduler, Gpiocp, Scheduler, StaticScheduler};
+use tagio_bench::{fig67_sweep, generate_systems, Method, Options, Runner, Sweep};
 
 fn main() {
     let opts = Options::from_args();
-    println!(
-        "# Fig. 6 — psi of offline methods ({} systems/point, GA {}x{})",
+    opts.reject_methods_override("fig6_psi");
+    let title = format!(
+        "Fig. 6 — psi of offline methods ({} systems/point, GA {}x{})",
         opts.systems, opts.population, opts.generations
     );
-    let sweep = fig67_sweep();
-    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); 4];
-
-    for &u in &sweep {
-        let systems = generate_systems(u, opts.systems, opts.seed);
-        let ga_cfg = opts.ga_config();
-        let results = parallel_map(&systems, |sys| {
-            let fps = FpsOffline::new()
-                .schedule(&sys.jobs)
-                .map(|s| metrics::psi(&s, &sys.jobs));
-            let gp = Gpiocp::new()
-                .schedule(&sys.jobs)
-                .map(|s| metrics::psi(&s, &sys.jobs));
-            let st = StaticScheduler::new()
-                .schedule(&sys.jobs)
-                .map(|s| metrics::psi(&s, &sys.jobs));
-            let ga = GaScheduler::new()
-                .with_config(ga_cfg.clone())
-                .with_seed(sys.seed)
-                .search(&sys.jobs)
-                .map(|r| r.front.iter().map(|t| t.0).fold(f64::MIN, f64::max));
-            [fps, gp, st, ga]
-        });
-        for (row, series) in rows.iter_mut().enumerate() {
-            let values: Vec<f64> = results.iter().filter_map(|r| r[row]).collect();
-            series.push(mean(&values));
-        }
-        eprintln!("  U={u:.2} done");
-    }
-
-    print!("{:<14}", "U");
-    for u in &sweep {
-        print!(" {u:>7.2}");
-    }
-    println!();
-    for (label, row) in ["fps", "gpiocp", "static", "ga"].iter().zip(&rows) {
-        print_series(label, row);
-    }
+    let sweep = Sweep::over("U", fig67_sweep());
+    let methods = vec![
+        Method::scheduler("fps-offline").expect("registered"),
+        Method::scheduler("gpiocp").expect("registered"),
+        Method::scheduler("static").expect("registered"),
+        Method::ga("ga", opts.ga_config()),
+    ];
+    let report = Runner::new(title, opts.clone()).run(
+        &sweep,
+        |p| generate_systems(p.x, opts.systems, opts.seed),
+        &methods,
+    );
+    report.emit(|r| r.render_series(Some("psi")));
 }

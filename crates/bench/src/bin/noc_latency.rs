@@ -4,8 +4,13 @@
 //! controller's global timer can.
 //!
 //! A probe request crosses a 4×4 mesh corner-to-corner under increasing
-//! background injection rates; we report min / mean / max probe latency
-//! over repeated trials.
+//! background injection rates (the sweep axis); the `latency` metric's
+//! min/mean/max over repeated trials — and so its jitter — come straight
+//! from the engine's summaries. `--systems` sets the trial count.
+//!
+//! Flags: `--systems N --seed N`, `--threads N` (worker pool, `0` = all
+//! cores), `--json` (structured report on stdout; schema in
+//! EXPERIMENTS.md).
 //!
 //! ```text
 //! cargo run --release -p tagio-bench --bin noc_latency -- --systems 50
@@ -13,52 +18,49 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tagio_bench::{mean, Options};
+use tagio_bench::{Method, Options, Outcome, Runner, Sweep};
 use tagio_noc::sim::{NocConfig, NocSim};
 use tagio_noc::topology::{Mesh, NodeId};
 use tagio_noc::traffic::UniformTraffic;
 
 fn main() {
     let opts = Options::from_args();
-    let trials = opts.systems.max(10);
-    println!("# NoC request-path latency, 4x4 mesh, {trials} trials/point");
-    println!(
-        "{:<10} {:>8} {:>8} {:>8} {:>9}",
-        "inj.rate", "min", "mean", "max", "jitter"
-    );
-    for rate in [0.0, 0.01, 0.02, 0.05, 0.10, 0.20] {
-        let mut latencies = Vec::with_capacity(trials);
-        for trial in 0..trials {
-            let mut sim = NocSim::new(Mesh::new(4, 4), NocConfig::default());
-            let mut rng = StdRng::seed_from_u64(opts.seed + trial as u64);
-            UniformTraffic {
-                injection_rate: rate,
-                flits: 4,
-                priority: 1,
-            }
-            .schedule(&mut sim, 500, &mut rng);
-            // The probe is the I/O request: same priority as the rest of
-            // the application traffic (a remote CPU gets no special lane).
-            let probe = sim.send(NodeId::new(0, 0), NodeId::new(3, 3), 4, 1, 100);
-            sim.run_to_idle(1_000_000);
-            let lat = sim
-                .delivered()
-                .iter()
-                .find(|d| d.packet.id == probe)
-                .expect("probe delivered")
-                .latency();
-            latencies.push(lat as f64);
+    opts.reject_methods_override("noc_latency");
+    opts.reject_ga_budget_override("noc_latency"); // no GA here; don't misrecord provenance
+    let trials = opts.systems;
+    let title = format!("NoC request-path latency, 4x4 mesh, {trials} trials/point");
+    let sweep = Sweep::over("inj.rate", [0.0, 0.01, 0.02, 0.05, 0.10, 0.20]);
+    let probe = Method::new("probe", |seed: &u64, point: &tagio_bench::SweepPoint| {
+        let mut sim = NocSim::new(Mesh::new(4, 4), NocConfig::default());
+        let mut rng = StdRng::seed_from_u64(*seed);
+        UniformTraffic {
+            injection_rate: point.x,
+            flits: 4,
+            priority: 1,
         }
-        let min = latencies.iter().copied().fold(f64::MAX, f64::min);
-        let max = latencies.iter().copied().fold(f64::MIN, f64::max);
-        println!(
-            "{:<10.2} {:>8.0} {:>8.1} {:>8.0} {:>9.0}",
-            rate,
-            min,
-            mean(&latencies),
-            max,
-            max - min
+        .schedule(&mut sim, 500, &mut rng);
+        // The probe is the I/O request: same priority as the rest of the
+        // application traffic (a remote CPU gets no special lane).
+        let probe = sim.send(NodeId::new(0, 0), NodeId::new(3, 3), 4, 1, 100);
+        sim.run_to_idle(1_000_000);
+        let lat = sim
+            .delivered()
+            .iter()
+            .find(|d| d.packet.id == probe)
+            .expect("probe delivered")
+            .latency();
+        Outcome::with_metrics(vec![("latency", lat as f64)])
+    });
+    let report = Runner::new(title, opts.clone()).run(
+        &sweep,
+        |_| (0..trials).map(|t| opts.seed + t as u64).collect(),
+        &[probe],
+    );
+    report.emit(|r| {
+        let mut text = r.render_table();
+        text.push_str(
+            "# jitter (max - min) > 0 at any load: a remote CPU cannot guarantee exact I/O instants.\n",
         );
-    }
-    println!("# jitter > 0 at any load: a remote CPU cannot guarantee exact I/O instants.");
+        text
+    });
 }

@@ -1,37 +1,75 @@
 //! Regenerates **Table I**: hardware overhead of the evaluated I/O
 //! controllers, plus the §V.B headline ratios.
 //!
+//! Text mode keeps the paper-shaped table from `tagio_hwcost`; under
+//! `--json` the rows run through the shared experiment engine (one method
+//! per controller; metrics `luts`, `registers`, `dsps`, `bram_kb`,
+//! `power_mw`) so the output matches every other binary's schema.
+//!
 //! ```text
 //! cargo run --release -p tagio-bench --bin table1_hwcost
+//! cargo run --release -p tagio-bench --bin table1_hwcost -- --json
 //! ```
 
-use tagio_hwcost::components::{gpiocp, microblaze_basic, microblaze_full, proposed};
+use tagio_bench::{Method, Options, Outcome, Runner, Sweep};
+use tagio_hwcost::components::{
+    gpiocp, microblaze_basic, microblaze_full, proposed, table1_components,
+};
 use tagio_hwcost::render_table1;
 
 fn main() {
-    println!("# Table I — hardware overhead of evaluated I/O controllers");
-    println!("{}", render_table1());
+    let opts = Options::from_args();
+    opts.reject_methods_override("table1_hwcost");
+    opts.reject_ga_budget_override("table1_hwcost"); // no GA here; don't misrecord provenance
+    let sweep = Sweep::single("table", "I", 0.0);
+    let methods: Vec<Method<()>> = table1_components()
+        .into_iter()
+        .map(|component| {
+            Method::new(component.name, move |(), _| {
+                let c = component.cost;
+                Outcome::with_metrics(vec![
+                    ("luts", f64::from(c.luts)),
+                    ("registers", f64::from(c.registers)),
+                    ("dsps", f64::from(c.dsps)),
+                    ("bram_kb", f64::from(c.bram_kb)),
+                    ("power_mw", f64::from(c.power_mw)),
+                ])
+            })
+        })
+        .collect();
+    let report = Runner::new(
+        "Table I — hardware overhead of evaluated I/O controllers",
+        opts,
+    )
+    .quiet()
+    .run(&sweep, |_| vec![()], &methods);
+    report.emit(|_| {
+        let mut text = String::from("# Table I — hardware overhead of evaluated I/O controllers\n");
+        text.push_str(&render_table1());
+        text.push('\n');
 
-    let p = proposed().cost;
-    let g = gpiocp().cost;
-    let mbb = microblaze_basic().cost;
-    let mbf = microblaze_full().cost;
-    println!("# paper's headline comparisons (section V.B)");
-    println!(
-        "vs MB-F : {:.1}% LUTs, {:.1}% registers, {:.1}% power",
-        p.lut_ratio_percent(&mbf),
-        p.register_ratio_percent(&mbf),
-        p.power_ratio_percent(&mbf),
-    );
-    println!(
-        "vs MB-B : {:.1}% LUTs, {:.1}% registers, {:.1}% power",
-        p.lut_ratio_percent(&mbb),
-        p.register_ratio_percent(&mbb),
-        p.power_ratio_percent(&mbb),
-    );
-    println!(
-        "vs GPIOCP: +{:.1}% LUTs, +{:.1}% registers (scheduling support)",
-        p.lut_ratio_percent(&g) - 100.0,
-        p.register_ratio_percent(&g) - 100.0,
-    );
+        let p = proposed().cost;
+        let g = gpiocp().cost;
+        let mbb = microblaze_basic().cost;
+        let mbf = microblaze_full().cost;
+        text.push_str("# paper's headline comparisons (section V.B)\n");
+        text.push_str(&format!(
+            "vs MB-F : {:.1}% LUTs, {:.1}% registers, {:.1}% power\n",
+            p.lut_ratio_percent(&mbf),
+            p.register_ratio_percent(&mbf),
+            p.power_ratio_percent(&mbf),
+        ));
+        text.push_str(&format!(
+            "vs MB-B : {:.1}% LUTs, {:.1}% registers, {:.1}% power\n",
+            p.lut_ratio_percent(&mbb),
+            p.register_ratio_percent(&mbb),
+            p.power_ratio_percent(&mbb),
+        ));
+        text.push_str(&format!(
+            "vs GPIOCP: +{:.1}% LUTs, +{:.1}% registers (scheduling support)\n",
+            p.lut_ratio_percent(&g) - 100.0,
+            p.register_ratio_percent(&g) - 100.0,
+        ));
+        text
+    });
 }

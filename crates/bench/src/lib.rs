@@ -12,13 +12,28 @@
 //! | `noc_latency` | §I motivation — request-path latency under contention |
 //! | `ablation_lccd` | LCC-D vs First-/Best-/Worst-Fit slot policies |
 //! | `ablation_ga` | GA budget sensitivity (population × generations) |
+//! | `ablation_baselines` | classic baselines (FPS, EDF, GPIOCP) at a glance |
 //!
-//! Binaries accept `--systems N`, `--pop N`, `--gens N` and `--seed N`
-//! overrides; defaults are laptop-scale (documented in EXPERIMENTS.md),
-//! the paper's full scale is `--systems 1000 --pop 300 --gens 500`.
+//! All binaries run on the shared experiment [`engine`] — a [`Sweep`]
+//! descriptor, named [`Method`]s resolved through the scheduler registry,
+//! and a [`Runner`] that fans systems across a worker pool — and emit
+//! either aligned text tables or `--json` documents ([`report::Report`]).
+//!
+//! Binaries accept `--systems N`, `--pop N`, `--gens N`, `--seed N`,
+//! `--threads N` (worker pool size, `0` = all cores) and `--json`;
+//! defaults are laptop-scale (documented in EXPERIMENTS.md, along with
+//! expected runtimes and the JSON schema). The paper's full scale is
+//! `--systems 1000 --pop 300 --gens 500`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+
+pub mod engine;
+pub mod json;
+pub mod report;
+
+pub use engine::{Method, Outcome, Runner, Sweep, SweepPoint};
+pub use report::Report;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,65 +43,155 @@ use tagio_ga::GaConfig;
 use tagio_workload::SystemConfig;
 
 /// Common command-line options of the experiment binaries.
+///
+/// GA population/generation defaults come from [`GaConfig::quick`]; the
+/// paper's published 300×500 lives in [`GaConfig::paper`] (the single
+/// source of those parameters — see [`Options::paper_scale`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Synthetic systems per utilisation point (paper: 1000).
     pub systems: usize,
-    /// GA population (paper: 300).
+    /// GA population.
     pub population: usize,
-    /// GA generations (paper: 500).
+    /// GA generations.
     pub generations: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads shared by the sweep and the GA (`0` = all cores).
+    pub threads: usize,
+    /// Emit the report as JSON instead of text tables.
+    pub json: bool,
+    /// Optional comma-separated method-registry override (binaries that
+    /// support it pass this to [`tagio_sched::MethodSet::parse`]).
+    pub methods: Option<String>,
 }
 
 impl Default for Options {
     fn default() -> Self {
+        let quick = GaConfig::quick();
         Options {
             systems: 20,
-            population: 60,
-            generations: 80,
+            population: quick.population,
+            generations: quick.generations,
             seed: 2020,
+            threads: 0,
+            json: false,
+            methods: None,
         }
     }
 }
 
 impl Options {
-    /// Parses `--systems`, `--pop`, `--gens`, `--seed` from the process
-    /// arguments, falling back to the defaults.
+    /// The paper's full evaluation scale: 1000 systems per point and
+    /// [`GaConfig::paper`]'s population × generations.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        let paper = GaConfig::paper();
+        Options {
+            systems: 1000,
+            population: paper.population,
+            generations: paper.generations,
+            ..Options::default()
+        }
+    }
+
+    /// Parses `--systems`, `--pop`, `--gens`, `--seed`, `--threads`,
+    /// `--json` and `--methods` from the process arguments, falling back
+    /// to the defaults.
     ///
     /// # Panics
     /// Panics with a usage message on malformed arguments.
     #[must_use]
     pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> Self {
         let mut opts = Options::default();
-        let args: Vec<String> = std::env::args().skip(1).collect();
+        let args: Vec<String> = args.collect();
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| -> u64 {
+            let mut value = |name: &str| -> String {
                 it.next()
                     .unwrap_or_else(|| panic!("{name} needs a value"))
-                    .parse()
+                    .clone()
+            };
+            let int = |name: &str, v: String| -> u64 {
+                v.parse()
                     .unwrap_or_else(|_| panic!("{name} needs an integer"))
             };
             match flag.as_str() {
-                "--systems" => opts.systems = value("--systems") as usize,
-                "--pop" => opts.population = value("--pop") as usize,
-                "--gens" => opts.generations = value("--gens") as usize,
-                "--seed" => opts.seed = value("--seed"),
-                other => panic!("unknown flag {other} (try --systems/--pop/--gens/--seed)"),
+                "--systems" => opts.systems = int("--systems", value("--systems")) as usize,
+                "--pop" => opts.population = int("--pop", value("--pop")) as usize,
+                "--gens" => opts.generations = int("--gens", value("--gens")) as usize,
+                "--seed" => opts.seed = int("--seed", value("--seed")),
+                "--threads" => opts.threads = int("--threads", value("--threads")) as usize,
+                "--json" => opts.json = true,
+                "--methods" => opts.methods = Some(value("--methods")),
+                other => panic!(
+                    "unknown flag {other} (try --systems/--pop/--gens/--seed/--threads/--json/--methods)"
+                ),
             }
         }
         opts
     }
 
-    /// The GA configuration implied by these options.
+    /// Guard for binaries with a fixed method list: `--methods` must not
+    /// be silently ignored.
+    ///
+    /// # Panics
+    /// Panics when `--methods` was given.
+    pub fn reject_methods_override(&self, binary: &str) {
+        assert!(
+            self.methods.is_none(),
+            "--methods is not supported by {binary} (its method list is fixed)"
+        );
+    }
+
+    /// Guard for binaries that sweep their own fixed GA budget list:
+    /// `--pop`/`--gens` must not be silently ignored (and misrecorded in
+    /// the JSON provenance block).
+    ///
+    /// # Panics
+    /// Panics when `--pop` or `--gens` diverge from the defaults.
+    pub fn reject_ga_budget_override(&self, binary: &str) {
+        let default = Options::default();
+        assert!(
+            self.population == default.population && self.generations == default.generations,
+            "--pop/--gens are not supported by {binary} (its GA budget list is fixed)"
+        );
+    }
+
+    /// The resolved worker-pool width: `--threads`, or every available
+    /// core when `0`.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZero::get)
+                .unwrap_or(4)
+        } else {
+            self.threads
+        }
+    }
+
+    /// The GA configuration implied by these options, based on
+    /// [`GaConfig::quick`] with the CLI's population/generations.
+    ///
+    /// GA-internal evaluation threads are the workers left over after the
+    /// sweep's outer `parallel_map` over systems claims its share, so the
+    /// two parallel layers compose without oversubscribing: sweeping many
+    /// systems runs each GA serially, while a sweep of fewer systems than
+    /// cores (e.g. one paper-scale run) hands the spare cores to the GA.
     #[must_use]
     pub fn ga_config(&self) -> GaConfig {
+        let total = self.thread_count();
+        let outer = total.min(self.systems.max(1));
         GaConfig {
             population: self.population,
             generations: self.generations,
-            ..GaConfig::default()
+            threads: (total / outer).max(1),
+            ..GaConfig::quick()
         }
     }
 }
@@ -126,29 +231,23 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    if items.is_empty() {
-        return Vec::new();
-    }
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZero::get)
-        .unwrap_or(4)
-        .min(items.len());
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    let chunk = items.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (slots, values) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
-                for (slot, item) in slots.iter_mut().zip(values) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+        .unwrap_or(4);
+    parallel_map_with(items, threads, f)
+}
+
+/// Maps `f` over `items` on a scoped pool of `threads` workers, preserving
+/// order (results are written back by index, so the output is identical to
+/// a serial map for any pool width). Delegates to the same chunked map the
+/// GA engine evaluates populations with ([`tagio_ga::chunk_map`]).
+pub fn parallel_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    tagio_ga::chunk_map(items, threads, f)
 }
 
 /// Arithmetic mean, 0.0 for an empty slice.
@@ -173,25 +272,101 @@ pub fn fig67_sweep() -> Vec<f64> {
     vec![0.3, 0.4, 0.5, 0.6, 0.7]
 }
 
-/// Prints a row of `values` under a label, space-aligned (our figures are
-/// textual tables; pipe into a plotting tool of your choice).
-pub fn print_series(label: &str, values: &[f64]) {
-    print!("{label:<14}");
-    for v in values {
-        print!(" {v:>7.3}");
-    }
-    println!();
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| (*s).to_string()))
+    }
 
     #[test]
     fn defaults_are_laptop_scale() {
         let o = Options::default();
         assert!(o.systems <= 50);
         assert!(o.population < 300);
+        assert_eq!(o.threads, 0);
+        assert!(!o.json);
+    }
+
+    #[test]
+    fn defaults_come_from_quick_config() {
+        let (o, quick) = (Options::default(), GaConfig::quick());
+        assert_eq!(o.population, quick.population);
+        assert_eq!(o.generations, quick.generations);
+        let p = Options::paper_scale();
+        let paper = GaConfig::paper();
+        assert_eq!(p.systems, 1000);
+        assert_eq!(p.population, paper.population);
+        assert_eq!(p.generations, paper.generations);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&[
+            "--systems",
+            "7",
+            "--pop",
+            "40",
+            "--gens",
+            "9",
+            "--seed",
+            "5",
+            "--threads",
+            "3",
+            "--json",
+            "--methods",
+            "static,ga",
+        ]);
+        assert_eq!(o.systems, 7);
+        assert_eq!(o.population, 40);
+        assert_eq!(o.generations, 9);
+        assert_eq!(o.seed, 5);
+        assert_eq!(o.threads, 3);
+        assert!(o.json);
+        assert_eq!(o.methods.as_deref(), Some("static,ga"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flags() {
+        let _ = parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn thread_count_resolves_zero_to_all_cores() {
+        let o = Options::default();
+        assert!(o.thread_count() >= 1);
+        let fixed = Options {
+            threads: 3,
+            ..Options::default()
+        };
+        assert_eq!(fixed.thread_count(), 3);
+    }
+
+    #[test]
+    fn ga_config_splits_threads_between_layers() {
+        // Many systems: the outer sweep takes every worker, the GA runs
+        // serially inside each.
+        let wide = Options {
+            systems: 64,
+            threads: 8,
+            ..Options::default()
+        };
+        assert_eq!(wide.ga_config().threads, 1);
+        // Few systems: spare workers go to the GA.
+        let narrow = Options {
+            systems: 2,
+            threads: 8,
+            ..Options::default()
+        };
+        assert_eq!(narrow.ga_config().threads, 4);
+        let single = Options {
+            systems: 1,
+            threads: 8,
+            ..Options::default()
+        };
+        assert_eq!(single.ga_config().threads, 8);
     }
 
     #[test]
@@ -217,6 +392,10 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let doubled = parallel_map(&items, |x| x * 2);
         assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        for threads in [1, 3, 7, 200] {
+            assert_eq!(parallel_map_with(&items, threads, |x| x * 2), doubled);
+        }
+        assert!(parallel_map_with(&items[..0], 4, |x| *x).is_empty());
     }
 
     #[test]

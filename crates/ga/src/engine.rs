@@ -60,6 +60,11 @@ pub struct GaConfig {
     /// Fraction of the initial population built from [`Problem::hint_gene`]
     /// values (0.0 = the paper's fully-random initialisation).
     pub hint_fraction: f64,
+    /// Worker threads for fitness evaluation; `0` means
+    /// [`std::thread::available_parallelism`]. Evaluation is pure and all
+    /// randomness stays in the sequential variation step, so the returned
+    /// front is bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl GaConfig {
@@ -93,9 +98,41 @@ impl Default for GaConfig {
             mutation_rate: 0.05,
             archive_capacity: 256,
             hint_fraction: 0.0,
+            threads: 0,
         }
     }
 }
+
+/// Evaluates every genome of `genomes`, chunked across a scoped worker pool
+/// of `threads` threads (`0` = [`std::thread::available_parallelism`]).
+///
+/// Results are written back by index, so the output is identical to the
+/// serial `genomes.iter().map(|g| problem.evaluate(g))` regardless of the
+/// thread count — [`Problem::evaluate`] is required to be pure. Small
+/// populations are kept on fewer threads (at least [`MIN_EVAL_CHUNK`]
+/// genomes per worker) so spawn overhead cannot dominate toy problems.
+pub fn evaluate_population<P>(
+    problem: &P,
+    genomes: &[Vec<P::Gene>],
+    threads: usize,
+) -> Vec<Objectives>
+where
+    P: Problem + Sync,
+    P::Gene: Sync,
+{
+    let requested = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZero::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let workers = requested.min(genomes.len().div_ceil(MIN_EVAL_CHUNK)).max(1);
+    crate::parallel::chunk_map(genomes, workers, |genome| problem.evaluate(genome))
+}
+
+/// Minimum genomes per evaluation worker before another thread is engaged.
+pub const MIN_EVAL_CHUNK: usize = 8;
 
 /// One non-dominated solution.
 #[derive(Debug, Clone)]
@@ -209,13 +246,20 @@ impl<G: Clone> ParetoFront<G> {
 /// combined parent+offspring pool. Infeasible solutions should evaluate to a
 /// dominated sentinel (the paper returns −1 for both objectives).
 ///
+/// Fitness evaluation of the initial population and of each generation's
+/// offspring is chunked across [`GaConfig::threads`] scoped workers (see
+/// [`evaluate_population`]); everything touching the RNG — initialisation,
+/// tournament selection, crossover, mutation — stays sequential, so the
+/// result is bit-identical for every thread count.
+///
 /// # Panics
 /// Panics if the problem has an empty genome or the population is zero.
-pub fn run<P: Problem, R: Rng>(
-    problem: &P,
-    config: &GaConfig,
-    rng: &mut R,
-) -> ParetoFront<P::Gene> {
+pub fn run<P, R>(problem: &P, config: &GaConfig, rng: &mut R) -> ParetoFront<P::Gene>
+where
+    P: Problem + Sync,
+    P::Gene: Sync,
+    R: Rng,
+{
     assert!(problem.genome_len() > 0, "empty genome");
     assert!(config.population > 0, "empty population");
     let len = problem.genome_len();
@@ -237,7 +281,7 @@ pub fn run<P: Problem, R: Rng>(
                 .collect()
         })
         .collect();
-    let mut scores: Vec<Objectives> = population.iter().map(|g| problem.evaluate(g)).collect();
+    let mut scores: Vec<Objectives> = evaluate_population(problem, &population, config.threads);
 
     let mut front = ParetoFront::new();
     for (g, o) in population.iter().zip(&scores) {
@@ -273,7 +317,7 @@ pub fn run<P: Problem, R: Rng>(
             offspring.push(child);
         }
         let offspring_scores: Vec<Objectives> =
-            offspring.iter().map(|g| problem.evaluate(g)).collect();
+            evaluate_population(problem, &offspring, config.threads);
         for (g, o) in offspring.iter().zip(&offspring_scores) {
             offer_if_finite(&mut front, g, o, config.archive_capacity);
         }
@@ -490,6 +534,54 @@ mod tests {
         let front = run(&Needle, &cfg, &mut StdRng::seed_from_u64(8));
         let best = front.best_by(0).expect("non-empty").objectives.values()[0];
         assert!(best > 0.99, "hint not used: best {best}");
+    }
+
+    #[test]
+    fn parallel_front_identical_to_serial() {
+        // threads = 4 with population 32 engages the worker pool
+        // (MIN_EVAL_CHUNK = 8), and must return the exact front of the
+        // serial path: genomes and objectives, bit for bit.
+        for threads in [4, 7] {
+            let serial = GaConfig {
+                population: 32,
+                generations: 25,
+                threads: 1,
+                ..GaConfig::default()
+            };
+            let parallel = GaConfig {
+                threads,
+                ..serial.clone()
+            };
+            let a = run(&Segment, &serial, &mut StdRng::seed_from_u64(11));
+            let b = run(&Segment, &parallel, &mut StdRng::seed_from_u64(11));
+            assert_eq!(a.len(), b.len(), "front sizes differ at {threads} threads");
+            for (x, y) in a.solutions().iter().zip(b.solutions()) {
+                assert_eq!(x.genome, y.genome);
+                assert_eq!(x.objectives, y.objectives);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_population_matches_serial_map() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let genomes: Vec<Vec<f64>> = (0..100)
+            .map(|_| vec![Segment.random_gene(0, &mut rng)])
+            .collect();
+        let serial: Vec<Objectives> = genomes.iter().map(|g| Segment.evaluate(g)).collect();
+        for threads in [0, 1, 2, 4, 16] {
+            assert_eq!(evaluate_population(&Segment, &genomes, threads), serial);
+        }
+    }
+
+    #[test]
+    fn evaluate_population_handles_empty_and_tiny_inputs() {
+        assert!(evaluate_population(&Segment, &[], 4).is_empty());
+        let one = vec![vec![0.25]];
+        assert_eq!(
+            evaluate_population(&Segment, &one, 4),
+            vec![Segment.evaluate(&one[0])]
+        );
     }
 
     #[test]

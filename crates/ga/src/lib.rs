@@ -41,8 +41,10 @@ pub mod engine;
 pub mod hypervolume;
 pub mod nsga2;
 pub mod objectives;
+pub mod parallel;
 pub mod weights;
 
-pub use engine::{run, GaConfig, ParetoFront, Problem, Solution};
+pub use engine::{evaluate_population, run, GaConfig, ParetoFront, Problem, Solution};
 pub use hypervolume::hypervolume_2d;
 pub use objectives::{non_dominated_indices, Objectives};
+pub use parallel::chunk_map;

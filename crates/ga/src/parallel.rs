@@ -1,0 +1,61 @@
+//! The scoped, chunked parallel map shared by the GA engine's population
+//! evaluation and the experiment harness's system sweeps.
+
+/// Maps `f` over `items` on a scoped pool of `threads` workers, preserving
+/// order: results are written back by index, so the output is identical to
+/// the serial `items.iter().map(f)` for any pool width (given a pure `f`).
+///
+/// `threads` is clamped to `[1, items.len()]`; a width of 1 (or an empty
+/// input) runs serially with no thread spawned. Callers decide their own
+/// granularity policy before calling (e.g. the engine's
+/// [`MIN_EVAL_CHUNK`](crate::engine::MIN_EVAL_CHUNK) floor).
+pub fn chunk_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (slots, values) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in slots.iter_mut().zip(values) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_for_any_width() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [0, 1, 2, 5, 96, 97, 1000] {
+            assert_eq!(chunk_map(&items, threads, |x| x * 3 + 1), serial);
+        }
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let empty: [u64; 0] = [];
+        assert!(chunk_map(&empty, 8, |x| *x).is_empty());
+    }
+}

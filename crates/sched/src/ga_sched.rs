@@ -554,6 +554,44 @@ mod tests {
     }
 
     #[test]
+    fn parallel_ga_front_identical_to_serial_on_paper_system() {
+        // Same seed => identical ParetoFront (genomes and objectives) for
+        // threads in {1, 4}, on a system drawn from the paper's generator.
+        let mut rng = StdRng::seed_from_u64(40);
+        let sys = SystemConfig::paper(0.5).generate(&mut rng);
+        let jobs = JobSet::expand(&sys);
+        let problem = IoSchedulingProblem { jobs: &jobs };
+        let serial_cfg = GaConfig {
+            population: 32,
+            generations: 20,
+            threads: 1,
+            ..GaConfig::default()
+        };
+        let parallel_cfg = GaConfig {
+            threads: 4,
+            ..serial_cfg.clone()
+        };
+        let serial = tagio_ga::run(&problem, &serial_cfg, &mut StdRng::seed_from_u64(7));
+        let parallel = tagio_ga::run(&problem, &parallel_cfg, &mut StdRng::seed_from_u64(7));
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.solutions().iter().zip(parallel.solutions()) {
+            assert_eq!(a.genome, b.genome);
+            assert_eq!(a.objectives, b.objectives);
+        }
+        // And end to end: the scheduler's derived outputs agree too.
+        let s = quick_ga().with_config(serial_cfg).search(&jobs);
+        let p = quick_ga().with_config(parallel_cfg).search(&jobs);
+        match (s, p) {
+            (Some(s), Some(p)) => {
+                assert_eq!(s.best_psi, p.best_psi);
+                assert_eq!(s.best_upsilon, p.best_upsilon);
+            }
+            (None, None) => {}
+            _ => panic!("feasibility differs across thread counts"),
+        }
+    }
+
+    #[test]
     fn schedules_tasks_with_release_offsets() {
         // §III.C: methods apply unchanged to offset releases.
         let offset_task = IoTask::builder(TaskId(0), DeviceId(0))

@@ -16,6 +16,12 @@
 //! [`Schedule::validate`](tagio_core::schedule::Schedule::validate);
 //! [`SchedulingReport::evaluate`] attaches the paper's Ψ/Υ metrics.
 //!
+//! Methods are also constructible *by name* through the [`registry`]
+//! (`"fps-offline"`, `"static:first-fit"`, …) and selectable in bulk via
+//! [`MethodSet`], so experiment harnesses never hardcode constructor
+//! imports; sweeps over many systems fold their reports into
+//! [`stats::MethodStats`] (sample counts plus mean/min/max of Ψ and Υ).
+//!
 //! ```
 //! use rand::SeedableRng;
 //! use tagio_sched::{Scheduler, SchedulingReport};
@@ -40,7 +46,9 @@ pub mod ga_sched;
 pub mod gpiocp;
 pub mod heuristic;
 pub mod optimal;
+pub mod registry;
 pub mod scheduler;
+pub mod stats;
 
 pub use analysis::{response_time_np_fps, taskset_schedulable_np_fps, ResponseTime};
 pub use edf::EdfOffline;
@@ -49,4 +57,8 @@ pub use ga_sched::{reconfigure, GaScheduleResult, GaScheduler};
 pub use gpiocp::Gpiocp;
 pub use heuristic::{ConflictGraph, SlotPolicy, StaticScheduler, Timeline};
 pub use optimal::OptimalPsi;
+pub use registry::{
+    make_scheduler, method_names, registry_help, BoxedScheduler, MethodSet, UnknownMethod,
+};
 pub use scheduler::{Scheduler, SchedulingReport};
+pub use stats::{MethodStats, Summary};

@@ -1,0 +1,337 @@
+//! A name-indexed registry of every scheduling method, so experiments can
+//! select baselines by name (`"fps-offline,gpiocp,static"`) instead of
+//! hardcoding one import and constructor call per method, plus
+//! [`MethodSet`] — an ordered, instantiated selection ready to evaluate.
+
+use crate::edf::EdfOffline;
+use crate::fps::FpsOffline;
+use crate::ga_sched::GaScheduler;
+use crate::gpiocp::Gpiocp;
+use crate::heuristic::{SlotPolicy, StaticScheduler};
+use crate::optimal::OptimalPsi;
+use crate::scheduler::{Scheduler, SchedulingReport};
+use tagio_ga::GaConfig;
+
+/// A ready-to-use scheduler trait object (shareable across worker threads).
+pub type BoxedScheduler = Box<dyn Scheduler + Send + Sync>;
+
+/// One registry row: canonical name, factory, one-line summary.
+struct Entry {
+    name: &'static str,
+    summary: &'static str,
+    make: fn() -> BoxedScheduler,
+}
+
+/// Every registered method. Names are stable: experiment CLIs, reports and
+/// the JSON output all key on them.
+const REGISTRY: &[Entry] = &[
+    Entry {
+        name: "fps-offline",
+        summary: "non-preemptive fixed-priority schedule simulated offline",
+        make: || Box::new(FpsOffline::new()),
+    },
+    Entry {
+        name: "edf-offline",
+        summary: "non-preemptive earliest-deadline-first schedule simulated offline",
+        make: || Box::new(EdfOffline::new()),
+    },
+    Entry {
+        name: "gpiocp",
+        summary: "GPIOCP FIFO replay of timed requests (prior state of the art)",
+        make: || Box::new(Gpiocp::new()),
+    },
+    Entry {
+        name: "static",
+        summary: "Algorithm 1: dependency graphs + LCC-D slot selection",
+        make: || Box::new(StaticScheduler::new()),
+    },
+    Entry {
+        name: "static:lcc-d",
+        summary: "Algorithm 1 with its default LCC-D slot policy (alias of `static`)",
+        make: || {
+            Box::new(StaticScheduler::with_policy(
+                SlotPolicy::LeastContentionCapacityDecreasing,
+            ))
+        },
+    },
+    Entry {
+        name: "static:first-fit",
+        summary: "Algorithm 1 with First-Fit slot selection (ablation)",
+        make: || Box::new(StaticScheduler::with_policy(SlotPolicy::FirstFit)),
+    },
+    Entry {
+        name: "static:best-fit",
+        summary: "Algorithm 1 with Best-Fit slot selection (ablation)",
+        make: || Box::new(StaticScheduler::with_policy(SlotPolicy::BestFit)),
+    },
+    Entry {
+        name: "static:worst-fit",
+        summary: "Algorithm 1 with Worst-Fit slot selection (ablation)",
+        make: || Box::new(StaticScheduler::with_policy(SlotPolicy::WorstFit)),
+    },
+    Entry {
+        name: "ga",
+        summary: "multi-objective GA, fixed quick config and seed 0, serial evaluation \
+                  (experiments wanting CLI budgets / per-system seeds / threaded \
+                  evaluation construct the GA directly)",
+        // Registry methods are generic trait objects that may already run
+        // inside a sweep's worker pool, so this GA evaluates serially —
+        // `threads: 0` here would nest an all-core pool per system.
+        make: || {
+            Box::new(GaScheduler::new().with_config(GaConfig {
+                threads: 1,
+                ..GaConfig::quick()
+            }))
+        },
+    },
+    Entry {
+        name: "optimal-psi",
+        summary: "exhaustive best-Psi oracle (exponential; tiny job sets only)",
+        make: || Box::new(OptimalPsi::new()),
+    },
+];
+
+/// The canonical names of every registered method, in registry order.
+#[must_use]
+pub fn method_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.name).collect()
+}
+
+/// Instantiates the method registered under `name`.
+#[must_use]
+pub fn make_scheduler(name: &str) -> Option<BoxedScheduler> {
+    REGISTRY.iter().find(|e| e.name == name).map(|e| (e.make)())
+}
+
+/// A `name — summary` help listing of every registered method.
+#[must_use]
+pub fn registry_help() -> String {
+    REGISTRY
+        .iter()
+        .map(|e| format!("{:<18} {}", e.name, e.summary))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A selection of methods unknown to the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMethod(pub String);
+
+impl core::fmt::Display for UnknownMethod {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown scheduling method `{}` (known: {})",
+            self.0,
+            method_names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownMethod {}
+
+/// An ordered set of instantiated methods, keyed by display name.
+///
+/// ```
+/// use tagio_sched::MethodSet;
+/// let set = MethodSet::parse("fps-offline,gpiocp").unwrap();
+/// assert_eq!(set.names(), vec!["fps-offline", "gpiocp"]);
+/// assert!(MethodSet::parse("not-a-method").is_err());
+/// ```
+pub struct MethodSet {
+    methods: Vec<(String, BoxedScheduler)>,
+}
+
+impl MethodSet {
+    /// Instantiates the named methods, preserving order.
+    ///
+    /// # Errors
+    /// Returns [`UnknownMethod`] on the first name the registry does not
+    /// know.
+    pub fn from_names<I, S>(names: I) -> Result<Self, UnknownMethod>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut methods = Vec::new();
+        for name in names {
+            let name = name.as_ref().trim();
+            let scheduler = make_scheduler(name).ok_or_else(|| UnknownMethod(name.to_owned()))?;
+            methods.push((name.to_owned(), scheduler));
+        }
+        Ok(MethodSet { methods })
+    }
+
+    /// Parses a comma-separated method list (`"fps-offline,static,ga"`).
+    ///
+    /// # Errors
+    /// Returns [`UnknownMethod`] on the first unknown name, or for a list
+    /// with no names at all (a typo must not select zero methods).
+    pub fn parse(csv: &str) -> Result<Self, UnknownMethod> {
+        let set = Self::from_names(csv.split(',').filter(|s| !s.trim().is_empty()))?;
+        if set.is_empty() {
+            return Err(UnknownMethod(format!("(empty method list: {csv:?})")));
+        }
+        Ok(set)
+    }
+
+    /// The paper's offline comparison set: FPS-offline, GPIOCP, the static
+    /// heuristic and the GA (Figs. 5–7 without the FPS-online test).
+    #[must_use]
+    pub fn paper_baselines() -> Self {
+        Self::from_names(["fps-offline", "gpiocp", "static", "ga"])
+            .expect("paper baselines are registered")
+    }
+
+    /// Display names, in order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.methods.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Number of methods in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// `true` when the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+
+    /// Iterates `(display name, scheduler)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &(dyn Scheduler + Send + Sync))> {
+        self.methods.iter().map(|(n, s)| (n.as_str(), s.as_ref()))
+    }
+
+    /// Runs every method on `jobs`, returning one report per method with
+    /// the set's display name attached (so `static:first-fit` is
+    /// distinguishable from `static` in sweep output).
+    #[must_use]
+    pub fn evaluate(&self, jobs: &tagio_core::job::JobSet) -> Vec<SchedulingReport> {
+        self.methods
+            .iter()
+            .map(|(name, scheduler)| {
+                let mut report = SchedulingReport::evaluate(scheduler.as_ref(), jobs);
+                report.method = name.clone();
+                report
+            })
+            .collect()
+    }
+}
+
+impl IntoIterator for MethodSet {
+    type Item = (String, BoxedScheduler);
+    type IntoIter = std::vec::IntoIter<(String, BoxedScheduler)>;
+
+    /// Consumes the set into its `(display name, scheduler)` pairs, in
+    /// order — the shape experiment engines wrap into their own method
+    /// adapters.
+    fn into_iter(self) -> Self::IntoIter {
+        self.methods.into_iter()
+    }
+}
+
+impl core::fmt::Debug for MethodSet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MethodSet")
+            .field("methods", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagio_core::job::JobSet;
+    use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+    use tagio_core::time::Duration;
+
+    fn jobs() -> JobSet {
+        let set: TaskSet = vec![IoTask::builder(TaskId(0), DeviceId(0))
+            .wcet(Duration::from_micros(100))
+            .period(Duration::from_millis(4))
+            .ideal_offset(Duration::from_millis(2))
+            .margin(Duration::from_millis(1))
+            .build()
+            .unwrap()]
+        .into_iter()
+        .collect();
+        JobSet::expand(&set)
+    }
+
+    #[test]
+    fn every_registered_name_instantiates() {
+        for name in method_names() {
+            assert!(make_scheduler(name).is_some(), "{name} not constructible");
+        }
+        assert!(make_scheduler("nonsense").is_none());
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names = method_names();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_reports_known() {
+        let err = MethodSet::parse("fps-offline,bogus").unwrap_err();
+        assert_eq!(err.0, "bogus");
+        assert!(err.to_string().contains("fps-offline"));
+    }
+
+    #[test]
+    fn parse_tolerates_spaces_and_empty_segments() {
+        let set = MethodSet::parse(" fps-offline , static ,").unwrap();
+        assert_eq!(set.names(), vec!["fps-offline", "static"]);
+    }
+
+    #[test]
+    fn evaluate_attaches_display_names() {
+        let set = MethodSet::parse("static:first-fit,static:worst-fit").unwrap();
+        let reports = set.evaluate(&jobs());
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].method, "static:first-fit");
+        assert_eq!(reports[1].method, "static:worst-fit");
+        // A single unconflicted job: every policy schedules it exactly.
+        assert!(reports.iter().all(|r| r.schedulable && r.psi == 1.0));
+    }
+
+    #[test]
+    fn paper_baselines_match_figure_legend() {
+        let set = MethodSet::paper_baselines();
+        assert_eq!(set.names(), vec!["fps-offline", "gpiocp", "static", "ga"]);
+        assert!(!set.is_empty());
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn help_lists_every_method() {
+        let help = registry_help();
+        for name in method_names() {
+            assert!(help.contains(name));
+        }
+    }
+
+    #[test]
+    fn boxed_schedulers_are_shareable_across_threads() {
+        fn assert_sync<T: Sync + Send>(_: &T) {}
+        let set = MethodSet::paper_baselines();
+        assert_sync(&set);
+        let jobs = jobs();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let reports = set.evaluate(&jobs);
+                    assert_eq!(reports.len(), 4);
+                });
+            }
+        });
+    }
+}

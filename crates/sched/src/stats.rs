@@ -1,0 +1,240 @@
+//! Sweep statistics: folding many [`SchedulingReport`]s into per-method
+//! summaries (sample counts, schedulability fraction, mean/min/max of Ψ
+//! and Υ) — the accumulation layer shared by every experiment binary.
+
+use crate::scheduler::SchedulingReport;
+use serde::{Deserialize, Serialize};
+
+/// Running summary of one scalar metric: sample count, mean, min and max.
+///
+/// ```
+/// use tagio_sched::Summary;
+/// let mut s = Summary::new();
+/// s.push(0.25);
+/// s.push(0.75);
+/// assert_eq!(s.count(), 2);
+/// assert_eq!(s.mean(), 0.5);
+/// assert_eq!((s.min(), s.max()), (0.25, 0.75));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: usize,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    #[must_use]
+    pub const fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one sample in.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another summary in (same metric, disjoint samples).
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples folded in.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when no sample has been folded in.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample; `0.0` when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample; `0.0` when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-method statistics over a sweep point: how many systems were tried,
+/// how many were schedulable, and the Ψ/Υ distributions among the
+/// schedulable ones (the paper's figures average "among schedulable
+/// systems").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodStats {
+    /// Method display name.
+    pub method: String,
+    /// Systems evaluated.
+    pub samples: usize,
+    /// Systems found schedulable.
+    pub schedulable: usize,
+    /// Ψ over the schedulable systems.
+    pub psi: Summary,
+    /// Υ over the schedulable systems.
+    pub upsilon: Summary,
+}
+
+impl MethodStats {
+    /// An empty accumulator for `method`.
+    #[must_use]
+    pub fn new(method: impl Into<String>) -> Self {
+        MethodStats {
+            method: method.into(),
+            samples: 0,
+            schedulable: 0,
+            psi: Summary::new(),
+            upsilon: Summary::new(),
+        }
+    }
+
+    /// Folds one scheduling outcome in. Ψ/Υ only contribute when the
+    /// system was schedulable, matching the figures' "among schedulable
+    /// systems" convention.
+    pub fn record(&mut self, report: &SchedulingReport) {
+        self.samples += 1;
+        if report.schedulable {
+            self.schedulable += 1;
+            self.psi.push(report.psi);
+            self.upsilon.push(report.upsilon);
+        }
+    }
+
+    /// Folds an iterator of reports into a fresh accumulator.
+    #[must_use]
+    pub fn collect<'a>(
+        method: impl Into<String>,
+        reports: impl IntoIterator<Item = &'a SchedulingReport>,
+    ) -> Self {
+        let mut stats = MethodStats::new(method);
+        for r in reports {
+            stats.record(r);
+        }
+        stats
+    }
+
+    /// Fraction of evaluated systems found schedulable; `0.0` before any
+    /// sample.
+    #[must_use]
+    pub fn schedulable_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.schedulable as f64 / self.samples as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(schedulable: bool, psi: f64, upsilon: f64) -> SchedulingReport {
+        SchedulingReport {
+            method: "m".into(),
+            schedulable,
+            psi,
+            upsilon,
+        }
+    }
+
+    #[test]
+    fn summary_tracks_mean_min_max() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!((s.mean(), s.min(), s.max()), (0.0, 0.0, 0.0));
+        for v in [0.5, 0.1, 0.9] {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(s.min(), 0.1);
+        assert_eq!(s.max(), 0.9);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential_push() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut whole = Summary::new();
+        for (i, v) in [0.2, 0.4, 0.6, 0.8].iter().enumerate() {
+            if i < 2 {
+                a.push(*v)
+            } else {
+                b.push(*v)
+            }
+            whole.push(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn method_stats_fold_reports() {
+        let reports = [
+            report(true, 1.0, 0.9),
+            report(false, 0.0, 0.0),
+            report(true, 0.5, 0.7),
+        ];
+        let stats = MethodStats::collect("static", reports.iter());
+        assert_eq!(stats.samples, 3);
+        assert_eq!(stats.schedulable, 2);
+        assert!((stats.schedulable_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        // Infeasible zeros stay out of the psi/upsilon distributions.
+        assert_eq!(stats.psi.count(), 2);
+        assert_eq!(stats.psi.min(), 0.5);
+        assert_eq!(stats.psi.max(), 1.0);
+        assert!((stats.upsilon.mean() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_method_stats_are_benign() {
+        let stats = MethodStats::new("ga");
+        assert_eq!(stats.schedulable_fraction(), 0.0);
+        assert_eq!(stats.psi.mean(), 0.0);
+    }
+}

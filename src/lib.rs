@@ -19,6 +19,7 @@
 //! | [`controller`] | `tagio-controller` | the Section IV controller simulator |
 //! | [`noc`] | `tagio-noc` | flit-level mesh NoC simulator |
 //! | [`hwcost`] | `tagio-hwcost` | Table I resource model |
+//! | [`bench`] | `tagio-bench` | the parallel experiment engine behind the Section V binaries |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub use tagio_bench as bench;
 pub use tagio_controller as controller;
 pub use tagio_core as core;
 pub use tagio_ga as ga;
