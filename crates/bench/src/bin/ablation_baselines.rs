@@ -19,8 +19,10 @@ use tagio_sched::MethodSet;
 
 fn main() {
     let opts = Options::from_args();
+    opts.reject_budgets_override("ablation_baselines");
     let set = match &opts.methods {
-        Some(csv) => MethodSet::parse(csv).unwrap_or_else(|e| panic!("--methods: {e}")),
+        Some(csv) => MethodSet::parse(csv)
+            .unwrap_or_else(|e| tagio_bench::usage_error(&format!("--methods: {e}"))),
         None => MethodSet::parse("fps-offline,edf-offline,gpiocp,static").expect("registered"),
     };
     let title = format!(

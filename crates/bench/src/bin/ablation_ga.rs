@@ -28,27 +28,31 @@ fn main() {
     );
     let sweep = Sweep::single("U", format!("{u}"), u);
     let base = opts.ga_config();
-    let methods: Vec<Method<tagio_bench::EvalSystem>> = [
-        (20, 20, false),
-        (50, 50, false),
-        (100, 100, false),
-        (150, 200, false),
-        (50, 50, true), // ideal-seeding extension at the 50x50 budget
-    ]
-    .into_iter()
-    .map(|(pop, gens, seeded)| {
-        let cfg = GaConfig {
-            population: pop,
-            generations: gens,
-            hint_fraction: if seeded { 0.2 } else { 0.0 },
-            ..base.clone()
-        };
-        Method::ga(
-            format!("{pop}x{gens}{}", if seeded { "+seed" } else { "" }),
-            cfg,
-        )
-    })
-    .collect();
+    // The default budget ladder; `--budgets POPxGENS[+seed],...`
+    // substitutes any other list (the golden-master suite runs a tiny
+    // one).
+    let methods: Vec<Method<tagio_bench::EvalSystem>> = opts
+        .budget_list(&[
+            (20, 20, false),
+            (50, 50, false),
+            (100, 100, false),
+            (150, 200, false),
+            (50, 50, true), // ideal-seeding extension at the 50x50 budget
+        ])
+        .into_iter()
+        .map(|(pop, gens, seeded)| {
+            let cfg = GaConfig {
+                population: pop,
+                generations: gens,
+                hint_fraction: if seeded { 0.2 } else { 0.0 },
+                ..base.clone()
+            };
+            Method::ga(
+                format!("{pop}x{gens}{}", if seeded { "+seed" } else { "" }),
+                cfg,
+            )
+        })
+        .collect();
     let report = Runner::new(title, opts.clone()).run(
         &sweep,
         |p| generate_systems(p.x, opts.systems, opts.seed),

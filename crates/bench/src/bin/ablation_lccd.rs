@@ -19,13 +19,15 @@ use tagio_sched::MethodSet;
 
 fn main() {
     let opts = Options::from_args();
+    opts.reject_budgets_override("ablation_lccd");
     let title = format!(
         "LCC-D ablation ({} systems/point): slot policies of Algorithm 1",
         opts.systems
     );
     let sweep = Sweep::over("U", fig5_sweep().into_iter().filter(|u| *u >= 0.4));
     let set = match &opts.methods {
-        Some(csv) => MethodSet::parse(csv).unwrap_or_else(|e| panic!("--methods: {e}")),
+        Some(csv) => MethodSet::parse(csv)
+            .unwrap_or_else(|e| tagio_bench::usage_error(&format!("--methods: {e}"))),
         None => MethodSet::parse("static:lcc-d,static:first-fit,static:best-fit,static:worst-fit")
             .expect("registered"),
     };

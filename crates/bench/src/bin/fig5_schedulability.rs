@@ -18,6 +18,7 @@ use tagio_bench::{fig5_sweep, generate_systems, Method, Options, Runner, Sweep};
 
 fn main() {
     let opts = Options::from_args();
+    opts.reject_budgets_override("fig5_schedulability");
     opts.reject_methods_override("fig5_schedulability");
     let title = format!(
         "Fig. 5 — schedulability vs utilisation ({} systems/point, GA {}x{})",

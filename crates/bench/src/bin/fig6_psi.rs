@@ -16,6 +16,7 @@ use tagio_bench::{fig67_sweep, generate_systems, Method, Options, Runner, Sweep}
 
 fn main() {
     let opts = Options::from_args();
+    opts.reject_budgets_override("fig6_psi");
     opts.reject_methods_override("fig6_psi");
     let title = format!(
         "Fig. 6 — psi of offline methods ({} systems/point, GA {}x{})",

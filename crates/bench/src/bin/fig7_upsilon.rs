@@ -16,6 +16,7 @@ use tagio_bench::{fig67_sweep, generate_systems, Method, Options, Runner, Sweep}
 
 fn main() {
     let opts = Options::from_args();
+    opts.reject_budgets_override("fig7_upsilon");
     opts.reject_methods_override("fig7_upsilon");
     let title = format!(
         "Fig. 7 — upsilon of offline methods ({} systems/point, GA {}x{})",

@@ -25,6 +25,7 @@ use tagio_noc::traffic::UniformTraffic;
 
 fn main() {
     let opts = Options::from_args();
+    opts.reject_budgets_override("noc_latency");
     opts.reject_methods_override("noc_latency");
     opts.reject_ga_budget_override("noc_latency"); // no GA here; don't misrecord provenance
     let trials = opts.systems;

@@ -19,6 +19,7 @@ use tagio_hwcost::render_table1;
 
 fn main() {
     let opts = Options::from_args();
+    opts.reject_budgets_override("table1_hwcost");
     opts.reject_methods_override("table1_hwcost");
     opts.reject_ga_budget_override("table1_hwcost"); // no GA here; don't misrecord provenance
     let sweep = Sweep::single("table", "I", 0.0);

@@ -37,20 +37,198 @@ pub fn number(v: f64) -> String {
     }
 }
 
+/// A parsed JSON value (the golden-master suite's document model).
+///
+/// Objects keep key order as a `Vec` — the reports emit keys in a stable
+/// order, and [`diff`] reports key-set differences regardless of order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also what non-finite numbers serialise to).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in document order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects (`None` on other kinds or missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// A one-word name of the value's kind (used in diff messages).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Renders a [`Value`] back to compact JSON text (the inverse of
+/// [`parse`], used by the golden-master suite to write *normalised*
+/// snapshots so regeneration is byte-stable for unchanged schemas).
+#[must_use]
+pub fn render(value: &Value) -> String {
+    match value {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(n) => number(*n),
+        Value::String(s) => string(s),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Object(members) => {
+            let inner: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("{}:{}", string(k), render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// Parses one complete JSON document into a [`Value`].
+///
+/// # Errors
+/// Returns a message naming the byte offset of the first violation.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
 /// Validates that `s` is one complete, well-formed JSON value.
 ///
 /// # Errors
 /// Returns a message naming the byte offset of the first violation.
 pub fn validate(s: &str) -> Result<(), String> {
-    let bytes = s.as_bytes();
-    let mut pos = 0usize;
-    skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
+    parse(s).map(|_| ())
+}
+
+/// Structurally compares two documents, returning one human-readable
+/// line per difference (empty when equivalent). Numbers are compared
+/// with absolute-or-relative tolerance `tol`; object member *order* is
+/// ignored, key sets and everything else must match. This is the
+/// golden-master comparison: byte-level churn (whitespace, key order,
+/// number formatting) does not trip it, schema or value changes do.
+#[must_use]
+pub fn diff(expected: &Value, actual: &Value, tol: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    diff_at("$", expected, actual, tol, &mut out);
+    out
+}
+
+fn diff_at(path: &str, expected: &Value, actual: &Value, tol: f64, out: &mut Vec<String>) {
+    match (expected, actual) {
+        (Value::Null, Value::Null) => {}
+        (Value::Bool(a), Value::Bool(b)) => {
+            if a != b {
+                out.push(format!("{path}: expected {a}, got {b}"));
+            }
+        }
+        (Value::Number(a), Value::Number(b)) => {
+            let scale = 1.0f64.max(a.abs()).max(b.abs());
+            if (a - b).abs() > tol * scale {
+                out.push(format!("{path}: expected {a}, got {b}"));
+            }
+        }
+        (Value::String(a), Value::String(b)) => {
+            if a != b {
+                out.push(format!("{path}: expected {a:?}, got {b:?}"));
+            }
+        }
+        (Value::Array(a), Value::Array(b)) => {
+            if a.len() != b.len() {
+                out.push(format!(
+                    "{path}: expected {} elements, got {}",
+                    a.len(),
+                    b.len()
+                ));
+                return;
+            }
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                diff_at(&format!("{path}[{i}]"), x, y, tol, out);
+            }
+        }
+        (Value::Object(a), Value::Object(b)) => {
+            for (key, x) in a {
+                match actual.get(key) {
+                    Some(y) => diff_at(&format!("{path}.{key}"), x, y, tol, out),
+                    None => out.push(format!("{path}: missing key {key:?}")),
+                }
+            }
+            for (key, _) in b {
+                if expected.get(key).is_none() {
+                    out.push(format!("{path}: unexpected key {key:?}"));
+                }
+            }
+        }
+        _ => out.push(format!(
+            "{path}: expected {}, got {}",
+            expected.kind(),
+            actual.kind()
+        )),
     }
-    Ok(())
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -59,98 +237,117 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     match b.get(*pos) {
         Some(b'{') => parse_object(b, pos),
         Some(b'[') => parse_array(b, pos),
-        Some(b'"') => parse_string(b, pos),
-        Some(b't') => parse_literal(b, pos, b"true"),
-        Some(b'f') => parse_literal(b, pos, b"false"),
-        Some(b'n') => parse_literal(b, pos, b"null"),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b't') => parse_literal(b, pos, b"true", Value::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, b"false", Value::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, b"null", Value::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
         Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
         None => Err("unexpected end of input".into()),
     }
 }
 
-fn parse_literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &[u8], value: Value) -> Result<Value, String> {
     if b[*pos..].starts_with(lit) {
         *pos += lit.len();
-        Ok(())
+        Ok(value)
     } else {
         Err(format!("bad literal at byte {pos}", pos = *pos))
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     *pos += 1; // '{'
     skip_ws(b, pos);
+    let mut members = Vec::new();
     if b.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(Value::Object(members));
     }
     loop {
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b'"') {
             return Err(format!("expected object key at byte {pos}", pos = *pos));
         }
-        parse_string(b, pos)?;
+        let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b':') {
             return Err(format!("expected ':' at byte {pos}", pos = *pos));
         }
         *pos += 1;
         skip_ws(b, pos);
-        parse_value(b, pos)?;
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Value::Object(members));
             }
             _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
         }
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     *pos += 1; // '['
     skip_ws(b, pos);
+    let mut items = Vec::new();
     if b.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(Value::Array(items));
     }
     loop {
         skip_ws(b, pos);
-        parse_value(b, pos)?;
+        items.push(parse_value(b, pos)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Value::Array(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
         }
     }
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     *pos += 1; // '"'
+    let mut out = String::new();
     while let Some(&c) = b.get(*pos) {
         match c {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => match b.get(*pos + 1) {
-                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(&e @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
+                    out.push(match e {
+                        b'b' => '\u{8}',
+                        b'f' => '\u{c}',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                    *pos += 2;
+                }
                 Some(b'u') => {
                     let hex = b.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
                     if !hex.iter().all(u8::is_ascii_hexdigit) {
                         return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
                     }
+                    let code = u32::from_str_radix(core::str::from_utf8(hex).expect("hex"), 16)
+                        .expect("hex digits");
+                    // Surrogates and astral escapes are out of scope for
+                    // report documents; map unpairable codes to U+FFFD.
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                     *pos += 6;
                 }
                 _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
@@ -158,13 +355,31 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
             c if c < 0x20 => {
                 return Err(format!("raw control byte in string at {pos}", pos = *pos))
             }
-            _ => *pos += 1,
+            _ => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always well-formed).
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let slice = b
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| format!("truncated UTF-8 at byte {pos}", pos = *pos))?;
+                out.push_str(
+                    core::str::from_utf8(slice).map_err(|_| {
+                        format!("invalid UTF-8 in string at byte {pos}", pos = *pos)
+                    })?,
+                );
+                *pos += len;
+            }
         }
     }
     Err("unterminated string".into())
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -198,8 +413,10 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             ));
         }
     }
-    debug_assert!(*pos > start);
-    Ok(())
+    let text = core::str::from_utf8(&b[start..*pos]).expect("ASCII number");
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| format!("unparseable number at byte {start}"))
 }
 
 fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
@@ -244,6 +461,47 @@ mod tests {
         ] {
             validate(ok).unwrap_or_else(|e| panic!("rejected {ok}: {e}"));
         }
+    }
+
+    #[test]
+    fn parse_builds_the_value_tree() {
+        let v = parse(r#"{"a":[1,2.5,{"b":"x\n"}],"c":true,"d":null}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("d"), Some(&Value::Null));
+        let a = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_f64(), Some(2.5));
+        assert_eq!(a[2].get("b").and_then(Value::as_str), Some("x\n"));
+        assert!(v.get("missing").is_none());
+        // Round-trip through the emitters.
+        let emitted = parse(&string("Ψ \"quoted\" \\ tab\t")).unwrap();
+        assert_eq!(emitted.as_str(), Some("Ψ \"quoted\" \\ tab\t"));
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let doc = r#"{"a":[1,2.5,{"b":"x\n"},null,true],"c":"Ψ"}"#;
+        let v = parse(doc).unwrap();
+        let rendered = render(&v);
+        assert_eq!(parse(&rendered).unwrap(), v);
+    }
+
+    #[test]
+    fn diff_ignores_order_and_formatting_but_not_structure() {
+        let a = parse(r#"{"x":1.0,"y":[1,2],"s":"v"}"#).unwrap();
+        let same = parse(r#"{ "y":[1, 2.0], "s":"v", "x":1 }"#).unwrap();
+        assert!(diff(&a, &same, 1e-9).is_empty());
+        let tweaked = parse(r#"{"x":1.0001,"y":[1,2],"s":"v"}"#).unwrap();
+        assert_eq!(diff(&a, &tweaked, 1e-9).len(), 1);
+        assert!(diff(&a, &tweaked, 1e-2).is_empty(), "within tolerance");
+        let missing = parse(r#"{"x":1,"y":[1,2]}"#).unwrap();
+        assert!(diff(&a, &missing, 1e-9)[0].contains("missing key"));
+        let extra = parse(r#"{"x":1,"y":[1,2],"s":"v","z":0}"#).unwrap();
+        assert!(diff(&a, &extra, 1e-9)[0].contains("unexpected key"));
+        let wrong_len = parse(r#"{"x":1,"y":[1],"s":"v"}"#).unwrap();
+        assert!(diff(&a, &wrong_len, 1e-9)[0].contains("elements"));
+        let wrong_kind = parse(r#"{"x":"1","y":[1,2],"s":"v"}"#).unwrap();
+        assert!(diff(&a, &wrong_kind, 1e-9)[0].contains("expected number"));
     }
 
     #[test]

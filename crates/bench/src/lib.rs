@@ -64,6 +64,10 @@ pub struct Options {
     /// Optional comma-separated method-registry override (binaries that
     /// support it pass this to [`tagio_sched::MethodSet::parse`]).
     pub methods: Option<String>,
+    /// Optional comma-separated GA budget-list override
+    /// (`POPxGENS[+seed]`, e.g. `20x20,50x50+seed`) — supported by
+    /// `ablation_ga` only.
+    pub budgets: Option<String>,
 }
 
 impl Default for Options {
@@ -77,6 +81,7 @@ impl Default for Options {
             threads: 0,
             json: false,
             methods: None,
+            budgets: None,
         }
     }
 }
@@ -99,67 +104,111 @@ impl Options {
     /// `--json` and `--methods` from the process arguments, falling back
     /// to the defaults.
     ///
-    /// # Panics
-    /// Panics with a usage message on malformed arguments.
+    /// Flag misuse (unknown flag, missing or non-integer value) prints a
+    /// usage error to stderr and exits with code 2 — every misuse path of
+    /// every experiment binary must end in a non-zero exit (pinned by
+    /// `tests/cli_exit.rs`).
     #[must_use]
     pub fn from_args() -> Self {
-        Self::parse(std::env::args().skip(1))
+        Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| usage_error(&e))
     }
 
-    fn parse(args: impl Iterator<Item = String>) -> Self {
+    fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut opts = Options::default();
         let args: Vec<String> = args.collect();
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| -> String {
+            let mut value = |name: &str| -> Result<String, String> {
                 it.next()
-                    .unwrap_or_else(|| panic!("{name} needs a value"))
-                    .clone()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
             };
-            let int = |name: &str, v: String| -> u64 {
-                v.parse()
-                    .unwrap_or_else(|_| panic!("{name} needs an integer"))
+            let int = |name: &str, v: String| -> Result<u64, String> {
+                v.parse().map_err(|_| format!("{name} needs an integer"))
             };
             match flag.as_str() {
-                "--systems" => opts.systems = int("--systems", value("--systems")) as usize,
-                "--pop" => opts.population = int("--pop", value("--pop")) as usize,
-                "--gens" => opts.generations = int("--gens", value("--gens")) as usize,
-                "--seed" => opts.seed = int("--seed", value("--seed")),
-                "--threads" => opts.threads = int("--threads", value("--threads")) as usize,
+                "--systems" => opts.systems = int("--systems", value("--systems")?)? as usize,
+                "--pop" => opts.population = int("--pop", value("--pop")?)? as usize,
+                "--gens" => opts.generations = int("--gens", value("--gens")?)? as usize,
+                "--seed" => opts.seed = int("--seed", value("--seed")?)?,
+                "--threads" => opts.threads = int("--threads", value("--threads")?)? as usize,
                 "--json" => opts.json = true,
-                "--methods" => opts.methods = Some(value("--methods")),
-                other => panic!(
-                    "unknown flag {other} (try --systems/--pop/--gens/--seed/--threads/--json/--methods)"
-                ),
+                "--methods" => opts.methods = Some(value("--methods")?),
+                "--budgets" => opts.budgets = Some(value("--budgets")?),
+                other => {
+                    return Err(format!(
+                        "unknown flag {other} (try --systems/--pop/--gens/--seed/--threads/--json/--methods/--budgets)"
+                    ))
+                }
             }
         }
-        opts
+        Ok(opts)
     }
 
     /// Guard for binaries with a fixed method list: `--methods` must not
-    /// be silently ignored.
-    ///
-    /// # Panics
-    /// Panics when `--methods` was given.
+    /// be silently ignored. Usage error (exit 2) when `--methods` was
+    /// given.
     pub fn reject_methods_override(&self, binary: &str) {
-        assert!(
-            self.methods.is_none(),
-            "--methods is not supported by {binary} (its method list is fixed)"
-        );
+        if self.methods.is_some() {
+            usage_error(&format!(
+                "--methods is not supported by {binary} (its method list is fixed)"
+            ));
+        }
+    }
+
+    /// Guard for every binary except `ablation_ga`: `--budgets` must not
+    /// be silently ignored. Usage error (exit 2) when it was given.
+    pub fn reject_budgets_override(&self, binary: &str) {
+        if self.budgets.is_some() {
+            usage_error(&format!(
+                "--budgets is not supported by {binary} (only ablation_ga sweeps GA budgets)"
+            ));
+        }
+    }
+
+    /// Parses the `--budgets` list into `(population, generations,
+    /// ideal-seeded)` triples, or the given default when absent. Usage
+    /// error (exit 2) on a malformed entry.
+    #[must_use]
+    pub fn budget_list(&self, default: &[(usize, usize, bool)]) -> Vec<(usize, usize, bool)> {
+        let Some(csv) = &self.budgets else {
+            return default.to_vec();
+        };
+        let parse_entry = |entry: &str| -> Option<(usize, usize, bool)> {
+            let (spec, seeded) = match entry.strip_suffix("+seed") {
+                Some(spec) => (spec, true),
+                None => (entry, false),
+            };
+            let (pop, gens) = spec.split_once('x')?;
+            Some((pop.parse().ok()?, gens.parse().ok()?, seeded))
+        };
+        let budgets: Vec<(usize, usize, bool)> = csv
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|entry| {
+                parse_entry(entry.trim()).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "--budgets: malformed entry `{entry}` (expected POPxGENS or POPxGENS+seed)"
+                    ))
+                })
+            })
+            .collect();
+        if budgets.is_empty() {
+            usage_error("--budgets: empty budget list");
+        }
+        budgets
     }
 
     /// Guard for binaries that sweep their own fixed GA budget list:
     /// `--pop`/`--gens` must not be silently ignored (and misrecorded in
-    /// the JSON provenance block).
-    ///
-    /// # Panics
-    /// Panics when `--pop` or `--gens` diverge from the defaults.
+    /// the JSON provenance block). Usage error (exit 2) on an override.
     pub fn reject_ga_budget_override(&self, binary: &str) {
         let default = Options::default();
-        assert!(
-            self.population == default.population && self.generations == default.generations,
-            "--pop/--gens are not supported by {binary} (its GA budget list is fixed)"
-        );
+        if self.population != default.population || self.generations != default.generations {
+            usage_error(&format!(
+                "--pop/--gens are not supported by {binary} (its GA budget list is fixed)"
+            ));
+        }
     }
 
     /// The resolved worker-pool width: `--threads`, or every available
@@ -194,6 +243,14 @@ impl Options {
             ..GaConfig::quick()
         }
     }
+}
+
+/// Prints a usage error to stderr and exits with code 2 (the
+/// conventional CLI usage-error status). Every flag-misuse path of every
+/// experiment binary funnels through here so none can exit 0.
+pub fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
 }
 
 /// One generated evaluation system with its expanded jobs.
@@ -277,7 +334,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Options {
-        Options::parse(args.iter().map(|s| (*s).to_string()))
+        Options::parse(args.iter().map(|s| (*s).to_string())).expect("valid test args")
     }
 
     #[test]
@@ -328,9 +385,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown flag")]
-    fn rejects_unknown_flags() {
-        let _ = parse(&["--bogus"]);
+    fn budget_list_parses_and_defaults() {
+        let default = [(20, 20, false), (50, 50, true)];
+        assert_eq!(Options::default().budget_list(&default), default.to_vec());
+        let custom = Options {
+            budgets: Some("8x8, 12x16+seed".into()),
+            ..Options::default()
+        };
+        assert_eq!(
+            custom.budget_list(&default),
+            vec![(8, 8, false), (12, 16, true)]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_argument_lists() {
+        let err = |args: &[&str]| {
+            Options::parse(args.iter().map(|s| (*s).to_string())).expect_err("must be rejected")
+        };
+        assert!(err(&["--bogus"]).contains("unknown flag"));
+        assert!(err(&["--systems"]).contains("needs a value"));
+        assert!(err(&["--systems", "many"]).contains("needs an integer"));
+        assert!(err(&["--seed", "1", "--gens"]).contains("needs a value"));
     }
 
     #[test]

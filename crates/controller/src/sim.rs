@@ -100,6 +100,18 @@ impl IoController {
             .load_table(SchedulingTable::from_schedule(schedule));
     }
 
+    /// Hot-swaps `device`'s table to `schedule` between hyper-periods,
+    /// preserving per-task enable bits (see
+    /// [`SchedulingTable::hot_swap`]); creates the processor if needed.
+    /// Returns the number of rows that came up enabled.
+    pub fn hot_swap_schedule(&mut self, device: DeviceId, schedule: &Schedule) -> usize {
+        self.processors
+            .entry(device)
+            .or_insert_with(|| ControllerProcessor::new(GpioPort::new()))
+            .table_mut()
+            .hot_swap(schedule)
+    }
+
     /// Sets the enable bit of every table row (all requests received).
     pub fn enable_all(&mut self) {
         for cp in self.processors.values_mut() {
@@ -316,6 +328,43 @@ mod tests {
             .iter()
             .try_for_each(|t| ctrl.preload(t.id(), CommandBlock::pulse(0, 50)));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn hot_swap_between_hyperperiods_preserves_requests() {
+        let tasks = tasks_two_devices();
+        let schedules = ideal_schedules(&tasks);
+        let mut ctrl = IoController::for_taskset(&tasks).unwrap();
+        for (dev, s) in &schedules {
+            ctrl.load_schedule(*dev, s);
+        }
+        // Only task 0's request arrived before the first hyper-period.
+        ctrl.enable_task(DeviceId(0), TaskId(0));
+        let first = ctrl.run();
+        assert!(first[&DeviceId(0)]
+            .executed
+            .iter()
+            .all(|e| e.job.task == TaskId(0)));
+        // The online layer repaired device 0's schedule (task 0 moved);
+        // swap it in for the next hyper-period.
+        let moved: Schedule = schedules[&DeviceId(0)]
+            .iter()
+            .map(|e| tagio_core::schedule::ScheduleEntry {
+                job: e.job,
+                start: e.start + Duration::from_micros(200),
+                duration: e.duration,
+            })
+            .collect();
+        let enabled = ctrl.hot_swap_schedule(DeviceId(0), &moved);
+        assert!(enabled > 0, "task 0's request survives the swap");
+        let second = ctrl.run();
+        let trace = &second[&DeviceId(0)];
+        // Task 0 executes at the new instants without re-requesting;
+        // task 2 is still awaiting its request.
+        for e in moved.iter().filter(|e| e.job.task == TaskId(0)) {
+            assert_eq!(trace.start_of(e.job), Some(e.start));
+        }
+        assert!(trace.executed.iter().all(|e| e.job.task == TaskId(0)));
     }
 
     #[test]

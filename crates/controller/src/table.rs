@@ -104,6 +104,35 @@ impl SchedulingTable {
         }
     }
 
+    /// Replaces the table's rows with `next` **between hyper-periods**,
+    /// carrying each task's enable bit over (the paper's request channel
+    /// sets bits per task, so a task that was requested stays requested
+    /// across the swap). New tasks start disabled. Returns the number of
+    /// rows that came up enabled.
+    ///
+    /// This is the online scheduling service's hand-off point: when an
+    /// event reshapes the schedule, the repaired table is staged and
+    /// swapped in at the hyper-period boundary, so the running
+    /// hyper-period's offline decisions are never perturbed mid-flight.
+    pub fn hot_swap(&mut self, next: &Schedule) -> usize {
+        let enabled_tasks: std::collections::BTreeSet<TaskId> = self
+            .entries
+            .iter()
+            .filter(|e| e.enabled)
+            .map(|e| e.job.task)
+            .collect();
+        self.entries = next
+            .iter()
+            .map(|e| TableEntry {
+                job: e.job,
+                start: e.start,
+                budget: e.duration,
+                enabled: enabled_tasks.contains(&e.job.task),
+            })
+            .collect();
+        self.entries.iter().filter(|e| e.enabled).count()
+    }
+
     /// Rows due in `[from, to)`, in trigger order.
     #[must_use]
     pub fn due_between(&self, from: Time, to: Time) -> Vec<TableEntry> {
@@ -182,5 +211,48 @@ mod tests {
     #[test]
     fn empty_table_is_empty() {
         assert!(SchedulingTable::new().is_empty());
+    }
+
+    #[test]
+    fn hot_swap_carries_enable_bits_per_task() {
+        let mut t = SchedulingTable::from_schedule(&schedule());
+        t.enable_task(TaskId(0)); // task 1 stays disabled
+        let next: Schedule = vec![
+            ScheduleEntry {
+                job: JobId::new(TaskId(0), 0),
+                start: Time::from_millis(1),
+                duration: Duration::from_micros(100),
+            },
+            ScheduleEntry {
+                job: JobId::new(TaskId(1), 0),
+                start: Time::from_millis(4),
+                duration: Duration::from_micros(200),
+            },
+            ScheduleEntry {
+                job: JobId::new(TaskId(2), 0), // newly admitted task
+                start: Time::from_millis(6),
+                duration: Duration::from_micros(300),
+            },
+        ]
+        .into_iter()
+        .collect();
+        let enabled = t.hot_swap(&next);
+        assert_eq!(enabled, 1);
+        assert_eq!(t.len(), 3);
+        let bits: Vec<(u32, bool)> = t
+            .entries()
+            .iter()
+            .map(|e| (e.job.task.0, e.enabled))
+            .collect();
+        assert_eq!(bits, vec![(0, true), (1, false), (2, false)]);
+        assert_eq!(t.entries()[0].start, Time::from_millis(1));
+    }
+
+    #[test]
+    fn hot_swap_to_empty_schedule_clears_table() {
+        let mut t = SchedulingTable::from_schedule(&schedule());
+        t.enable_all();
+        assert_eq!(t.hot_swap(&Schedule::new()), 0);
+        assert!(t.is_empty());
     }
 }

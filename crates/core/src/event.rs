@@ -1,0 +1,160 @@
+//! Run-time system events for *online* scheduling.
+//!
+//! The paper's methods are offline: a task set is fixed, a schedule is
+//! synthesised once, and the controller replays it forever. A deployed
+//! system is not that static — timed I/O requests appear and disappear,
+//! the application switches operating modes, and device operations take
+//! longer under load. This module is the shared vocabulary for those
+//! disturbances: a [`SystemEvent`] stream drives the online scheduling
+//! service (`tagio-online`), which admits, repairs or sheds against a
+//! live [`Schedule`](crate::schedule::Schedule).
+//!
+//! Events carry plain model types ([`IoTask`], [`TaskId`], [`DeviceId`])
+//! so any layer — scenario generators, trace files, the controller
+//! simulator — can produce or consume them without knowing the service.
+
+use crate::task::{DeviceId, IoTask, TaskId};
+use crate::time::Time;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an operating mode (a named activation pattern over a
+/// task pool).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ModeId(pub u32);
+
+impl fmt::Display for ModeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An operating mode: which tasks of the service's known pool are active.
+///
+/// A mode change is a batch reconfiguration — tasks leaving the active set
+/// depart, tasks entering it arrive (subject to admission control).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mode {
+    /// The mode's identity.
+    pub id: ModeId,
+    /// Tasks active in this mode, by id. Order is irrelevant; duplicates
+    /// are ignored by consumers.
+    pub active: Vec<TaskId>,
+}
+
+/// One run-time disturbance against a live schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SystemEvent {
+    /// A new timed I/O request stream asks to join the system. The online
+    /// service runs admission control and either integrates the task into
+    /// the running schedule or rejects it.
+    Arrival(IoTask),
+    /// An admitted task leaves; its jobs are removed from the schedule
+    /// (trivially feasibility-preserving).
+    Departure(TaskId),
+    /// Switch to `mode`: departures for active tasks not in the mode,
+    /// arrivals (re-admissions from the pool) for inactive ones that are.
+    ModeChange(Mode),
+    /// Device operations on `device` now take `percent`% of their nominal
+    /// worst case (a value above 100 models overload, below 100 relief).
+    /// The service re-validates and sheds load if the schedule no longer
+    /// fits.
+    UtilisationSpike {
+        /// The affected partition.
+        device: DeviceId,
+        /// New WCET as a percentage of the *nominal* (admission-time)
+        /// WCET. Clamped to at least 1 µs per task by consumers.
+        percent: u32,
+    },
+}
+
+impl SystemEvent {
+    /// A short lowercase tag naming the event kind (used by trace formats
+    /// and per-kind statistics).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SystemEvent::Arrival(_) => "arrival",
+            SystemEvent::Departure(_) => "departure",
+            SystemEvent::ModeChange(_) => "mode-change",
+            SystemEvent::UtilisationSpike { .. } => "spike",
+        }
+    }
+}
+
+/// A [`SystemEvent`] stamped with its occurrence instant (relative to the
+/// schedule epoch). Event traces are ordered by `at`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// When the event occurs.
+    pub at: Time,
+    /// What happens.
+    pub event: SystemEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn task(id: u32) -> IoTask {
+        IoTask::builder(TaskId(id), DeviceId(0))
+            .wcet(Duration::from_micros(100))
+            .period(Duration::from_millis(4))
+            .ideal_offset(Duration::from_millis(2))
+            .margin(Duration::from_millis(1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn kinds_name_every_variant() {
+        assert_eq!(SystemEvent::Arrival(task(0)).kind(), "arrival");
+        assert_eq!(SystemEvent::Departure(TaskId(0)).kind(), "departure");
+        assert_eq!(
+            SystemEvent::ModeChange(Mode {
+                id: ModeId(1),
+                active: vec![TaskId(0)],
+            })
+            .kind(),
+            "mode-change"
+        );
+        assert_eq!(
+            SystemEvent::UtilisationSpike {
+                device: DeviceId(0),
+                percent: 150,
+            }
+            .kind(),
+            "spike"
+        );
+    }
+
+    #[test]
+    fn timed_events_order_by_instant() {
+        let mut trace = [
+            TimedEvent {
+                at: Time::from_millis(9),
+                event: SystemEvent::Departure(TaskId(1)),
+            },
+            TimedEvent {
+                at: Time::from_millis(2),
+                event: SystemEvent::Arrival(task(2)),
+            },
+        ];
+        trace.sort_by_key(|e| e.at);
+        assert_eq!(trace[0].at, Time::from_millis(2));
+        assert_eq!(trace[0].event.kind(), "arrival");
+    }
+
+    #[test]
+    fn mode_display_and_identity() {
+        assert_eq!(ModeId(3).to_string(), "m3");
+        let m = Mode {
+            id: ModeId(0),
+            active: vec![TaskId(1), TaskId(2)],
+        };
+        assert_eq!(m.clone(), m);
+    }
+}

@@ -56,6 +56,7 @@
 #![warn(clippy::all)]
 
 pub mod error;
+pub mod event;
 pub mod job;
 pub mod metrics;
 pub mod quality;
@@ -64,6 +65,7 @@ pub mod task;
 pub mod time;
 
 pub use error::{ValidateScheduleError, ValidateTaskError};
+pub use event::{Mode, ModeId, SystemEvent, TimedEvent};
 pub use job::{Job, JobId, JobSet};
 pub use quality::{QualityCurve, QualityShape};
 pub use schedule::{entry_for, Schedule, ScheduleEntry};

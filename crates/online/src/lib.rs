@@ -1,0 +1,66 @@
+//! # tagio-online
+//!
+//! The **online scheduling service**: everything else in the workspace is
+//! offline and one-shot (synthesise a schedule, replay it forever), while
+//! this crate keeps a schedule *alive* against a stream of
+//! [`SystemEvent`](tagio_core::event::SystemEvent)s — task arrivals and
+//! departures, operating-mode changes and utilisation spikes.
+//!
+//! Three mechanisms, layered per event:
+//!
+//! 1. **Admission control** ([`service::OnlineScheduler`]) — a fast
+//!    schedulability pre-check built on cached per-task response-time
+//!    analysis ([`tagio_sched::AnalysisCache`], invalidated
+//!    incrementally), plus a trivial utilisation gate, so hopeless
+//!    arrivals are rejected without touching the schedule.
+//! 2. **Incremental schedule repair**
+//!    ([`tagio_sched::heuristic::repair`]) — undisturbed jobs keep their
+//!    validated placements; only the disturbed neighbourhood goes back
+//!    through LCC-D slot allocation, falling back to a full Algorithm 1
+//!    re-synthesis (and, when the cached analysis signals feasibility, to a
+//!    non-preemptive FPS schedule) when repair fails.
+//! 3. **Overload shedding** — when a utilisation spike makes the set
+//!    infeasible, active tasks are dropped in *quality order* (smallest
+//!    peak quality `Vmax` first) until a feasible schedule exists again.
+//!
+//! [`scenario`] generates seeded, reproducible event traces (and a
+//! line-based text format for them) so the service can be regression
+//! tested and benchmarked — the `online_scenarios` experiment binary in
+//! `tagio-bench` sweeps arrival rates and compares incremental repair
+//! against always-resynthesising from scratch.
+//!
+//! ```
+//! use tagio_core::event::SystemEvent;
+//! use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+//! use tagio_core::time::Duration;
+//! use tagio_online::service::{EventOutcome, OnlineScheduler};
+//!
+//! let mk = |id: u32, delta_ms: u64| {
+//!     IoTask::builder(TaskId(id), DeviceId(0))
+//!         .wcet(Duration::from_micros(500))
+//!         .period(Duration::from_millis(10))
+//!         .ideal_offset(Duration::from_millis(delta_ms))
+//!         .margin(Duration::from_millis(2))
+//!         .build()
+//!         .unwrap()
+//! };
+//! let base: TaskSet = vec![mk(0, 3)].into_iter().collect();
+//! let mut svc = OnlineScheduler::bootstrap(DeviceId(0), base).unwrap();
+//! assert_eq!(svc.psi(), 1.0);
+//!
+//! match svc.apply(&SystemEvent::Arrival(mk(1, 6))) {
+//!     EventOutcome::Admitted { resynthesized, .. } => assert!(!resynthesized),
+//!     other => panic!("expected admission, got {other:?}"),
+//! }
+//! assert_eq!(svc.tasks().len(), 2);
+//! assert_eq!(svc.psi(), 1.0); // repair placed the newcomer at its ideal
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod scenario;
+pub mod service;
+
+pub use scenario::{ReplayOutcome, Scenario, ScenarioConfig, TraceError};
+pub use service::{EventOutcome, OnlineScheduler, OnlineStats, RejectReason, RepairStrategy};

@@ -1,0 +1,620 @@
+//! Seeded, reproducible event-trace scenarios.
+//!
+//! A [`Scenario`] is a base system (admitted at bootstrap) plus an ordered
+//! stream of [`TimedEvent`]s — arrivals drawn from the paper's §V.A
+//! workload distribution, interleaved departures, a mid-stream mode
+//! change and periodic utilisation spikes. Generation is a pure function
+//! of [`ScenarioConfig`] (all randomness flows from its seed), which is
+//! what makes the scenario-driven regression harness possible: the same
+//! config always produces the same stream, so acceptance ratios, repair
+//! latencies and Ψ/Υ degradation are comparable across strategies, runs
+//! and machines.
+//!
+//! Scenarios also round-trip through a line-based text format
+//! ([`format_trace`] / [`parse_trace`], documented in `EXPERIMENTS.md`)
+//! so traces can be stored, diffed and replayed outside the generator.
+
+use crate::service::{OnlineScheduler, RepairStrategy};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tagio_core::event::{Mode, ModeId, SystemEvent, TimedEvent};
+use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+use tagio_core::time::{Duration, Time};
+use tagio_sched::SlotPolicy;
+use tagio_workload::generator::SystemConfig;
+use tagio_workload::periods::PeriodPool;
+
+/// Parameters of scenario generation (the seed drives everything).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// The device partition all events target.
+    pub device: DeviceId,
+    /// Utilisation of the base system admitted at bootstrap (a paper §V.A
+    /// multiple of 0.05).
+    pub base_utilisation: f64,
+    /// Arrival attempts in the stream.
+    pub arrivals: usize,
+    /// Per-mille probability that a departure of a random known task
+    /// follows an arrival.
+    pub departure_permille: u32,
+    /// Emit a utilisation spike after every `spike_every`-th arrival
+    /// (`0` disables spikes).
+    pub spike_every: usize,
+    /// Emit one mode change halfway through the stream.
+    pub mode_change: bool,
+    /// Smallest period drawn for *arriving* tasks (the base system uses
+    /// the full paper pool). Short-period arrivals release many jobs at
+    /// once and model bursty device traffic; the default keeps arrival
+    /// streams moderate.
+    pub min_arrival_period: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            device: DeviceId(0),
+            base_utilisation: 0.4,
+            arrivals: 20,
+            departure_permille: 450,
+            spike_every: 7,
+            mode_change: true,
+            min_arrival_period: Duration::from_millis(30),
+            seed: 2020,
+        }
+    }
+}
+
+/// A generated (or hand-written) online-scheduling scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The device partition.
+    pub device: DeviceId,
+    /// The base system admitted at bootstrap.
+    pub base: TaskSet,
+    /// The event stream, ordered by instant.
+    pub events: Vec<TimedEvent>,
+}
+
+/// What one replay of a scenario produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Arrival attempts seen by the service (stream + re-admissions).
+    pub arrivals: usize,
+    /// Arrivals admitted.
+    pub admitted: usize,
+    /// `admitted / arrivals` (1.0 when no arrivals).
+    pub acceptance: f64,
+    /// Mean *admission* construction latency, microseconds — the
+    /// incremental-repair-vs-full-re-synthesis comparison number.
+    pub mean_admission_micros: f64,
+    /// Mean construction latency over every event kind, microseconds.
+    pub mean_event_micros: f64,
+    /// Incremental repairs that succeeded.
+    pub repairs: usize,
+    /// Full re-syntheses.
+    pub resyntheses: usize,
+    /// Admissions that needed the quality-blind FPS feasibility
+    /// guarantee (each wipes Ψ until a later re-synthesis).
+    pub fps_fallbacks: usize,
+    /// Tasks shed under overload.
+    pub shed: usize,
+    /// Ψ of the final schedule.
+    pub psi: f64,
+    /// Υ of the final schedule.
+    pub upsilon: f64,
+    /// Ψ degradation versus the freshly bootstrapped base schedule.
+    pub psi_drop: f64,
+    /// Υ degradation versus the freshly bootstrapped base schedule.
+    pub upsilon_drop: f64,
+}
+
+/// The global deadline-monotonic priority of a task with `period` (shorter
+/// period ⇒ larger value), stable across arrivals — unlike re-running
+/// DMPO over the whole set, it never re-ranks already-admitted tasks (so
+/// cached analysis results stay valid).
+#[must_use]
+pub fn dm_priority(period: Duration) -> u32 {
+    (PeriodPool::paper_default().hyperperiod().as_micros() / period.as_micros().max(1)) as u32
+}
+
+/// The blocking-safe WCET bound: half the shortest pool period. A longer
+/// non-preemptive operation could fully cover some release window of a
+/// shortest-period task, making *any* admission of one unschedulable
+/// (the same rule `SystemConfig::blocking_safe` applies offline).
+fn blocking_cap() -> Duration {
+    let pool = PeriodPool::paper_default();
+    *pool
+        .candidates()
+        .iter()
+        .min()
+        .expect("the paper pool is non-empty")
+        / 2
+}
+
+fn rebuild_with_dm_priority(task: &IoTask, id: TaskId, device: DeviceId) -> IoTask {
+    let prio = dm_priority(task.period());
+    IoTask::builder(id, device)
+        .wcet(task.wcet().min(blocking_cap()))
+        .period(task.period())
+        .deadline(task.deadline())
+        .ideal_offset(task.ideal_offset())
+        .margin(task.margin())
+        .release_offset(task.release_offset())
+        .priority(tagio_core::task::Priority(prio))
+        .quality(f64::from(prio) + 1.0, task.vmin())
+        .build()
+        .expect("rebuilding a valid task preserves validity")
+}
+
+impl Scenario {
+    /// Generates the scenario determined by `config`.
+    #[must_use]
+    pub fn generate(config: &ScenarioConfig) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Base system from the paper generator, re-prioritised with the
+        // stable global DM rule.
+        let raw = SystemConfig::paper(config.base_utilisation).generate(&mut rng);
+        let base: TaskSet = raw
+            .iter()
+            .enumerate()
+            .map(|(i, t)| rebuild_with_dm_priority(t, TaskId(i as u32), config.device))
+            .collect();
+        let mut known: Vec<TaskId> = base.iter().map(IoTask::id).collect();
+        let first_arrival_id = base.len() as u32;
+        let pool = PeriodPool::paper_default();
+        let mut events = Vec::new();
+        let mut at = Time::ZERO;
+        let step = |at: &mut Time| {
+            *at += Duration::from_millis(10);
+            *at
+        };
+        for k in 0..config.arrivals {
+            // One arrival: a fresh paper-style task.
+            let period = pool.sample_at_least(config.min_arrival_period, &mut rng);
+            let margin = period / 4;
+            let u = 0.02 + 0.08 * rng.random::<f64>();
+            let wcet_us = ((period.as_micros() as f64) * u).round().max(1.0) as u64;
+            let wcet = Duration::from_micros(wcet_us)
+                .min(margin)
+                .min(blocking_cap());
+            let delta_us = rng.random_range(margin.as_micros()..=(period - margin).as_micros());
+            let id = TaskId(first_arrival_id + k as u32);
+            let task = rebuild_with_dm_priority(
+                &IoTask::builder(id, config.device)
+                    .wcet(wcet)
+                    .period(period)
+                    .ideal_offset(Duration::from_micros(delta_us))
+                    .margin(margin)
+                    .build()
+                    .expect("generated arrival parameters are valid"),
+                id,
+                config.device,
+            );
+            known.push(id);
+            events.push(TimedEvent {
+                at: step(&mut at),
+                event: SystemEvent::Arrival(task),
+            });
+            // Maybe a departure of a random known task.
+            if config.departure_permille > 0
+                && rng.random_range(0..1000) < config.departure_permille
+            {
+                let victim = known[rng.random_range(0..known.len())];
+                events.push(TimedEvent {
+                    at: step(&mut at),
+                    event: SystemEvent::Departure(victim),
+                });
+            }
+            // Periodic spike (overload or relief).
+            if config.spike_every > 0 && (k + 1) % config.spike_every == 0 {
+                let percent = *[80u32, 110, 125, 150, 100]
+                    .get(rng.random_range(0..5usize))
+                    .expect("index in range");
+                events.push(TimedEvent {
+                    at: step(&mut at),
+                    event: SystemEvent::UtilisationSpike {
+                        device: config.device,
+                        percent,
+                    },
+                });
+            }
+            // One mode change at the midpoint: keep every other known task.
+            if config.mode_change && k + 1 == config.arrivals / 2 {
+                let active: Vec<TaskId> = known.iter().copied().step_by(2).collect();
+                events.push(TimedEvent {
+                    at: step(&mut at),
+                    event: SystemEvent::ModeChange(Mode {
+                        id: ModeId(1),
+                        active,
+                    }),
+                });
+            }
+        }
+        Scenario {
+            device: config.device,
+            base,
+            events,
+        }
+    }
+
+    /// Replays the scenario through a fresh [`OnlineScheduler`] using
+    /// `strategy` and `policy`, and summarises what happened.
+    ///
+    /// If the base system cannot be bootstrapped wholesale it is admitted
+    /// task-by-task instead (counted as arrivals), so every scenario
+    /// replays.
+    #[must_use]
+    pub fn replay(&self, strategy: RepairStrategy, policy: SlotPolicy) -> ReplayOutcome {
+        let mut svc = match OnlineScheduler::bootstrap(self.device, self.base.clone()) {
+            Ok(svc) => svc.with_strategy(strategy).with_policy(policy),
+            Err(base) => {
+                let mut svc = OnlineScheduler::new(self.device)
+                    .with_strategy(strategy)
+                    .with_policy(policy);
+                for t in &base {
+                    let _ = svc.apply(&SystemEvent::Arrival(t.clone()));
+                }
+                svc
+            }
+        };
+        let psi0 = svc.psi();
+        let ups0 = svc.upsilon();
+        for ev in &self.events {
+            let _ = svc.apply(&ev.event);
+        }
+        let stats = svc.stats();
+        ReplayOutcome {
+            arrivals: stats.arrivals,
+            admitted: stats.admitted,
+            acceptance: stats.acceptance_ratio(),
+            mean_admission_micros: stats.mean_admission_micros(),
+            mean_event_micros: stats.mean_event_micros(),
+            repairs: stats.repairs,
+            resyntheses: stats.resyntheses,
+            fps_fallbacks: stats.fps_fallbacks,
+            shed: stats.shed,
+            psi: svc.psi(),
+            upsilon: svc.upsilon(),
+            psi_drop: psi0 - svc.psi(),
+            upsilon_drop: ups0 - svc.upsilon(),
+        }
+    }
+
+    /// Serialises the whole scenario — base tasks as `@0` arrivals, then
+    /// the event stream — in the text trace format.
+    #[must_use]
+    pub fn to_trace(&self) -> String {
+        let mut all: Vec<TimedEvent> = self
+            .base
+            .iter()
+            .map(|t| TimedEvent {
+                at: Time::ZERO,
+                event: SystemEvent::Arrival(t.clone()),
+            })
+            .collect();
+        all.extend(self.events.iter().cloned());
+        format_trace(&all)
+    }
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Renders events in the line-based trace format (see `EXPERIMENTS.md`):
+///
+/// ```text
+/// @1000 arrive t3 d0 c=500 t=10000 dl=10000 o=0 delta=4000 theta=2500 p=144 vmax=145 vmin=1
+/// @2000 depart t3
+/// @3000 mode m1 t0,t2,t4
+/// @4000 spike d0 150
+/// ```
+///
+/// Instants are microseconds since the epoch; `c`/`t`/`dl`/`o`/`delta`/
+/// `theta` are the task's WCET, period, deadline, release offset, ideal
+/// offset and margin in microseconds.
+#[must_use]
+pub fn format_trace(events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&format!("@{} ", ev.at.as_micros()));
+        match &ev.event {
+            SystemEvent::Arrival(t) => {
+                out.push_str(&format!(
+                    "arrive t{} d{} c={} t={} dl={} o={} delta={} theta={} p={} vmax={} vmin={}",
+                    t.id().0,
+                    t.device().0,
+                    t.wcet().as_micros(),
+                    t.period().as_micros(),
+                    t.deadline().as_micros(),
+                    t.release_offset().as_micros(),
+                    t.ideal_offset().as_micros(),
+                    t.margin().as_micros(),
+                    t.priority().0,
+                    t.vmax(),
+                    t.vmin(),
+                ));
+            }
+            SystemEvent::Departure(id) => out.push_str(&format!("depart t{}", id.0)),
+            SystemEvent::ModeChange(mode) => {
+                let list = if mode.active.is_empty() {
+                    "-".to_owned()
+                } else {
+                    mode.active
+                        .iter()
+                        .map(|t| format!("t{}", t.0))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                out.push_str(&format!("mode m{} {list}", mode.id.0));
+            }
+            SystemEvent::UtilisationSpike { device, percent } => {
+                out.push_str(&format!("spike d{} {percent}", device.0));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the trace format emitted by [`format_trace`]. Blank lines and
+/// `#` comments are skipped.
+///
+/// # Errors
+/// Returns a [`TraceError`] naming the first malformed line.
+pub fn parse_trace(s: &str) -> Result<Vec<TimedEvent>, TraceError> {
+    let mut events = Vec::new();
+    for (i, raw) in s.lines().enumerate() {
+        let line = i + 1;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| TraceError { line, message };
+        let mut words = text.split_whitespace();
+        let at = words
+            .next()
+            .and_then(|w| w.strip_prefix('@'))
+            .and_then(|w| w.parse::<u64>().ok())
+            .map(Time::from_micros)
+            .ok_or_else(|| err("expected @<micros> timestamp".into()))?;
+        let verb = words.next().ok_or_else(|| err("missing verb".into()))?;
+        let event = match verb {
+            "arrive" => parse_arrival(&mut words).map_err(err)?,
+            "depart" => {
+                let id = parse_tagged(words.next(), 't').map_err(err)?;
+                SystemEvent::Departure(TaskId(id))
+            }
+            "mode" => {
+                let id = parse_tagged(words.next(), 'm').map_err(err)?;
+                let list = words
+                    .next()
+                    .ok_or_else(|| err("missing task list".into()))?;
+                let active = if list == "-" {
+                    Vec::new()
+                } else {
+                    list.split(',')
+                        .map(|w| parse_tagged(Some(w), 't').map(TaskId))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(err)?
+                };
+                SystemEvent::ModeChange(Mode {
+                    id: ModeId(id),
+                    active,
+                })
+            }
+            "spike" => {
+                let device = parse_tagged(words.next(), 'd').map_err(err)?;
+                let percent: u32 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err("expected <percent>".into()))?;
+                SystemEvent::UtilisationSpike {
+                    device: DeviceId(device),
+                    percent,
+                }
+            }
+            other => return Err(err(format!("unknown verb `{other}`"))),
+        };
+        if words.next().is_some() {
+            return Err(err("trailing tokens".into()));
+        }
+        events.push(TimedEvent { at, event });
+    }
+    Ok(events)
+}
+
+fn parse_tagged(word: Option<&str>, tag: char) -> Result<u32, String> {
+    word.and_then(|w| w.strip_prefix(tag))
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| format!("expected {tag}<number>"))
+}
+
+fn parse_arrival<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<SystemEvent, String> {
+    let id = parse_tagged(words.next(), 't')?;
+    let device = parse_tagged(words.next(), 'd')?;
+    let mut wcet = None;
+    let mut period = None;
+    let mut deadline = None;
+    let mut offset = None;
+    let mut delta = None;
+    let mut theta = None;
+    let mut prio = None;
+    let mut vmax = None;
+    let mut vmin = None;
+    for word in words {
+        let (key, value) = word
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got `{word}`"))?;
+        let us = || -> Result<Duration, String> {
+            value
+                .parse::<u64>()
+                .map(Duration::from_micros)
+                .map_err(|_| format!("bad integer in `{word}`"))
+        };
+        match key {
+            "c" => wcet = Some(us()?),
+            "t" => period = Some(us()?),
+            "dl" => deadline = Some(us()?),
+            "o" => offset = Some(us()?),
+            "delta" => delta = Some(us()?),
+            "theta" => theta = Some(us()?),
+            "p" => {
+                prio = Some(
+                    value
+                        .parse::<u32>()
+                        .map_err(|_| format!("bad priority in `{word}`"))?,
+                );
+            }
+            "vmax" | "vmin" => {
+                let v: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad quality in `{word}`"))?;
+                if key == "vmax" {
+                    vmax = Some(v);
+                } else {
+                    vmin = Some(v);
+                }
+            }
+            other => return Err(format!("unknown key `{other}`")),
+        }
+    }
+    let missing = |name: &str| format!("arrival missing `{name}`");
+    let task = IoTask::builder(TaskId(id), DeviceId(device))
+        .wcet(wcet.ok_or_else(|| missing("c"))?)
+        .period(period.ok_or_else(|| missing("t"))?)
+        .deadline(deadline.ok_or_else(|| missing("dl"))?)
+        .release_offset(offset.ok_or_else(|| missing("o"))?)
+        .ideal_offset(delta.ok_or_else(|| missing("delta"))?)
+        .margin(theta.ok_or_else(|| missing("theta"))?)
+        .priority(tagio_core::task::Priority(
+            prio.ok_or_else(|| missing("p"))?,
+        ))
+        .quality(
+            vmax.ok_or_else(|| missing("vmax"))?,
+            vmin.ok_or_else(|| missing("vmin"))?,
+        )
+        .build()
+        .map_err(|e| format!("invalid arrival task: {e}"))?;
+    Ok(SystemEvent::Arrival(task))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let cfg = ScenarioConfig::default();
+        let a = Scenario::generate(&cfg);
+        let b = Scenario::generate(&cfg);
+        assert_eq!(a, b);
+        let c = Scenario::generate(&ScenarioConfig {
+            seed: 7,
+            ..ScenarioConfig::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_stream_contains_every_event_kind() {
+        let s = Scenario::generate(&ScenarioConfig {
+            arrivals: 30,
+            departure_permille: 500,
+            spike_every: 5,
+            ..ScenarioConfig::default()
+        });
+        let kinds: std::collections::BTreeSet<&str> =
+            s.events.iter().map(|e| e.event.kind()).collect();
+        assert!(kinds.contains("arrival"));
+        assert!(kinds.contains("departure"));
+        assert!(kinds.contains("spike"));
+        assert!(kinds.contains("mode-change"));
+        // Events are time-ordered.
+        assert!(s.events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn replay_produces_consistent_summary() {
+        let s = Scenario::generate(&ScenarioConfig {
+            arrivals: 8,
+            ..ScenarioConfig::default()
+        });
+        let out = s.replay(RepairStrategy::Incremental, SlotPolicy::default());
+        assert!(out.arrivals >= 8);
+        assert!(out.admitted <= out.arrivals);
+        assert!((0.0..=1.0).contains(&out.acceptance));
+        assert!((0.0..=1.0).contains(&out.psi));
+        assert!(out.upsilon >= 0.0);
+        assert!(out.repairs + out.resyntheses > 0);
+    }
+
+    #[test]
+    fn replay_is_deterministic_apart_from_latency() {
+        let s = Scenario::generate(&ScenarioConfig {
+            arrivals: 6,
+            ..ScenarioConfig::default()
+        });
+        let a = s.replay(RepairStrategy::Incremental, SlotPolicy::default());
+        let b = s.replay(RepairStrategy::Incremental, SlotPolicy::default());
+        assert_eq!(
+            (a.arrivals, a.admitted, a.repairs),
+            (b.arrivals, b.admitted, b.repairs)
+        );
+        assert_eq!((a.psi, a.upsilon), (b.psi, b.upsilon));
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        let s = Scenario::generate(&ScenarioConfig {
+            arrivals: 12,
+            departure_permille: 400,
+            spike_every: 4,
+            ..ScenarioConfig::default()
+        });
+        let text = format_trace(&s.events);
+        let parsed = parse_trace(&text).expect("own output parses");
+        assert_eq!(parsed, s.events);
+        // The full-scenario dump (base included) parses too.
+        let full = parse_trace(&s.to_trace()).unwrap();
+        assert_eq!(full.len(), s.base.len() + s.events.len());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for (bad, what) in [
+            ("arrive t0 d0", "missing timestamp"),
+            ("@12 warp t0", "unknown verb"),
+            ("@12 depart x0", "bad tag"),
+            ("@12 spike d0", "missing percent"),
+            ("@12 mode m0", "missing list"),
+            ("@12 arrive t0 d0 c=1", "missing fields"),
+            ("@12 depart t0 extra", "trailing tokens"),
+        ] {
+            assert!(parse_trace(bad).is_err(), "accepted {what}: {bad}");
+        }
+        // Comments and blanks are fine.
+        assert_eq!(parse_trace("# nothing\n\n").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn dm_priority_orders_by_period() {
+        assert!(dm_priority(Duration::from_millis(10)) > dm_priority(Duration::from_millis(20)));
+        assert_eq!(dm_priority(Duration::from_millis(1440)), 1);
+    }
+}

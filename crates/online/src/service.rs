@@ -1,0 +1,1032 @@
+//! The event-driven online scheduling service.
+//!
+//! [`OnlineScheduler`] owns one partition (one I/O device) of a running
+//! system: its active task set, the expanded job set, the live validated
+//! [`Schedule`], and an incremental [`AnalysisCache`]. Each
+//! [`SystemEvent`] is applied transactionally — on rejection or failure
+//! the previous schedule stays in force.
+//!
+//! The admission pipeline for an arrival:
+//!
+//! 1. **utilisation gate** — `U + u_new > 1` can never be feasible on one
+//!    device; reject without touching anything (a *fast reject*);
+//! 2. **cached pre-check** — the NP-FPS response-time test over the
+//!    candidate set, answered mostly from the cache (only entries the
+//!    newcomer can affect are recomputed). For distinct priorities a
+//!    pass guarantees a feasible schedule exists (the FPS simulation
+//!    realises one); with priority ties the analysis ignores
+//!    equal-priority contention, so the pass is only a strong signal —
+//!    the FPS fallback tier therefore admits on the *actual* simulated
+//!    schedule, never on the pre-check alone;
+//! 3. **integration** — incremental repair around the live schedule,
+//!    falling back to full LCC-D re-synthesis, falling back (only under a
+//!    pre-check guarantee) to the FPS schedule.
+//!
+//! Departures shrink the schedule in place. Mode changes are batches of
+//! departures and re-admissions from the known-task pool. Utilisation
+//! spikes rescale every active WCET and, when the result no longer fits,
+//! shed active tasks in quality order (smallest `Vmax` first) until it
+//! does.
+
+use std::collections::BTreeMap;
+use tagio_core::event::{Mode, SystemEvent};
+use tagio_core::job::JobSet;
+use tagio_core::schedule::Schedule;
+use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+use tagio_core::{metrics, ModeId};
+use tagio_sched::heuristic::repair::repair_or_resynthesize;
+use tagio_sched::heuristic::{SlotPolicy, StaticScheduler};
+use tagio_sched::{AnalysisCache, FpsOffline, Scheduler};
+
+/// How the service integrates schedule changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairStrategy {
+    /// Repair the disturbed neighbourhood around the live schedule,
+    /// falling back to full re-synthesis (the default).
+    #[default]
+    Incremental,
+    /// Always re-synthesise from scratch (the offline method replayed per
+    /// event) — the baseline the `online_scenarios` experiment compares
+    /// against.
+    FullResynthesis,
+}
+
+/// Why an arrival (or re-admission) was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The candidate set's utilisation exceeds the device capacity —
+    /// rejected by the admission gate alone.
+    Overutilised,
+    /// No integration path produced a feasible schedule.
+    Infeasible,
+    /// A task with this id is already active.
+    DuplicateTask,
+    /// The task's parameters cannot hold under the current spike level.
+    InvalidUnderLoad,
+}
+
+/// The service's verdict on one applied event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventOutcome {
+    /// An arrival was admitted and the schedule updated.
+    Admitted {
+        /// The admitted task.
+        task: TaskId,
+        /// Jobs (re-)placed by the integration (the disturbed
+        /// neighbourhood; the whole job set when re-synthesised).
+        replaced: usize,
+        /// `true` when integration needed a full re-synthesis (or the FPS
+        /// fallback) instead of incremental repair.
+        resynthesized: bool,
+        /// Wall-clock time spent constructing the new schedule.
+        latency: std::time::Duration,
+    },
+    /// An arrival was turned away; the schedule is unchanged.
+    Rejected {
+        /// The rejected task.
+        task: TaskId,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// A departure removed the task's jobs from the schedule.
+    Departed {
+        /// The departed task.
+        task: TaskId,
+    },
+    /// A mode change completed (each sub-decision listed).
+    ModeChanged {
+        /// The target mode.
+        mode: ModeId,
+        /// Pool tasks admitted into the active set.
+        admitted: Vec<TaskId>,
+        /// Pool tasks that failed re-admission.
+        rejected: Vec<TaskId>,
+        /// Active tasks deactivated by the mode.
+        departed: Vec<TaskId>,
+    },
+    /// A utilisation spike was applied; `shed` lists any tasks dropped
+    /// (in shedding order) to restore feasibility.
+    SpikeApplied {
+        /// New WCET scale in percent of nominal.
+        percent: u32,
+        /// Tasks shed, lowest peak quality first.
+        shed: Vec<TaskId>,
+    },
+    /// The event did not concern this service (wrong device, unknown
+    /// task, …); nothing changed.
+    Ignored {
+        /// Why the event was skipped.
+        reason: &'static str,
+    },
+}
+
+/// Running counters of everything the service decided.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    /// Arrival events seen (including mode-change re-admissions).
+    pub arrivals: usize,
+    /// Arrivals admitted.
+    pub admitted: usize,
+    /// Arrivals rejected (any reason).
+    pub rejected: usize,
+    /// Rejections decided by the admission gate alone (no schedule work).
+    pub fast_rejects: usize,
+    /// Departure events applied (including mode-change deactivations).
+    pub departures: usize,
+    /// Successful incremental repairs.
+    pub repairs: usize,
+    /// Full re-syntheses (incremental path failed or disabled).
+    pub resyntheses: usize,
+    /// Admissions saved by the FPS feasibility guarantee.
+    pub fps_fallbacks: usize,
+    /// Tasks shed to survive utilisation spikes.
+    pub shed: usize,
+    /// Spike events applied.
+    pub spikes: usize,
+    /// Mode changes applied.
+    pub mode_changes: usize,
+    /// Events ignored.
+    pub ignored: usize,
+    /// Total wall-clock time spent constructing schedules (all event
+    /// kinds).
+    pub repair_time: std::time::Duration,
+    /// Number of schedule constructions timed into `repair_time`.
+    pub repair_events: usize,
+    /// Wall-clock time spent on *admission* constructions only (the
+    /// repair-vs-re-synthesis comparison the experiments report).
+    pub admission_time: std::time::Duration,
+    /// Number of admission constructions timed into `admission_time`.
+    pub admission_events: usize,
+}
+
+impl OnlineStats {
+    /// Admitted fraction of all arrivals (`1.0` when none were seen).
+    #[must_use]
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.arrivals == 0 {
+            1.0
+        } else {
+            self.admitted as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Mean schedule-construction latency in microseconds over every
+    /// event kind (`0.0` when no construction ran).
+    #[must_use]
+    pub fn mean_event_micros(&self) -> f64 {
+        if self.repair_events == 0 {
+            0.0
+        } else {
+            self.repair_time.as_micros() as f64 / self.repair_events as f64
+        }
+    }
+
+    /// Mean *admission* construction latency in microseconds — the
+    /// incremental-repair-vs-full-re-synthesis number the
+    /// `online_scenarios` experiment compares (`0.0` when no admission
+    /// was attempted past the gate).
+    #[must_use]
+    pub fn mean_admission_micros(&self) -> f64 {
+        if self.admission_events == 0 {
+            0.0
+        } else {
+            self.admission_time.as_micros() as f64 / self.admission_events as f64
+        }
+    }
+}
+
+/// The event-driven scheduling service for one device partition.
+///
+/// See the [module docs](self) for the admission pipeline and the crate
+/// docs for a usage example.
+#[derive(Debug)]
+pub struct OnlineScheduler {
+    device: DeviceId,
+    strategy: RepairStrategy,
+    policy: SlotPolicy,
+    /// Active tasks at their *effective* (spike-scaled) WCETs.
+    tasks: TaskSet,
+    /// Every task ever admitted, at nominal WCET (mode changes re-admit
+    /// from here).
+    pool: BTreeMap<TaskId, IoTask>,
+    /// Current WCET scale (percent of nominal).
+    spike_percent: u32,
+    jobs: JobSet,
+    schedule: Schedule,
+    cache: AnalysisCache,
+    stats: OnlineStats,
+}
+
+impl OnlineScheduler {
+    /// A service for `device` with no active tasks and the default
+    /// strategy/policy.
+    #[must_use]
+    pub fn new(device: DeviceId) -> Self {
+        OnlineScheduler {
+            device,
+            strategy: RepairStrategy::default(),
+            policy: SlotPolicy::default(),
+            tasks: TaskSet::new(),
+            pool: BTreeMap::new(),
+            spike_percent: 100,
+            jobs: JobSet::from_jobs(Vec::new(), tagio_core::time::Duration::ZERO),
+            schedule: Schedule::new(),
+            cache: AnalysisCache::new(),
+            stats: OnlineStats::default(),
+        }
+    }
+
+    /// Overrides the integration strategy (builder style).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: RepairStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the slot policy used by repair and re-synthesis.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SlotPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Starts a service from an initial task set (one full synthesis; the
+    /// set must belong to `device`).
+    ///
+    /// # Errors
+    /// Returns the task set back when no feasible schedule exists for it.
+    pub fn bootstrap(device: DeviceId, tasks: TaskSet) -> Result<Self, TaskSet> {
+        let mut svc = OnlineScheduler::new(device);
+        if tasks.iter().any(|t| t.device() != device) {
+            return Err(tasks);
+        }
+        let jobs = JobSet::expand(&tasks);
+        let Some(schedule) = StaticScheduler::with_policy(svc.policy)
+            .schedule(&jobs)
+            .or_else(|| FpsOffline::new().schedule(&jobs))
+        else {
+            return Err(tasks);
+        };
+        debug_assert!(schedule.validate(&jobs).is_ok());
+        for t in &tasks {
+            svc.pool.insert(t.id(), t.clone());
+        }
+        svc.tasks = tasks;
+        svc.jobs = jobs;
+        svc.schedule = schedule;
+        Ok(svc)
+    }
+
+    /// The device partition this service owns.
+    #[must_use]
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The active task set (at effective, spike-scaled WCETs).
+    #[must_use]
+    pub fn tasks(&self) -> &TaskSet {
+        &self.tasks
+    }
+
+    /// The live schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The live job set the schedule covers.
+    #[must_use]
+    pub fn jobs(&self) -> &JobSet {
+        &self.jobs
+    }
+
+    /// Decision counters.
+    #[must_use]
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// The analysis cache (hit/miss counters for observability).
+    #[must_use]
+    pub fn cache(&self) -> &AnalysisCache {
+        &self.cache
+    }
+
+    /// Ψ of the live schedule.
+    #[must_use]
+    pub fn psi(&self) -> f64 {
+        metrics::psi(&self.schedule, &self.jobs)
+    }
+
+    /// Υ of the live schedule.
+    #[must_use]
+    pub fn upsilon(&self) -> f64 {
+        metrics::upsilon(&self.schedule, &self.jobs)
+    }
+
+    /// Applies one event, returning the decision. The schedule changes
+    /// only on `Admitted`, `Departed`, `ModeChanged` and `SpikeApplied`.
+    pub fn apply(&mut self, event: &SystemEvent) -> EventOutcome {
+        match event {
+            SystemEvent::Arrival(task) => self.on_arrival(task),
+            SystemEvent::Departure(id) => self.on_departure(*id),
+            SystemEvent::ModeChange(mode) => self.on_mode_change(mode),
+            SystemEvent::UtilisationSpike { device, percent } => {
+                if *device == self.device {
+                    self.on_spike(*percent)
+                } else {
+                    self.stats.ignored += 1;
+                    EventOutcome::Ignored {
+                        reason: "spike on another device",
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, nominal: &IoTask) -> EventOutcome {
+        if nominal.device() != self.device {
+            self.stats.ignored += 1;
+            return EventOutcome::Ignored {
+                reason: "arrival for another device",
+            };
+        }
+        self.stats.arrivals += 1;
+        let id = nominal.id();
+        if self.tasks.get(id).is_some() {
+            self.stats.rejected += 1;
+            return EventOutcome::Rejected {
+                task: id,
+                reason: RejectReason::DuplicateTask,
+            };
+        }
+        let Some(effective) = scale_task(nominal, self.spike_percent) else {
+            self.stats.rejected += 1;
+            return EventOutcome::Rejected {
+                task: id,
+                reason: RejectReason::InvalidUnderLoad,
+            };
+        };
+        // 1. Utilisation gate: a necessary condition, checked without any
+        //    schedule work.
+        if self.tasks.utilisation() + effective.utilisation() > 1.0 + 1e-9 {
+            self.stats.rejected += 1;
+            self.stats.fast_rejects += 1;
+            return EventOutcome::Rejected {
+                task: id,
+                reason: RejectReason::Overutilised,
+            };
+        }
+        // 2. Cached pre-check: recomputes only the entries the newcomer
+        //    can affect. A pass signals (and, for distinct priorities,
+        //    guarantees) that the FPS simulation realises a schedule.
+        let mut candidate = self.tasks.clone();
+        candidate
+            .push(effective.clone())
+            .expect("id uniqueness checked above");
+        self.cache.invalidate_for(&effective);
+        let guaranteed = self.cache.schedulable(&candidate);
+        // 3. Integration tiers.
+        match self.integrate(&candidate, guaranteed) {
+            Some((jobs, outcome, latency)) => {
+                let replaced = outcome.replaced;
+                let resynthesized = outcome.resynthesized;
+                self.tasks = candidate;
+                self.jobs = jobs;
+                self.schedule = outcome.schedule;
+                self.pool.insert(id, nominal.clone());
+                self.stats.admitted += 1;
+                EventOutcome::Admitted {
+                    task: id,
+                    replaced,
+                    resynthesized,
+                    latency,
+                }
+            }
+            None => {
+                // Purge entries computed against the rejected candidate.
+                self.cache.invalidate_for(&effective);
+                self.stats.rejected += 1;
+                EventOutcome::Rejected {
+                    task: id,
+                    reason: RejectReason::Infeasible,
+                }
+            }
+        }
+    }
+
+    fn on_departure(&mut self, id: TaskId) -> EventOutcome {
+        let Some(leaving) = self.tasks.get(id).cloned() else {
+            self.stats.ignored += 1;
+            return EventOutcome::Ignored {
+                reason: "departure of an inactive task",
+            };
+        };
+        let remaining: TaskSet = self
+            .tasks
+            .iter()
+            .filter(|t| t.id() != id)
+            .cloned()
+            .collect();
+        self.shrink_to(remaining);
+        self.cache.invalidate_for(&leaving);
+        self.stats.departures += 1;
+        EventOutcome::Departed { task: id }
+    }
+
+    /// Commits a shrink of the active set to `remaining` (a subset):
+    /// incremental pins every surviving placement (always feasible), the
+    /// full-re-synthesis baseline re-runs Algorithm 1 (its defining
+    /// cost) with the pinning repair as a safety net. Callers handle
+    /// cache invalidation and stats.
+    fn shrink_to(&mut self, remaining: TaskSet) {
+        let jobs = JobSet::expand(&remaining);
+        let (schedule, timed) = time(|| {
+            let repaired = || {
+                tagio_sched::heuristic::repair::repair(&jobs, &self.schedule, &[], self.policy)
+                    .map(|(s, _)| s)
+            };
+            match self.strategy {
+                RepairStrategy::Incremental => repaired(),
+                RepairStrategy::FullResynthesis => StaticScheduler::with_policy(self.policy)
+                    .schedule(&jobs)
+                    .or_else(repaired),
+            }
+            .expect("a subset of a feasible schedule stays feasible")
+        });
+        self.record_construction(timed);
+        self.tasks = remaining;
+        self.jobs = jobs;
+        self.schedule = schedule;
+    }
+
+    fn on_mode_change(&mut self, mode: &Mode) -> EventOutcome {
+        self.stats.mode_changes += 1;
+        let mut departed = Vec::new();
+        let mut admitted = Vec::new();
+        let mut rejected = Vec::new();
+        // Deactivate first (one batched rebuild, not one per task): frees
+        // capacity for the mode's newcomers.
+        let leaving: Vec<IoTask> = self
+            .tasks
+            .iter()
+            .filter(|t| !mode.active.contains(&t.id()))
+            .cloned()
+            .collect();
+        if !leaving.is_empty() {
+            let remaining: TaskSet = self
+                .tasks
+                .iter()
+                .filter(|t| mode.active.contains(&t.id()))
+                .cloned()
+                .collect();
+            self.shrink_to(remaining);
+            for t in &leaving {
+                self.cache.invalidate_for(t);
+                departed.push(t.id());
+            }
+            self.stats.departures += leaving.len();
+        }
+        // Then (re-)admit pool tasks the mode activates.
+        for id in &mode.active {
+            if self.tasks.get(*id).is_some() {
+                continue; // already active
+            }
+            let Some(nominal) = self.pool.get(id).cloned() else {
+                rejected.push(*id); // unknown to the pool
+                continue;
+            };
+            match self.on_arrival(&nominal) {
+                EventOutcome::Admitted { task, .. } => admitted.push(task),
+                _ => rejected.push(*id),
+            }
+        }
+        EventOutcome::ModeChanged {
+            mode: mode.id,
+            admitted,
+            rejected,
+            departed,
+        }
+    }
+
+    fn on_spike(&mut self, percent: u32) -> EventOutcome {
+        self.stats.spikes += 1;
+        let percent = percent.max(1);
+        self.spike_percent = percent;
+        // Rescale every active task from its nominal definition; tasks
+        // whose parameters cannot hold the scaled WCET are shed outright.
+        let mut survivors: Vec<IoTask> = Vec::with_capacity(self.tasks.len());
+        let mut shed: Vec<TaskId> = Vec::new();
+        for t in &self.tasks {
+            let nominal = self.pool.get(&t.id()).unwrap_or(t);
+            match scale_task(nominal, percent) {
+                Some(scaled) => survivors.push(scaled),
+                None => shed.push(t.id()),
+            }
+        }
+        // Shed by the utilisation gate first — no schedule construction
+        // can succeed above capacity, so those victims are decided by
+        // arithmetic alone.
+        while survivors.iter().map(IoTask::utilisation).sum::<f64>() > 1.0 + 1e-9 {
+            let Some(victim) = quality_victim(&survivors) else {
+                break;
+            };
+            shed.push(survivors.remove(victim).id());
+        }
+        // Then shed in quality order until a feasible schedule exists.
+        loop {
+            let candidate: TaskSet = survivors.iter().cloned().collect();
+            let jobs = JobSet::expand(&candidate);
+            let (result, timed) = time(|| {
+                match self.strategy {
+                    RepairStrategy::Incremental => {
+                        // The order-preserving O(n) re-timing absorbs both
+                        // relief (placements unchanged) and uniform growth
+                        // (minimal right-shifts) before any re-placement;
+                        // repair_or_resynthesize embeds the plain-repair,
+                        // neighbourhood and Algorithm 1 tiers.
+                        tagio_sched::heuristic::repair::retime(&jobs, &self.schedule).or_else(
+                            || {
+                                repair_or_resynthesize(&jobs, &self.schedule, &[], self.policy)
+                                    .map(|o| o.schedule)
+                            },
+                        )
+                    }
+                    RepairStrategy::FullResynthesis => {
+                        StaticScheduler::with_policy(self.policy).schedule(&jobs)
+                    }
+                }
+                .or_else(|| FpsOffline::new().schedule(&jobs))
+            });
+            self.record_construction(timed);
+            if let Some(schedule) = result {
+                debug_assert!(schedule.validate(&jobs).is_ok());
+                self.cache.clear(); // every WCET changed
+                self.tasks = candidate;
+                self.jobs = jobs;
+                self.schedule = schedule;
+                self.stats.shed += shed.len();
+                return EventOutcome::SpikeApplied { percent, shed };
+            }
+            // Drop the task with the smallest peak quality (ties: larger
+            // id first, so older/higher-value streams survive).
+            let Some(victim) = quality_victim(&survivors) else {
+                // Nothing left to shed: an empty set is trivially valid.
+                self.cache.clear();
+                self.tasks = TaskSet::new();
+                self.jobs = JobSet::from_jobs(Vec::new(), tagio_core::time::Duration::ZERO);
+                self.schedule = Schedule::new();
+                self.stats.shed += shed.len();
+                return EventOutcome::SpikeApplied { percent, shed };
+            };
+            shed.push(survivors.remove(victim).id());
+        }
+    }
+
+    /// Builds the schedule for `candidate` (arrival path). Returns the
+    /// expanded jobs, the repair outcome and the construction latency.
+    fn integrate(
+        &mut self,
+        candidate: &TaskSet,
+        guaranteed: bool,
+    ) -> Option<(JobSet, tagio_sched::RepairOutcome, std::time::Duration)> {
+        let jobs = JobSet::expand(candidate);
+        let new_h = candidate.hyperperiod();
+        let old_h = self.tasks.hyperperiod();
+        let (result, latency) = time(|| {
+            // Align the live schedule to the candidate's hyper-period so
+            // undisturbed placements stay pinnable (§III.C repetition).
+            let base = if self.schedule.is_empty() || old_h.is_zero() {
+                Schedule::new()
+            } else if new_h > old_h {
+                self.schedule.repeat((new_h / old_h) as u32, old_h)
+            } else {
+                self.schedule.clone()
+            };
+            let outcome = match self.strategy {
+                RepairStrategy::Incremental => {
+                    repair_or_resynthesize(&jobs, &base, &[], self.policy)
+                }
+                RepairStrategy::FullResynthesis => StaticScheduler::with_policy(self.policy)
+                    .schedule(&jobs)
+                    .map(|schedule| tagio_sched::RepairOutcome {
+                        schedule,
+                        replaced: jobs.len(),
+                        resynthesized: true,
+                    }),
+            };
+            outcome.or_else(|| {
+                // The response-time signal: try the actual FPS
+                // simulation and admit only on its real (quality-blind)
+                // schedule — ties in priority make the analysis alone
+                // insufficient.
+                guaranteed
+                    .then(|| FpsOffline::new().schedule(&jobs))
+                    .flatten()
+                    .map(|schedule| tagio_sched::RepairOutcome {
+                        schedule,
+                        replaced: jobs.len(),
+                        resynthesized: true,
+                    })
+                    .inspect(|_| self.stats.fps_fallbacks += 1)
+            })
+        });
+        self.record_construction(latency);
+        self.stats.admission_time += latency;
+        self.stats.admission_events += 1;
+        let outcome = result?;
+        debug_assert!(outcome.schedule.validate(&jobs).is_ok());
+        if outcome.resynthesized {
+            self.stats.resyntheses += 1;
+        } else {
+            self.stats.repairs += 1;
+        }
+        Some((jobs, outcome, latency))
+    }
+
+    fn record_construction(&mut self, latency: std::time::Duration) {
+        self.stats.repair_time += latency;
+        self.stats.repair_events += 1;
+    }
+}
+
+/// Index of the shedding victim: smallest peak quality `Vmax`, ties
+/// broken towards the larger id (newer streams go first).
+fn quality_victim(tasks: &[IoTask]) -> Option<usize> {
+    tasks
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.vmax()
+                .partial_cmp(&b.vmax())
+                .expect("finite vmax")
+                .then(b.id().cmp(&a.id()))
+        })
+        .map(|(i, _)| i)
+}
+
+/// Rebuilds `task` with its WCET scaled to `percent`% of nominal (at
+/// least 1 µs). Returns `None` when the scaled WCET violates the model
+/// invariants (the task cannot run at this load level).
+#[must_use]
+fn scale_task(task: &IoTask, percent: u32) -> Option<IoTask> {
+    let scaled = (u128::from(task.wcet().as_micros()) * u128::from(percent) / 100).max(1);
+    let wcet = tagio_core::time::Duration::from_micros(u64::try_from(scaled).ok()?);
+    IoTask::builder(task.id(), task.device())
+        .wcet(wcet)
+        .period(task.period())
+        .deadline(task.deadline())
+        .ideal_offset(task.ideal_offset())
+        .margin(task.margin())
+        .priority(task.priority())
+        .quality(task.vmax(), task.vmin())
+        .release_offset(task.release_offset())
+        .build()
+        .ok()
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagio_core::time::Duration;
+
+    fn mk(id: u32, period_ms: u64, wcet_us: u64, delta_ms: u64) -> IoTask {
+        IoTask::builder(TaskId(id), DeviceId(0))
+            .wcet(Duration::from_micros(wcet_us))
+            .period(Duration::from_millis(period_ms))
+            .ideal_offset(Duration::from_millis(delta_ms))
+            .margin(Duration::from_millis(period_ms) / 4)
+            .quality(f64::from(id) + 1.0, 0.0)
+            .build()
+            .unwrap()
+    }
+
+    fn service() -> OnlineScheduler {
+        let base: TaskSet = vec![mk(0, 8, 500, 2), mk(1, 8, 500, 5)]
+            .into_iter()
+            .collect();
+        OnlineScheduler::bootstrap(DeviceId(0), base).expect("bootstrap feasible")
+    }
+
+    /// A valid task demanding 99% of the device on its own.
+    fn hog(id: u32) -> IoTask {
+        IoTask::builder(TaskId(id), DeviceId(0))
+            .wcet(Duration::from_micros(9_900))
+            .period(Duration::from_millis(10))
+            .ideal_offset(Duration::from_micros(100))
+            .margin(Duration::from_micros(100))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bootstrap_rejects_wrong_device_and_infeasible_sets() {
+        let wrong: TaskSet = vec![IoTask::builder(TaskId(0), DeviceId(7))
+            .wcet(Duration::from_micros(100))
+            .period(Duration::from_millis(4))
+            .ideal_offset(Duration::from_millis(2))
+            .margin(Duration::from_millis(1))
+            .build()
+            .unwrap()]
+        .into_iter()
+        .collect();
+        assert!(OnlineScheduler::bootstrap(DeviceId(0), wrong).is_err());
+        assert!(OnlineScheduler::bootstrap(DeviceId(0), TaskSet::new()).is_ok());
+    }
+
+    #[test]
+    fn arrival_is_admitted_by_repair_and_keeps_existing_placements() {
+        let mut svc = service();
+        let before = svc.schedule().clone();
+        let outcome = svc.apply(&SystemEvent::Arrival(mk(2, 8, 500, 3)));
+        match outcome {
+            EventOutcome::Admitted {
+                task,
+                resynthesized,
+                replaced,
+                ..
+            } => {
+                assert_eq!(task, TaskId(2));
+                assert!(!resynthesized, "a free ideal slot needs only repair");
+                assert_eq!(replaced, 1);
+            }
+            other => panic!("expected admission: {other:?}"),
+        }
+        for e in &before {
+            assert_eq!(svc.schedule().start_of(e.job), Some(e.start));
+        }
+        assert_eq!(svc.stats().repairs, 1);
+        svc.schedule().validate(svc.jobs()).unwrap();
+    }
+
+    #[test]
+    fn duplicate_arrival_is_rejected() {
+        let mut svc = service();
+        let outcome = svc.apply(&SystemEvent::Arrival(mk(0, 8, 500, 2)));
+        assert_eq!(
+            outcome,
+            EventOutcome::Rejected {
+                task: TaskId(0),
+                reason: RejectReason::DuplicateTask
+            }
+        );
+    }
+
+    #[test]
+    fn overutilised_arrival_fast_rejects_without_schedule_work() {
+        let mut svc = service();
+        let constructions = svc.stats().repair_events;
+        // 2 * 500us / 8ms active; an arrival needing 99% of the device.
+        let outcome = svc.apply(&SystemEvent::Arrival(hog(9)));
+        assert_eq!(
+            outcome,
+            EventOutcome::Rejected {
+                task: TaskId(9),
+                reason: RejectReason::Overutilised
+            }
+        );
+        assert_eq!(svc.stats().fast_rejects, 1);
+        assert_eq!(svc.stats().repair_events, constructions);
+    }
+
+    #[test]
+    fn arrival_for_another_device_is_ignored() {
+        let mut svc = service();
+        let alien = IoTask::builder(TaskId(5), DeviceId(3))
+            .wcet(Duration::from_micros(100))
+            .period(Duration::from_millis(4))
+            .ideal_offset(Duration::from_millis(2))
+            .margin(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            svc.apply(&SystemEvent::Arrival(alien)),
+            EventOutcome::Ignored { .. }
+        ));
+        assert_eq!(svc.tasks().len(), 2);
+    }
+
+    #[test]
+    fn departure_shrinks_schedule_without_moving_survivors() {
+        let mut svc = service();
+        let kept: Vec<_> = svc
+            .schedule()
+            .iter()
+            .filter(|e| e.job.task == TaskId(1))
+            .copied()
+            .collect();
+        assert!(matches!(
+            svc.apply(&SystemEvent::Departure(TaskId(0))),
+            EventOutcome::Departed { task } if task == TaskId(0)
+        ));
+        assert_eq!(svc.tasks().len(), 1);
+        for e in kept {
+            assert_eq!(svc.schedule().start_of(e.job), Some(e.start));
+        }
+        svc.schedule().validate(svc.jobs()).unwrap();
+        // Unknown departures are ignored.
+        assert!(matches!(
+            svc.apply(&SystemEvent::Departure(TaskId(42))),
+            EventOutcome::Ignored { .. }
+        ));
+    }
+
+    #[test]
+    fn hyperperiod_growth_repeats_the_live_schedule() {
+        let mut svc = service(); // hyper-period 8ms
+        let outcome = svc.apply(&SystemEvent::Arrival(mk(3, 16, 500, 6)));
+        assert!(matches!(outcome, EventOutcome::Admitted { .. }));
+        assert_eq!(svc.jobs().hyperperiod(), Duration::from_millis(16));
+        // Task 0's second-hyper-period copy kept its shifted placement.
+        let copy = tagio_core::job::JobId::new(TaskId(0), 1);
+        let first = tagio_core::job::JobId::new(TaskId(0), 0);
+        let delta = Duration::from_millis(8);
+        assert_eq!(
+            svc.schedule().start_of(copy),
+            svc.schedule().start_of(first).map(|t| t + delta)
+        );
+        svc.schedule().validate(svc.jobs()).unwrap();
+    }
+
+    #[test]
+    fn mode_change_departs_and_readmits_from_pool() {
+        let mut svc = service();
+        // Depart task 1, keep 0.
+        let only_zero = Mode {
+            id: ModeId(1),
+            active: vec![TaskId(0)],
+        };
+        match svc.apply(&SystemEvent::ModeChange(only_zero)) {
+            EventOutcome::ModeChanged {
+                departed, admitted, ..
+            } => {
+                assert_eq!(departed, vec![TaskId(1)]);
+                assert!(admitted.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(svc.tasks().get(TaskId(1)).is_none());
+        // Switch back: task 1 is re-admitted from the pool.
+        let both = Mode {
+            id: ModeId(0),
+            active: vec![TaskId(0), TaskId(1)],
+        };
+        match svc.apply(&SystemEvent::ModeChange(both)) {
+            EventOutcome::ModeChanged {
+                admitted, rejected, ..
+            } => {
+                assert_eq!(admitted, vec![TaskId(1)]);
+                assert!(rejected.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        // A mode naming an unknown task reports it rejected.
+        let ghost = Mode {
+            id: ModeId(2),
+            active: vec![TaskId(0), TaskId(1), TaskId(77)],
+        };
+        match svc.apply(&SystemEvent::ModeChange(ghost)) {
+            EventOutcome::ModeChanged { rejected, .. } => assert_eq!(rejected, vec![TaskId(77)]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spike_rescales_wcets_and_relief_restores_them() {
+        let mut svc = service();
+        let nominal = svc.tasks().get(TaskId(0)).unwrap().wcet();
+        match svc.apply(&SystemEvent::UtilisationSpike {
+            device: DeviceId(0),
+            percent: 150,
+        }) {
+            EventOutcome::SpikeApplied { percent, shed } => {
+                assert_eq!(percent, 150);
+                assert!(shed.is_empty(), "light load survives a 1.5x spike");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            svc.tasks().get(TaskId(0)).unwrap().wcet(),
+            Duration::from_micros(nominal.as_micros() * 3 / 2)
+        );
+        svc.schedule().validate(svc.jobs()).unwrap();
+        // Relief back to nominal.
+        svc.apply(&SystemEvent::UtilisationSpike {
+            device: DeviceId(0),
+            percent: 100,
+        });
+        assert_eq!(svc.tasks().get(TaskId(0)).unwrap().wcet(), nominal);
+        // A spike on another device changes nothing.
+        assert!(matches!(
+            svc.apply(&SystemEvent::UtilisationSpike {
+                device: DeviceId(5),
+                percent: 400,
+            }),
+            EventOutcome::Ignored { .. }
+        ));
+    }
+
+    #[test]
+    fn overload_sheds_lowest_quality_first() {
+        // Two heavy tasks whose margins allow a 4x WCET, so the builder
+        // accepts the scaled tasks but the device cannot hold both.
+        let heavy = |id: u32, delta_ms: u64, vmax: f64| {
+            IoTask::builder(TaskId(id), DeviceId(0))
+                .wcet(Duration::from_micros(1_500))
+                .period(Duration::from_millis(10))
+                .ideal_offset(Duration::from_millis(delta_ms))
+                .margin(Duration::from_micros(2_500))
+                .quality(vmax, 0.0)
+                .build()
+                .unwrap()
+        };
+        let base: TaskSet = vec![heavy(0, 3, 5.0), heavy(1, 4, 1.0)]
+            .into_iter()
+            .collect();
+        let mut svc = OnlineScheduler::bootstrap(DeviceId(0), base).unwrap();
+        match svc.apply(&SystemEvent::UtilisationSpike {
+            device: DeviceId(0),
+            percent: 400,
+        }) {
+            EventOutcome::SpikeApplied { shed, .. } => {
+                // Both scaled tasks stay individually valid, but 2 x 6ms
+                // cannot share a 10ms period: the Vmax=1 task goes first.
+                assert_eq!(shed, vec![TaskId(1)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(svc.tasks().get(TaskId(0)).is_some());
+        assert_eq!(svc.stats().shed, 1);
+        svc.schedule().validate(svc.jobs()).unwrap();
+    }
+
+    #[test]
+    fn arrivals_during_spike_are_scaled_and_revert_on_relief() {
+        let mut svc = service();
+        svc.apply(&SystemEvent::UtilisationSpike {
+            device: DeviceId(0),
+            percent: 200,
+        });
+        let outcome = svc.apply(&SystemEvent::Arrival(mk(4, 8, 400, 3)));
+        assert!(matches!(outcome, EventOutcome::Admitted { .. }));
+        assert_eq!(
+            svc.tasks().get(TaskId(4)).unwrap().wcet(),
+            Duration::from_micros(800),
+            "admitted at the spiked WCET"
+        );
+        svc.apply(&SystemEvent::UtilisationSpike {
+            device: DeviceId(0),
+            percent: 100,
+        });
+        assert_eq!(
+            svc.tasks().get(TaskId(4)).unwrap().wcet(),
+            Duration::from_micros(400),
+            "relief restores the nominal WCET"
+        );
+    }
+
+    #[test]
+    fn full_resynthesis_strategy_never_repairs() {
+        let base: TaskSet = vec![mk(0, 8, 500, 2)].into_iter().collect();
+        let mut svc = OnlineScheduler::bootstrap(DeviceId(0), base)
+            .unwrap()
+            .with_strategy(RepairStrategy::FullResynthesis);
+        let outcome = svc.apply(&SystemEvent::Arrival(mk(1, 8, 500, 5)));
+        match outcome {
+            EventOutcome::Admitted {
+                resynthesized,
+                replaced,
+                ..
+            } => {
+                assert!(resynthesized);
+                assert_eq!(replaced, svc.jobs().len());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(svc.stats().repairs, 0);
+        assert_eq!(svc.stats().resyntheses, 1);
+    }
+
+    #[test]
+    fn stats_ratios_and_cache_counters_accumulate() {
+        let mut svc = service();
+        assert_eq!(svc.stats().acceptance_ratio(), 1.0); // vacuous
+        svc.apply(&SystemEvent::Arrival(mk(2, 8, 500, 3)));
+        svc.apply(&SystemEvent::Arrival(hog(9))); // fast reject
+        let s = svc.stats();
+        assert_eq!((s.arrivals, s.admitted, s.rejected), (2, 1, 1));
+        assert!((s.acceptance_ratio() - 0.5).abs() < 1e-12);
+        assert!(svc.cache().misses() > 0);
+        // A second identical-shape admission hits cached entries of
+        // undisturbed tasks.
+        svc.apply(&SystemEvent::Arrival(mk(3, 8, 500, 6)));
+        assert!(svc.cache().hits() > 0);
+    }
+}

@@ -93,6 +93,80 @@ impl<'a> Timeline<'a> {
         }
     }
 
+    /// Starts a timeline from arbitrary pre-existing placements
+    /// `(job index, start)` — the *repair* path: unaffected jobs keep
+    /// their (possibly shifted) offline starts while disturbed jobs are
+    /// re-allocated around them. Exactness is derived per placement
+    /// (`start == ideal_start`).
+    ///
+    /// # Panics
+    /// Panics if the placements mutually overlap (they come from a
+    /// validated schedule; see `heuristic::repair` which pre-checks this
+    /// and falls back to full re-synthesis instead of panicking).
+    #[must_use]
+    pub fn with_placements(jobs: &'a JobSet, placements: &[(usize, Time)]) -> Self {
+        let all = jobs.as_slice();
+        let mut placed: Vec<Placed> = placements
+            .iter()
+            .map(|&(i, start)| Placed {
+                job: i,
+                start,
+                wcet: all[i].wcet(),
+                exact: start == all[i].ideal_start(),
+            })
+            .collect();
+        placed.sort_by_key(|p| p.start);
+        for w in placed.windows(2) {
+            assert!(
+                w[0].finish() <= w[1].start,
+                "pinned placements overlap: repair seed bug"
+            );
+        }
+        Timeline {
+            jobs,
+            placed,
+            horizon: jobs.horizon(),
+        }
+    }
+
+    /// Places `job_idx` exactly at its ideal instant if that interval is
+    /// free (and feasible), maximising Ψ before falling back to
+    /// [`Timeline::allocate`]. Returns `false` without touching the
+    /// timeline otherwise.
+    pub fn try_place_ideal(&mut self, job_idx: usize) -> bool {
+        let job = &self.jobs.as_slice()[job_idx];
+        let start = job.ideal_start();
+        if job.start_feasible(start) && self.is_free(start, start + job.wcet()) {
+            self.place(job_idx, start, true);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Places `job_idx` at exactly `start` if that is feasible and free
+    /// (the repair fast path: a periodic task's later jobs usually fit at
+    /// the same relative offset as its first). Returns `false` without
+    /// touching the timeline otherwise.
+    pub fn try_place_at(&mut self, job_idx: usize, start: Time) -> bool {
+        let job = &self.jobs.as_slice()[job_idx];
+        if job.start_feasible(start) && self.is_free(start, start + job.wcet()) {
+            self.place(job_idx, start, false);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The placed start of `job_idx`, if it has been placed.
+    #[must_use]
+    pub fn start_of(&self, job_idx: usize) -> Option<Time> {
+        self.placed
+            .iter()
+            .find(|p| p.job == job_idx)
+            .map(|p| p.start)
+    }
+
     /// Free slots clipped to `[lo, hi]`, in time order.
     fn slots_within(&self, lo: Time, hi: Time) -> Vec<(Time, Time)> {
         let mut out = Vec::new();
@@ -251,9 +325,11 @@ impl<'a> Timeline<'a> {
     }
 
     fn is_free(&self, lo: Time, hi: Time) -> bool {
-        self.placed
-            .iter()
-            .all(|p| p.finish() <= lo || p.start >= hi)
+        // `placed` is sorted by start and mutually non-overlapping, so
+        // finishes are monotone too: the only placement that can reach
+        // into `[lo, hi)` is the last one starting before `hi`.
+        let idx = self.placed.partition_point(|p| p.start < hi);
+        idx == 0 || self.placed[idx - 1].finish() <= lo
     }
 
     fn place(&mut self, job_idx: usize, start: Time, exact: bool) {

@@ -18,9 +18,11 @@
 
 pub mod graph;
 pub mod lccd;
+pub mod repair;
 
 pub use graph::ConflictGraph;
 pub use lccd::{SlotPolicy, Timeline};
+pub use repair::{repair, repair_neighbourhood, repair_or_resynthesize, retime, RepairOutcome};
 
 use crate::scheduler::Scheduler;
 use tagio_core::job::JobSet;

@@ -1,0 +1,572 @@
+//! Incremental schedule repair: re-place only a disturbed neighbourhood.
+//!
+//! Algorithm 1 synthesises from scratch — conflict graph, decomposition,
+//! LCC-D allocation over *every* job. When a running system gains or loses
+//! one task, almost all of that work is re-derivable from the live
+//! schedule: the undisturbed jobs keep their validated placements, and
+//! only the disturbed jobs (a new task's releases, or jobs displaced by a
+//! WCET change) go back through slot allocation.
+//!
+//! [`repair`] is that fast path: it pins the base schedule's placements
+//! for every untouched job, tries each disturbed job first at its *ideal*
+//! instant (preserving Ψ where possible) and then through the LCC-D
+//! allocator. It returns `None` — rather than degrading into a recursive
+//! displacement search — when the neighbourhood does not fit;
+//! [`repair_or_resynthesize`] then falls back to a full Algorithm 1 run,
+//! exactly the paper's offline method. The online service layers admission
+//! control and shedding on top (`tagio-online`).
+
+use super::lccd::{SlotPolicy, Timeline};
+use super::StaticScheduler;
+use crate::scheduler::Scheduler;
+use std::collections::{HashMap, HashSet};
+use tagio_core::job::{JobId, JobSet};
+use tagio_core::schedule::Schedule;
+
+/// How a repaired schedule was obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The feasible schedule for the whole job set.
+    pub schedule: Schedule,
+    /// Jobs that were (re-)placed, as opposed to pinned from the base.
+    pub replaced: usize,
+    /// `true` when incremental repair failed and the schedule came from a
+    /// full Algorithm 1 re-synthesis instead.
+    pub resynthesized: bool,
+}
+
+/// Repairs `base` into a feasible schedule for `jobs`.
+///
+/// Every job of `jobs` that appears in `base`, is **not** listed in
+/// `disturbed`, and whose base placement is still feasible (its window or
+/// WCET may have changed since `base` was synthesised) keeps its start.
+/// All other jobs — the disturbed neighbourhood — are placed anew:
+/// first at their ideal instant when free, otherwise through the LCC-D
+/// allocator under `policy`, highest priority first (Algorithm 1 line 11).
+///
+/// Returns `(schedule, replaced)` on success, `None` when the
+/// neighbourhood cannot be packed (callers fall back to
+/// [`repair_or_resynthesize`]) or when the pinned placements themselves
+/// no longer fit together (e.g. a WCET spike overlapped two pinned jobs).
+#[must_use]
+pub fn repair(
+    jobs: &JobSet,
+    base: &Schedule,
+    disturbed: &[JobId],
+    policy: SlotPolicy,
+) -> Option<(Schedule, usize)> {
+    try_repair(jobs, base, disturbed, policy).ok()
+}
+
+/// `(job, start)` pairs of a schedule, sorted by job id for binary
+/// search.
+fn sorted_starts(base: &Schedule) -> Vec<(JobId, tagio_core::time::Time)> {
+    let mut v: Vec<(JobId, tagio_core::time::Time)> =
+        base.iter().map(|e| (e.job, e.start)).collect();
+    v.sort_unstable_by_key(|&(job, _)| job);
+    v
+}
+
+fn lookup_start(
+    starts: &[(JobId, tagio_core::time::Time)],
+    job: JobId,
+) -> Option<tagio_core::time::Time> {
+    starts
+        .binary_search_by_key(&job, |&(j, _)| j)
+        .ok()
+        .map(|i| starts[i].1)
+}
+
+/// Why an incremental repair attempt failed — the diagnostics
+/// [`repair_neighbourhood`] escalates from, so the widened disturbed set
+/// covers only the *congested pockets* instead of every window the
+/// disturbance touches.
+enum RepairFailure {
+    /// These pinned placements mutually overlap under current WCETs.
+    PinnedOverlap(Vec<JobId>),
+    /// These jobs found no slot (every other job was placed or pinned).
+    Unplaceable(Vec<JobId>),
+}
+
+fn try_repair(
+    jobs: &JobSet,
+    base: &Schedule,
+    disturbed: &[JobId],
+    policy: SlotPolicy,
+) -> Result<(Schedule, usize), RepairFailure> {
+    let disturbed: HashSet<JobId> = disturbed.iter().copied().collect();
+    // Sorted lookup table instead of a HashMap: repair sits on the hot
+    // path of every online event, and binary search over a sorted Vec is
+    // markedly cheaper than hashing per job.
+    let base_starts = sorted_starts(base);
+
+    let all = jobs.as_slice();
+    let mut pinned = Vec::with_capacity(all.len());
+    let mut to_place = Vec::new();
+    for (idx, job) in all.iter().enumerate() {
+        match lookup_start(&base_starts, job.id()) {
+            Some(start) if !disturbed.contains(&job.id()) && job.start_feasible(start) => {
+                pinned.push((idx, start));
+            }
+            _ => to_place.push(idx),
+        }
+    }
+
+    // Pinned placements must still be mutually disjoint under the jobs'
+    // *current* WCETs; if not, the disturbance reaches beyond the declared
+    // neighbourhood and repair cannot help.
+    let mut intervals: Vec<(tagio_core::time::Time, tagio_core::time::Time, JobId)> = pinned
+        .iter()
+        .map(|&(i, start)| (start, start + all[i].wcet(), all[i].id()))
+        .collect();
+    intervals.sort_unstable();
+    let overlapping: Vec<JobId> = intervals
+        .windows(2)
+        .filter(|w| w[0].1 > w[1].0)
+        .flat_map(|w| [w[0].2, w[1].2])
+        .collect();
+    if !overlapping.is_empty() {
+        return Err(RepairFailure::PinnedOverlap(overlapping));
+    }
+
+    let mut timeline = Timeline::with_placements(jobs, &pinned);
+    let replaced = to_place.len();
+
+    // Highest priority first, like the static scheduler's phase three.
+    to_place.sort_by(|&a, &b| {
+        all[b]
+            .priority()
+            .cmp(&all[a].priority())
+            .then(all[a].release().cmp(&all[b].release()))
+            .then(all[a].id().task.cmp(&all[b].id().task))
+    });
+    // Periodicity fast path: once one job of a task is placed, its later
+    // jobs usually fit at the same relative offset (the schedule repeats,
+    // §III.C) — an O(log n) probe instead of a full slot allocation.
+    // `to_place` keeps a task's jobs consecutive (same priority, release
+    // order), so one offset per task suffices.
+    let mut offsets: HashMap<tagio_core::task::TaskId, tagio_core::time::Duration> = HashMap::new();
+    let mut unplaceable = Vec::new();
+    let mut failed_tasks: HashSet<tagio_core::task::TaskId> = HashSet::new();
+    for pos in 0..to_place.len() {
+        let idx = to_place[pos];
+        let job = &all[idx];
+        if timeline.try_place_ideal(idx) {
+            offsets.insert(job.id().task, job.ideal_start() - job.release());
+            continue;
+        }
+        if let Some(&offset) = offsets.get(&job.id().task) {
+            if timeline.try_place_at(idx, job.release() + offset) {
+                continue;
+            }
+        }
+        // A failed allocation is the expensive path (it exhausts slots
+        // and shifting candidates), so a task that already failed once
+        // gets only the cheap probes above for its remaining jobs — those
+        // skips fail the attempt but do NOT become escalation seeds (they
+        // would smear the neighbourhood across the whole hyper-period).
+        if failed_tasks.contains(&job.id().task) {
+            continue;
+        }
+        let pending = &to_place[pos + 1..];
+        if !timeline.allocate(idx, pending, policy) {
+            unplaceable.push(job.id());
+            failed_tasks.insert(job.id().task);
+            continue;
+        }
+        let start = timeline.start_of(idx).expect("allocate placed the job");
+        offsets.insert(job.id().task, start - job.release());
+    }
+    if !unplaceable.is_empty() {
+        return Err(RepairFailure::Unplaceable(unplaceable));
+    }
+    Ok((timeline.into_schedule(), replaced))
+}
+
+/// Minimal-shift re-timing: keep the base schedule's *execution order*
+/// and push starts right only as far as the jobs' current WCETs force.
+///
+/// This is the fast path for uniform WCET growth (a utilisation spike):
+/// every placement's finish stretches, so neighbours overlap pairwise,
+/// but the order is still right — each job keeps its start when possible
+/// and otherwise starts the instant its predecessor releases the device.
+/// Runs in `O(n log n)`; returns `None` when some job would miss its
+/// window (callers escalate to [`repair_neighbourhood`] or a full
+/// re-synthesis), or when `base` does not cover every job.
+#[must_use]
+pub fn retime(jobs: &JobSet, base: &Schedule) -> Option<Schedule> {
+    let starts = sorted_starts(base);
+    let mut order: Vec<(tagio_core::time::Time, usize)> = jobs
+        .iter()
+        .enumerate()
+        .map(|(idx, job)| lookup_start(&starts, job.id()).map(|s| (s, idx)))
+        .collect::<Option<_>>()?;
+    order.sort_unstable();
+    let all = jobs.as_slice();
+    let mut cursor = tagio_core::time::Time::ZERO;
+    let mut out = Vec::with_capacity(order.len());
+    for (base_start, idx) in order {
+        let job = &all[idx];
+        let start = base_start.max(cursor).max(job.release());
+        if start > job.latest_start() {
+            return None;
+        }
+        out.push(tagio_core::schedule::ScheduleEntry {
+            job: job.id(),
+            start,
+            duration: job.wcet(),
+        });
+        cursor = start + job.wcet();
+    }
+    Some(out.into_iter().collect())
+}
+
+/// Escalated repair: run the plain repair once to learn exactly *where*
+/// it fails — the jobs that found no slot, or the pinned placements a
+/// WCET change made overlap — then widen the disturbed set to those
+/// congested pockets (every job whose window overlaps a failed job's
+/// window) and re-place just that neighbourhood. One widening pass only;
+/// beyond that a full re-synthesis is cheaper than chasing transitive
+/// closures.
+#[must_use]
+pub fn repair_neighbourhood(
+    jobs: &JobSet,
+    base: &Schedule,
+    policy: SlotPolicy,
+) -> Option<(Schedule, usize)> {
+    let mut disturbed: HashSet<JobId> = HashSet::new();
+    // Round 0 is the plain repair; each later round frees the pockets the
+    // previous round's failures pointed at. Three rounds bound the cost —
+    // past that, a full re-synthesis is the better spend.
+    for _round in 0..3 {
+        let as_vec: Vec<JobId> = disturbed.iter().copied().collect();
+        let ids = match try_repair(jobs, base, &as_vec, policy) {
+            Ok(done) => return Some(done),
+            Err(RepairFailure::PinnedOverlap(ids) | RepairFailure::Unplaceable(ids)) => ids,
+        };
+        let mut windows: Vec<(tagio_core::time::Time, tagio_core::time::Time)> = Vec::new();
+        let mut grew = false;
+        for id in ids {
+            let job = jobs.get(id).expect("failure diagnostics name real jobs");
+            windows.push((job.release(), job.abs_deadline()));
+            grew |= disturbed.insert(id);
+        }
+        // Free every pinned job inside the congested windows. (Jobs with
+        // no feasible base placement are re-placed regardless, so only
+        // pinned jobs need explicit entries.)
+        for job in jobs {
+            if disturbed.contains(&job.id()) {
+                continue;
+            }
+            let (lo, hi) = (job.release(), job.abs_deadline());
+            if windows.iter().any(|&(wlo, whi)| lo < whi && wlo < hi) {
+                grew |= disturbed.insert(job.id());
+            }
+        }
+        if !grew {
+            return None; // stuck: the same failure would repeat verbatim
+        }
+    }
+    None
+}
+
+/// [`repair`], escalating to [`repair_neighbourhood`] and finally to a
+/// full Algorithm 1 re-synthesis (the static scheduler with `policy`)
+/// when the incremental paths fail.
+///
+/// Returns `None` only when the full method also finds the set
+/// infeasible.
+#[must_use]
+pub fn repair_or_resynthesize(
+    jobs: &JobSet,
+    base: &Schedule,
+    disturbed: &[JobId],
+    policy: SlotPolicy,
+) -> Option<RepairOutcome> {
+    // repair_neighbourhood embeds the plain attempt (it escalates from
+    // that attempt's failure diagnostics), so with no explicit disturbed
+    // set it covers both incremental tiers in one call.
+    let repaired = if disturbed.is_empty() {
+        repair_neighbourhood(jobs, base, policy)
+    } else {
+        repair(jobs, base, disturbed, policy)
+    };
+    if let Some((schedule, replaced)) = repaired {
+        return Some(RepairOutcome {
+            schedule,
+            replaced,
+            resynthesized: false,
+        });
+    }
+    StaticScheduler::with_policy(policy)
+        .schedule(jobs)
+        .map(|schedule| RepairOutcome {
+            schedule,
+            replaced: jobs.len(),
+            resynthesized: true,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+    use tagio_core::time::Duration;
+
+    fn task(id: u32, period_ms: u64, wcet_us: u64, delta_ms: u64) -> IoTask {
+        IoTask::builder(TaskId(id), DeviceId(0))
+            .wcet(Duration::from_micros(wcet_us))
+            .period(Duration::from_millis(period_ms))
+            .ideal_offset(Duration::from_millis(delta_ms))
+            .margin(Duration::from_millis(period_ms) / 4)
+            .build()
+            .unwrap()
+    }
+
+    fn base_for(tasks: &TaskSet) -> (JobSet, Schedule) {
+        let jobs = JobSet::expand(tasks);
+        let s = StaticScheduler::new().schedule(&jobs).expect("feasible");
+        (jobs, s)
+    }
+
+    #[test]
+    fn repairing_nothing_returns_base_placements() {
+        let tasks: TaskSet = vec![task(0, 8, 500, 2), task(1, 8, 500, 5)]
+            .into_iter()
+            .collect();
+        let (jobs, base) = base_for(&tasks);
+        let (repaired, replaced) =
+            repair(&jobs, &base, &[], SlotPolicy::default()).expect("repairable");
+        assert_eq!(replaced, 0);
+        assert_eq!(repaired, base);
+    }
+
+    #[test]
+    fn arrival_repair_pins_existing_jobs() {
+        let old: TaskSet = vec![task(0, 8, 500, 2), task(1, 8, 500, 5)]
+            .into_iter()
+            .collect();
+        let (_, base) = base_for(&old);
+        let mut grown = old.clone();
+        grown.push(task(2, 8, 500, 3)).unwrap();
+        let jobs = JobSet::expand(&grown);
+        let disturbed: Vec<JobId> = jobs
+            .iter()
+            .filter(|j| j.id().task == TaskId(2))
+            .map(|j| j.id())
+            .collect();
+        let (repaired, replaced) =
+            repair(&jobs, &base, &disturbed, SlotPolicy::default()).expect("repairable");
+        repaired.validate(&jobs).unwrap();
+        assert_eq!(replaced, disturbed.len());
+        // Undisturbed jobs kept their placements.
+        for e in &base {
+            assert_eq!(repaired.start_of(e.job), Some(e.start));
+        }
+    }
+
+    #[test]
+    fn repair_prefers_ideal_instant_for_new_jobs() {
+        let old: TaskSet = vec![task(0, 8, 500, 2)].into_iter().collect();
+        let (_, base) = base_for(&old);
+        let mut grown = old.clone();
+        grown.push(task(1, 8, 500, 5)).unwrap(); // ideal slot is free
+        let jobs = JobSet::expand(&grown);
+        let disturbed: Vec<JobId> = jobs
+            .iter()
+            .filter(|j| j.id().task == TaskId(1))
+            .map(|j| j.id())
+            .collect();
+        let (repaired, _) =
+            repair(&jobs, &base, &disturbed, SlotPolicy::default()).expect("repairable");
+        let j = jobs.get(disturbed[0]).unwrap();
+        assert_eq!(repaired.start_of(j.id()), Some(j.ideal_start()));
+    }
+
+    #[test]
+    fn repair_fails_when_neighbourhood_cannot_fit() {
+        // One task owns almost the whole period; a second with the same
+        // tight window cannot be packed without displacing pinned jobs.
+        let old: TaskSet = vec![task(0, 4, 3_000, 1)].into_iter().collect();
+        let (_, base) = base_for(&old);
+        let mut grown = old.clone();
+        grown.push(task(1, 4, 3_000, 1)).unwrap();
+        let jobs = JobSet::expand(&grown);
+        let disturbed: Vec<JobId> = jobs
+            .iter()
+            .filter(|j| j.id().task == TaskId(1))
+            .map(|j| j.id())
+            .collect();
+        assert!(repair(&jobs, &base, &disturbed, SlotPolicy::default()).is_none());
+    }
+
+    #[test]
+    fn retime_absorbs_uniform_wcet_growth() {
+        let tasks: TaskSet = vec![task(0, 8, 500, 2), task(1, 8, 500, 3)]
+            .into_iter()
+            .collect();
+        let (_, base) = base_for(&tasks);
+        // 3x WCETs: placements 2..3.5 and 3..4.5 overlap, but order-
+        // preserving shifts fit: 2..3.5 then 3.5..5.
+        let fat: TaskSet = vec![task(0, 8, 1_500, 2), task(1, 8, 1_500, 3)]
+            .into_iter()
+            .collect();
+        let jobs = JobSet::expand(&fat);
+        let retimed = retime(&jobs, &base).expect("order-preserving shift fits");
+        retimed.validate(&jobs).unwrap();
+        use tagio_core::time::Time;
+        assert_eq!(
+            retimed.start_of(tagio_core::job::JobId::new(TaskId(0), 0)),
+            Some(Time::from_millis(2)),
+            "first job keeps its start"
+        );
+        assert_eq!(
+            retimed.start_of(tagio_core::job::JobId::new(TaskId(1), 0)),
+            Some(Time::from_micros(3_500)),
+            "second job starts when the device frees"
+        );
+    }
+
+    #[test]
+    fn retime_fails_past_the_window() {
+        let tasks: TaskSet = vec![task(0, 8, 500, 2), task(1, 4, 500, 1)]
+            .into_iter()
+            .collect();
+        let (_, base) = base_for(&tasks);
+        // Grown WCETs that individually fit their windows but, pushed
+        // right in base order, shove the last job past its deadline.
+        let fat: TaskSet = vec![task(0, 8, 4_000, 2), task(1, 4, 3_000, 1)]
+            .into_iter()
+            .collect();
+        let jobs = JobSet::expand(&fat);
+        assert!(retime(&jobs, &base).is_none());
+        // And a base missing some job cannot be retimed either.
+        let jobs_more: TaskSet = vec![task(0, 8, 500, 2), task(1, 4, 500, 1), task(2, 8, 500, 6)]
+            .into_iter()
+            .collect();
+        assert!(retime(&JobSet::expand(&jobs_more), &base).is_none());
+    }
+
+    #[test]
+    fn neighbourhood_repair_unpins_conflicting_survivors() {
+        // The newcomer's only window is fully covered by a pinned exact
+        // job, so plain repair fails — but re-placing the neighbourhood
+        // (both jobs) fits them side by side.
+        let old: TaskSet = vec![task(0, 8, 2_000, 4)].into_iter().collect();
+        let (_, base) = base_for(&old);
+        let mut grown = old.clone();
+        // Window [2, 8]: slots around the pinned 4..6 are [2,4) and [6,8),
+        // each 2ms; a 3ms job fits neither directly nor by shifting the
+        // pinned job (it cannot move before its own ideal... it can shift
+        // left to 2). Use margin boundaries that force the failure:
+        grown
+            .push(
+                IoTask::builder(TaskId(1), DeviceId(0))
+                    .wcet(Duration::from_micros(3_000))
+                    .period(Duration::from_millis(8))
+                    .ideal_offset(Duration::from_millis(4))
+                    .margin(Duration::from_millis(2))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let jobs = JobSet::expand(&grown);
+        let disturbed: Vec<JobId> = jobs
+            .iter()
+            .filter(|j| j.id().task == TaskId(1))
+            .map(|j| j.id())
+            .collect();
+        let plain = repair(&jobs, &base, &disturbed, SlotPolicy::default());
+        if let Some((s, _)) = &plain {
+            s.validate(&jobs).unwrap();
+        }
+        let escalated = repair_or_resynthesize(&jobs, &base, &[], SlotPolicy::default())
+            .expect("feasible overall");
+        escalated.schedule.validate(&jobs).unwrap();
+    }
+
+    #[test]
+    fn neighbourhood_repair_handles_overlapping_pins() {
+        // A WCET spike overlaps two pinned placements; the neighbourhood
+        // path re-places them without a full re-synthesis.
+        let tasks: TaskSet = vec![task(0, 8, 500, 2), task(1, 8, 500, 3)]
+            .into_iter()
+            .collect();
+        let (_, base) = base_for(&tasks);
+        let fat: TaskSet = vec![task(0, 8, 1_500, 2), task(1, 8, 500, 3)]
+            .into_iter()
+            .collect();
+        let jobs = JobSet::expand(&fat);
+        let (repaired, replaced) =
+            repair_neighbourhood(&jobs, &base, SlotPolicy::default()).expect("repairable");
+        repaired.validate(&jobs).unwrap();
+        assert!(replaced >= 2, "both overlapping jobs re-placed");
+    }
+
+    #[test]
+    fn fallback_resynthesizes_when_repair_fails() {
+        // Same shape, but a full re-synthesis CAN fit both by moving the
+        // first task off its ideal instant.
+        let old: TaskSet = vec![task(0, 8, 2_000, 4)].into_iter().collect();
+        let (_, base) = base_for(&old);
+        let mut grown = old.clone();
+        grown.push(task(1, 8, 2_000, 4)).unwrap();
+        let jobs = JobSet::expand(&grown);
+        let disturbed: Vec<JobId> = jobs
+            .iter()
+            .filter(|j| j.id().task == TaskId(1))
+            .map(|j| j.id())
+            .collect();
+        let outcome =
+            repair_or_resynthesize(&jobs, &base, &disturbed, SlotPolicy::default()).unwrap();
+        outcome.schedule.validate(&jobs).unwrap();
+        // Repair alone may or may not manage this; the point is the
+        // fallback produces a valid full schedule when it does not.
+        if outcome.resynthesized {
+            assert_eq!(outcome.replaced, jobs.len());
+        }
+    }
+
+    #[test]
+    fn departures_shrink_to_a_subset_without_moving_survivors() {
+        let tasks: TaskSet = vec![task(0, 8, 500, 2), task(1, 8, 500, 5), task(2, 4, 300, 1)]
+            .into_iter()
+            .collect();
+        let (_, base) = base_for(&tasks);
+        let remaining: TaskSet = tasks
+            .iter()
+            .filter(|t| t.id() != TaskId(2))
+            .cloned()
+            .collect();
+        let jobs = JobSet::expand(&remaining);
+        let (repaired, replaced) =
+            repair(&jobs, &base, &[], SlotPolicy::default()).expect("shrinking is trivial");
+        repaired.validate(&jobs).unwrap();
+        assert_eq!(replaced, 0);
+    }
+
+    #[test]
+    fn overlapping_pinned_placements_fail_cleanly() {
+        // A WCET spike makes two *pinned* placements overlap: repair must
+        // return None (not panic), unless the grown task is declared
+        // disturbed — then it is re-placed around the survivor.
+        let tasks: TaskSet = vec![task(0, 8, 500, 2), task(1, 8, 500, 3)]
+            .into_iter()
+            .collect();
+        let (_, base) = base_for(&tasks);
+        let fat: TaskSet = vec![task(0, 8, 1_500, 2), task(1, 8, 500, 3)]
+            .into_iter()
+            .collect();
+        let jobs = JobSet::expand(&fat);
+        assert!(repair(&jobs, &base, &[], SlotPolicy::default()).is_none());
+        let disturbed: Vec<JobId> = jobs
+            .iter()
+            .filter(|j| j.id().task == TaskId(0))
+            .map(|j| j.id())
+            .collect();
+        let (repaired, replaced) =
+            repair(&jobs, &base, &disturbed, SlotPolicy::default()).expect("re-place fat task");
+        repaired.validate(&jobs).unwrap();
+        assert_eq!(replaced, 1);
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(clippy::all)]
 
 pub mod analysis;
+pub mod cache;
 pub mod edf;
 pub mod fps;
 pub mod ga_sched;
@@ -51,11 +52,15 @@ pub mod scheduler;
 pub mod stats;
 
 pub use analysis::{response_time_np_fps, taskset_schedulable_np_fps, ResponseTime};
+pub use cache::AnalysisCache;
 pub use edf::EdfOffline;
 pub use fps::{fps_online_schedulable, FpsOffline};
 pub use ga_sched::{reconfigure, GaScheduleResult, GaScheduler};
 pub use gpiocp::Gpiocp;
-pub use heuristic::{ConflictGraph, SlotPolicy, StaticScheduler, Timeline};
+pub use heuristic::{
+    repair, repair_neighbourhood, repair_or_resynthesize, retime, ConflictGraph, RepairOutcome,
+    SlotPolicy, StaticScheduler, Timeline,
+};
 pub use optimal::OptimalPsi;
 pub use registry::{
     make_scheduler, method_names, registry_help, BoxedScheduler, MethodSet, UnknownMethod,

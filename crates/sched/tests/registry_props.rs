@@ -1,0 +1,103 @@
+//! Property-based tests of the scheduler registry's name handling:
+//! `MethodSet::parse` / `from_names` round-trips, unknown-name
+//! rejection, and duplicate/whitespace/empty-segment behaviour — the
+//! paths every experiment binary's `--methods` flag funnels through.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tagio_sched::{make_scheduler, method_names, MethodSet};
+
+/// A registered method name drawn by index.
+fn name_at(i: usize) -> &'static str {
+    let names = method_names();
+    names[i % names.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// names -> csv -> parse -> names round-trips, preserving order and
+    /// multiplicity (the registry allows selecting a method twice — two
+    /// columns with the same scheduler are legitimate in a sweep).
+    #[test]
+    fn csv_round_trips_any_selection(picks in vec(0usize..10, 1..8)) {
+        let names: Vec<&str> = picks.iter().map(|&i| name_at(i)).collect();
+        let csv = names.join(",");
+        let set = MethodSet::parse(&csv).expect("registered names parse");
+        prop_assert_eq!(set.names(), names.clone());
+        prop_assert_eq!(set.len(), names.len());
+        // And the explicit-iterable constructor agrees with the csv path.
+        let direct = MethodSet::from_names(&names).expect("registered names");
+        prop_assert_eq!(direct.names(), set.names());
+    }
+
+    /// Whitespace around names and empty segments never change the
+    /// selection.
+    #[test]
+    fn csv_is_whitespace_and_empty_segment_insensitive(
+        picks in vec(0usize..10, 1..6),
+        pad in 0usize..3,
+    ) {
+        let names: Vec<&str> = picks.iter().map(|&i| name_at(i)).collect();
+        let spaces = " ".repeat(pad);
+        let noisy = names
+            .iter()
+            .map(|n| format!("{spaces}{n}{spaces}"))
+            .collect::<Vec<_>>()
+            .join(",")
+            + ",,";
+        let set = MethodSet::parse(&noisy).expect("noisy csv still parses");
+        prop_assert_eq!(set.names(), names);
+    }
+
+    /// A single corrupted name anywhere in the list rejects the whole
+    /// selection and names the offender (no partial method sets).
+    #[test]
+    fn one_unknown_name_rejects_the_whole_list(
+        picks in vec(0usize..10, 1..6),
+        corrupt_at in 0usize..6,
+        suffix in 1u32..1000,
+    ) {
+        let mut names: Vec<String> =
+            picks.iter().map(|&i| name_at(i).to_owned()).collect();
+        let at = corrupt_at % names.len();
+        names[at] = format!("{}-bogus{suffix}", names[at]);
+        let bad = names[at].clone();
+        let err = MethodSet::parse(&names.join(",")).expect_err("must reject");
+        prop_assert_eq!(err.0, bad.clone());
+        // The error message lists the known names for discoverability.
+        let msg = err.to_string();
+        prop_assert!(msg.contains(&bad));
+        prop_assert!(msg.contains("fps-offline"));
+        // from_names rejects identically.
+        prop_assert!(MethodSet::from_names(&names).is_err());
+    }
+
+    /// Registry lookups agree with parse: a name is constructible iff a
+    /// one-element parse succeeds.
+    #[test]
+    fn make_scheduler_and_parse_agree(i in 0usize..10, mangle in 0u8..2) {
+        let name = if mangle == 0 {
+            name_at(i).to_owned()
+        } else {
+            format!("{}x", name_at(i))
+        };
+        let direct = make_scheduler(&name).is_some();
+        let parsed = MethodSet::parse(&name).is_ok();
+        prop_assert_eq!(direct, parsed);
+        if direct {
+            // Parsed sets evaluate under the display name they were
+            // requested with.
+            let set = MethodSet::parse(&name).unwrap();
+            prop_assert_eq!(set.names(), vec![name.as_str()]);
+        }
+    }
+}
+
+#[test]
+fn empty_and_blank_lists_are_rejected() {
+    for csv in ["", " ", ",", " , ,, "] {
+        let err = MethodSet::parse(csv).expect_err("blank list must not select zero methods");
+        assert!(err.to_string().contains("empty method list"), "{err}");
+    }
+}

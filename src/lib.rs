@@ -16,6 +16,7 @@
 //! | [`workload`] | `tagio-workload` | UUniFast + the paper's §V.A system generator |
 //! | [`sched`] | `tagio-sched` | static heuristic, GA scheduler, FPS & GPIOCP baselines |
 //! | [`ga`] | `tagio-ga` | the multi-objective GA engine |
+//! | [`online`] | `tagio-online` | event-driven online scheduling: admission, repair, shedding |
 //! | [`controller`] | `tagio-controller` | the Section IV controller simulator |
 //! | [`noc`] | `tagio-noc` | flit-level mesh NoC simulator |
 //! | [`hwcost`] | `tagio-hwcost` | Table I resource model |
@@ -54,5 +55,6 @@ pub use tagio_core as core;
 pub use tagio_ga as ga;
 pub use tagio_hwcost as hwcost;
 pub use tagio_noc as noc;
+pub use tagio_online as online;
 pub use tagio_sched as sched;
 pub use tagio_workload as workload;
