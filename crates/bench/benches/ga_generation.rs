@@ -46,11 +46,11 @@ impl Problem for IoProblem<'_> {
 
     fn evaluate(&self, genome: &[u64]) -> Objectives {
         match reconfigure(self.jobs, genome) {
-            Some(schedule) => Objectives::from(vec![
+            Ok(schedule) => Objectives::from(vec![
                 metrics::psi(&schedule, self.jobs),
                 metrics::upsilon(&schedule, self.jobs),
             ]),
-            None => Objectives::from(vec![-1.0, -1.0]),
+            Err(_) => Objectives::from(vec![-1.0, -1.0]),
         }
     }
 }

@@ -33,7 +33,7 @@ fn bench_controller_replay(c: &mut Criterion) {
         .map(|(dev, jobs)| {
             // A real (conflict-free) offline schedule; fall back to the
             // all-ideal layout if the heuristic declines the partition.
-            let s = StaticScheduler::new().schedule(&jobs).unwrap_or_else(|| {
+            let s = StaticScheduler::new().schedule(&jobs).unwrap_or_else(|_| {
                 jobs.iter()
                     .map(|j| entry_for(j, j.ideal_start()))
                     .collect::<Schedule>()

@@ -15,7 +15,11 @@
 //!   seeded test in `tagio-online`), **not deterministic** across runs;
 //! * `psi` / `upsilon` — the live schedule's quality after the stream;
 //! * `psi_drop` — Ψ degradation versus the bootstrapped base schedule;
-//! * `shed` — tasks dropped to survive overload spikes.
+//! * `shed` — tasks dropped to survive overload spikes, split into
+//!   `shed_overload` (decided by arithmetic) and `shed_infeasible`
+//!   (construction kept failing) from the solvers' diagnostics;
+//! * `rej_overload` / `rej_infeasible` — arrival rejections by
+//!   diagnostic cause (admission gate vs. failed integration).
 //!
 //! The sweep axis is the number of arrival attempts per scenario.
 //! Scenario event-trace format and JSON schema: EXPERIMENTS.md.
@@ -42,6 +46,12 @@ fn strategy_method(name: &str, strategy: RepairStrategy) -> Method<Scenario> {
             ("upsilon", out.upsilon),
             ("psi_drop", out.psi_drop),
             ("shed", out.shed as f64),
+            // Shed/reject reasons from the solvers' Infeasible
+            // diagnostics: arithmetic overload vs. failed construction.
+            ("shed_overload", out.shed_overload as f64),
+            ("shed_infeasible", out.shed_infeasible as f64),
+            ("rej_overload", out.reject_overload as f64),
+            ("rej_infeasible", out.reject_infeasible as f64),
         ])
     })
 }

@@ -2,7 +2,7 @@
 //! adapters (built from the scheduler registry, the threaded GA, or any
 //! closure), and a [`Runner`] that fans each sweep point's systems across
 //! a worker pool and folds the outcomes into a structured
-//! [`Report`](crate::report::Report).
+//! [`Report`] document.
 //!
 //! Every experiment binary is a thin declaration on top of this module:
 //! describe the sweep, name the methods, run, render.
@@ -11,7 +11,7 @@ use crate::report::{MethodReport, PointReport, Report};
 use crate::{parallel_map_with, EvalSystem, Options};
 use tagio_ga::{hypervolume_2d, GaConfig, Objectives};
 use tagio_sched::{
-    fps_online_schedulable, GaScheduler, MethodSet, SchedulingReport, UnknownMethod,
+    fps_online_schedulable, GaScheduler, MethodError, MethodSet, SchedulingReport, SolverCtx,
 };
 
 /// One point of a sweep: a display label plus the numeric parameter value.
@@ -157,22 +157,24 @@ impl<S: Sync> Method<S> {
 }
 
 impl Method<EvalSystem> {
-    /// A method from the scheduler registry, by name (see
-    /// [`tagio_sched::registry`]).
+    /// A method from the scheduler registry, by (possibly parameterized)
+    /// spec (see [`tagio_sched::registry`] for the grammar).
     ///
     /// # Errors
-    /// Returns [`UnknownMethod`] for names the registry does not know.
-    pub fn scheduler(name: &str) -> Result<Self, UnknownMethod> {
+    /// Returns [`MethodError`] for specs the registry rejects.
+    pub fn scheduler(name: &str) -> Result<Self, MethodError> {
         let mut methods = Self::from_set(MethodSet::from_names([name])?);
         Ok(methods.remove(0))
     }
 
     /// One method per entry of a [`MethodSet`] — the bridge from
-    /// `--methods fps-offline,static,...` to the engine.
+    /// `--methods fps-offline,static,...` to the engine. Each system is
+    /// solved under a [`SolverCtx`] carrying its per-system seed, so
+    /// seeded solvers (e.g. a registry `ga:...` spec) vary per system
+    /// like the figure binaries' GA does.
     ///
-    /// The registry's `ga` entry keeps its fixed quick config and seed 0
-    /// here; sweeps that want CLI budgets and per-system seeds use
-    /// [`Method::from_set_with_ga`].
+    /// Sweeps that want CLI budgets and the engine's thread split for
+    /// the `ga` column use [`Method::from_set_with_ga`].
     #[must_use]
     pub fn from_set(set: MethodSet) -> Vec<Self> {
         set.into_iter()
@@ -197,9 +199,12 @@ impl Method<EvalSystem> {
             .collect()
     }
 
-    fn wrap(name: String, scheduler: tagio_sched::BoxedScheduler) -> Self {
+    fn wrap(name: String, solver: tagio_sched::BoxedSolver) -> Self {
         Method::new(name, move |sys: &EvalSystem, _: &SweepPoint| {
-            Outcome::from_report(&SchedulingReport::evaluate(scheduler.as_ref(), &sys.jobs))
+            let ctx = SolverCtx::seeded(sys.seed);
+            let report = SchedulingReport::evaluate_with(solver.as_ref(), &sys.jobs, &ctx)
+                .unwrap_or_else(|bug| panic!("{bug}"));
+            Outcome::from_report(&report)
         })
     }
 
@@ -221,10 +226,9 @@ impl Method<EvalSystem> {
             name,
             move |sys: &EvalSystem, _: &SweepPoint| match GaScheduler::new()
                 .with_config(config.clone())
-                .with_seed(sys.seed)
-                .search(&sys.jobs)
+                .search_with(&sys.jobs, &SolverCtx::seeded(sys.seed))
             {
-                Some(result) => {
+                Ok(result) => {
                     let best_psi = result.front.iter().map(|t| t.0).fold(f64::MIN, f64::max);
                     let best_ups = result.front.iter().map(|t| t.1).fold(f64::MIN, f64::max);
                     let front: Vec<Objectives> = result
@@ -238,7 +242,7 @@ impl Method<EvalSystem> {
                         ("hypervolume", hypervolume_2d(&front, [0.0, 0.0])),
                     ])
                 }
-                None => Outcome::infeasible(),
+                Err(_) => Outcome::infeasible(),
             },
         )
     }

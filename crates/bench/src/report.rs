@@ -314,18 +314,21 @@ mod tests {
                 schedulable: true,
                 psi: 1.0,
                 upsilon: 0.9,
+                diagnostic: None,
             },
             SchedulingReport {
                 method: "static".into(),
                 schedulable: false,
                 psi: 0.0,
                 upsilon: 0.0,
+                diagnostic: None,
             },
             SchedulingReport {
                 method: "static".into(),
                 schedulable: true,
                 psi: 0.4,
                 upsilon: 0.5,
+                diagnostic: None,
             },
         ];
         let stats = MethodStats::collect("static", reports.iter());

@@ -61,6 +61,7 @@ pub mod job;
 pub mod metrics;
 pub mod quality;
 pub mod schedule;
+pub mod solve;
 pub mod task;
 pub mod time;
 
@@ -69,5 +70,6 @@ pub use event::{Mode, ModeId, SystemEvent, TimedEvent};
 pub use job::{Job, JobId, JobSet};
 pub use quality::{QualityCurve, QualityShape};
 pub use schedule::{entry_for, Schedule, ScheduleEntry};
+pub use solve::{Infeasible, InfeasibleCause, SolveBudget, SolverCtx};
 pub use task::{DeviceId, IoTask, IoTaskBuilder, Priority, TaskId, TaskSet};
 pub use time::{Duration, Time};

@@ -14,7 +14,7 @@
 //!    incrementally), plus a trivial utilisation gate, so hopeless
 //!    arrivals are rejected without touching the schedule.
 //! 2. **Incremental schedule repair**
-//!    ([`tagio_sched::heuristic::repair`]) — undisturbed jobs keep their
+//!    ([`fn@tagio_sched::heuristic::repair::repair`]) — undisturbed jobs keep their
 //!    validated placements; only the disturbed neighbourhood goes back
 //!    through LCC-D slot allocation, falling back to a full Algorithm 1
 //!    re-synthesis (and, when the cached analysis signals feasibility, to a

@@ -100,6 +100,17 @@ pub struct ReplayOutcome {
     pub fps_fallbacks: usize,
     /// Tasks shed under overload.
     pub shed: usize,
+    /// Sheds decided by arithmetic alone (utilisation gate, or a WCET
+    /// invalid at the spike level).
+    pub shed_overload: usize,
+    /// Sheds forced by schedule-construction failures below capacity.
+    pub shed_infeasible: usize,
+    /// Arrival rejections whose diagnostic cause was utilisation
+    /// overload (the admission gate's fast rejects).
+    pub reject_overload: usize,
+    /// Arrival rejections whose diagnostic came from the failed
+    /// integration tiers (no feasible slot / blocking bound).
+    pub reject_infeasible: usize,
     /// Ψ of the final schedule.
     pub psi: f64,
     /// Υ of the final schedule.
@@ -265,6 +276,14 @@ impl Scenario {
             let _ = svc.apply(&ev.event);
         }
         let stats = svc.stats();
+        use tagio_core::solve::InfeasibleCause;
+        let reject_overload = stats.rejects_with_cause(InfeasibleCause::UtilisationOverload);
+        let reject_infeasible = stats
+            .reject_causes
+            .iter()
+            .filter(|(cause, _)| **cause != InfeasibleCause::UtilisationOverload)
+            .map(|(_, n)| n)
+            .sum();
         ReplayOutcome {
             arrivals: stats.arrivals,
             admitted: stats.admitted,
@@ -275,6 +294,10 @@ impl Scenario {
             resyntheses: stats.resyntheses,
             fps_fallbacks: stats.fps_fallbacks,
             shed: stats.shed,
+            shed_overload: stats.shed_overload,
+            shed_infeasible: stats.shed_infeasible,
+            reject_overload,
+            reject_infeasible,
             psi: svc.psi(),
             upsilon: svc.upsilon(),
             psi_drop: psi0 - svc.psi(),

@@ -32,6 +32,7 @@ use std::collections::BTreeMap;
 use tagio_core::event::{Mode, SystemEvent};
 use tagio_core::job::JobSet;
 use tagio_core::schedule::Schedule;
+use tagio_core::solve::{Infeasible, InfeasibleCause};
 use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
 use tagio_core::{metrics, ModeId};
 use tagio_sched::heuristic::repair::repair_or_resynthesize;
@@ -52,17 +53,29 @@ pub enum RepairStrategy {
 }
 
 /// Why an arrival (or re-admission) was turned away.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RejectReason {
-    /// The candidate set's utilisation exceeds the device capacity —
-    /// rejected by the admission gate alone.
-    Overutilised,
-    /// No integration path produced a feasible schedule.
-    Infeasible,
+    /// No admission path produced a feasible schedule; the attached
+    /// [`Infeasible`] diagnostic says why and where. An
+    /// [`InfeasibleCause::UtilisationOverload`] cause means the
+    /// admission gate alone decided (a *fast reject*, no schedule work);
+    /// other causes come from the failed integration tiers.
+    Infeasible(Infeasible),
     /// A task with this id is already active.
     DuplicateTask,
     /// The task's parameters cannot hold under the current spike level.
     InvalidUnderLoad,
+}
+
+impl RejectReason {
+    /// The solver diagnostic, when the rejection carries one.
+    #[must_use]
+    pub fn diagnostic(&self) -> Option<&Infeasible> {
+        match self {
+            RejectReason::Infeasible(d) => Some(d),
+            _ => None,
+        }
+    }
 }
 
 /// The service's verdict on one applied event.
@@ -131,6 +144,17 @@ pub struct OnlineStats {
     pub rejected: usize,
     /// Rejections decided by the admission gate alone (no schedule work).
     pub fast_rejects: usize,
+    /// Rejections carrying a solver diagnostic, counted by cause
+    /// (`utilisation-overload` = the gate, other causes = failed
+    /// integration).
+    pub reject_causes: BTreeMap<InfeasibleCause, usize>,
+    /// Tasks shed to survive spikes where arithmetic alone (the
+    /// utilisation gate, or a WCET no longer valid at the spike level)
+    /// decided the victim.
+    pub shed_overload: usize,
+    /// Tasks shed because schedule construction kept failing below
+    /// capacity.
+    pub shed_infeasible: usize,
     /// Departure events applied (including mode-change deactivations).
     pub departures: usize,
     /// Successful incremental repairs.
@@ -192,6 +216,16 @@ impl OnlineStats {
         } else {
             self.admission_time.as_micros() as f64 / self.admission_events as f64
         }
+    }
+
+    /// Rejections whose diagnostic cause is `cause`.
+    #[must_use]
+    pub fn rejects_with_cause(&self, cause: InfeasibleCause) -> usize {
+        self.reject_causes.get(&cause).copied().unwrap_or(0)
+    }
+
+    fn record_reject_cause(&mut self, cause: InfeasibleCause) {
+        *self.reject_causes.entry(cause).or_insert(0) += 1;
     }
 }
 
@@ -261,9 +295,9 @@ impl OnlineScheduler {
             return Err(tasks);
         }
         let jobs = JobSet::expand(&tasks);
-        let Some(schedule) = StaticScheduler::with_policy(svc.policy)
+        let Ok(schedule) = StaticScheduler::with_policy(svc.policy)
             .schedule(&jobs)
-            .or_else(|| FpsOffline::new().schedule(&jobs))
+            .or_else(|_| FpsOffline::new().schedule(&jobs))
         else {
             return Err(tasks);
         };
@@ -369,13 +403,20 @@ impl OnlineScheduler {
             };
         };
         // 1. Utilisation gate: a necessary condition, checked without any
-        //    schedule work.
+        //    schedule work. The diagnostic names the newcomer — it is the
+        //    task that does not fit, whatever else is running.
         if self.tasks.utilisation() + effective.utilisation() > 1.0 + 1e-9 {
             self.stats.rejected += 1;
             self.stats.fast_rejects += 1;
+            self.stats
+                .record_reject_cause(InfeasibleCause::UtilisationOverload);
             return EventOutcome::Rejected {
                 task: id,
-                reason: RejectReason::Overutilised,
+                reason: RejectReason::Infeasible(
+                    Infeasible::new(InfeasibleCause::UtilisationOverload)
+                        .with_tasks([id])
+                        .with_partial(self.psi(), self.upsilon()),
+                ),
             };
         }
         // 2. Cached pre-check: recomputes only the entries the newcomer
@@ -389,7 +430,7 @@ impl OnlineScheduler {
         let guaranteed = self.cache.schedulable(&candidate);
         // 3. Integration tiers.
         match self.integrate(&candidate, guaranteed) {
-            Some((jobs, outcome, latency)) => {
+            Ok((jobs, outcome, latency)) => {
                 let replaced = outcome.replaced;
                 let resynthesized = outcome.resynthesized;
                 self.tasks = candidate;
@@ -404,13 +445,14 @@ impl OnlineScheduler {
                     latency,
                 }
             }
-            None => {
+            Err(diagnostic) => {
                 // Purge entries computed against the rejected candidate.
                 self.cache.invalidate_for(&effective);
                 self.stats.rejected += 1;
+                self.stats.record_reject_cause(diagnostic.cause);
                 EventOutcome::Rejected {
                     task: id,
-                    reason: RejectReason::Infeasible,
+                    reason: RejectReason::Infeasible(diagnostic),
                 }
             }
         }
@@ -451,7 +493,7 @@ impl OnlineScheduler {
                 RepairStrategy::Incremental => repaired(),
                 RepairStrategy::FullResynthesis => StaticScheduler::with_policy(self.policy)
                     .schedule(&jobs)
-                    .or_else(repaired),
+                    .or_else(|_| repaired()),
             }
             .expect("a subset of a feasible schedule stays feasible")
         });
@@ -522,7 +564,10 @@ impl OnlineScheduler {
             let nominal = self.pool.get(&t.id()).unwrap_or(t);
             match scale_task(nominal, percent) {
                 Some(scaled) => survivors.push(scaled),
-                None => shed.push(t.id()),
+                None => {
+                    shed.push(t.id());
+                    self.stats.shed_overload += 1;
+                }
             }
         }
         // Shed by the utilisation gate first — no schedule construction
@@ -533,6 +578,7 @@ impl OnlineScheduler {
                 break;
             };
             shed.push(survivors.remove(victim).id());
+            self.stats.shed_overload += 1;
         }
         // Then shed in quality order until a feasible schedule exists.
         loop {
@@ -547,7 +593,7 @@ impl OnlineScheduler {
                         // repair_or_resynthesize embeds the plain-repair,
                         // neighbourhood and Algorithm 1 tiers.
                         tagio_sched::heuristic::repair::retime(&jobs, &self.schedule).or_else(
-                            || {
+                            |_| {
                                 repair_or_resynthesize(&jobs, &self.schedule, &[], self.policy)
                                     .map(|o| o.schedule)
                             },
@@ -557,10 +603,10 @@ impl OnlineScheduler {
                         StaticScheduler::with_policy(self.policy).schedule(&jobs)
                     }
                 }
-                .or_else(|| FpsOffline::new().schedule(&jobs))
+                .or_else(|_| FpsOffline::new().schedule(&jobs))
             });
             self.record_construction(timed);
-            if let Some(schedule) = result {
+            if let Ok(schedule) = result {
                 debug_assert!(schedule.validate(&jobs).is_ok());
                 self.cache.clear(); // every WCET changed
                 self.tasks = candidate;
@@ -581,16 +627,20 @@ impl OnlineScheduler {
                 return EventOutcome::SpikeApplied { percent, shed };
             };
             shed.push(survivors.remove(victim).id());
+            self.stats.shed_infeasible += 1;
         }
     }
 
     /// Builds the schedule for `candidate` (arrival path). Returns the
-    /// expanded jobs, the repair outcome and the construction latency.
+    /// expanded jobs, the repair outcome and the construction latency,
+    /// or the most informative diagnostic when every tier failed (the
+    /// re-synthesis tier's — the FPS fallback is quality-blind and only
+    /// consulted under a pre-check guarantee).
     fn integrate(
         &mut self,
         candidate: &TaskSet,
         guaranteed: bool,
-    ) -> Option<(JobSet, tagio_sched::RepairOutcome, std::time::Duration)> {
+    ) -> Result<(JobSet, tagio_sched::RepairOutcome, std::time::Duration), Infeasible> {
         let jobs = JobSet::expand(candidate);
         let new_h = candidate.hyperperiod();
         let old_h = self.tasks.hyperperiod();
@@ -616,14 +666,18 @@ impl OnlineScheduler {
                         resynthesized: true,
                     }),
             };
-            outcome.or_else(|| {
+            outcome.or_else(|diagnostic| {
                 // The response-time signal: try the actual FPS
                 // simulation and admit only on its real (quality-blind)
                 // schedule — ties in priority make the analysis alone
-                // insufficient.
-                guaranteed
-                    .then(|| FpsOffline::new().schedule(&jobs))
-                    .flatten()
+                // insufficient. On failure, keep the richer diagnostic
+                // of the repair/re-synthesis tier.
+                if !guaranteed {
+                    return Err(diagnostic);
+                }
+                FpsOffline::new()
+                    .schedule(&jobs)
+                    .map_err(|_| diagnostic)
                     .map(|schedule| tagio_sched::RepairOutcome {
                         schedule,
                         replaced: jobs.len(),
@@ -642,7 +696,7 @@ impl OnlineScheduler {
         } else {
             self.stats.repairs += 1;
         }
-        Some((jobs, outcome, latency))
+        Ok((jobs, outcome, latency))
     }
 
     fn record_construction(&mut self, latency: std::time::Duration) {
@@ -785,14 +839,24 @@ mod tests {
         let constructions = svc.stats().repair_events;
         // 2 * 500us / 8ms active; an arrival needing 99% of the device.
         let outcome = svc.apply(&SystemEvent::Arrival(hog(9)));
-        assert_eq!(
-            outcome,
+        match outcome {
             EventOutcome::Rejected {
-                task: TaskId(9),
-                reason: RejectReason::Overutilised
+                task,
+                reason: RejectReason::Infeasible(diag),
+            } => {
+                assert_eq!(task, TaskId(9));
+                assert_eq!(diag.cause, InfeasibleCause::UtilisationOverload);
+                assert_eq!(diag.tasks, vec![TaskId(9)], "the newcomer is named");
+                assert!(diag.best_psi.is_some(), "live schedule quality attached");
             }
-        );
+            other => panic!("{other:?}"),
+        }
         assert_eq!(svc.stats().fast_rejects, 1);
+        assert_eq!(
+            svc.stats()
+                .rejects_with_cause(InfeasibleCause::UtilisationOverload),
+            1
+        );
         assert_eq!(svc.stats().repair_events, constructions);
     }
 

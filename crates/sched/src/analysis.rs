@@ -169,7 +169,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let offline_ok = FpsOffline::new().schedule(&JobSet::expand(&set)).is_some();
+        let offline_ok = FpsOffline::new().schedule(&JobSet::expand(&set)).is_ok();
         let online_ok = taskset_schedulable_np_fps(&set);
         assert!(offline_ok, "offline simulation should fit this set");
         // online may or may not fail; assert consistency: online_ok implies offline_ok

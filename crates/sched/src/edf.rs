@@ -7,8 +7,11 @@
 //! FPS-offline on these workloads (deadline-ordered dispatch).
 
 use crate::scheduler::Scheduler;
+use crate::solve::check_capacity;
 use tagio_core::job::JobSet;
+use tagio_core::metrics;
 use tagio_core::schedule::{entry_for, Schedule};
+use tagio_core::solve::{Infeasible, InfeasibleCause};
 use tagio_core::time::Time;
 
 /// Offline non-preemptive earliest-deadline-first scheduler.
@@ -32,8 +35,12 @@ impl Scheduler for EdfOffline {
     /// whenever the device idles, the released pending job with the
     /// earliest absolute deadline starts (ties: earliest release, task id).
     ///
-    /// Returns `None` on the first deadline miss.
-    fn schedule(&self, jobs: &JobSet) -> Option<Schedule> {
+    /// # Errors
+    /// [`InfeasibleCause::UtilisationOverload`] on outright overload,
+    /// otherwise [`InfeasibleCause::BlockingBound`] naming the first job
+    /// to miss its deadline, with the partial schedule's Ψ/Υ attached.
+    fn schedule(&self, jobs: &JobSet) -> Result<Schedule, Infeasible> {
+        check_capacity(jobs)?;
         let all = jobs.as_slice();
         let mut pending: Vec<usize> = Vec::new();
         let mut next_release = 0usize;
@@ -64,12 +71,14 @@ impl Scheduler for EdfOffline {
             let job = &all[idx];
             let start = now.max(job.release());
             if start > job.latest_start() {
-                return None;
+                return Err(Infeasible::new(InfeasibleCause::BlockingBound)
+                    .with_jobs([job.id()])
+                    .with_partial(metrics::psi(&out, jobs), metrics::upsilon(&out, jobs)));
             }
             out.insert(entry_for(job, start));
             now = start + job.wcet();
         }
-        Some(out)
+        Ok(out)
     }
 }
 
@@ -125,7 +134,7 @@ mod tests {
                 let jobs = JobSet::expand(&sys);
                 let s = EdfOffline::new()
                     .schedule(&jobs)
-                    .unwrap_or_else(|| panic!("EDF failed at U={u}"));
+                    .unwrap_or_else(|e| panic!("EDF failed at U={u}: {e}"));
                 s.validate(&jobs).unwrap();
             }
         }
@@ -137,8 +146,8 @@ mod tests {
         for _ in 0..10 {
             let sys = SystemConfig::paper(0.8).generate(&mut rng);
             let jobs = JobSet::expand(&sys);
-            let fps_ok = FpsOffline::new().schedule(&jobs).is_some();
-            let edf_ok = EdfOffline::new().schedule(&jobs).is_some();
+            let fps_ok = FpsOffline::new().schedule(&jobs).is_ok();
+            let edf_ok = EdfOffline::new().schedule(&jobs).is_ok();
             // Not a theorem for non-preemptive scheduling in general, but
             // holds on blocking-safe synchronous workloads; regression-guard
             // the empirical relationship the ablation relies on.
@@ -161,7 +170,8 @@ mod tests {
         };
         let set: TaskSet = vec![tight(0), tight(1)].into_iter().collect();
         let jobs = JobSet::expand(&set);
-        assert!(EdfOffline::new().schedule(&jobs).is_none());
+        let err = EdfOffline::new().schedule(&jobs).unwrap_err();
+        assert_eq!(err.cause, InfeasibleCause::UtilisationOverload);
     }
 
     #[test]

@@ -13,8 +13,11 @@
 
 use crate::analysis::taskset_schedulable_np_fps;
 use crate::scheduler::Scheduler;
+use crate::solve::check_capacity;
 use tagio_core::job::JobSet;
+use tagio_core::metrics;
 use tagio_core::schedule::{entry_for, Schedule};
+use tagio_core::solve::{Infeasible, InfeasibleCause};
 use tagio_core::task::TaskSet;
 use tagio_core::time::Time;
 
@@ -37,8 +40,14 @@ impl Scheduler for FpsOffline {
 
     /// Simulates non-preemptive FPS dispatching over the hyper-period.
     ///
-    /// Returns `None` if any job misses its deadline.
-    fn schedule(&self, jobs: &JobSet) -> Option<Schedule> {
+    /// # Errors
+    /// [`InfeasibleCause::UtilisationOverload`] when the set exceeds the
+    /// device capacity outright, otherwise
+    /// [`InfeasibleCause::BlockingBound`] naming the first job that
+    /// misses its deadline under the dispatch order, with the partial
+    /// schedule's Ψ/Υ attached.
+    fn schedule(&self, jobs: &JobSet) -> Result<Schedule, Infeasible> {
+        check_capacity(jobs)?;
         let mut pending: Vec<usize> = Vec::new();
         let mut next_release = 0usize; // jobs are sorted by release
         let all = jobs.as_slice();
@@ -72,12 +81,14 @@ impl Scheduler for FpsOffline {
             let job = &all[idx];
             let start = now.max(job.release());
             if start > job.latest_start() {
-                return None; // deadline miss
+                return Err(Infeasible::new(InfeasibleCause::BlockingBound)
+                    .with_jobs([job.id()])
+                    .with_partial(metrics::psi(&out, jobs), metrics::upsilon(&out, jobs)));
             }
             out.insert(entry_for(job, start));
             now = start + job.wcet();
         }
-        Some(out)
+        Ok(out)
     }
 }
 
@@ -177,7 +188,40 @@ mod tests {
         };
         let set: TaskSet = vec![tight(0), tight(1)].into_iter().collect();
         let jobs = JobSet::expand(&set);
-        assert!(FpsOffline::new().schedule(&jobs).is_none());
+        let err = FpsOffline::new().schedule(&jobs).unwrap_err();
+        assert_eq!(err.cause, InfeasibleCause::UtilisationOverload);
+        assert!(!err.tasks.is_empty());
+    }
+
+    #[test]
+    fn blocking_miss_reports_the_starved_job_and_partial_psi() {
+        // Fits under capacity, but head-of-line blocking starves the
+        // tight task: task 0 (low prio, 2.4ms) blocks task 1 (high prio,
+        // period 4ms, margin 1ms => latest start 2.9ms... choose values so
+        // the second release of task 1 is blocked past its deadline).
+        let long = IoTask::builder(TaskId(0), DeviceId(0))
+            .wcet(Duration::from_micros(3_800))
+            .period(Duration::from_millis(8))
+            .ideal_offset(Duration::from_millis(4))
+            .margin(Duration::from_millis(2))
+            .priority(Priority(0))
+            .build()
+            .unwrap();
+        let tight = IoTask::builder(TaskId(1), DeviceId(0))
+            .wcet(Duration::from_micros(500))
+            .period(Duration::from_millis(2))
+            .deadline(Duration::from_millis(1))
+            .ideal_offset(Duration::from_micros(250))
+            .margin(Duration::from_micros(250))
+            .priority(Priority(9))
+            .build()
+            .unwrap();
+        let set: TaskSet = vec![long, tight].into_iter().collect();
+        let jobs = JobSet::expand(&set);
+        let err = FpsOffline::new().schedule(&jobs).unwrap_err();
+        assert_eq!(err.cause, InfeasibleCause::BlockingBound);
+        assert_eq!(err.tasks, vec![TaskId(1)], "the starved task is named");
+        assert!(err.best_psi.is_some() && err.best_upsilon.is_some());
     }
 
     #[test]
@@ -192,7 +236,7 @@ mod tests {
             .unwrap();
         let set: TaskSet = vec![task].into_iter().collect();
         let jobs = JobSet::expand(&set);
-        let r = SchedulingReport::evaluate(&FpsOffline::new(), &jobs);
+        let r = SchedulingReport::evaluate(&FpsOffline::new(), &jobs).unwrap();
         assert!(r.schedulable);
         assert_eq!(r.psi, 0.0); // starts at release, never at ideal
         assert!(r.upsilon > 0.0); // Vmin floor still counts

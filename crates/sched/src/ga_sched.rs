@@ -14,18 +14,26 @@
 //! non-dominated schedule found, from which callers typically take the
 //! best-Ψ and best-Υ ends (as Figs. 6 and 7 do).
 
-use crate::scheduler::Scheduler;
+use crate::solve::{check_capacity, Solve};
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 use tagio_core::job::JobSet;
 use tagio_core::metrics;
 use tagio_core::schedule::{Schedule, ScheduleEntry};
+use tagio_core::solve::{Infeasible, InfeasibleCause, SolverCtx};
 use tagio_core::time::Time;
 use tagio_ga::{GaConfig, Objectives, Problem};
 
 /// The GA-based scheduler ("GA" in the paper's figures).
 ///
-/// The scheduler is deterministic for a fixed `seed`.
+/// Implements [`Solve`] directly (not the legacy context-free
+/// `Scheduler` trait): the [`SolverCtx`] seed overrides the
+/// constructor-baked one, the context's thread override replaces
+/// [`GaConfig::threads`], and the time/iteration budget turns the search
+/// into an *anytime* solver — one generation costs one budget iteration,
+/// and when the budget expires the best non-dominated front found so far
+/// is used. The scheduler is bit-identical across runs for a fixed
+/// context seed (and no wall-clock budget).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GaScheduler {
     config: GaConfig,
@@ -81,23 +89,66 @@ impl GaScheduler {
         self
     }
 
-    /// Runs the search and returns the full non-dominated front, or `None`
-    /// when no feasible schedule was found.
-    #[must_use]
-    pub fn search(&self, jobs: &JobSet) -> Option<GaScheduleResult> {
+    /// Runs the search under a default context and returns the full
+    /// non-dominated front.
+    ///
+    /// # Errors
+    /// See [`GaScheduler::search_with`].
+    pub fn search(&self, jobs: &JobSet) -> Result<GaScheduleResult, Infeasible> {
+        self.search_with(jobs, &SolverCtx::new())
+    }
+
+    /// Runs the search under `ctx` and returns the full non-dominated
+    /// front. One generation costs one `ctx` budget iteration; when the
+    /// budget (or the cancellation flag) stops the run, the archive
+    /// gathered so far is summarised instead — the *anytime* behaviour.
+    ///
+    /// # Errors
+    /// [`InfeasibleCause::UtilisationOverload`] on outright overload,
+    /// [`InfeasibleCause::Cancelled`] when cancelled before the search
+    /// started, a budget/cancellation diagnostic when the run stopped
+    /// with an empty archive, and [`InfeasibleCause::NoFeasibleSlot`]
+    /// when the full search found no feasible genome.
+    pub fn search_with(
+        &self,
+        jobs: &JobSet,
+        ctx: &SolverCtx,
+    ) -> Result<GaScheduleResult, Infeasible> {
         if jobs.is_empty() {
             let empty = Schedule::new();
-            return Some(GaScheduleResult {
+            return Ok(GaScheduleResult {
                 front: vec![(1.0, 1.0, empty.clone())],
                 best_psi: empty.clone(),
                 best_upsilon: empty,
             });
         }
+        check_capacity(jobs)?;
+        if ctx.cancelled() {
+            return Err(Infeasible::new(InfeasibleCause::Cancelled));
+        }
         let problem = IoSchedulingProblem { jobs };
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let front = tagio_ga::run(&problem, &self.config, &mut rng);
+        let config = GaConfig {
+            threads: ctx.threads().unwrap_or(self.config.threads),
+            ..self.config.clone()
+        };
+        let mut rng = StdRng::seed_from_u64(ctx.seed_or(self.seed));
+        let mut budget = ctx.budget();
+        let mut stopped = None;
+        let front = tagio_ga::run_until(&problem, &config, &mut rng, |_generation| {
+            match budget.spend(1) {
+                Ok(()) => false,
+                Err(cause) => {
+                    stopped = Some(cause);
+                    true
+                }
+            }
+        });
         if front.is_empty() {
-            return None;
+            // Nothing feasible archived: either the search proved it (no
+            // stop) or the budget cut it short.
+            return Err(Infeasible::new(
+                stopped.unwrap_or(InfeasibleCause::NoFeasibleSlot),
+            ));
         }
         let mut triples: Vec<(f64, f64, Schedule)> = Vec::with_capacity(front.len());
         for sol in front.solutions() {
@@ -110,15 +161,17 @@ impl GaScheduler {
         }
         let best_psi = triples
             .iter()
-            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("psi is finite"))?
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("psi is finite"))
+            .expect("front is non-empty")
             .2
             .clone();
         let best_upsilon = triples
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("upsilon is finite"))?
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("upsilon is finite"))
+            .expect("front is non-empty")
             .2
             .clone();
-        Some(GaScheduleResult {
+        Ok(GaScheduleResult {
             front: triples,
             best_psi,
             best_upsilon,
@@ -132,15 +185,16 @@ impl Default for GaScheduler {
     }
 }
 
-impl Scheduler for GaScheduler {
-    fn name(&self) -> &'static str {
+impl Solve for GaScheduler {
+    fn name(&self) -> &str {
         "ga"
     }
 
-    /// Returns the balanced (equal-weight) non-dominated schedule.
-    fn schedule(&self, jobs: &JobSet) -> Option<Schedule> {
-        let result = self.search(jobs)?;
-        result
+    /// Returns the balanced (equal-weight) non-dominated schedule of the
+    /// front found under `ctx`.
+    fn solve(&self, jobs: &JobSet, ctx: &SolverCtx) -> Result<Schedule, Infeasible> {
+        let result = self.search_with(jobs, ctx)?;
+        Ok(result
             .front
             .iter()
             .max_by(|a, b| {
@@ -148,7 +202,9 @@ impl Scheduler for GaScheduler {
                     .partial_cmp(&(b.0 + b.1))
                     .expect("objectives are finite")
             })
-            .map(|t| t.2.clone())
+            .expect("search_with returns a non-empty front")
+            .2
+            .clone())
     }
 }
 
@@ -181,21 +237,27 @@ impl Problem for IoSchedulingProblem<'_> {
 
     fn evaluate(&self, genome: &[u64]) -> Objectives {
         match reconfigure(self.jobs, genome) {
-            Some(schedule) => Objectives::from(vec![
+            Ok(schedule) => Objectives::from(vec![
                 metrics::psi(&schedule, self.jobs),
                 metrics::upsilon(&schedule, self.jobs),
             ]),
-            None => Objectives::from(vec![-1.0, -1.0]),
+            Err(_) => Objectives::from(vec![-1.0, -1.0]),
         }
     }
 }
 
 /// The reconfiguration function (paper §III.B): resolves Constraint 2
 /// conflicts while preserving the genome's execution order, then snaps jobs
-/// back to their ideal instants where possible. Returns `None` when some
-/// job cannot meet its deadline.
-#[must_use]
-pub fn reconfigure(jobs: &JobSet, starts: &[u64]) -> Option<Schedule> {
+/// back to their ideal instants where possible.
+///
+/// # Errors
+/// An [`InfeasibleCause::NoFeasibleSlot`] diagnostic naming the job that
+/// cannot meet its deadline under the genome's execution order.
+///
+/// # Panics
+/// Panics on a genome whose length differs from the job set (caller
+/// bug, not an input condition).
+pub fn reconfigure(jobs: &JobSet, starts: &[u64]) -> Result<Schedule, Infeasible> {
     let all = jobs.as_slice();
     assert_eq!(all.len(), starts.len(), "genome length mismatch");
 
@@ -220,7 +282,11 @@ pub fn reconfigure(jobs: &JobSet, starts: &[u64]) -> Option<Schedule> {
         let chained = succ_latest.checked_sub_duration(job.wcet());
         let l = match chained {
             Some(t) => job.latest_start().min(t),
-            None => return None, // successor chain already impossible
+            // The successor chain is already impossible: this job's WCET
+            // alone exceeds what the jobs after it leave available.
+            None => {
+                return Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot).with_jobs([job.id()]))
+            }
         };
         latest[idx] = l;
         succ_latest = l;
@@ -237,7 +303,8 @@ pub fn reconfigure(jobs: &JobSet, starts: &[u64]) -> Option<Schedule> {
         let job = &all[idx];
         let lo = cursor.max(job.release());
         if lo > latest[idx] {
-            return None; // the κ-order is infeasible
+            // The κ-order is infeasible for this job.
+            return Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot).with_jobs([job.id()]));
         }
         let start = Time::from_micros(starts[idx]).clamp(lo, latest[idx]);
         assigned[idx] = start;
@@ -269,16 +336,14 @@ pub fn reconfigure(jobs: &JobSet, starts: &[u64]) -> Option<Schedule> {
         }
     }
 
-    Some(
-        order
-            .iter()
-            .map(|&idx| ScheduleEntry {
-                job: all[idx].id(),
-                start: assigned[idx],
-                duration: all[idx].wcet(),
-            })
-            .collect(),
-    )
+    Ok(order
+        .iter()
+        .map(|&idx| ScheduleEntry {
+            job: all[idx].id(),
+            start: assigned[idx],
+            duration: all[idx].wcet(),
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -375,7 +440,9 @@ mod tests {
                 _ => 1_500,
             })
             .collect();
-        assert!(reconfigure(&jobs, &starts).is_none());
+        let err = reconfigure(&jobs, &starts).unwrap_err();
+        assert_eq!(err.cause, InfeasibleCause::NoFeasibleSlot);
+        assert!(!err.jobs.is_empty(), "the starved job is named");
         // Feasible order: tight#0, long, tight#1.
         let starts: Vec<u64> = jobs
             .iter()
@@ -385,7 +452,7 @@ mod tests {
                 _ => 1_500,
             })
             .collect();
-        assert!(reconfigure(&jobs, &starts).is_some());
+        assert!(reconfigure(&jobs, &starts).is_ok());
     }
 
     #[test]
@@ -410,7 +477,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let sys = SystemConfig::paper(0.4).generate(&mut rng);
         let jobs = JobSet::expand(&sys);
-        if let Some(result) = quick_ga().search(&jobs) {
+        if let Ok(result) = quick_ga().search(&jobs) {
             for (_, _, s) in &result.front {
                 s.validate(&jobs).unwrap();
             }
@@ -434,7 +501,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let sys = SystemConfig::paper(0.5).generate(&mut rng);
         let jobs = JobSet::expand(&sys);
-        if let Some(result) = quick_ga().search(&jobs) {
+        if let Ok(result) = quick_ga().search(&jobs) {
             let psi_best = metrics::psi(&result.best_psi, &jobs);
             for (psi, _, _) in &result.front {
                 assert!(psi_best >= *psi - 1e-12);
@@ -448,7 +515,7 @@ mod tests {
             .into_iter()
             .collect();
         let jobs = JobSet::expand(&set);
-        let r = SchedulingReport::evaluate(&quick_ga(), &jobs);
+        let r = SchedulingReport::evaluate(&quick_ga(), &jobs).unwrap();
         assert!(r.schedulable);
         assert!(
             r.psi >= 0.5,
@@ -470,7 +537,7 @@ mod tests {
         let sys = SystemConfig::paper(0.3).generate(&mut rng);
         let jobs = JobSet::expand(&sys);
         let starts: Vec<u64> = jobs.iter().map(|j| j.window_start().as_micros()).collect();
-        if let Some(s) = reconfigure(&jobs, &starts) {
+        if let Ok(s) = reconfigure(&jobs, &starts) {
             for (j, &g) in jobs.iter().zip(&starts) {
                 let assigned = s.start_of(j.id()).unwrap();
                 // Snap-to-ideal may move a start off its gene, but never
@@ -486,7 +553,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let sys = SystemConfig::paper(0.6).generate(&mut rng);
         let jobs = JobSet::expand(&sys);
-        if let Some(result) = quick_ga().search(&jobs) {
+        if let Ok(result) = quick_ga().search(&jobs) {
             for (i, a) in result.front.iter().enumerate() {
                 for (j, b) in result.front.iter().enumerate() {
                     if i == j {
@@ -509,8 +576,8 @@ mod tests {
         for _ in 0..5 {
             let sys = SystemConfig::paper(0.5).generate(&mut rng);
             let jobs = JobSet::expand(&sys);
-            let fps = SchedulingReport::evaluate(&FpsOffline::new(), &jobs);
-            if let Some(result) = quick_ga().search(&jobs) {
+            let fps = SchedulingReport::evaluate(&FpsOffline::new(), &jobs).unwrap();
+            if let Ok(result) = quick_ga().search(&jobs) {
                 let best = result
                     .front
                     .iter()
@@ -546,7 +613,7 @@ mod tests {
         // initial population, so the archive's best psi must at least match
         // the reconfigured all-ideal layout.
         let all_ideal: Vec<u64> = jobs.iter().map(|j| j.ideal_start().as_micros()).collect();
-        if let Some(baseline) = reconfigure(&jobs, &all_ideal) {
+        if let Ok(baseline) = reconfigure(&jobs, &all_ideal) {
             let baseline_psi = metrics::psi(&baseline, &jobs);
             let best = seeded.front.iter().map(|t| t.0).fold(f64::MIN, f64::max);
             assert!(best + 1e-9 >= baseline_psi, "{best} < {baseline_psi}");
@@ -582,11 +649,11 @@ mod tests {
         let s = quick_ga().with_config(serial_cfg).search(&jobs);
         let p = quick_ga().with_config(parallel_cfg).search(&jobs);
         match (s, p) {
-            (Some(s), Some(p)) => {
+            (Ok(s), Ok(p)) => {
                 assert_eq!(s.best_psi, p.best_psi);
                 assert_eq!(s.best_upsilon, p.best_upsilon);
             }
-            (None, None) => {}
+            (Err(_), Err(_)) => {}
             _ => panic!("feasibility differs across thread counts"),
         }
     }

@@ -15,8 +15,11 @@
 //! and starts late.
 
 use crate::scheduler::Scheduler;
+use crate::solve::check_capacity;
 use tagio_core::job::JobSet;
+use tagio_core::metrics;
 use tagio_core::schedule::{entry_for, Schedule};
+use tagio_core::solve::{Infeasible, InfeasibleCause};
 use tagio_core::time::Time;
 
 /// The FIFO-queued GPIOCP execution model.
@@ -38,9 +41,14 @@ impl Scheduler for Gpiocp {
 
     /// Replays the FIFO queue over the hyper-period.
     ///
-    /// Returns `None` if any job completes after its deadline — in the
-    /// paper's terms, the system is not schedulable under GPIOCP.
-    fn schedule(&self, jobs: &JobSet) -> Option<Schedule> {
+    /// # Errors
+    /// [`InfeasibleCause::UtilisationOverload`] on outright overload,
+    /// otherwise [`InfeasibleCause::BlockingBound`] naming the first job
+    /// whose queued execution completes after its deadline (head-of-line
+    /// blocking) — in the paper's terms, the system is not schedulable
+    /// under GPIOCP.
+    fn schedule(&self, jobs: &JobSet) -> Result<Schedule, Infeasible> {
+        check_capacity(jobs)?;
         // Requests fire at ideal start instants; FIFO = firing order.
         let mut order: Vec<usize> = (0..jobs.len()).collect();
         let all = jobs.as_slice();
@@ -57,12 +65,14 @@ impl Scheduler for Gpiocp {
             let job = &all[idx];
             let start = job.ideal_start().max(device_free);
             if start + job.wcet() > job.abs_deadline() {
-                return None;
+                return Err(Infeasible::new(InfeasibleCause::BlockingBound)
+                    .with_jobs([job.id()])
+                    .with_partial(metrics::psi(&out, jobs), metrics::upsilon(&out, jobs)));
             }
             out.insert(entry_for(job, start));
             device_free = start + job.wcet();
         }
-        Some(out)
+        Ok(out)
     }
 }
 
@@ -146,13 +156,15 @@ mod tests {
         };
         let set: TaskSet = vec![mk(0), mk(1), mk(2)].into_iter().collect();
         let jobs = JobSet::expand(&set);
-        assert!(Gpiocp::new().schedule(&jobs).is_none());
+        let err = Gpiocp::new().schedule(&jobs).unwrap_err();
+        assert_eq!(err.cause, InfeasibleCause::BlockingBound);
+        assert!(!err.jobs.is_empty() && err.best_psi.is_some());
     }
 
     #[test]
     fn empty_jobset_is_trivially_schedulable() {
         let jobs = JobSet::from_jobs(vec![], Duration::from_millis(1));
-        assert!(Gpiocp::new().schedule(&jobs).is_some());
+        assert!(Gpiocp::new().schedule(&jobs).is_ok());
     }
 
     #[test]

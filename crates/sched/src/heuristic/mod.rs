@@ -12,9 +12,11 @@
 //!    sacrificed jobs (`λ¬`, highest priority first) into the free slots of
 //!    their release windows, shifting exact jobs only as a last resort.
 //!
-//! The scheduler returns `None` when phase three fails — like the paper, it
-//! deliberately stops rather than recursively displacing allocated jobs
-//! (which could prevent termination; §III.A).
+//! The scheduler reports a [`NoFeasibleSlot`](InfeasibleCause::NoFeasibleSlot)
+//! diagnostic when phase three fails — like the paper, it deliberately
+//! stops rather than recursively displacing allocated jobs (which could
+//! prevent termination; §III.A). The diagnostic names the unplaceable
+//! job and carries the partial Ψ/Υ of the placements committed so far.
 
 pub mod graph;
 pub mod lccd;
@@ -22,11 +24,17 @@ pub mod repair;
 
 pub use graph::ConflictGraph;
 pub use lccd::{SlotPolicy, Timeline};
-pub use repair::{repair, repair_neighbourhood, repair_or_resynthesize, retime, RepairOutcome};
+pub use repair::{
+    repair, repair_neighbourhood, repair_or_resynthesize, repair_or_resynthesize_with, retime,
+    RepairOutcome, RepairSolver,
+};
 
 use crate::scheduler::Scheduler;
+use crate::solve::check_capacity;
 use tagio_core::job::JobSet;
+use tagio_core::metrics;
 use tagio_core::schedule::Schedule;
+use tagio_core::solve::{Infeasible, InfeasibleCause};
 
 /// The static heuristic scheduler ("static" in the paper's figures).
 ///
@@ -79,7 +87,16 @@ impl Scheduler for StaticScheduler {
         }
     }
 
-    fn schedule(&self, jobs: &JobSet) -> Option<Schedule> {
+    /// Runs Algorithm 1 (graph formation, decomposition, LCC-D
+    /// allocation).
+    ///
+    /// # Errors
+    /// [`InfeasibleCause::UtilisationOverload`] on outright overload,
+    /// otherwise [`InfeasibleCause::NoFeasibleSlot`] naming the first
+    /// sacrificed job the allocator could not place (Algorithm 1 line
+    /// 19), with the partial Ψ/Υ of the committed placements.
+    fn schedule(&self, jobs: &JobSet) -> Result<Schedule, Infeasible> {
+        check_capacity(jobs)?;
         let graph = ConflictGraph::build(jobs);
         let (exact, sacrificed) = graph.decompose(jobs);
         let mut timeline = Timeline::with_exact_jobs(jobs, &exact);
@@ -98,10 +115,19 @@ impl Scheduler for StaticScheduler {
             let idx = order[pos];
             let pending = &order[pos + 1..];
             if !timeline.allocate(idx, pending, self.policy) {
-                return None; // Algorithm 1 line 19: {infeasible, 0}
+                // Algorithm 1 line 19: {infeasible, 0} — enriched with
+                // where the allocation died and how far it got.
+                let unplaced = all[idx].id();
+                let partial = timeline.into_schedule();
+                return Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot)
+                    .with_jobs([unplaced])
+                    .with_partial(
+                        metrics::psi(&partial, jobs),
+                        metrics::upsilon(&partial, jobs),
+                    ));
             }
         }
-        Some(timeline.into_schedule())
+        Ok(timeline.into_schedule())
     }
 }
 
@@ -157,8 +183,8 @@ mod tests {
         for _ in 0..20 {
             let sys = SystemConfig::paper(0.6).generate(&mut rng);
             let jobs = JobSet::expand(&sys);
-            let st = SchedulingReport::evaluate(&StaticScheduler::new(), &jobs);
-            let gp = SchedulingReport::evaluate(&Gpiocp::new(), &jobs);
+            let st = SchedulingReport::evaluate(&StaticScheduler::new(), &jobs).unwrap();
+            let gp = SchedulingReport::evaluate(&Gpiocp::new(), &jobs).unwrap();
             if st.schedulable && gp.schedulable {
                 comparisons += 1;
                 if st.psi >= gp.psi {
@@ -181,7 +207,7 @@ mod tests {
             for _ in 0..5 {
                 let sys = cfg.generate(&mut rng);
                 let jobs = JobSet::expand(&sys);
-                if let Some(s) = StaticScheduler::new().schedule(&jobs) {
+                if let Ok(s) = StaticScheduler::new().schedule(&jobs) {
                     s.validate(&jobs).unwrap();
                 }
             }
@@ -199,7 +225,7 @@ mod tests {
             SlotPolicy::BestFit,
             SlotPolicy::WorstFit,
         ] {
-            if let Some(s) = StaticScheduler::with_policy(policy).schedule(&jobs) {
+            if let Ok(s) = StaticScheduler::with_policy(policy).schedule(&jobs) {
                 s.validate(&jobs).unwrap();
             }
         }

@@ -10,18 +10,24 @@
 //! [`repair`] is that fast path: it pins the base schedule's placements
 //! for every untouched job, tries each disturbed job first at its *ideal*
 //! instant (preserving Ψ where possible) and then through the LCC-D
-//! allocator. It returns `None` — rather than degrading into a recursive
-//! displacement search — when the neighbourhood does not fit;
-//! [`repair_or_resynthesize`] then falls back to a full Algorithm 1 run,
-//! exactly the paper's offline method. The online service layers admission
-//! control and shedding on top (`tagio-online`).
+//! allocator. Rather than degrading into a recursive displacement search,
+//! it reports an [`Infeasible`] diagnostic naming the congested jobs when
+//! the neighbourhood does not fit; [`repair_neighbourhood`] escalates
+//! from exactly those diagnostics, and [`repair_or_resynthesize`] falls
+//! back to a full Algorithm 1 run — the paper's offline method. The
+//! online service layers admission control and shedding on top
+//! (`tagio-online`); [`RepairSolver`] packages the whole ladder as a
+//! budgeted [`Solve`] implementation.
 
 use super::lccd::{SlotPolicy, Timeline};
 use super::StaticScheduler;
 use crate::scheduler::Scheduler;
+use crate::solve::Solve;
 use std::collections::{HashMap, HashSet};
 use tagio_core::job::{JobId, JobSet};
+use tagio_core::metrics;
 use tagio_core::schedule::Schedule;
+use tagio_core::solve::{Infeasible, InfeasibleCause, SolverCtx};
 
 /// How a repaired schedule was obtained.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,18 +50,21 @@ pub struct RepairOutcome {
 /// first at their ideal instant when free, otherwise through the LCC-D
 /// allocator under `policy`, highest priority first (Algorithm 1 line 11).
 ///
-/// Returns `(schedule, replaced)` on success, `None` when the
-/// neighbourhood cannot be packed (callers fall back to
-/// [`repair_or_resynthesize`]) or when the pinned placements themselves
-/// no longer fit together (e.g. a WCET spike overlapped two pinned jobs).
-#[must_use]
+/// Returns `(schedule, replaced)` on success.
+///
+/// # Errors
+/// An [`InfeasibleCause::NoFeasibleSlot`] diagnostic naming the jobs
+/// that could not be packed — or the pinned placements that no longer
+/// fit together (e.g. a WCET spike overlapped two pinned jobs) — with
+/// the partial Ψ/Υ committed so far. Callers escalate to
+/// [`repair_neighbourhood`] or [`repair_or_resynthesize`].
 pub fn repair(
     jobs: &JobSet,
     base: &Schedule,
     disturbed: &[JobId],
     policy: SlotPolicy,
-) -> Option<(Schedule, usize)> {
-    try_repair(jobs, base, disturbed, policy).ok()
+) -> Result<(Schedule, usize), Infeasible> {
+    try_repair(jobs, base, disturbed, policy)
 }
 
 /// `(job, start)` pairs of a schedule, sorted by job id for binary
@@ -77,23 +86,12 @@ fn lookup_start(
         .map(|i| starts[i].1)
 }
 
-/// Why an incremental repair attempt failed — the diagnostics
-/// [`repair_neighbourhood`] escalates from, so the widened disturbed set
-/// covers only the *congested pockets* instead of every window the
-/// disturbance touches.
-enum RepairFailure {
-    /// These pinned placements mutually overlap under current WCETs.
-    PinnedOverlap(Vec<JobId>),
-    /// These jobs found no slot (every other job was placed or pinned).
-    Unplaceable(Vec<JobId>),
-}
-
 fn try_repair(
     jobs: &JobSet,
     base: &Schedule,
     disturbed: &[JobId],
     policy: SlotPolicy,
-) -> Result<(Schedule, usize), RepairFailure> {
+) -> Result<(Schedule, usize), Infeasible> {
     let disturbed: HashSet<JobId> = disturbed.iter().copied().collect();
     // Sorted lookup table instead of a HashMap: repair sits on the hot
     // path of every online event, and binary search over a sorted Vec is
@@ -114,7 +112,8 @@ fn try_repair(
 
     // Pinned placements must still be mutually disjoint under the jobs'
     // *current* WCETs; if not, the disturbance reaches beyond the declared
-    // neighbourhood and repair cannot help.
+    // neighbourhood and repair cannot help. The diagnostic names the
+    // overlapping placements so escalation frees exactly those pockets.
     let mut intervals: Vec<(tagio_core::time::Time, tagio_core::time::Time, JobId)> = pinned
         .iter()
         .map(|&(i, start)| (start, start + all[i].wcet(), all[i].id()))
@@ -126,7 +125,16 @@ fn try_repair(
         .flat_map(|w| [w[0].2, w[1].2])
         .collect();
     if !overlapping.is_empty() {
-        return Err(RepairFailure::PinnedOverlap(overlapping));
+        let partial: Schedule = pinned
+            .iter()
+            .map(|&(i, start)| tagio_core::schedule::entry_for(&all[i], start))
+            .collect();
+        return Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot)
+            .with_jobs(overlapping)
+            .with_partial(
+                metrics::psi(&partial, jobs),
+                metrics::upsilon(&partial, jobs),
+            ));
     }
 
     let mut timeline = Timeline::with_placements(jobs, &pinned);
@@ -178,7 +186,13 @@ fn try_repair(
         offsets.insert(job.id().task, start - job.release());
     }
     if !unplaceable.is_empty() {
-        return Err(RepairFailure::Unplaceable(unplaceable));
+        let partial = timeline.into_schedule();
+        return Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot)
+            .with_jobs(unplaceable)
+            .with_partial(
+                metrics::psi(&partial, jobs),
+                metrics::upsilon(&partial, jobs),
+            ));
     }
     Ok((timeline.into_schedule(), replaced))
 }
@@ -190,63 +204,82 @@ fn try_repair(
 /// every placement's finish stretches, so neighbours overlap pairwise,
 /// but the order is still right — each job keeps its start when possible
 /// and otherwise starts the instant its predecessor releases the device.
-/// Runs in `O(n log n)`; returns `None` when some job would miss its
-/// window (callers escalate to [`repair_neighbourhood`] or a full
-/// re-synthesis), or when `base` does not cover every job.
-#[must_use]
-pub fn retime(jobs: &JobSet, base: &Schedule) -> Option<Schedule> {
+/// Runs in `O(n log n)`.
+///
+/// # Errors
+/// An [`InfeasibleCause::NoFeasibleSlot`] diagnostic naming the job that
+/// would miss its window (callers escalate to [`repair_neighbourhood`]
+/// or a full re-synthesis), or the jobs `base` does not cover at all.
+pub fn retime(jobs: &JobSet, base: &Schedule) -> Result<Schedule, Infeasible> {
     let starts = sorted_starts(base);
+    let uncovered: Vec<JobId> = jobs
+        .iter()
+        .filter(|j| lookup_start(&starts, j.id()).is_none())
+        .map(tagio_core::job::Job::id)
+        .collect();
+    if !uncovered.is_empty() {
+        return Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot).with_jobs(uncovered));
+    }
     let mut order: Vec<(tagio_core::time::Time, usize)> = jobs
         .iter()
         .enumerate()
-        .map(|(idx, job)| lookup_start(&starts, job.id()).map(|s| (s, idx)))
-        .collect::<Option<_>>()?;
+        .map(|(idx, job)| {
+            let start = lookup_start(&starts, job.id()).expect("coverage checked above");
+            (start, idx)
+        })
+        .collect();
     order.sort_unstable();
     let all = jobs.as_slice();
     let mut cursor = tagio_core::time::Time::ZERO;
-    let mut out = Vec::with_capacity(order.len());
+    let mut out = Schedule::new();
     for (base_start, idx) in order {
         let job = &all[idx];
         let start = base_start.max(cursor).max(job.release());
         if start > job.latest_start() {
-            return None;
+            return Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot)
+                .with_jobs([job.id()])
+                .with_partial(metrics::psi(&out, jobs), metrics::upsilon(&out, jobs)));
         }
-        out.push(tagio_core::schedule::ScheduleEntry {
+        out.insert(tagio_core::schedule::ScheduleEntry {
             job: job.id(),
             start,
             duration: job.wcet(),
         });
         cursor = start + job.wcet();
     }
-    Some(out.into_iter().collect())
+    Ok(out)
 }
 
 /// Escalated repair: run the plain repair once to learn exactly *where*
-/// it fails — the jobs that found no slot, or the pinned placements a
-/// WCET change made overlap — then widen the disturbed set to those
-/// congested pockets (every job whose window overlaps a failed job's
-/// window) and re-place just that neighbourhood. One widening pass only;
-/// beyond that a full re-synthesis is cheaper than chasing transitive
-/// closures.
-#[must_use]
+/// it fails — the jobs its [`Infeasible`] diagnostic names (no slot
+/// found, or pinned placements a WCET change made overlap) — then widen
+/// the disturbed set to those congested pockets (every job whose window
+/// overlaps a failed job's window) and re-place just that neighbourhood.
+/// Bounded rounds only; beyond them a full re-synthesis is cheaper than
+/// chasing transitive closures.
+///
+/// # Errors
+/// The final round's diagnostic when every escalation round failed or
+/// the widening stopped growing.
 pub fn repair_neighbourhood(
     jobs: &JobSet,
     base: &Schedule,
     policy: SlotPolicy,
-) -> Option<(Schedule, usize)> {
+) -> Result<(Schedule, usize), Infeasible> {
     let mut disturbed: HashSet<JobId> = HashSet::new();
+    let mut last_failure = None;
     // Round 0 is the plain repair; each later round frees the pockets the
     // previous round's failures pointed at. Three rounds bound the cost —
     // past that, a full re-synthesis is the better spend.
     for _round in 0..3 {
         let as_vec: Vec<JobId> = disturbed.iter().copied().collect();
-        let ids = match try_repair(jobs, base, &as_vec, policy) {
-            Ok(done) => return Some(done),
-            Err(RepairFailure::PinnedOverlap(ids) | RepairFailure::Unplaceable(ids)) => ids,
+        let failure = match try_repair(jobs, base, &as_vec, policy) {
+            Ok(done) => return Ok(done),
+            Err(failure) => failure,
         };
         let mut windows: Vec<(tagio_core::time::Time, tagio_core::time::Time)> = Vec::new();
         let mut grew = false;
-        for id in ids {
+        for &id in &failure.jobs {
             let job = jobs.get(id).expect("failure diagnostics name real jobs");
             windows.push((job.release(), job.abs_deadline()));
             grew |= disturbed.insert(id);
@@ -263,26 +296,50 @@ pub fn repair_neighbourhood(
                 grew |= disturbed.insert(job.id());
             }
         }
+        last_failure = Some(failure);
         if !grew {
-            return None; // stuck: the same failure would repeat verbatim
+            break; // stuck: the same failure would repeat verbatim
         }
     }
-    None
+    Err(last_failure.expect("at least one round ran"))
 }
 
 /// [`repair`], escalating to [`repair_neighbourhood`] and finally to a
 /// full Algorithm 1 re-synthesis (the static scheduler with `policy`)
 /// when the incremental paths fail.
 ///
-/// Returns `None` only when the full method also finds the set
-/// infeasible.
-#[must_use]
+/// # Errors
+/// The full method's diagnostic when it, too, finds the set infeasible.
 pub fn repair_or_resynthesize(
     jobs: &JobSet,
     base: &Schedule,
     disturbed: &[JobId],
     policy: SlotPolicy,
-) -> Option<RepairOutcome> {
+) -> Result<RepairOutcome, Infeasible> {
+    repair_or_resynthesize_with(jobs, base, disturbed, policy, &SolverCtx::new())
+}
+
+/// [`repair_or_resynthesize`] under a [`SolverCtx`]: an *anytime* repair
+/// ladder. Each tier (plain/neighbourhood repair, then full
+/// re-synthesis) costs one budget iteration; when the budget or the
+/// cancellation flag stops the ladder before a feasible schedule is
+/// found, the error combines the stopping cause with the best incremental
+/// diagnostic gathered so far (congested jobs, partial Ψ/Υ).
+///
+/// # Errors
+/// The final tier's diagnostic, or a budget/cancellation diagnostic
+/// carrying the last tier's partial result.
+pub fn repair_or_resynthesize_with(
+    jobs: &JobSet,
+    base: &Schedule,
+    disturbed: &[JobId],
+    policy: SlotPolicy,
+    ctx: &SolverCtx,
+) -> Result<RepairOutcome, Infeasible> {
+    let mut budget = ctx.budget();
+    if let Err(cause) = budget.spend(1) {
+        return Err(Infeasible::new(cause));
+    }
     // repair_neighbourhood embeds the plain attempt (it escalates from
     // that attempt's failure diagnostics), so with no explicit disturbed
     // set it covers both incremental tiers in one call.
@@ -291,12 +348,23 @@ pub fn repair_or_resynthesize(
     } else {
         repair(jobs, base, disturbed, policy)
     };
-    if let Some((schedule, replaced)) = repaired {
-        return Some(RepairOutcome {
-            schedule,
-            replaced,
-            resynthesized: false,
-        });
+    let incremental_failure = match repaired {
+        Ok((schedule, replaced)) => {
+            return Ok(RepairOutcome {
+                schedule,
+                replaced,
+                resynthesized: false,
+            })
+        }
+        Err(failure) => failure,
+    };
+    if let Err(cause) = budget.spend(1) {
+        // Budget gone before the expensive tier: surface the stopping
+        // cause, but keep the incremental diagnostic's detail.
+        let mut out = Infeasible::new(cause).with_jobs(incremental_failure.jobs);
+        out.best_psi = incremental_failure.best_psi;
+        out.best_upsilon = incremental_failure.best_upsilon;
+        return Err(out);
     }
     StaticScheduler::with_policy(policy)
         .schedule(jobs)
@@ -305,6 +373,47 @@ pub fn repair_or_resynthesize(
             replaced: jobs.len(),
             resynthesized: true,
         })
+}
+
+/// The repair ladder as a named, budgeted [`Solve`] implementation:
+/// solves any job set *towards* a fixed base schedule, pinning whatever
+/// placements survive.
+///
+/// This is how downstream systems (and the registry's trait-object
+/// tests) treat incremental repair as just another solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairSolver {
+    base: Schedule,
+    policy: SlotPolicy,
+}
+
+impl RepairSolver {
+    /// A solver repairing towards `base` with the default LCC-D policy.
+    #[must_use]
+    pub fn new(base: Schedule) -> Self {
+        RepairSolver {
+            base,
+            policy: SlotPolicy::default(),
+        }
+    }
+
+    /// Overrides the slot policy used by repair and re-synthesis.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SlotPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+impl Solve for RepairSolver {
+    fn name(&self) -> &str {
+        "repair"
+    }
+
+    fn solve(&self, jobs: &JobSet, ctx: &SolverCtx) -> Result<Schedule, Infeasible> {
+        repair_or_resynthesize_with(jobs, &self.base, &[], self.policy, ctx)
+            .map(|outcome| outcome.schedule)
+    }
 }
 
 #[cfg(test)]
@@ -384,7 +493,7 @@ mod tests {
     }
 
     #[test]
-    fn repair_fails_when_neighbourhood_cannot_fit() {
+    fn repair_failure_names_the_unplaceable_jobs() {
         // One task owns almost the whole period; a second with the same
         // tight window cannot be packed without displacing pinned jobs.
         let old: TaskSet = vec![task(0, 4, 3_000, 1)].into_iter().collect();
@@ -397,7 +506,10 @@ mod tests {
             .filter(|j| j.id().task == TaskId(1))
             .map(|j| j.id())
             .collect();
-        assert!(repair(&jobs, &base, &disturbed, SlotPolicy::default()).is_none());
+        let err = repair(&jobs, &base, &disturbed, SlotPolicy::default()).unwrap_err();
+        assert_eq!(err.cause, InfeasibleCause::NoFeasibleSlot);
+        assert_eq!(err.tasks, vec![TaskId(1)], "the newcomer found no slot");
+        assert!(err.best_psi.is_some(), "partial progress reported");
     }
 
     #[test]
@@ -439,12 +551,16 @@ mod tests {
             .into_iter()
             .collect();
         let jobs = JobSet::expand(&fat);
-        assert!(retime(&jobs, &base).is_none());
-        // And a base missing some job cannot be retimed either.
+        let err = retime(&jobs, &base).unwrap_err();
+        assert_eq!(err.cause, InfeasibleCause::NoFeasibleSlot);
+        assert!(!err.jobs.is_empty(), "the shoved job is named");
+        // And a base missing some job cannot be retimed either; the
+        // diagnostic lists the uncovered jobs.
         let jobs_more: TaskSet = vec![task(0, 8, 500, 2), task(1, 4, 500, 1), task(2, 8, 500, 6)]
             .into_iter()
             .collect();
-        assert!(retime(&JobSet::expand(&jobs_more), &base).is_none());
+        let err = retime(&JobSet::expand(&jobs_more), &base).unwrap_err();
+        assert!(err.tasks.contains(&TaskId(2)));
     }
 
     #[test]
@@ -477,7 +593,7 @@ mod tests {
             .map(|j| j.id())
             .collect();
         let plain = repair(&jobs, &base, &disturbed, SlotPolicy::default());
-        if let Some((s, _)) = &plain {
+        if let Ok((s, _)) = &plain {
             s.validate(&jobs).unwrap();
         }
         let escalated = repair_or_resynthesize(&jobs, &base, &[], SlotPolicy::default())
@@ -548,8 +664,8 @@ mod tests {
     #[test]
     fn overlapping_pinned_placements_fail_cleanly() {
         // A WCET spike makes two *pinned* placements overlap: repair must
-        // return None (not panic), unless the grown task is declared
-        // disturbed — then it is re-placed around the survivor.
+        // report both placements (not panic), unless the grown task is
+        // declared disturbed — then it is re-placed around the survivor.
         let tasks: TaskSet = vec![task(0, 8, 500, 2), task(1, 8, 500, 3)]
             .into_iter()
             .collect();
@@ -558,7 +674,9 @@ mod tests {
             .into_iter()
             .collect();
         let jobs = JobSet::expand(&fat);
-        assert!(repair(&jobs, &base, &[], SlotPolicy::default()).is_none());
+        let err = repair(&jobs, &base, &[], SlotPolicy::default()).unwrap_err();
+        assert_eq!(err.cause, InfeasibleCause::NoFeasibleSlot);
+        assert_eq!(err.tasks, vec![TaskId(0), TaskId(1)], "both pins named");
         let disturbed: Vec<JobId> = jobs
             .iter()
             .filter(|j| j.id().task == TaskId(0))
@@ -568,5 +686,55 @@ mod tests {
             repair(&jobs, &base, &disturbed, SlotPolicy::default()).expect("re-place fat task");
         repaired.validate(&jobs).unwrap();
         assert_eq!(replaced, 1);
+    }
+
+    #[test]
+    fn repair_solver_is_a_budgeted_solver() {
+        let old: TaskSet = vec![task(0, 8, 500, 2), task(1, 8, 500, 5)]
+            .into_iter()
+            .collect();
+        let (_, base) = base_for(&old);
+        let mut grown = old.clone();
+        grown.push(task(2, 8, 500, 3)).unwrap();
+        let jobs = JobSet::expand(&grown);
+        let solver = RepairSolver::new(base);
+        // Unlimited: solves incrementally.
+        let s = solver.solve(&jobs, &SolverCtx::new()).expect("repairable");
+        s.validate(&jobs).unwrap();
+        // Zero budget: the ladder never starts.
+        let err = solver
+            .solve(&jobs, &SolverCtx::new().with_iteration_budget(0))
+            .unwrap_err();
+        assert_eq!(err.cause, InfeasibleCause::BudgetExhausted);
+    }
+
+    #[test]
+    fn budgeted_repair_skips_the_resynthesis_tier() {
+        // A case the incremental tiers cannot fix but re-synthesis can:
+        // with budget 1, the ladder stops after the incremental tier and
+        // the error keeps the incremental diagnostic's detail.
+        let old: TaskSet = vec![task(0, 8, 2_000, 4)].into_iter().collect();
+        let (_, base) = base_for(&old);
+        let mut grown = old.clone();
+        grown.push(task(1, 8, 2_000, 4)).unwrap();
+        let jobs = JobSet::expand(&grown);
+        let unbudgeted = repair_or_resynthesize(&jobs, &base, &[], SlotPolicy::default());
+        let budgeted = repair_or_resynthesize_with(
+            &jobs,
+            &base,
+            &[],
+            SlotPolicy::default(),
+            &SolverCtx::new().with_iteration_budget(1),
+        );
+        match (unbudgeted, budgeted) {
+            // The incremental tier alone fixed it: budget 1 suffices.
+            (Ok(a), Ok(b)) if !a.resynthesized => assert_eq!(a.schedule, b.schedule),
+            // Re-synthesis was needed: the budgeted run reports exhaustion.
+            (Ok(a), Err(e)) => {
+                assert!(a.resynthesized);
+                assert_eq!(e.cause, InfeasibleCause::BudgetExhausted);
+            }
+            (a, b) => panic!("unexpected combination: {a:?} vs {b:?}"),
+        }
     }
 }

@@ -11,20 +11,30 @@
 //! | [`fps::fps_online_schedulable`] | worst-case response-time test \[18\] | "FPS-online" curve |
 //! | [`gpiocp::Gpiocp`] | FIFO queue of timed requests \[2\] | prior state of the art |
 //!
-//! Every method implements [`Scheduler`] and produces explicit
-//! [`Schedule`](tagio_core::schedule::Schedule)s that pass
-//! [`Schedule::validate`](tagio_core::schedule::Schedule::validate);
-//! [`SchedulingReport::evaluate`] attaches the paper's Ψ/Υ metrics.
+//! # The unified solving API
 //!
-//! Methods are also constructible *by name* through the [`registry`]
-//! (`"fps-offline"`, `"static:first-fit"`, …) and selectable in bulk via
-//! [`MethodSet`], so experiment harnesses never hardcode constructor
-//! imports; sweeps over many systems fold their reports into
-//! [`stats::MethodStats`] (sample counts plus mean/min/max of Ψ and Υ).
+//! Every method is a [`Solve`]r: `solve(&jobs, &ctx)` returns
+//! `Result<Schedule, Infeasible>` — a validated
+//! [`Schedule`](tagio_core::schedule::Schedule), or a structured
+//! [`Infeasible`] diagnostic (cause, offending task/job ids, best
+//! partial Ψ/Υ). The per-call [`SolverCtx`] carries the deterministic
+//! seed, time/iteration budget, cooperative cancellation and thread
+//! configuration; budgeted solvers (the GA, [`OptimalPsi`], the repair
+//! ladder) are *anytime* — they return the best feasible schedule found
+//! when the budget expires. Simple methods implement the context-free
+//! [`Scheduler`] trait and are blanket-adapted.
+//!
+//! Methods are also constructible *by name* through the runtime-
+//! extensible [`Registry`] with parameterized specs (`"fps-offline"`,
+//! `"static:best-fit"`, `"ga:pop=64,gens=500,seed=7"` — grammar in
+//! [`registry`]) and selectable in bulk via [`MethodSet`], so experiment
+//! harnesses never hardcode constructor imports; sweeps over many
+//! systems fold their reports into [`stats::MethodStats`] (sample counts
+//! plus mean/min/max of Ψ and Υ).
 //!
 //! ```
 //! use rand::SeedableRng;
-//! use tagio_sched::{Scheduler, SchedulingReport};
+//! use tagio_sched::{Solve, SolverCtx, SchedulingReport};
 //! use tagio_sched::heuristic::StaticScheduler;
 //! use tagio_workload::generator::SystemConfig;
 //! use tagio_core::job::JobSet;
@@ -32,7 +42,11 @@
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let system = SystemConfig::paper(0.4).generate(&mut rng);
 //! let jobs = JobSet::expand(&system);
-//! let report = SchedulingReport::evaluate(&StaticScheduler::new(), &jobs);
+//! match StaticScheduler::new().solve(&jobs, &SolverCtx::new()) {
+//!     Ok(schedule) => assert!(schedule.validate(&jobs).is_ok()),
+//!     Err(infeasible) => println!("no schedule: {infeasible}"),
+//! }
+//! let report = SchedulingReport::evaluate(&StaticScheduler::new(), &jobs).unwrap();
 //! assert!(report.psi >= 0.0 && report.psi <= 1.0);
 //! ```
 
@@ -49,6 +63,7 @@ pub mod heuristic;
 pub mod optimal;
 pub mod registry;
 pub mod scheduler;
+pub mod solve;
 pub mod stats;
 
 pub use analysis::{response_time_np_fps, taskset_schedulable_np_fps, ResponseTime};
@@ -58,12 +73,17 @@ pub use fps::{fps_online_schedulable, FpsOffline};
 pub use ga_sched::{reconfigure, GaScheduleResult, GaScheduler};
 pub use gpiocp::Gpiocp;
 pub use heuristic::{
-    repair, repair_neighbourhood, repair_or_resynthesize, retime, ConflictGraph, RepairOutcome,
-    SlotPolicy, StaticScheduler, Timeline,
+    repair, repair_neighbourhood, repair_or_resynthesize, repair_or_resynthesize_with, retime,
+    ConflictGraph, RepairOutcome, RepairSolver, SlotPolicy, StaticScheduler, Timeline,
 };
 pub use optimal::OptimalPsi;
 pub use registry::{
-    make_scheduler, method_names, registry_help, BoxedScheduler, MethodSet, UnknownMethod,
+    make_scheduler, method_names, registry_help, BoxedSolver, MethodArgs, MethodError,
+    MethodParseError, MethodSet, MethodSpec, Registry,
 };
 pub use scheduler::{Scheduler, SchedulingReport};
+pub use solve::{check_capacity, SchedulerBug, Solve};
 pub use stats::{MethodStats, Summary};
+// The shared solving vocabulary, re-exported so `tagio_sched` alone is a
+// complete import surface for solver code.
+pub use tagio_core::solve::{Infeasible, InfeasibleCause, SolveBudget, SolverCtx};

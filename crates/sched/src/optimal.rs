@@ -12,11 +12,17 @@
 //! keeps feasibility and does not move any exact job off its ideal instant,
 //! and an exact job *is* anchored by definition. The search is exponential
 //! in the number of jobs and intended for test oracles and micro-studies
-//! (≲ 12 jobs); [`OptimalPsi::with_node_budget`] bounds the work.
+//! (≲ 12 jobs). [`OptimalPsi`] implements [`Solve`] directly — one
+//! branch node costs one [`SolverCtx`] budget iteration, so a budgeted
+//! solve is *anytime*: it returns the best complete schedule found when
+//! the budget expires, or a `BudgetExhausted` diagnostic carrying the
+//! partial assignment it was exploring.
 
-use crate::scheduler::Scheduler;
+use crate::solve::{check_capacity, Solve};
 use tagio_core::job::JobSet;
+use tagio_core::metrics;
 use tagio_core::schedule::{entry_for, Schedule};
+use tagio_core::solve::{Infeasible, InfeasibleCause, SolveBudget, SolverCtx};
 use tagio_core::time::Time;
 
 /// Exhaustive Ψ-optimal scheduler (small instances only).
@@ -42,27 +48,68 @@ impl OptimalPsi {
     }
 
     /// The best achievable Ψ numerator (number of exact jobs), along with
-    /// the schedule attaining it; `None` if no feasible schedule exists
-    /// within the budget.
-    #[must_use]
-    pub fn solve(&self, jobs: &JobSet) -> Option<(usize, Schedule)> {
+    /// the schedule attaining it, under a default (unlimited) context.
+    ///
+    /// # Errors
+    /// See [`OptimalPsi::solve_exact_with`].
+    pub fn solve_exact(&self, jobs: &JobSet) -> Result<(usize, Schedule), Infeasible> {
+        self.solve_exact_with(jobs, &SolverCtx::new())
+    }
+
+    /// The best achievable Ψ numerator and its schedule, under `ctx`.
+    ///
+    /// The search spends one `ctx` budget iteration per branch node (on
+    /// top of the constructor's node budget). It is *anytime*: when a
+    /// budget expires after at least one complete schedule was found, the
+    /// best one found so far is returned.
+    ///
+    /// # Errors
+    /// [`InfeasibleCause::UtilisationOverload`] on outright overload;
+    /// [`InfeasibleCause::BudgetExhausted`] (or `Cancelled`) when the
+    /// search stopped before finding any complete schedule — the
+    /// diagnostic carries the partial assignment being explored (its
+    /// unplaced jobs and partial Ψ/Υ); [`InfeasibleCause::NoFeasibleSlot`]
+    /// when the exhausted search proves no anchored schedule exists.
+    pub fn solve_exact_with(
+        &self,
+        jobs: &JobSet,
+        ctx: &SolverCtx,
+    ) -> Result<(usize, Schedule), Infeasible> {
         let n = jobs.len();
         if n == 0 {
-            return Some((0, Schedule::new()));
+            return Ok((0, Schedule::new()));
         }
+        check_capacity(jobs)?;
         let mut search = Search {
             jobs,
             order: Vec::with_capacity(n),
             starts: Vec::with_capacity(n),
             used: vec![false; n],
-            best_exact: None,
             best: None,
             nodes: 0,
-            budget: self.node_budget,
+            node_budget: self.node_budget,
+            budget: ctx.budget(),
+            stopped: None,
+            snapshot: None,
         };
         search.dfs(Time::ZERO, 0);
-        let best = search.best?;
-        Some((search.best_exact.unwrap_or(0), best))
+        if let Some((exact, best)) = search.best {
+            return Ok((exact, best));
+        }
+        match search.stopped {
+            Some(cause) => {
+                let mut err = Infeasible::new(cause);
+                if let Some((exact, partial, unplaced)) = search.snapshot {
+                    err = err
+                        .with_jobs(unplaced)
+                        .with_partial(exact as f64 / n as f64, metrics::upsilon(&partial, jobs));
+                }
+                Err(err)
+            }
+            None => Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot)
+                .with_jobs(jobs.iter().map(tagio_core::job::Job::id))
+                .with_partial(0.0, 0.0)),
+        }
     }
 }
 
@@ -72,13 +119,13 @@ impl Default for OptimalPsi {
     }
 }
 
-impl Scheduler for OptimalPsi {
-    fn name(&self) -> &'static str {
+impl Solve for OptimalPsi {
+    fn name(&self) -> &str {
         "optimal-psi"
     }
 
-    fn schedule(&self, jobs: &JobSet) -> Option<Schedule> {
-        self.solve(jobs).map(|(_, s)| s)
+    fn solve(&self, jobs: &JobSet, ctx: &SolverCtx) -> Result<Schedule, Infeasible> {
+        self.solve_exact_with(jobs, ctx).map(|(_, s)| s)
     }
 }
 
@@ -87,37 +134,68 @@ struct Search<'a> {
     order: Vec<usize>,
     starts: Vec<Time>,
     used: Vec<bool>,
-    best_exact: Option<usize>,
-    best: Option<Schedule>,
+    /// The best complete schedule found so far, with its exact count.
+    best: Option<(usize, Schedule)>,
     nodes: u64,
-    budget: u64,
+    node_budget: u64,
+    budget: SolveBudget,
+    /// Why the search stopped early, when it did.
+    stopped: Option<InfeasibleCause>,
+    /// The partial assignment at the stopping point: exact count, the
+    /// partial schedule, and the unplaced jobs.
+    #[allow(clippy::type_complexity)]
+    snapshot: Option<(usize, Schedule, Vec<tagio_core::job::JobId>)>,
 }
 
 impl Search<'_> {
+    fn stop(&mut self, cause: InfeasibleCause, exact: usize) {
+        let all = self.jobs.as_slice();
+        let partial: Schedule = self
+            .order
+            .iter()
+            .zip(&self.starts)
+            .map(|(&i, &s)| entry_for(&all[i], s))
+            .collect();
+        let unplaced: Vec<tagio_core::job::JobId> = (0..all.len())
+            .filter(|&i| !self.used[i])
+            .map(|i| all[i].id())
+            .collect();
+        self.stopped = Some(cause);
+        self.snapshot = Some((exact, partial, unplaced));
+    }
+
     fn dfs(&mut self, cursor: Time, exact: usize) {
+        if self.stopped.is_some() {
+            return;
+        }
         self.nodes += 1;
-        if self.nodes > self.budget {
+        if self.nodes > self.node_budget {
+            self.stop(InfeasibleCause::BudgetExhausted, exact);
+            return;
+        }
+        if let Err(cause) = self.budget.spend(1) {
+            self.stop(cause, exact);
             return;
         }
         let all = self.jobs.as_slice();
         let n = all.len();
         if self.order.len() == n {
-            if self.best_exact.is_none_or(|b| exact > b) {
-                self.best_exact = Some(exact);
-                self.best = Some(
+            if self.best.as_ref().is_none_or(|(b, _)| exact > *b) {
+                self.best = Some((
+                    exact,
                     self.order
                         .iter()
                         .zip(&self.starts)
                         .map(|(&i, &s)| entry_for(&all[i], s))
                         .collect(),
-                );
+                ));
             }
             return;
         }
         // Bound: even making every remaining job exact cannot beat best.
         let remaining = n - self.order.len();
-        if let Some(b) = self.best_exact {
-            if exact + remaining <= b {
+        if let Some((b, _)) = &self.best {
+            if exact + remaining <= *b {
                 return;
             }
         }
@@ -154,9 +232,9 @@ impl Search<'_> {
 mod tests {
     use super::*;
     use crate::heuristic::StaticScheduler;
+    use crate::scheduler::Scheduler;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use tagio_core::metrics;
     use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
     use tagio_core::time::Duration;
     use tagio_workload::{PeriodPool, SystemConfig};
@@ -177,7 +255,7 @@ mod tests {
             .into_iter()
             .collect();
         let jobs = JobSet::expand(&set);
-        let (exact, s) = OptimalPsi::new().solve(&jobs).unwrap();
+        let (exact, s) = OptimalPsi::new().solve_exact(&jobs).unwrap();
         s.validate(&jobs).unwrap();
         assert_eq!(exact, jobs.len());
         assert_eq!(metrics::psi(&s, &jobs), 1.0);
@@ -189,13 +267,13 @@ mod tests {
             .into_iter()
             .collect();
         let jobs = JobSet::expand(&set);
-        let (exact, s) = OptimalPsi::new().solve(&jobs).unwrap();
+        let (exact, s) = OptimalPsi::new().solve_exact(&jobs).unwrap();
         s.validate(&jobs).unwrap();
         assert_eq!(exact, 1);
     }
 
     #[test]
-    fn overload_is_infeasible() {
+    fn overload_is_infeasible_with_diagnostic() {
         let tight = |id| {
             IoTask::builder(TaskId(id), DeviceId(0))
                 .wcet(Duration::from_micros(600))
@@ -207,7 +285,9 @@ mod tests {
         };
         let set: TaskSet = vec![tight(0), tight(1)].into_iter().collect();
         let jobs = JobSet::expand(&set);
-        assert!(OptimalPsi::new().solve(&jobs).is_none());
+        let err = OptimalPsi::new().solve_exact(&jobs).unwrap_err();
+        assert_eq!(err.cause, InfeasibleCause::UtilisationOverload);
+        assert!(!err.tasks.is_empty());
     }
 
     #[test]
@@ -227,11 +307,11 @@ mod tests {
             if jobs.len() > 10 {
                 continue;
             }
-            let Some((best_exact, best)) = OptimalPsi::new().solve(&jobs) else {
+            let Ok((best_exact, best)) = OptimalPsi::new().solve_exact(&jobs) else {
                 continue;
             };
             best.validate(&jobs).unwrap();
-            if let Some(s) = StaticScheduler::new().schedule(&jobs) {
+            if let Ok(s) = StaticScheduler::new().schedule(&jobs) {
                 let heuristic_exact =
                     (metrics::psi(&s, &jobs) * jobs.len() as f64).round() as usize;
                 assert!(
@@ -279,7 +359,7 @@ mod tests {
             QualityCurve::linear(2.0, 1.0),
         );
         let jobs = JobSet::from_jobs(vec![a, b], Duration::from_millis(20));
-        let (exact, s) = OptimalPsi::new().solve(&jobs).unwrap();
+        let (exact, s) = OptimalPsi::new().solve_exact(&jobs).unwrap();
         s.validate(&jobs).unwrap();
         assert_eq!(exact, 1);
     }
@@ -297,26 +377,52 @@ mod tests {
         };
         let set: TaskSet = vec![mk(0, 4), mk(1, 7), mk(2, 10)].into_iter().collect();
         let jobs = JobSet::expand(&set);
-        let (exact, _) = OptimalPsi::new().solve(&jobs).unwrap();
+        let (exact, _) = OptimalPsi::new().solve_exact(&jobs).unwrap();
         assert_eq!(exact, 3);
     }
 
     #[test]
     fn empty_jobset_is_trivial() {
         let jobs = JobSet::from_jobs(vec![], Duration::from_millis(1));
-        let (exact, s) = OptimalPsi::new().solve(&jobs).unwrap();
+        let (exact, s) = OptimalPsi::new().solve_exact(&jobs).unwrap();
         assert_eq!(exact, 0);
         assert!(s.is_empty());
     }
 
     #[test]
-    fn budget_limits_work() {
-        // With a 1-node budget the search cannot finish; it may return the
-        // best found (possibly none). It must not hang or panic.
+    fn node_budget_exhaustion_reports_the_partial_assignment() {
+        // With a 1-node budget the search cannot place anything: it must
+        // report exhaustion (not hang or panic) and name the unplaced
+        // jobs it was still exploring.
         let set: TaskSet = (0..6)
             .map(|i| task(i, 32, 1000, 8 + u64::from(i) * 2))
             .collect();
         let jobs = JobSet::expand(&set);
-        let _ = OptimalPsi::with_node_budget(1).solve(&jobs);
+        let err = OptimalPsi::with_node_budget(1)
+            .solve_exact(&jobs)
+            .unwrap_err();
+        assert_eq!(err.cause, InfeasibleCause::BudgetExhausted);
+        assert!(!err.jobs.is_empty(), "unplaced jobs are named");
+        assert!(err.best_psi.is_some(), "partial psi attached");
+    }
+
+    #[test]
+    fn ctx_iteration_budget_terminates_early_and_anytime() {
+        let set: TaskSet = (0..6)
+            .map(|i| task(i, 32, 1000, 8 + u64::from(i) * 2))
+            .collect();
+        let jobs = JobSet::expand(&set);
+        // Tiny context budget, generous node budget: same early stop
+        // through the SolverCtx path.
+        let err = OptimalPsi::new()
+            .solve_exact_with(&jobs, &SolverCtx::new().with_iteration_budget(2))
+            .unwrap_err();
+        assert_eq!(err.cause, InfeasibleCause::BudgetExhausted);
+        // A budget large enough to find *some* complete schedule but not
+        // finish the search still returns a best-so-far (anytime).
+        let mid = OptimalPsi::new()
+            .solve_exact_with(&jobs, &SolverCtx::new().with_iteration_budget(50))
+            .expect("anytime: a complete schedule was reachable in 50 nodes");
+        mid.1.validate(&jobs).unwrap();
     }
 }

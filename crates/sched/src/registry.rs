@@ -1,154 +1,662 @@
-//! A name-indexed registry of every scheduling method, so experiments can
-//! select baselines by name (`"fps-offline,gpiocp,static"`) instead of
-//! hardcoding one import and constructor call per method, plus
-//! [`MethodSet`] — an ordered, instantiated selection ready to evaluate.
+//! A runtime-extensible registry of scheduling methods with
+//! **parameterized method names**, so experiments select and configure
+//! solvers by string (`"fps-offline,static:best-fit,ga:pop=64,gens=500"`)
+//! instead of hardcoding one import and constructor call per method —
+//! plus [`MethodSet`], an ordered, instantiated selection ready to
+//! evaluate.
+//!
+//! # Method-name grammar
+//!
+//! ```text
+//! spec   := base [ ":" param ( "," param )* ]
+//! base   := word
+//! param  := key "=" value        (keyed parameter)
+//!         | word                 (flag parameter)
+//! word, key, value := [A-Za-z0-9_.+-]+
+//! ```
+//!
+//! Whitespace around any token is ignored. Examples:
+//!
+//! * `static` — the base method with its defaults;
+//! * `static:best-fit` — one flag parameter selecting a variant;
+//! * `ga:pop=64,gens=500,seed=7` — keyed parameters.
+//!
+//! Duplicate keys/flags are rejected at parse time; keys a method does
+//! not understand are rejected by its factory ([`MethodError::BadParam`]),
+//! so a typo can never silently select defaults.
+//!
+//! # Extending the registry
+//!
+//! [`Registry`] is a value: downstream crates start from
+//! [`Registry::with_builtins`] (or empty) and [`Registry::register`]
+//! their own factories — any [`Solve`] implementation plugs in.
+//! [`MethodSet::parse_in`] then accepts the custom names everywhere a
+//! built-in would work. Registering an existing name replaces that
+//! entry, so a downstream crate can also shadow a built-in.
 
-use crate::edf::EdfOffline;
-use crate::fps::FpsOffline;
-use crate::ga_sched::GaScheduler;
-use crate::gpiocp::Gpiocp;
-use crate::heuristic::{SlotPolicy, StaticScheduler};
-use crate::optimal::OptimalPsi;
-use crate::scheduler::{Scheduler, SchedulingReport};
-use tagio_ga::GaConfig;
+use crate::scheduler::SchedulingReport;
+use crate::solve::{SchedulerBug, Solve};
+use tagio_core::solve::SolverCtx;
 
-/// A ready-to-use scheduler trait object (shareable across worker threads).
-pub type BoxedScheduler = Box<dyn Scheduler + Send + Sync>;
+/// A ready-to-use solver trait object (shareable across worker threads).
+pub type BoxedSolver = Box<dyn Solve + Send + Sync>;
 
-/// One registry row: canonical name, factory, one-line summary.
-struct Entry {
-    name: &'static str,
-    summary: &'static str,
-    make: fn() -> BoxedScheduler,
-}
-
-/// Every registered method. Names are stable: experiment CLIs, reports and
-/// the JSON output all key on them.
-const REGISTRY: &[Entry] = &[
-    Entry {
-        name: "fps-offline",
-        summary: "non-preemptive fixed-priority schedule simulated offline",
-        make: || Box::new(FpsOffline::new()),
-    },
-    Entry {
-        name: "edf-offline",
-        summary: "non-preemptive earliest-deadline-first schedule simulated offline",
-        make: || Box::new(EdfOffline::new()),
-    },
-    Entry {
-        name: "gpiocp",
-        summary: "GPIOCP FIFO replay of timed requests (prior state of the art)",
-        make: || Box::new(Gpiocp::new()),
-    },
-    Entry {
-        name: "static",
-        summary: "Algorithm 1: dependency graphs + LCC-D slot selection",
-        make: || Box::new(StaticScheduler::new()),
-    },
-    Entry {
-        name: "static:lcc-d",
-        summary: "Algorithm 1 with its default LCC-D slot policy (alias of `static`)",
-        make: || {
-            Box::new(StaticScheduler::with_policy(
-                SlotPolicy::LeastContentionCapacityDecreasing,
-            ))
-        },
-    },
-    Entry {
-        name: "static:first-fit",
-        summary: "Algorithm 1 with First-Fit slot selection (ablation)",
-        make: || Box::new(StaticScheduler::with_policy(SlotPolicy::FirstFit)),
-    },
-    Entry {
-        name: "static:best-fit",
-        summary: "Algorithm 1 with Best-Fit slot selection (ablation)",
-        make: || Box::new(StaticScheduler::with_policy(SlotPolicy::BestFit)),
-    },
-    Entry {
-        name: "static:worst-fit",
-        summary: "Algorithm 1 with Worst-Fit slot selection (ablation)",
-        make: || Box::new(StaticScheduler::with_policy(SlotPolicy::WorstFit)),
-    },
-    Entry {
-        name: "ga",
-        summary: "multi-objective GA, fixed quick config and seed 0, serial evaluation \
-                  (experiments wanting CLI budgets / per-system seeds / threaded \
-                  evaluation construct the GA directly)",
-        // Registry methods are generic trait objects that may already run
-        // inside a sweep's worker pool, so this GA evaluates serially —
-        // `threads: 0` here would nest an all-core pool per system.
-        make: || {
-            Box::new(GaScheduler::new().with_config(GaConfig {
-                threads: 1,
-                ..GaConfig::quick()
-            }))
-        },
-    },
-    Entry {
-        name: "optimal-psi",
-        summary: "exhaustive best-Psi oracle (exponential; tiny job sets only)",
-        make: || Box::new(OptimalPsi::new()),
-    },
-];
-
-/// The canonical names of every registered method, in registry order.
-#[must_use]
-pub fn method_names() -> Vec<&'static str> {
-    REGISTRY.iter().map(|e| e.name).collect()
-}
-
-/// Instantiates the method registered under `name`.
-#[must_use]
-pub fn make_scheduler(name: &str) -> Option<BoxedScheduler> {
-    REGISTRY.iter().find(|e| e.name == name).map(|e| (e.make)())
-}
-
-/// A `name — summary` help listing of every registered method.
-#[must_use]
-pub fn registry_help() -> String {
-    REGISTRY
-        .iter()
-        .map(|e| format!("{:<18} {}", e.name, e.summary))
-        .collect::<Vec<_>>()
-        .join("\n")
-}
-
-/// A selection of methods unknown to the registry.
+/// A parsed method specification: a base name plus ordered parameters
+/// (see the [module docs](self) for the grammar).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct UnknownMethod(pub String);
+pub struct MethodSpec {
+    base: String,
+    /// `(key, Some(value))` for keyed parameters, `(flag, None)` for
+    /// flags, in source order.
+    params: Vec<(String, Option<String>)>,
+}
 
-impl core::fmt::Display for UnknownMethod {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "unknown scheduling method `{}` (known: {})",
-            self.0,
-            method_names().join(", ")
-        )
+/// Characters allowed in bases, keys, flags and values.
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '+' | '-')
+}
+
+fn check_word(s: &str, role: &str) -> Result<(), MethodParseError> {
+    if s.is_empty() {
+        return Err(MethodParseError::Empty(role.to_owned()));
+    }
+    match s.chars().find(|c| !is_word_char(*c)) {
+        Some(c) => Err(MethodParseError::BadChar {
+            role: role.to_owned(),
+            token: s.to_owned(),
+            ch: c,
+        }),
+        None => Ok(()),
     }
 }
 
-impl std::error::Error for UnknownMethod {}
+impl MethodSpec {
+    /// Parses one specification (`"ga:pop=64,gens=500"`).
+    ///
+    /// # Errors
+    /// [`MethodParseError`] on empty tokens, characters outside the
+    /// grammar, or duplicate keys/flags.
+    pub fn parse(spec: &str) -> Result<Self, MethodParseError> {
+        let spec = spec.trim();
+        let (base, rest) = match spec.split_once(':') {
+            Some((base, rest)) => (base.trim(), Some(rest)),
+            None => (spec, None),
+        };
+        check_word(base, "method name")?;
+        let mut params: Vec<(String, Option<String>)> = Vec::new();
+        if let Some(rest) = rest {
+            for raw in rest.split(',') {
+                let raw = raw.trim();
+                let param = match raw.split_once('=') {
+                    Some((key, value)) => {
+                        let (key, value) = (key.trim(), value.trim());
+                        check_word(key, "parameter key")?;
+                        check_word(value, "parameter value")?;
+                        (key.to_owned(), Some(value.to_owned()))
+                    }
+                    None => {
+                        check_word(raw, "parameter")?;
+                        (raw.to_owned(), None)
+                    }
+                };
+                if params.iter().any(|(k, _)| *k == param.0) {
+                    return Err(MethodParseError::DuplicateKey(param.0));
+                }
+                params.push(param);
+            }
+        }
+        Ok(MethodSpec {
+            base: base.to_owned(),
+            params,
+        })
+    }
 
-/// An ordered set of instantiated methods, keyed by display name.
+    /// Builds a spec programmatically (downstream factories and tests).
+    ///
+    /// # Errors
+    /// The same grammar violations [`MethodSpec::parse`] reports.
+    pub fn build(
+        base: &str,
+        params: impl IntoIterator<Item = (String, Option<String>)>,
+    ) -> Result<Self, MethodParseError> {
+        let mut canonical = base.trim().to_owned();
+        let params: Vec<(String, Option<String>)> = params.into_iter().collect();
+        for (i, (key, value)) in params.iter().enumerate() {
+            canonical.push(if i == 0 { ':' } else { ',' });
+            canonical.push_str(key);
+            if let Some(value) = value {
+                canonical.push('=');
+                canonical.push_str(value);
+            }
+        }
+        Self::parse(&canonical)
+    }
+
+    /// The base method name.
+    #[must_use]
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// The parameters in source order: `(key, Some(value))` or
+    /// `(flag, None)`.
+    pub fn params(&self) -> impl Iterator<Item = (&str, Option<&str>)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v.as_deref()))
+    }
+
+    /// Begins consuming parameters for factory-side validation.
+    #[must_use]
+    pub fn args(&self) -> MethodArgs<'_> {
+        MethodArgs {
+            spec: self,
+            used: vec![false; self.params.len()],
+        }
+    }
+}
+
+impl core::fmt::Display for MethodSpec {
+    /// The canonical rendering: parse(format(spec)) == spec.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.base)?;
+        for (i, (key, value)) in self.params.iter().enumerate() {
+            write!(f, "{}{key}", if i == 0 { ':' } else { ',' })?;
+            if let Some(value) = value {
+                write!(f, "={value}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Cursor over a [`MethodSpec`]'s parameters that tracks which were
+/// consumed, so factories reject unknown keys with one
+/// [`MethodArgs::finish`] call.
+#[derive(Debug)]
+pub struct MethodArgs<'a> {
+    spec: &'a MethodSpec,
+    used: Vec<bool>,
+}
+
+impl MethodArgs<'_> {
+    /// Consumes and returns the flag parameter `name`, if present.
+    pub fn flag(&mut self, name: &str) -> bool {
+        for (i, (key, value)) in self.spec.params.iter().enumerate() {
+            if key == name && value.is_none() && !self.used[i] {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes and returns the raw value of keyed parameter `key`.
+    pub fn value(&mut self, key: &str) -> Option<&str> {
+        for (i, (k, value)) in self.spec.params.iter().enumerate() {
+            if k == key && value.is_some() && !self.used[i] {
+                self.used[i] = true;
+                return value.as_deref();
+            }
+        }
+        None
+    }
+
+    /// Consumes keyed parameter `key` parsed as `T`.
+    ///
+    /// # Errors
+    /// [`MethodError::BadParam`] when the value does not parse.
+    pub fn parsed<T: std::str::FromStr>(&mut self, key: &str) -> Result<Option<T>, MethodError> {
+        match self.value(key).map(str::to_owned) {
+            None => Ok(None),
+            Some(raw) => raw.parse::<T>().map(Some).map_err(|_| {
+                MethodError::bad_param(
+                    self.spec.base.clone(),
+                    format!("parameter `{key}` has malformed value `{raw}`"),
+                )
+            }),
+        }
+    }
+
+    /// Rejects every parameter no accessor consumed.
+    ///
+    /// # Errors
+    /// [`MethodError::BadParam`] naming the first unconsumed parameter.
+    pub fn finish(self) -> Result<(), MethodError> {
+        for (i, (key, value)) in self.spec.params.iter().enumerate() {
+            if !self.used[i] {
+                let rendered = match value {
+                    Some(v) => format!("{key}={v}"),
+                    None => key.clone(),
+                };
+                return Err(MethodError::bad_param(
+                    self.spec.base.clone(),
+                    format!("unknown parameter `{rendered}`"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A grammar violation in a method specification string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MethodParseError {
+    /// A required token (base name, key, value, flag) was empty.
+    Empty(String),
+    /// A token contains a character outside `[A-Za-z0-9_.+-]`.
+    BadChar {
+        /// What the token was meant to be.
+        role: String,
+        /// The offending token.
+        token: String,
+        /// The first bad character.
+        ch: char,
+    },
+    /// The same key or flag appears twice.
+    DuplicateKey(String),
+}
+
+impl core::fmt::Display for MethodParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Empty(role) => write!(f, "empty {role}"),
+            Self::BadChar { role, token, ch } => {
+                write!(f, "bad character `{ch}` in {role} `{token}`")
+            }
+            Self::DuplicateKey(key) => write!(f, "duplicate parameter `{key}`"),
+        }
+    }
+}
+
+impl std::error::Error for MethodParseError {}
+
+/// Why a method could not be selected or instantiated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MethodError {
+    /// The specification string violates the grammar.
+    Parse(MethodParseError),
+    /// The base name is not registered.
+    Unknown {
+        /// The requested base name.
+        name: String,
+        /// Every registered base name, in registry order.
+        known: Vec<String>,
+    },
+    /// The method rejected a parameter (unknown key, malformed value,
+    /// conflicting flags).
+    BadParam {
+        /// The method's base name.
+        method: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// A selection list contained no names at all (a typo must not
+    /// select zero methods).
+    EmptySelection(String),
+}
+
+impl MethodError {
+    fn bad_param(method: String, message: String) -> Self {
+        MethodError::BadParam { method, message }
+    }
+}
+
+impl From<MethodParseError> for MethodError {
+    fn from(e: MethodParseError) -> Self {
+        MethodError::Parse(e)
+    }
+}
+
+impl core::fmt::Display for MethodError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "malformed method spec: {e}"),
+            Self::Unknown { name, known } => write!(
+                f,
+                "unknown scheduling method `{name}` (known: {})",
+                known.join(", ")
+            ),
+            Self::BadParam { method, message } => write!(f, "method `{method}`: {message}"),
+            Self::EmptySelection(csv) => write!(f, "empty method list: {csv:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MethodError {}
+
+/// One registry row.
+struct Entry {
+    name: String,
+    summary: String,
+    make: Factory,
+}
+
+/// A method factory: builds a solver from a parsed, parameterized spec.
+pub type Factory = Box<dyn Fn(&MethodSpec) -> Result<BoxedSolver, MethodError> + Send + Sync>;
+
+/// A runtime-extensible, name-indexed collection of method factories.
+///
+/// ```
+/// use tagio_core::solve::{Infeasible, InfeasibleCause, SolverCtx};
+/// use tagio_core::{job::JobSet, schedule::Schedule};
+/// use tagio_sched::{Registry, Solve};
+///
+/// struct Nope;
+/// impl Solve for Nope {
+///     fn name(&self) -> &str { "nope" }
+///     fn solve(&self, _: &JobSet, _: &SolverCtx) -> Result<Schedule, Infeasible> {
+///         Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot))
+///     }
+/// }
+///
+/// let mut registry = Registry::with_builtins();
+/// registry.register("nope", "always refuses (downstream example)", |spec| {
+///     spec.args().finish()?; // no parameters accepted
+///     Ok(Box::new(Nope))
+/// });
+/// assert!(registry.make("nope").is_ok());
+/// assert!(registry.make("static:best-fit").is_ok());
+/// assert!(registry.make("nope:loud").is_err()); // unknown parameter
+/// ```
+pub struct Registry {
+    entries: Vec<Entry>,
+}
+
+impl Registry {
+    /// An empty registry (downstream crates that want full control).
+    #[must_use]
+    pub fn empty() -> Self {
+        Registry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Every in-tree method. Names are stable: experiment CLIs, reports
+    /// and the JSON output all key on them.
+    #[must_use]
+    pub fn with_builtins() -> Self {
+        let mut r = Registry::empty();
+        r.register(
+            "fps-offline",
+            "non-preemptive fixed-priority schedule simulated offline",
+            |spec| {
+                spec.args().finish()?;
+                Ok(Box::new(crate::fps::FpsOffline::new()))
+            },
+        );
+        r.register(
+            "edf-offline",
+            "non-preemptive earliest-deadline-first schedule simulated offline",
+            |spec| {
+                spec.args().finish()?;
+                Ok(Box::new(crate::edf::EdfOffline::new()))
+            },
+        );
+        r.register(
+            "gpiocp",
+            "GPIOCP FIFO replay of timed requests (prior state of the art)",
+            |spec| {
+                spec.args().finish()?;
+                Ok(Box::new(crate::gpiocp::Gpiocp::new()))
+            },
+        );
+        r.register(
+            "static",
+            "Algorithm 1: dependency graphs + slot allocation; flags \
+             lcc-d (default) | first-fit | best-fit | worst-fit",
+            |spec| {
+                use crate::heuristic::{SlotPolicy, StaticScheduler};
+                let mut args = spec.args();
+                let mut policy = None;
+                for (flag, p) in [
+                    ("lcc-d", SlotPolicy::LeastContentionCapacityDecreasing),
+                    ("first-fit", SlotPolicy::FirstFit),
+                    ("best-fit", SlotPolicy::BestFit),
+                    ("worst-fit", SlotPolicy::WorstFit),
+                ] {
+                    if args.flag(flag) && policy.replace(p).is_some() {
+                        return Err(MethodError::bad_param(
+                            "static".into(),
+                            "conflicting slot-policy flags".into(),
+                        ));
+                    }
+                }
+                args.finish()?;
+                Ok(Box::new(StaticScheduler::with_policy(
+                    policy.unwrap_or_default(),
+                )))
+            },
+        );
+        r.register(
+            "ga",
+            "multi-objective GA; keys pop=N, gens=N, seed=N (pins the seed, \
+             overriding the caller's per-call context), threads=N, hint=F \
+             (ideal-seeded fraction); defaults: quick config, seed 0, serial \
+             evaluation",
+            |spec| {
+                use crate::ga_sched::GaScheduler;
+                use tagio_ga::GaConfig;
+                let mut args = spec.args();
+                // Registry methods may already run inside a sweep's worker
+                // pool, so this GA evaluates serially by default —
+                // `threads: 0` would nest an all-core pool per system.
+                let mut config = GaConfig {
+                    threads: 1,
+                    ..GaConfig::quick()
+                };
+                if let Some(pop) = args.parsed::<usize>("pop")? {
+                    config.population = pop;
+                }
+                if let Some(gens) = args.parsed::<usize>("gens")? {
+                    config.generations = gens;
+                }
+                if let Some(threads) = args.parsed::<usize>("threads")? {
+                    config.threads = threads;
+                }
+                if let Some(hint) = args.parsed::<f64>("hint")? {
+                    if !(0.0..=1.0).contains(&hint) {
+                        return Err(MethodError::bad_param(
+                            "ga".into(),
+                            format!("hint={hint} outside [0, 1]"),
+                        ));
+                    }
+                    config.hint_fraction = hint;
+                }
+                let seed = args.parsed::<u64>("seed")?;
+                args.finish()?;
+                if config.population == 0 {
+                    return Err(MethodError::bad_param(
+                        "ga".into(),
+                        "pop=0 (population must be positive)".into(),
+                    ));
+                }
+                let ga = GaScheduler::new().with_config(config);
+                Ok(match seed {
+                    // An explicit spec seed must win over whatever seed
+                    // the caller's context carries (the experiment
+                    // engine seeds per system): pin it at this boundary.
+                    Some(seed) => Box::new(PinnedSeed {
+                        inner: ga.with_seed(seed),
+                        seed,
+                    }),
+                    None => Box::new(ga),
+                })
+            },
+        );
+        r.register(
+            "optimal-psi",
+            "exhaustive best-Psi oracle (exponential; tiny job sets only); \
+             key nodes=N (branch-node budget)",
+            |spec| {
+                use crate::optimal::OptimalPsi;
+                let mut args = spec.args();
+                let nodes = args.parsed::<u64>("nodes")?;
+                args.finish()?;
+                Ok(Box::new(match nodes {
+                    Some(n) => OptimalPsi::with_node_budget(n),
+                    None => OptimalPsi::new(),
+                }))
+            },
+        );
+        r
+    }
+
+    /// Registers (or replaces) the factory for base name `name`.
+    ///
+    /// # Panics
+    /// Panics when `name` violates the grammar — registration happens at
+    /// startup, and a bad name would make the entry unselectable.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        summary: impl Into<String>,
+        make: impl Fn(&MethodSpec) -> Result<BoxedSolver, MethodError> + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        check_word(&name, "method name")
+            .unwrap_or_else(|e| panic!("registering invalid method name: {e}"));
+        let entry = Entry {
+            name,
+            summary: summary.into(),
+            make: Box::new(make),
+        };
+        match self.entries.iter_mut().find(|e| e.name == entry.name) {
+            Some(existing) => *existing = entry,
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// The registered base names, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// `true` when base name `name` is registered.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    /// A `name — summary` help listing of every registered method.
+    #[must_use]
+    pub fn help(&self) -> String {
+        self.entries
+            .iter()
+            .map(|e| format!("{:<14} {}", e.name, e.summary))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Parses `spec` and instantiates the method it names.
+    ///
+    /// # Errors
+    /// [`MethodError`] on grammar violations, unknown base names, or
+    /// parameters the method rejects.
+    pub fn make(&self, spec: &str) -> Result<BoxedSolver, MethodError> {
+        let parsed = MethodSpec::parse(spec)?;
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == parsed.base())
+            .ok_or_else(|| MethodError::Unknown {
+                name: parsed.base().to_owned(),
+                known: self.names(),
+            })?;
+        (entry.make)(&parsed)
+    }
+}
+
+/// Forces a spec-pinned seed into every solve call's context, so an
+/// explicit `seed=N` parameter beats the caller's per-call seeding.
+struct PinnedSeed<S> {
+    inner: S,
+    seed: u64,
+}
+
+impl<S: Solve> Solve for PinnedSeed<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn solve(
+        &self,
+        jobs: &tagio_core::job::JobSet,
+        ctx: &SolverCtx,
+    ) -> Result<tagio_core::schedule::Schedule, tagio_core::solve::Infeasible> {
+        self.inner.solve(jobs, &ctx.clone().with_seed(self.seed))
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_builtins()
+    }
+}
+
+impl core::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Registry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+/// The built-in base names, in registry order (convenience over
+/// [`Registry::with_builtins`]).
+#[must_use]
+pub fn method_names() -> Vec<String> {
+    Registry::with_builtins().names()
+}
+
+/// Instantiates `spec` against the built-in registry, `None` on any
+/// error (legacy convenience; prefer [`Registry::make`] for the
+/// diagnostic).
+#[must_use]
+pub fn make_scheduler(spec: &str) -> Option<BoxedSolver> {
+    Registry::with_builtins().make(spec).ok()
+}
+
+/// A `name — summary` help listing of the built-in methods.
+#[must_use]
+pub fn registry_help() -> String {
+    Registry::with_builtins().help()
+}
+
+/// An ordered set of instantiated methods, keyed by the spec string they
+/// were requested with.
 ///
 /// ```
 /// use tagio_sched::MethodSet;
-/// let set = MethodSet::parse("fps-offline,gpiocp").unwrap();
-/// assert_eq!(set.names(), vec!["fps-offline", "gpiocp"]);
+/// let set = MethodSet::parse("fps-offline,static:best-fit").unwrap();
+/// assert_eq!(set.names(), vec!["fps-offline", "static:best-fit"]);
 /// assert!(MethodSet::parse("not-a-method").is_err());
 /// ```
 pub struct MethodSet {
-    methods: Vec<(String, BoxedScheduler)>,
+    methods: Vec<(String, BoxedSolver)>,
 }
 
 impl MethodSet {
-    /// Instantiates the named methods, preserving order.
+    /// Instantiates the named methods against the built-in registry,
+    /// preserving order.
     ///
     /// # Errors
-    /// Returns [`UnknownMethod`] on the first name the registry does not
-    /// know.
-    pub fn from_names<I, S>(names: I) -> Result<Self, UnknownMethod>
+    /// The first [`MethodError`] any spec produces.
+    pub fn from_names<I, S>(names: I) -> Result<Self, MethodError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Self::from_names_in(&Registry::with_builtins(), names)
+    }
+
+    /// Instantiates the named methods against `registry`, preserving
+    /// order.
+    ///
+    /// # Errors
+    /// The first [`MethodError`] any spec produces.
+    pub fn from_names_in<I, S>(registry: &Registry, names: I) -> Result<Self, MethodError>
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
@@ -156,21 +664,41 @@ impl MethodSet {
         let mut methods = Vec::new();
         for name in names {
             let name = name.as_ref().trim();
-            let scheduler = make_scheduler(name).ok_or_else(|| UnknownMethod(name.to_owned()))?;
-            methods.push((name.to_owned(), scheduler));
+            let solver = registry.make(name)?;
+            methods.push((name.to_owned(), solver));
         }
         Ok(MethodSet { methods })
     }
 
-    /// Parses a comma-separated method list (`"fps-offline,static,ga"`).
+    /// Parses a comma-separated method list against the built-in
+    /// registry.
+    ///
+    /// Note the comma does double duty: it separates methods *and*
+    /// parameters. The splitting rule is simple and deterministic: a
+    /// segment containing `=` (and no `:` of its own) continues the
+    /// preceding parameterized spec, every other segment starts a new
+    /// spec. So `"static:best-fit,ga:pop=8,gens=9"` selects **two**
+    /// methods with `gens=9` attached to the `ga` spec — but *flag*
+    /// parameters attach only directly after their `:`; a spec needing
+    /// two flags can be built via [`MethodSpec`]/[`Registry::make`],
+    /// not via a CSV list.
     ///
     /// # Errors
-    /// Returns [`UnknownMethod`] on the first unknown name, or for a list
-    /// with no names at all (a typo must not select zero methods).
-    pub fn parse(csv: &str) -> Result<Self, UnknownMethod> {
-        let set = Self::from_names(csv.split(',').filter(|s| !s.trim().is_empty()))?;
+    /// The first [`MethodError`] any spec produces, or
+    /// [`MethodError::EmptySelection`] for a list with no names at all.
+    pub fn parse(csv: &str) -> Result<Self, MethodError> {
+        Self::parse_in(&Registry::with_builtins(), csv)
+    }
+
+    /// [`MethodSet::parse`] against a caller-supplied registry.
+    ///
+    /// # Errors
+    /// The first [`MethodError`] any spec produces, or
+    /// [`MethodError::EmptySelection`].
+    pub fn parse_in(registry: &Registry, csv: &str) -> Result<Self, MethodError> {
+        let set = Self::from_names_in(registry, split_specs(csv))?;
         if set.is_empty() {
-            return Err(UnknownMethod(format!("(empty method list: {csv:?})")));
+            return Err(MethodError::EmptySelection(csv.to_owned()));
         }
         Ok(set)
     }
@@ -201,32 +729,79 @@ impl MethodSet {
         self.methods.is_empty()
     }
 
-    /// Iterates `(display name, scheduler)` pairs in order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &(dyn Scheduler + Send + Sync))> {
+    /// Iterates `(display name, solver)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &(dyn Solve + Send + Sync))> {
         self.methods.iter().map(|(n, s)| (n.as_str(), s.as_ref()))
     }
 
-    /// Runs every method on `jobs`, returning one report per method with
-    /// the set's display name attached (so `static:first-fit` is
-    /// distinguishable from `static` in sweep output).
-    #[must_use]
-    pub fn evaluate(&self, jobs: &tagio_core::job::JobSet) -> Vec<SchedulingReport> {
+    /// Runs every method on `jobs` under a default context, returning one
+    /// report per method with the set's display name attached (so
+    /// `static:first-fit` is distinguishable from `static` in sweep
+    /// output).
+    ///
+    /// # Errors
+    /// The first [`SchedulerBug`] any method triggers.
+    pub fn evaluate(
+        &self,
+        jobs: &tagio_core::job::JobSet,
+    ) -> Result<Vec<SchedulingReport>, SchedulerBug> {
+        self.evaluate_with(jobs, &SolverCtx::new())
+    }
+
+    /// Runs every method on `jobs` under `ctx`.
+    ///
+    /// # Errors
+    /// The first [`SchedulerBug`] any method triggers.
+    pub fn evaluate_with(
+        &self,
+        jobs: &tagio_core::job::JobSet,
+        ctx: &SolverCtx,
+    ) -> Result<Vec<SchedulingReport>, SchedulerBug> {
         self.methods
             .iter()
-            .map(|(name, scheduler)| {
-                let mut report = SchedulingReport::evaluate(scheduler.as_ref(), jobs);
+            .map(|(name, solver)| {
+                let mut report = SchedulingReport::evaluate_with(solver.as_ref(), jobs, ctx)?;
                 report.method = name.clone();
-                report
+                Ok(report)
             })
             .collect()
     }
 }
 
-impl IntoIterator for MethodSet {
-    type Item = (String, BoxedScheduler);
-    type IntoIter = std::vec::IntoIter<(String, BoxedScheduler)>;
+/// Splits a CSV selection into method specs: a segment containing `=`
+/// (and no `:` of its own) attaches to the open parameterized spec —
+/// no method base contains `=` — and every other segment starts a new
+/// spec. Flag parameters therefore bind only directly after their `:`
+/// (see [`MethodSet::parse`]).
+fn split_specs(csv: &str) -> Vec<String> {
+    let mut specs: Vec<String> = Vec::new();
+    for segment in csv.split(',') {
+        let trimmed = segment.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // A keyed parameter (`k=v` with no `:` of its own) continues the
+        // open spec: no method base contains `=`, and a segment with a
+        // `:` is always the start of a new parameterized spec.
+        let continues = trimmed.contains('=')
+            && !trimmed.contains(':')
+            && specs.last().is_some_and(|open| open.contains(':'));
+        match (continues, specs.last_mut()) {
+            (true, Some(open)) => {
+                open.push(',');
+                open.push_str(trimmed);
+            }
+            _ => specs.push(trimmed.to_owned()),
+        }
+    }
+    specs
+}
 
-    /// Consumes the set into its `(display name, scheduler)` pairs, in
+impl IntoIterator for MethodSet {
+    type Item = (String, BoxedSolver);
+    type IntoIter = std::vec::IntoIter<(String, BoxedSolver)>;
+
+    /// Consumes the set into its `(display name, solver)` pairs, in
     /// order — the shape experiment engines wrap into their own method
     /// adapters.
     fn into_iter(self) -> Self::IntoIter {
@@ -264,10 +839,16 @@ mod tests {
 
     #[test]
     fn every_registered_name_instantiates() {
-        for name in method_names() {
-            assert!(make_scheduler(name).is_some(), "{name} not constructible");
+        let registry = Registry::with_builtins();
+        for name in registry.names() {
+            assert!(registry.make(&name).is_ok(), "{name} not constructible");
         }
+        assert!(matches!(
+            registry.make("nonsense"),
+            Err(MethodError::Unknown { .. })
+        ));
         assert!(make_scheduler("nonsense").is_none());
+        assert!(make_scheduler("static").is_some());
     }
 
     #[test]
@@ -280,9 +861,176 @@ mod tests {
     }
 
     #[test]
+    fn spec_grammar_parses_flags_and_keys() {
+        let s = MethodSpec::parse(" ga : pop = 64 , gens=500, seed=7 ").unwrap();
+        assert_eq!(s.base(), "ga");
+        assert_eq!(s.to_string(), "ga:pop=64,gens=500,seed=7");
+        let s = MethodSpec::parse("static:best-fit").unwrap();
+        assert_eq!(s.params().collect::<Vec<_>>(), vec![("best-fit", None)]);
+        assert_eq!(MethodSpec::parse("static").unwrap().to_string(), "static");
+    }
+
+    #[test]
+    fn spec_grammar_rejects_duplicates_and_bad_chars() {
+        assert!(matches!(
+            MethodSpec::parse("ga:pop=1,pop=2"),
+            Err(MethodParseError::DuplicateKey(k)) if k == "pop"
+        ));
+        assert!(matches!(
+            MethodSpec::parse("ga:lcc-d,lcc-d"),
+            Err(MethodParseError::DuplicateKey(_))
+        ));
+        assert!(matches!(
+            MethodSpec::parse(""),
+            Err(MethodParseError::Empty(_))
+        ));
+        assert!(matches!(
+            MethodSpec::parse("ga:pop="),
+            Err(MethodParseError::Empty(_))
+        ));
+        assert!(matches!(
+            MethodSpec::parse("g a"),
+            Err(MethodParseError::BadChar { .. })
+        ));
+        assert!(matches!(
+            MethodSpec::parse("ga:po p=1"),
+            Err(MethodParseError::BadChar { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_parameters_are_rejected_not_ignored() {
+        let registry = Registry::with_builtins();
+        for bad in [
+            "fps-offline:fast",
+            "static:pop=3",
+            "static:first-fit,best-fit",
+            "ga:population=9",
+            "ga:pop=many",
+            "ga:hint=1.5",
+            "ga:pop=0",
+            "optimal-psi:nodes=a-lot",
+        ] {
+            assert!(
+                matches!(registry.make(bad), Err(MethodError::BadParam { .. })),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parameterized_ga_applies_its_configuration() {
+        // A 1-generation, tiny-population GA must still solve the
+        // single-job set — and a different seed must not break
+        // feasibility (both exercise the factory's plumbing end-to-end).
+        let registry = Registry::with_builtins();
+        for spec in ["ga:pop=8,gens=1", "ga:pop=8,gens=1,seed=7,hint=0.5"] {
+            let solver = registry.make(spec).unwrap();
+            let schedule = solver
+                .solve(&jobs(), &SolverCtx::new())
+                .expect("tiny budget still schedules one job");
+            schedule.validate(&jobs()).unwrap();
+        }
+    }
+
+    #[test]
+    fn explicit_spec_seed_beats_the_callers_context_seed() {
+        // `ga:seed=7` pins the seed: two different caller contexts must
+        // produce the same schedule, equal to a constructor-seeded GA.
+        use crate::ga_sched::GaScheduler;
+        use crate::solve::Solve;
+        let registry = Registry::with_builtins();
+        let contended: TaskSet = (0..3)
+            .map(|id| {
+                IoTask::builder(TaskId(id), DeviceId(0))
+                    .wcet(Duration::from_micros(2_000))
+                    .period(Duration::from_millis(32))
+                    .ideal_offset(Duration::from_millis(8 + u64::from(id) * 2))
+                    .margin(Duration::from_millis(8))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let jobs = JobSet::expand(&contended);
+        let pinned = registry.make("ga:pop=16,gens=6,seed=7").unwrap();
+        let a = pinned.solve(&jobs, &SolverCtx::seeded(1)).unwrap();
+        let b = pinned.solve(&jobs, &SolverCtx::seeded(2)).unwrap();
+        assert_eq!(a, b, "spec seed pins the run");
+        let reference = GaScheduler::new()
+            .with_config(tagio_ga::GaConfig {
+                population: 16,
+                generations: 6,
+                threads: 1,
+                ..tagio_ga::GaConfig::quick()
+            })
+            .with_seed(7)
+            .solve(&jobs, &SolverCtx::new())
+            .unwrap();
+        assert_eq!(a, reference);
+        // Without `seed=`, the caller's context seed takes effect.
+        let unpinned = registry.make("ga:pop=16,gens=6").unwrap();
+        let c = unpinned.solve(&jobs, &SolverCtx::seeded(7)).unwrap();
+        assert_eq!(c, reference);
+    }
+
+    #[test]
+    fn downstream_registration_and_shadowing() {
+        use tagio_core::schedule::entry_for;
+        let mut registry = Registry::with_builtins();
+        registry.register("ideal", "places every job at its ideal start", |spec| {
+            spec.args().finish()?;
+            struct Ideal;
+            impl crate::scheduler::Scheduler for Ideal {
+                fn name(&self) -> &'static str {
+                    "ideal"
+                }
+                fn schedule(
+                    &self,
+                    jobs: &JobSet,
+                ) -> Result<tagio_core::schedule::Schedule, tagio_core::solve::Infeasible>
+                {
+                    Ok(jobs.iter().map(|j| entry_for(j, j.ideal_start())).collect())
+                }
+            }
+            Ok(Box::new(Ideal))
+        });
+        assert!(registry.contains("ideal"));
+        let set = MethodSet::parse_in(&registry, "ideal,static").unwrap();
+        let reports = set.evaluate(&jobs()).unwrap();
+        assert_eq!(reports[0].method, "ideal");
+        assert_eq!(reports[0].psi, 1.0);
+        // Shadowing replaces in place (no duplicate names).
+        let before = registry.names().len();
+        registry.register("static", "shadowed", |_| {
+            Err(MethodError::bad_param("static".into(), "shadowed".into()))
+        });
+        assert_eq!(registry.names().len(), before);
+        assert!(registry.make("static").is_err());
+    }
+
+    #[test]
+    fn csv_splitting_keeps_parameters_attached() {
+        assert_eq!(
+            split_specs("static:best-fit,ga:pop=8,gens=9,fps-offline"),
+            vec!["static:best-fit", "ga:pop=8,gens=9", "fps-offline"]
+        );
+        let set = MethodSet::parse("static:best-fit,ga:pop=8,gens=2,fps-offline").unwrap();
+        assert_eq!(
+            set.names(),
+            vec!["static:best-fit", "ga:pop=8,gens=2", "fps-offline"]
+        );
+    }
+
+    #[test]
     fn parse_rejects_unknown_and_reports_known() {
         let err = MethodSet::parse("fps-offline,bogus").unwrap_err();
-        assert_eq!(err.0, "bogus");
+        match &err {
+            MethodError::Unknown { name, known } => {
+                assert_eq!(name, "bogus");
+                assert!(known.iter().any(|n| n == "fps-offline"));
+            }
+            other => panic!("{other:?}"),
+        }
         assert!(err.to_string().contains("fps-offline"));
     }
 
@@ -290,12 +1038,16 @@ mod tests {
     fn parse_tolerates_spaces_and_empty_segments() {
         let set = MethodSet::parse(" fps-offline , static ,").unwrap();
         assert_eq!(set.names(), vec!["fps-offline", "static"]);
+        assert!(matches!(
+            MethodSet::parse(" , ,"),
+            Err(MethodError::EmptySelection(_))
+        ));
     }
 
     #[test]
     fn evaluate_attaches_display_names() {
         let set = MethodSet::parse("static:first-fit,static:worst-fit").unwrap();
-        let reports = set.evaluate(&jobs());
+        let reports = set.evaluate(&jobs()).unwrap();
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].method, "static:first-fit");
         assert_eq!(reports[1].method, "static:worst-fit");
@@ -315,12 +1067,12 @@ mod tests {
     fn help_lists_every_method() {
         let help = registry_help();
         for name in method_names() {
-            assert!(help.contains(name));
+            assert!(help.contains(&name));
         }
     }
 
     #[test]
-    fn boxed_schedulers_are_shareable_across_threads() {
+    fn boxed_solvers_are_shareable_across_threads() {
         fn assert_sync<T: Sync + Send>(_: &T) {}
         let set = MethodSet::paper_baselines();
         assert_sync(&set);
@@ -328,7 +1080,7 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..2 {
                 scope.spawn(|| {
-                    let reports = set.evaluate(&jobs);
+                    let reports = set.evaluate(&jobs).unwrap();
                     assert_eq!(reports.len(), 4);
                 });
             }

@@ -1,30 +1,46 @@
-//! The common interface of all offline I/O schedulers.
+//! The legacy context-free scheduler interface and the per-run report.
+//!
+//! [`Scheduler`] is the simple way to implement an offline method: one
+//! `schedule` call, no per-call context. Every `Scheduler` automatically
+//! implements the primary [`Solve`] trait through a
+//! blanket adapter, so legacy methods plug into the registry, the
+//! experiment engine and the online service unchanged.
 
 use serde::{Deserialize, Serialize};
 use tagio_core::job::JobSet;
 use tagio_core::metrics;
 use tagio_core::schedule::Schedule;
+use tagio_core::solve::{Infeasible, SolverCtx};
 
-/// An offline job-level I/O scheduler for one partition.
+use crate::solve::{SchedulerBug, Solve};
+
+/// An offline job-level I/O scheduler for one partition (context-free).
 ///
-/// Implementations compute the actual start time `κi^j` of every job in the
-/// hyper-period, or report infeasibility. All schedules returned by
-/// implementations in this crate satisfy
-/// [`Schedule::validate`] against the input job set.
+/// Implementations compute the actual start time `κi^j` of every job in
+/// the hyper-period, or report infeasibility with a structured
+/// diagnostic. All schedules returned by implementations in this crate
+/// satisfy [`Schedule::validate`] against the input job set.
+///
+/// Methods that want per-call seeds or budgets implement
+/// [`Solve`] directly instead.
 pub trait Scheduler {
     /// Human-readable method name (used in experiment reports).
     fn name(&self) -> &'static str;
 
-    /// Produces a feasible schedule for `jobs`, or `None` if the method
-    /// cannot schedule the set.
-    fn schedule(&self, jobs: &JobSet) -> Option<Schedule>;
+    /// Produces a feasible schedule for `jobs`.
+    ///
+    /// # Errors
+    /// A structured [`Infeasible`] diagnostic when the method cannot
+    /// schedule the set: the cause, the offending task/job ids, and the
+    /// best partial Ψ/Υ achieved before giving up.
+    fn schedule(&self, jobs: &JobSet) -> Result<Schedule, Infeasible>;
 }
 
-/// The outcome of running a scheduler on one job set, with the paper's
+/// The outcome of running a solver on one job set, with the paper's
 /// metrics attached.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchedulingReport {
-    /// Scheduler name.
+    /// Solver name.
     pub method: String,
     /// Whether a feasible schedule was found.
     pub schedulable: bool,
@@ -32,34 +48,52 @@ pub struct SchedulingReport {
     pub psi: f64,
     /// Υ — normalised aggregate quality (0 when infeasible).
     pub upsilon: f64,
+    /// The solver's diagnostic when the set was infeasible (`None` when
+    /// schedulable).
+    pub diagnostic: Option<Infeasible>,
 }
 
 impl SchedulingReport {
-    /// Runs `scheduler` on `jobs` and summarises the result.
+    /// Runs `solver` on `jobs` under a default context and summarises
+    /// the result.
     ///
-    /// # Panics
-    /// Panics if the scheduler returns a schedule that fails validation —
-    /// that is a scheduler bug, not an input error.
-    #[must_use]
-    pub fn evaluate<S: Scheduler + ?Sized>(scheduler: &S, jobs: &JobSet) -> Self {
-        match scheduler.schedule(jobs) {
-            Some(schedule) => {
-                schedule.validate(jobs).unwrap_or_else(|e| {
-                    panic!("{} produced an invalid schedule: {e}", scheduler.name())
-                });
-                SchedulingReport {
-                    method: scheduler.name().to_owned(),
+    /// # Errors
+    /// [`SchedulerBug`] when the solver returns a schedule that fails
+    /// validation — a bug in the method, not an input error (this used
+    /// to panic).
+    pub fn evaluate<S: Solve + ?Sized>(solver: &S, jobs: &JobSet) -> Result<Self, SchedulerBug> {
+        Self::evaluate_with(solver, jobs, &SolverCtx::new())
+    }
+
+    /// Runs `solver` on `jobs` under `ctx` and summarises the result.
+    ///
+    /// # Errors
+    /// [`SchedulerBug`] when the solver returns an invalid schedule.
+    pub fn evaluate_with<S: Solve + ?Sized>(
+        solver: &S,
+        jobs: &JobSet,
+        ctx: &SolverCtx,
+    ) -> Result<Self, SchedulerBug> {
+        match solver.solve(jobs, ctx) {
+            Ok(schedule) => {
+                schedule
+                    .validate(jobs)
+                    .map_err(|e| SchedulerBug::new(solver.name(), e))?;
+                Ok(SchedulingReport {
+                    method: solver.name().to_owned(),
                     schedulable: true,
                     psi: metrics::psi(&schedule, jobs),
                     upsilon: metrics::upsilon(&schedule, jobs),
-                }
+                    diagnostic: None,
+                })
             }
-            None => SchedulingReport {
-                method: scheduler.name().to_owned(),
+            Err(diagnostic) => Ok(SchedulingReport {
+                method: solver.name().to_owned(),
                 schedulable: false,
                 psi: 0.0,
                 upsilon: 0.0,
-            },
+                diagnostic: Some(diagnostic),
+            }),
         }
     }
 }
@@ -67,17 +101,18 @@ impl SchedulingReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tagio_core::schedule::entry_for;
+    use tagio_core::schedule::{entry_for, ScheduleEntry};
+    use tagio_core::solve::InfeasibleCause;
     use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
-    use tagio_core::time::Duration;
+    use tagio_core::time::{Duration, Time};
 
     struct Ideal;
     impl Scheduler for Ideal {
         fn name(&self) -> &'static str {
             "ideal"
         }
-        fn schedule(&self, jobs: &JobSet) -> Option<Schedule> {
-            Some(jobs.iter().map(|j| entry_for(j, j.ideal_start())).collect())
+        fn schedule(&self, jobs: &JobSet) -> Result<Schedule, Infeasible> {
+            Ok(jobs.iter().map(|j| entry_for(j, j.ideal_start())).collect())
         }
     }
 
@@ -86,8 +121,32 @@ mod tests {
         fn name(&self) -> &'static str {
             "never"
         }
-        fn schedule(&self, _jobs: &JobSet) -> Option<Schedule> {
-            None
+        fn schedule(&self, jobs: &JobSet) -> Result<Schedule, Infeasible> {
+            Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot)
+                .with_jobs(jobs.iter().map(tagio_core::job::Job::id)))
+        }
+    }
+
+    struct Buggy;
+    impl Scheduler for Buggy {
+        fn name(&self) -> &'static str {
+            "buggy"
+        }
+        fn schedule(&self, jobs: &JobSet) -> Result<Schedule, Infeasible> {
+            // Every job twice: fails validation.
+            Ok(jobs
+                .iter()
+                .flat_map(|j| {
+                    [
+                        entry_for(j, j.ideal_start()),
+                        ScheduleEntry {
+                            job: j.id(),
+                            start: Time::ZERO,
+                            duration: j.wcet(),
+                        },
+                    ]
+                })
+                .collect())
         }
     }
 
@@ -106,18 +165,39 @@ mod tests {
 
     #[test]
     fn report_for_feasible_scheduler() {
-        let r = SchedulingReport::evaluate(&Ideal, &jobs());
+        let r = SchedulingReport::evaluate(&Ideal, &jobs()).unwrap();
         assert!(r.schedulable);
         assert_eq!(r.psi, 1.0);
         assert_eq!(r.upsilon, 1.0);
         assert_eq!(r.method, "ideal");
+        assert!(r.diagnostic.is_none());
     }
 
     #[test]
-    fn report_for_infeasible_scheduler() {
-        let r = SchedulingReport::evaluate(&Never, &jobs());
+    fn report_for_infeasible_scheduler_carries_diagnostic() {
+        let r = SchedulingReport::evaluate(&Never, &jobs()).unwrap();
         assert!(!r.schedulable);
         assert_eq!(r.psi, 0.0);
         assert_eq!(r.upsilon, 0.0);
+        let d = r.diagnostic.expect("diagnostic attached");
+        assert_eq!(d.cause, InfeasibleCause::NoFeasibleSlot);
+        assert_eq!(d.tasks, vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn invalid_schedule_is_a_typed_error_not_a_panic() {
+        let bug = SchedulingReport::evaluate(&Buggy, &jobs()).unwrap_err();
+        assert_eq!(bug.method, "buggy");
+        assert!(bug.to_string().contains("invalid schedule"));
+    }
+
+    #[test]
+    fn evaluate_with_honours_cancellation() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let ctx = SolverCtx::new().with_cancel_flag(Arc::new(AtomicBool::new(true)));
+        let r = SchedulingReport::evaluate_with(&Ideal, &jobs(), &ctx).unwrap();
+        assert!(!r.schedulable);
+        assert_eq!(r.diagnostic.unwrap().cause, InfeasibleCause::Cancelled);
     }
 }

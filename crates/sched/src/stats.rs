@@ -179,6 +179,7 @@ mod tests {
             schedulable,
             psi,
             upsilon,
+            diagnostic: None,
         }
     }
 

@@ -1,0 +1,214 @@
+//! Acceptance tests of the unified solving API:
+//!
+//! * every registry method returns a *populated* [`Infeasible`]
+//!   diagnostic on an infeasible job set;
+//! * a GA solve with the same [`SolverCtx`] seed is bit-identical
+//!   across runs;
+//! * a budgeted solve terminates early with a partial-result
+//!   diagnostic;
+//! * [`Solve`] is object-safe (trait objects, boxed collections, and
+//!   the legacy-`Scheduler` blanket adapter all coexist).
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use tagio_core::job::JobSet;
+use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+use tagio_core::time::Duration;
+use tagio_sched::{
+    GaScheduler, InfeasibleCause, OptimalPsi, Registry, Scheduler, Solve, SolverCtx,
+    StaticScheduler,
+};
+
+/// Two tasks each demanding 60% of the same 1ms period: infeasible for
+/// every method, and caught by the shared capacity check.
+fn overloaded_jobs() -> JobSet {
+    let tight = |id| {
+        IoTask::builder(TaskId(id), DeviceId(0))
+            .wcet(Duration::from_micros(600))
+            .period(Duration::from_millis(1))
+            .ideal_offset(Duration::from_micros(400))
+            .margin(Duration::from_micros(300))
+            .build()
+            .unwrap()
+    };
+    let set: TaskSet = vec![tight(0), tight(1)].into_iter().collect();
+    JobSet::expand(&set)
+}
+
+fn contended_jobs() -> JobSet {
+    let task = |id: u32, delta_ms: u64| {
+        IoTask::builder(TaskId(id), DeviceId(0))
+            .wcet(Duration::from_micros(2_000))
+            .period(Duration::from_millis(32))
+            .ideal_offset(Duration::from_millis(delta_ms))
+            .margin(Duration::from_millis(8))
+            .build()
+            .unwrap()
+    };
+    let set: TaskSet = (0..6).map(|i| task(i, 8 + u64::from(i) * 2)).collect();
+    JobSet::expand(&set)
+}
+
+/// The headline acceptance criterion: every in-tree scheduler, asked by
+/// registry name, reports a populated diagnostic (cause + offending ids
+/// or partial result) instead of a bare failure.
+#[test]
+fn every_registry_method_returns_a_populated_diagnostic() {
+    let registry = Registry::with_builtins();
+    let jobs = overloaded_jobs();
+    let names = registry.names();
+    assert!(names.len() >= 6, "builtins registered: {names:?}");
+    for name in names {
+        let solver = registry.make(&name).expect("builtin constructs");
+        let err = solver
+            .solve(&jobs, &SolverCtx::new())
+            .expect_err("overload is infeasible for every method");
+        assert!(
+            err.is_populated(),
+            "{name}: diagnostic carries no detail: {err:?}"
+        );
+        assert_eq!(
+            err.cause,
+            InfeasibleCause::UtilisationOverload,
+            "{name}: the capacity pre-check decides overloads"
+        );
+        assert!(
+            !err.tasks.is_empty(),
+            "{name}: offending tasks are named: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn ga_solves_are_bit_identical_for_a_fixed_ctx_seed() {
+    let jobs = contended_jobs();
+    let ga = GaScheduler::new().with_config(tagio_ga::GaConfig {
+        population: 24,
+        generations: 12,
+        threads: 1,
+        ..tagio_ga::GaConfig::default()
+    });
+    let ctx = SolverCtx::seeded(41);
+    let a = ga.solve(&jobs, &ctx).expect("feasible");
+    let b = ga.solve(&jobs, &ctx).expect("feasible");
+    assert_eq!(a, b, "same ctx seed must be bit-identical");
+    // The ctx seed overrides the constructor seed: two different ctx
+    // seeds may legitimately differ, but ctx seed vs. the same value
+    // baked into the constructor must agree.
+    let baked = ga
+        .clone()
+        .with_seed(41)
+        .solve(&jobs, &SolverCtx::new())
+        .unwrap();
+    assert_eq!(a, baked, "ctx seed and constructor seed are the same knob");
+    // And the thread override cannot change the result (parallel
+    // evaluation is bit-identical by construction).
+    let threaded = ga.solve(&jobs, &ctx.clone().with_threads(4)).unwrap();
+    assert_eq!(a, threaded);
+}
+
+#[test]
+fn budgeted_solve_terminates_early_with_partial_result_diagnostic() {
+    // The exhaustive oracle on a 6-job contended set: a 3-node budget
+    // cannot reach any complete schedule, so the solve must stop early
+    // and report how far it got.
+    let jobs = contended_jobs();
+    let err = OptimalPsi::new()
+        .solve(&jobs, &SolverCtx::new().with_iteration_budget(3))
+        .expect_err("3 nodes cannot complete a 6-job search");
+    assert_eq!(err.cause, InfeasibleCause::BudgetExhausted);
+    assert!(
+        err.best_psi.is_some() && err.best_upsilon.is_some(),
+        "partial result attached: {err:?}"
+    );
+    assert!(!err.jobs.is_empty(), "unplaced jobs named: {err:?}");
+    // The same holds through the registry's parameterized spec.
+    let registry = Registry::with_builtins();
+    let solver = registry.make("optimal-psi:nodes=2").unwrap();
+    let err = solver.solve(&jobs, &SolverCtx::new()).unwrap_err();
+    assert_eq!(err.cause, InfeasibleCause::BudgetExhausted);
+}
+
+#[test]
+fn zero_time_budget_is_still_anytime_for_the_ga() {
+    // A zero wall-clock budget stops the GA before generation 0, but the
+    // initial population is always evaluated — on a feasible set the
+    // solver still returns a valid schedule (anytime contract).
+    let jobs = contended_jobs();
+    let ga = GaScheduler::new().with_config(tagio_ga::GaConfig {
+        population: 16,
+        generations: 50,
+        threads: 1,
+        ..tagio_ga::GaConfig::default()
+    });
+    let ctx = SolverCtx::seeded(7).with_time_budget(std::time::Duration::ZERO);
+    let schedule = ga.solve(&jobs, &ctx).expect("generation-0 front suffices");
+    schedule.validate(&jobs).unwrap();
+}
+
+#[test]
+fn cancellation_is_cooperative_and_uniform() {
+    let flag = Arc::new(AtomicBool::new(true));
+    let ctx = SolverCtx::new().with_cancel_flag(flag);
+    let jobs = contended_jobs();
+    // A direct Solve implementor and a blanket-adapted legacy Scheduler
+    // report the same cause.
+    let ga_err = GaScheduler::new().solve(&jobs, &ctx).unwrap_err();
+    let static_err = StaticScheduler::new().solve(&jobs, &ctx).unwrap_err();
+    assert_eq!(ga_err.cause, InfeasibleCause::Cancelled);
+    assert_eq!(static_err.cause, InfeasibleCause::Cancelled);
+}
+
+/// Object safety: `dyn Solve` must work as a reference, in a box, and
+/// through the legacy blanket adapter — the registry depends on it.
+#[test]
+fn solve_is_object_safe() {
+    fn by_ref(solver: &dyn Solve, jobs: &JobSet) -> String {
+        let _ = solver.solve(jobs, &SolverCtx::new());
+        solver.name().to_owned()
+    }
+
+    let jobs = contended_jobs();
+    let solvers: Vec<Box<dyn Solve + Send + Sync>> = vec![
+        Box::new(StaticScheduler::new()),
+        Box::new(GaScheduler::new()),
+        Box::new(OptimalPsi::with_node_budget(10)),
+    ];
+    let names: Vec<String> = solvers.iter().map(|s| by_ref(s.as_ref(), &jobs)).collect();
+    assert_eq!(names, vec!["static", "ga", "optimal-psi"]);
+
+    // A legacy Scheduler trait object is itself a Solve (the blanket
+    // impl covers `dyn Scheduler` through its `?Sized` bound).
+    let legacy: Box<dyn Scheduler + Send + Sync> = Box::new(StaticScheduler::new());
+    assert_eq!(Solve::name(&*legacy), "static");
+    assert!(Solve::solve(&*legacy, &jobs, &SolverCtx::new()).is_ok());
+}
+
+/// The diagnostic distinguishes *why* sets fail: overload vs. blocking
+/// vs. slot allocation.
+#[test]
+fn causes_discriminate_failure_modes() {
+    let registry = Registry::with_builtins();
+    // Under-capacity but FIFO-unschedulable: three requests firing near
+    // their shared deadline.
+    let fifo_stress = {
+        let mk = |id| {
+            IoTask::builder(TaskId(id), DeviceId(0))
+                .wcet(Duration::from_micros(900))
+                .period(Duration::from_millis(4))
+                .ideal_offset(Duration::from_millis(3))
+                .margin(Duration::from_micros(900))
+                .build()
+                .unwrap()
+        };
+        let set: TaskSet = vec![mk(0), mk(1), mk(2)].into_iter().collect();
+        JobSet::expand(&set)
+    };
+    let err = registry
+        .make("gpiocp")
+        .unwrap()
+        .solve(&fifo_stress, &SolverCtx::new())
+        .unwrap_err();
+    assert_eq!(err.cause, InfeasibleCause::BlockingBound);
+    assert!(err.best_psi.is_some(), "partial schedule quality attached");
+}

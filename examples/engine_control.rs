@@ -58,9 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "method", "schedulable", "psi", "upsilon"
     );
     for report in [
-        SchedulingReport::evaluate(&FpsOffline::new(), &jobs),
-        SchedulingReport::evaluate(&Gpiocp::new(), &jobs),
-        SchedulingReport::evaluate(&StaticScheduler::new(), &jobs),
+        SchedulingReport::evaluate(&FpsOffline::new(), &jobs)?,
+        SchedulingReport::evaluate(&Gpiocp::new(), &jobs)?,
+        SchedulingReport::evaluate(&StaticScheduler::new(), &jobs)?,
     ] {
         println!(
             "{:<14} {:>11} {:>8.3} {:>9.3}",

@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Reference point: the static heuristic on the same system.
-    if let Some(s) = StaticScheduler::new().schedule(&jobs) {
+    if let Ok(s) = StaticScheduler::new().schedule(&jobs) {
         println!(
             "  static heuristic     : psi = {:.3}, upsilon = {:.3}",
             metrics::psi(&s, &jobs),

@@ -5,11 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use tagio::core::job::JobSet;
 use tagio::core::metrics::{self, AccuracyStats};
-use tagio::core::task::{DeviceId, IoTask, TaskId, TaskSet};
 use tagio::core::time::Duration;
-use tagio::sched::{Scheduler, StaticScheduler};
+use tagio::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three periodic timed I/O tasks sharing one GPIO device. Each task
@@ -52,9 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         jobs.hyperperiod()
     );
 
-    let schedule = StaticScheduler::new()
-        .schedule(&jobs)
-        .expect("the heuristic schedules this light system");
+    // The unified solving API: any method, one call shape, a seeded
+    // per-call context, and structured infeasibility diagnostics.
+    let schedule = match StaticScheduler::new().solve(&jobs, &SolverCtx::seeded(0)) {
+        Ok(schedule) => schedule,
+        Err(infeasible) => {
+            // `infeasible` names the cause, the offending task/job ids
+            // and the best partial psi/upsilon the method reached.
+            return Err(format!("not schedulable: {infeasible}").into());
+        }
+    };
     schedule.validate(&jobs)?;
 
     println!("\njob        start       ideal       deviation");

@@ -20,15 +20,20 @@
 //! | [`controller`] | `tagio-controller` | the Section IV controller simulator |
 //! | [`noc`] | `tagio-noc` | flit-level mesh NoC simulator |
 //! | [`hwcost`] | `tagio-hwcost` | Table I resource model |
-//! | [`bench`] | `tagio-bench` | the parallel experiment engine behind the Section V binaries |
+//! | [`bench`](mod@crate::bench) | `tagio-bench` | the parallel experiment engine behind the Section V binaries |
 //!
 //! ## Quickstart
+//!
+//! The [`prelude`] is the one-import surface of the unified solving
+//! API: solvers return `Result<Schedule, Infeasible>` — a validated
+//! schedule, or a structured diagnostic saying *why* and *where* the
+//! set is infeasible and how close the method got.
 //!
 //! ```
 //! use rand::SeedableRng;
 //! use tagio::core::job::JobSet;
 //! use tagio::core::metrics;
-//! use tagio::sched::{Scheduler, StaticScheduler};
+//! use tagio::prelude::*;
 //! use tagio::workload::SystemConfig;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,13 +41,20 @@
 //! let system = SystemConfig::paper(0.4).generate(&mut rng);
 //! let jobs = JobSet::expand(&system);
 //!
-//! let schedule = StaticScheduler::new().schedule(&jobs).expect("feasible");
-//! schedule.validate(&jobs)?;
-//! println!(
-//!     "psi = {:.3}, upsilon = {:.3}",
-//!     metrics::psi(&schedule, &jobs),
-//!     metrics::upsilon(&schedule, &jobs)
-//! );
+//! // Any method by (parameterized) name, solved under a per-call
+//! // context: deterministic seed, optional budgets, cancellation.
+//! let solver = Registry::with_builtins().make("static:best-fit")?;
+//! match solver.solve(&jobs, &SolverCtx::seeded(1)) {
+//!     Ok(schedule) => {
+//!         schedule.validate(&jobs)?;
+//!         println!(
+//!             "psi = {:.3}, upsilon = {:.3}",
+//!             metrics::psi(&schedule, &jobs),
+//!             metrics::upsilon(&schedule, &jobs)
+//!         );
+//!     }
+//!     Err(infeasible) => println!("not schedulable: {infeasible}"),
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -58,3 +70,57 @@ pub use tagio_noc as noc;
 pub use tagio_online as online;
 pub use tagio_sched as sched;
 pub use tagio_workload as workload;
+
+/// The unified solving API in one import: the [`Solve`](prelude::Solve)
+/// trait and its context/diagnostics, the runtime-extensible method
+/// [`Registry`](prelude::Registry), every in-tree solver, and the core
+/// model types a solve call touches.
+///
+/// ```
+/// use tagio::prelude::*;
+/// # use tagio::core::time::Duration;
+/// let tasks: TaskSet = vec![IoTask::builder(TaskId(0), DeviceId(0))
+///     .wcet(Duration::from_micros(100))
+///     .period(Duration::from_millis(4))
+///     .ideal_offset(Duration::from_millis(2))
+///     .margin(Duration::from_millis(1))
+///     .build()
+///     .unwrap()]
+/// .into_iter()
+/// .collect();
+/// let jobs = JobSet::expand(&tasks);
+///
+/// // Budgeted, seeded, cancellable solving — per call, not per
+/// // constructor.
+/// let ctx = SolverCtx::seeded(7).with_iteration_budget(1_000);
+/// let report = SchedulingReport::evaluate_with(&StaticScheduler::new(), &jobs, &ctx).unwrap();
+/// assert!(report.schedulable);
+///
+/// // Infeasibility is a value, not a panic or a bare `None`.
+/// let overload: TaskSet = (0..2)
+///     .map(|id| {
+///         IoTask::builder(TaskId(id), DeviceId(0))
+///             .wcet(Duration::from_micros(600))
+///             .period(Duration::from_millis(1))
+///             .ideal_offset(Duration::from_micros(400))
+///             .margin(Duration::from_micros(300))
+///             .build()
+///             .unwrap()
+///     })
+///     .collect();
+/// let err = StaticScheduler::new()
+///     .solve(&JobSet::expand(&overload), &ctx)
+///     .unwrap_err();
+/// assert_eq!(err.cause, InfeasibleCause::UtilisationOverload);
+/// ```
+pub mod prelude {
+    pub use tagio_core::job::{Job, JobId, JobSet};
+    pub use tagio_core::schedule::{Schedule, ScheduleEntry};
+    pub use tagio_core::solve::{Infeasible, InfeasibleCause, SolveBudget, SolverCtx};
+    pub use tagio_core::task::{DeviceId, IoTask, Priority, TaskId, TaskSet};
+    pub use tagio_sched::{
+        check_capacity, BoxedSolver, EdfOffline, FpsOffline, GaScheduler, Gpiocp, MethodError,
+        MethodSet, MethodSpec, OptimalPsi, Registry, RepairSolver, Scheduler, SchedulerBug,
+        SchedulingReport, Solve, StaticScheduler,
+    };
+}

@@ -9,10 +9,12 @@ use tagio::core::error::{ValidateScheduleError, ValidateTaskError};
 use tagio::core::job::{Job, JobId, JobSet};
 use tagio::core::quality::QualityCurve;
 use tagio::core::schedule::{Schedule, ScheduleEntry};
+use tagio::core::solve::{Infeasible, InfeasibleCause, SolverCtx};
 use tagio::core::task::{DeviceId, IoTask, Priority, TaskId, TaskSet};
 use tagio::core::time::{Duration, Time};
 use tagio::hwcost::ResourceEstimate;
 use tagio::noc::{LatencyStats, Packet};
+use tagio::sched::{MethodError, MethodParseError, SchedulerBug, SchedulingReport};
 
 fn assert_send_sync<T: Send + Sync>() {}
 fn assert_serde<T: Serialize + DeserializeOwned>() {}
@@ -28,10 +30,28 @@ fn core_types_are_send_and_sync() {
     assert_send_sync::<QualityCurve>();
     assert_send_sync::<ExecutionTrace>();
     assert_send_sync::<ResourceEstimate>();
+    assert_send_sync::<Infeasible>();
+    assert_send_sync::<SolverCtx>();
+    assert_send_sync::<SchedulingReport>();
+}
+
+#[test]
+fn solver_error_types_are_well_behaved() {
+    assert_error::<Infeasible>();
+    assert_error::<SchedulerBug>();
+    assert_error::<MethodError>();
+    assert_error::<MethodParseError>();
+    // The cause enum renders stable kebab-case identifiers.
+    assert_eq!(
+        InfeasibleCause::BudgetExhausted.as_str(),
+        "budget-exhausted"
+    );
 }
 
 #[test]
 fn data_types_implement_serde() {
+    assert_serde::<Infeasible>();
+    assert_serde::<SchedulingReport>();
     assert_serde::<IoTask>();
     assert_serde::<TaskSet>();
     assert_serde::<Job>();

@@ -19,7 +19,7 @@ fn schedules_for(
 ) -> Option<std::collections::BTreeMap<DeviceId, Schedule>> {
     let mut map = std::collections::BTreeMap::new();
     for (device, jobs) in partition_jobs(tasks) {
-        let s = StaticScheduler::new().schedule(&jobs)?;
+        let s = StaticScheduler::new().schedule(&jobs).ok()?;
         s.validate(&jobs).expect("scheduler output is valid");
         map.insert(device, s);
     }
@@ -51,7 +51,7 @@ fn controller_replays_gpiocp_schedules_too() {
     let mut rng = StdRng::seed_from_u64(2);
     let tasks = SystemConfig::paper(0.3).generate(&mut rng);
     let jobs = JobSet::expand(&tasks);
-    let Some(schedule) = Gpiocp::new().schedule(&jobs) else {
+    let Ok(schedule) = Gpiocp::new().schedule(&jobs) else {
         return;
     };
     let mut schedules = std::collections::BTreeMap::new();

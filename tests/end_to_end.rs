@@ -7,8 +7,8 @@ use tagio::core::job::JobSet;
 use tagio::core::metrics;
 use tagio::ga::GaConfig;
 use tagio::sched::{
-    fps_online_schedulable, FpsOffline, GaScheduler, Gpiocp, Scheduler, SchedulingReport,
-    StaticScheduler,
+    fps_online_schedulable, FpsOffline, GaScheduler, Gpiocp, Scheduler, SchedulingReport, Solve,
+    SolverCtx, StaticScheduler,
 };
 use tagio::workload::SystemConfig;
 
@@ -29,14 +29,14 @@ fn every_scheduler_produces_validating_schedules() {
         for _ in 0..3 {
             let tasks = SystemConfig::paper(u).generate(&mut rng);
             let jobs = JobSet::expand(&tasks);
-            let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            let solvers: Vec<Box<dyn Solve>> = vec![
                 Box::new(FpsOffline::new()),
                 Box::new(Gpiocp::new()),
                 Box::new(StaticScheduler::new()),
                 Box::new(quick_ga(7)),
             ];
-            for s in &schedulers {
-                if let Some(schedule) = s.schedule(&jobs) {
+            for s in &solvers {
+                if let Ok(schedule) = s.solve(&jobs, &SolverCtx::new()) {
                     schedule
                         .validate(&jobs)
                         .unwrap_or_else(|e| panic!("{} invalid at U={u}: {e}", s.name()));
@@ -55,7 +55,7 @@ fn fps_offline_schedules_every_generated_system() {
             let tasks = SystemConfig::paper(u).generate(&mut rng);
             let jobs = JobSet::expand(&tasks);
             assert!(
-                FpsOffline::new().schedule(&jobs).is_some(),
+                FpsOffline::new().schedule(&jobs).is_ok(),
                 "FPS-offline failed at U={u}"
             );
         }
@@ -68,7 +68,7 @@ fn fps_has_zero_psi() {
     let mut rng = StdRng::seed_from_u64(3);
     let tasks = SystemConfig::paper(0.5).generate(&mut rng);
     let jobs = JobSet::expand(&tasks);
-    let r = SchedulingReport::evaluate(&FpsOffline::new(), &jobs);
+    let r = SchedulingReport::evaluate(&FpsOffline::new(), &jobs).unwrap();
     assert!(r.schedulable);
     assert_eq!(r.psi, 0.0);
 }
@@ -83,8 +83,8 @@ fn proposed_methods_dominate_gpiocp_on_psi() {
     for _ in 0..10 {
         let tasks = SystemConfig::paper(0.6).generate(&mut rng);
         let jobs = JobSet::expand(&tasks);
-        let st = SchedulingReport::evaluate(&StaticScheduler::new(), &jobs);
-        let gp = SchedulingReport::evaluate(&Gpiocp::new(), &jobs);
+        let st = SchedulingReport::evaluate(&StaticScheduler::new(), &jobs).unwrap();
+        let gp = SchedulingReport::evaluate(&Gpiocp::new(), &jobs).unwrap();
         if st.schedulable && gp.schedulable {
             static_psi += st.psi;
             gpiocp_psi += gp.psi;
@@ -112,7 +112,7 @@ fn online_test_never_beats_offline_simulation() {
         for _ in 0..10 {
             let tasks = SystemConfig::paper(u).generate(&mut rng);
             let jobs = JobSet::expand(&tasks);
-            let offline = FpsOffline::new().schedule(&jobs).is_some();
+            let offline = FpsOffline::new().schedule(&jobs).is_ok();
             let online = fps_online_schedulable(&tasks);
             assert!(!online || offline, "online passed but offline failed");
         }
@@ -144,9 +144,9 @@ fn metrics_are_bounded() {
         let tasks = SystemConfig::paper(u).generate(&mut rng);
         let jobs = JobSet::expand(&tasks);
         for report in [
-            SchedulingReport::evaluate(&FpsOffline::new(), &jobs),
-            SchedulingReport::evaluate(&Gpiocp::new(), &jobs),
-            SchedulingReport::evaluate(&StaticScheduler::new(), &jobs),
+            SchedulingReport::evaluate(&FpsOffline::new(), &jobs).unwrap(),
+            SchedulingReport::evaluate(&Gpiocp::new(), &jobs).unwrap(),
+            SchedulingReport::evaluate(&StaticScheduler::new(), &jobs).unwrap(),
         ] {
             assert!((0.0..=1.0).contains(&report.psi), "{report:?}");
             assert!((0.0..=1.0).contains(&report.upsilon), "{report:?}");
@@ -164,7 +164,7 @@ fn multi_device_systems_schedule_per_partition() {
     assert_eq!(partitions.len(), 3);
     for (_, part) in partitions {
         let jobs = JobSet::expand(&part);
-        if let Some(s) = StaticScheduler::new().schedule(&jobs) {
+        if let Ok(s) = StaticScheduler::new().schedule(&jobs) {
             s.validate(&jobs).expect("partition schedule valid");
         }
     }

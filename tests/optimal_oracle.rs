@@ -37,11 +37,11 @@ fn static_is_bounded_by_and_close_to_optimal() {
     let mut total_gap = 0usize;
     let mut instances = 0usize;
     for jobs in tiny_systems(15, 1) {
-        let Some((best, optimal_schedule)) = OptimalPsi::new().solve(&jobs) else {
+        let Ok((best, optimal_schedule)) = OptimalPsi::new().solve_exact(&jobs) else {
             continue;
         };
         optimal_schedule.validate(&jobs).expect("oracle is valid");
-        let Some(s) = StaticScheduler::new().schedule(&jobs) else {
+        let Ok(s) = StaticScheduler::new().schedule(&jobs) else {
             continue;
         };
         let heuristic = (metrics::psi(&s, &jobs) * jobs.len() as f64).round() as usize;
@@ -68,10 +68,10 @@ fn ga_is_bounded_by_optimal() {
         })
         .with_seed(9);
     for jobs in tiny_systems(8, 2) {
-        let Some((best, _)) = OptimalPsi::new().solve(&jobs) else {
+        let Ok((best, _)) = OptimalPsi::new().solve_exact(&jobs) else {
             continue;
         };
-        let Some(result) = ga.search(&jobs) else {
+        let Ok(result) = ga.search(&jobs) else {
             continue;
         };
         let ga_best = result

@@ -88,7 +88,7 @@ proptest! {
             let hi = j.window_end().as_micros().max(lo);
             grng.random_range(lo..=hi)
         }).collect();
-        if let Some(schedule) = reconfigure(&jobs, &starts) {
+        if let Ok(schedule) = reconfigure(&jobs, &starts) {
             prop_assert!(schedule.validate(&jobs).is_ok());
         }
     }
@@ -109,7 +109,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let tasks = SystemConfig::paper(0.5).generate(&mut rng);
         let jobs = JobSet::expand(&tasks);
-        if let Some(schedule) = StaticScheduler::new().schedule(&jobs) {
+        if let Ok(schedule) = StaticScheduler::new().schedule(&jobs) {
             let stats = metrics::AccuracyStats::compute(&schedule, &jobs);
             prop_assert!(stats.exact <= stats.within_window);
             prop_assert!(stats.within_window <= stats.total);

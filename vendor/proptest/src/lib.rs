@@ -6,7 +6,7 @@
 //! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
 //! - [`prop_assert!`] / [`prop_assert_eq!`],
 //! - range strategies (`0u64..500`, `0.05f64..0.95`, …), tuple
-//!   strategies, [`collection::vec`], and [`Strategy::prop_map`],
+//!   strategies, [`collection::vec`], and [`strategy::Strategy::prop_map`],
 //! - [`prelude::ProptestConfig::with_cases`].
 //!
 //! Semantics versus the real crate: cases are generated from a
