@@ -13,6 +13,8 @@
 //! | `ablation_lccd` | LCC-D vs First-/Best-/Worst-Fit slot policies |
 //! | `ablation_ga` | GA budget sensitivity (population × generations) |
 //! | `ablation_baselines` | classic baselines (FPS, EDF, GPIOCP) at a glance |
+//! | `online_scenarios` | beyond the paper — online repair vs. full re-synthesis |
+//! | `fleet_scenarios` | beyond the paper — multi-partition fleet vs. one partition |
 //!
 //! All binaries run on the shared experiment [`engine`] — a [`Sweep`]
 //! descriptor, named [`Method`]s resolved through the scheduler registry,

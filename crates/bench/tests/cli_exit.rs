@@ -24,6 +24,7 @@ fn binaries() -> Vec<(&'static str, &'static str)> {
             env!("CARGO_BIN_EXE_ablation_baselines"),
         ),
         ("online_scenarios", env!("CARGO_BIN_EXE_online_scenarios")),
+        ("fleet_scenarios", env!("CARGO_BIN_EXE_fleet_scenarios")),
     ]
 }
 
@@ -76,6 +77,7 @@ fn fixed_method_binaries_reject_methods_override() {
         "noc_latency",
         "ablation_ga",
         "online_scenarios",
+        "fleet_scenarios",
     ] {
         let path = binaries()
             .into_iter()
@@ -134,6 +136,7 @@ fn fixed_budget_binaries_reject_ga_overrides() {
         "noc_latency",
         "ablation_ga",
         "online_scenarios",
+        "fleet_scenarios",
     ] {
         let path = binaries()
             .into_iter()

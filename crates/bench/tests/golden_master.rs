@@ -67,6 +67,11 @@ fn cases() -> Vec<(&'static str, &'static str, Vec<&'static str>)> {
             env!("CARGO_BIN_EXE_online_scenarios"),
             vec!["--systems", "2"],
         ),
+        (
+            "fleet_scenarios",
+            env!("CARGO_BIN_EXE_fleet_scenarios"),
+            vec!["--systems", "2"],
+        ),
     ]
 }
 

@@ -112,6 +112,22 @@ impl IoController {
             .hot_swap(schedule)
     }
 
+    /// Fleet-wide hot swap: installs every partition's new table between
+    /// hyper-periods in one call, in device-id order, preserving each
+    /// task's enable bits (see [`SchedulingTable::hot_swap`]). This is
+    /// how a multi-partition online scheduler pushes a whole epoch's
+    /// repaired schedules down to the hardware: the map is exactly what
+    /// `FleetScheduler::schedules` (in `tagio-online`) hands over.
+    /// Missing processors are created; processors for devices not named
+    /// in `schedules` keep their current tables. Returns the total
+    /// number of rows that came up enabled across all partitions.
+    pub fn hot_swap_all(&mut self, schedules: &BTreeMap<DeviceId, Schedule>) -> usize {
+        schedules
+            .iter()
+            .map(|(device, schedule)| self.hot_swap_schedule(*device, schedule))
+            .sum()
+    }
+
     /// Sets the enable bit of every table row (all requests received).
     pub fn enable_all(&mut self) {
         for cp in self.processors.values_mut() {
@@ -314,6 +330,46 @@ mod tests {
         for task in &tasks {
             let block = ctrl.memory().fetch(task.id()).unwrap();
             assert!(block.duration() <= task.wcet());
+        }
+    }
+
+    #[test]
+    fn fleet_hot_swap_installs_every_partition_between_hyperperiods() {
+        let tasks = tasks_two_devices();
+        let schedules = ideal_schedules(&tasks);
+        let mut ctrl = IoController::for_taskset(&tasks).unwrap();
+        for (dev, s) in &schedules {
+            ctrl.load_schedule(*dev, s);
+        }
+        ctrl.enable_all();
+        let first = ctrl.run();
+        assert!(first.values().all(ExecutionTrace::fault_free));
+        // Shift every partition's schedule (an epoch of online repairs)
+        // and install the whole map in one fleet-wide swap.
+        let shift = Duration::from_micros(150);
+        let moved: BTreeMap<DeviceId, Schedule> = schedules
+            .iter()
+            .map(|(dev, s)| {
+                let shifted: Schedule = s
+                    .iter()
+                    .map(|e| tagio_core::schedule::ScheduleEntry {
+                        job: e.job,
+                        start: e.start + shift,
+                        duration: e.duration,
+                    })
+                    .collect();
+                (*dev, shifted)
+            })
+            .collect();
+        let enabled = ctrl.hot_swap_all(&moved);
+        let rows: usize = moved.values().map(Schedule::len).sum();
+        assert_eq!(enabled, rows, "every request survives the fleet swap");
+        let second = ctrl.run();
+        for (dev, schedule) in &moved {
+            assert!(
+                trace_matches_schedule(&second[dev], schedule),
+                "partition {dev:?} replays its swapped schedule exactly"
+            );
         }
     }
 

@@ -82,6 +82,88 @@ impl SystemEvent {
             SystemEvent::UtilisationSpike { .. } => "spike",
         }
     }
+
+    /// The device partition the event names, when it names one: an
+    /// arrival's task device or a spike's target. Departures and mode
+    /// changes are device-free (they are resolved by task ownership) and
+    /// return `None`. Fleet routers read this as the event's *origin*
+    /// partition hint.
+    #[must_use]
+    pub fn device(&self) -> Option<DeviceId> {
+        match self {
+            SystemEvent::Arrival(task) => Some(task.device()),
+            SystemEvent::UtilisationSpike { device, .. } => Some(*device),
+            SystemEvent::Departure(_) | SystemEvent::ModeChange(_) => None,
+        }
+    }
+
+    /// The task the event concerns, when it concerns exactly one.
+    #[must_use]
+    pub fn task_id(&self) -> Option<TaskId> {
+        match self {
+            SystemEvent::Arrival(task) => Some(task.id()),
+            SystemEvent::Departure(id) => Some(*id),
+            SystemEvent::ModeChange(_) | SystemEvent::UtilisationSpike { .. } => None,
+        }
+    }
+
+    /// The event re-bound to `device`: an arrival's task is re-targeted
+    /// ([`IoTask::retarget`]) and a spike renames its partition; the
+    /// device-free kinds are returned unchanged. This is the routing
+    /// primitive of a multi-partition fleet — an arrival rejected by one
+    /// partition is re-offered to another by retargeting it.
+    #[must_use]
+    pub fn retargeted(&self, device: DeviceId) -> SystemEvent {
+        match self {
+            SystemEvent::Arrival(task) => SystemEvent::Arrival(task.retarget(device)),
+            SystemEvent::UtilisationSpike { percent, .. } => SystemEvent::UtilisationSpike {
+                device,
+                percent: *percent,
+            },
+            other => other.clone(),
+        }
+    }
+}
+
+/// Routing metadata a fleet router stamps on an event when dispatching it
+/// to a partition: where the event came from, where it was sent, and which
+/// placement attempt this is (`0` = the policy's first choice, `k` = the
+/// `k`-th cross-partition retry after a rejection).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutedEvent {
+    /// The event as offered to the target partition (arrivals are already
+    /// retargeted to `target`).
+    pub event: SystemEvent,
+    /// The partition the event originally named, if any (the arrival's
+    /// device before routing, a spike's device).
+    pub origin: Option<DeviceId>,
+    /// The partition the router chose.
+    pub target: DeviceId,
+    /// Placement attempt number: `0` for the first offer, incremented on
+    /// every cross-partition admission retry.
+    pub attempt: u32,
+}
+
+impl RoutedEvent {
+    /// Routes `event` to `target` as attempt number `attempt`, recording
+    /// the event's own device as the origin and retargeting it to the
+    /// chosen partition.
+    #[must_use]
+    pub fn dispatch(event: &SystemEvent, target: DeviceId, attempt: u32) -> RoutedEvent {
+        RoutedEvent {
+            origin: event.device(),
+            event: event.retargeted(target),
+            target,
+            attempt,
+        }
+    }
+
+    /// `true` when the router moved the event away from the partition it
+    /// originally named (a migration).
+    #[must_use]
+    pub fn migrated(&self) -> bool {
+        self.origin.is_some_and(|o| o != self.target)
+    }
 }
 
 /// A [`SystemEvent`] stamped with its occurrence instant (relative to the
@@ -146,6 +228,69 @@ mod tests {
         trace.sort_by_key(|e| e.at);
         assert_eq!(trace[0].at, Time::from_millis(2));
         assert_eq!(trace[0].event.kind(), "arrival");
+    }
+
+    #[test]
+    fn events_expose_their_device_and_task() {
+        assert_eq!(SystemEvent::Arrival(task(0)).device(), Some(DeviceId(0)));
+        assert_eq!(SystemEvent::Arrival(task(3)).task_id(), Some(TaskId(3)));
+        assert_eq!(SystemEvent::Departure(TaskId(1)).device(), None);
+        assert_eq!(SystemEvent::Departure(TaskId(1)).task_id(), Some(TaskId(1)));
+        let spike = SystemEvent::UtilisationSpike {
+            device: DeviceId(4),
+            percent: 120,
+        };
+        assert_eq!(spike.device(), Some(DeviceId(4)));
+        assert_eq!(spike.task_id(), None);
+        let mode = SystemEvent::ModeChange(Mode {
+            id: ModeId(0),
+            active: vec![],
+        });
+        assert_eq!(mode.device(), None);
+        assert_eq!(mode.task_id(), None);
+    }
+
+    #[test]
+    fn retargeting_moves_arrivals_and_spikes_only() {
+        let arrival = SystemEvent::Arrival(task(0));
+        match arrival.retargeted(DeviceId(2)) {
+            SystemEvent::Arrival(t) => {
+                assert_eq!(t.device(), DeviceId(2));
+                assert_eq!(t.id(), TaskId(0));
+                assert_eq!(t.wcet(), task(0).wcet());
+            }
+            other => panic!("{other:?}"),
+        }
+        let spike = SystemEvent::UtilisationSpike {
+            device: DeviceId(0),
+            percent: 150,
+        };
+        assert_eq!(
+            spike.retargeted(DeviceId(1)).device(),
+            Some(DeviceId(1)),
+            "spikes follow the new partition"
+        );
+        let depart = SystemEvent::Departure(TaskId(7));
+        assert_eq!(depart.retargeted(DeviceId(9)), depart);
+    }
+
+    #[test]
+    fn routed_events_track_origin_and_migration() {
+        let routed = RoutedEvent::dispatch(&SystemEvent::Arrival(task(0)), DeviceId(2), 0);
+        assert_eq!(routed.origin, Some(DeviceId(0)));
+        assert_eq!(routed.target, DeviceId(2));
+        assert!(routed.migrated());
+        match &routed.event {
+            SystemEvent::Arrival(t) => assert_eq!(t.device(), DeviceId(2)),
+            other => panic!("{other:?}"),
+        }
+        let home = RoutedEvent::dispatch(&SystemEvent::Arrival(task(0)), DeviceId(0), 1);
+        assert!(!home.migrated());
+        assert_eq!(home.attempt, 1);
+        // Device-free events never count as migrated.
+        let depart = RoutedEvent::dispatch(&SystemEvent::Departure(TaskId(0)), DeviceId(3), 0);
+        assert_eq!(depart.origin, None);
+        assert!(!depart.migrated());
     }
 
     #[test]

@@ -122,6 +122,18 @@ impl IoTask {
         self.device
     }
 
+    /// The same task re-bound to another device partition. All timing
+    /// and quality parameters are device-independent, so no re-validation
+    /// is needed — this is how a fleet router moves an arrival between
+    /// partitions.
+    #[must_use]
+    pub fn retarget(&self, device: DeviceId) -> IoTask {
+        IoTask {
+            device,
+            ..self.clone()
+        }
+    }
+
     /// Worst-case device operation time `Ci`.
     #[must_use]
     pub fn wcet(&self) -> Duration {
@@ -192,13 +204,27 @@ impl IoTask {
     }
 
     /// Overrides `Vmax` (the paper sets `Vmax = Pi + 1` after DMPO).
+    ///
+    /// The builder invariant — both extrema finite, `Vmax ≥ Vmin` — is
+    /// preserved: a non-finite value is ignored, and `Vmin` is clamped
+    /// down when the new peak undercuts it. The quality layer treats a
+    /// violated invariant as a programming error (it panics), so it must
+    /// be unrepresentable here, not merely discouraged.
     pub fn set_vmax(&mut self, vmax: f64) {
-        self.vmax = vmax;
+        if vmax.is_finite() {
+            self.vmax = vmax;
+            self.vmin = self.vmin.min(vmax);
+        }
     }
 
-    /// Overrides `Vmin`.
+    /// Overrides `Vmin` (same invariant handling as [`IoTask::set_vmax`]:
+    /// non-finite values are ignored, `Vmax` is raised to cover the new
+    /// floor).
     pub fn set_vmin(&mut self, vmin: f64) {
-        self.vmin = vmin;
+        if vmin.is_finite() {
+            self.vmin = vmin;
+            self.vmax = self.vmax.max(vmin);
+        }
     }
 }
 
@@ -603,6 +629,45 @@ mod tests {
             .margin(Duration::from_micros(100))
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn quality_overrides_preserve_the_builder_invariant() {
+        let mut t = IoTask::builder(TaskId(0), DeviceId(0))
+            .wcet(Duration::from_micros(10))
+            .period(Duration::from_millis(1))
+            .ideal_offset(Duration::from_micros(500))
+            .margin(Duration::from_micros(100))
+            .quality(5.0, 2.0)
+            .build()
+            .unwrap();
+        // Non-finite overrides are ignored outright.
+        t.set_vmax(f64::NAN);
+        t.set_vmax(f64::INFINITY);
+        t.set_vmin(f64::NEG_INFINITY);
+        assert_eq!((t.vmax(), t.vmin()), (5.0, 2.0));
+        // Crossing overrides drag the other extremum along.
+        t.set_vmax(1.0);
+        assert_eq!((t.vmax(), t.vmin()), (1.0, 1.0));
+        t.set_vmin(3.0);
+        assert_eq!((t.vmax(), t.vmin()), (3.0, 3.0));
+    }
+
+    #[test]
+    fn retarget_moves_only_the_device() {
+        let t = IoTask::builder(TaskId(3), DeviceId(0))
+            .wcet(Duration::from_micros(10))
+            .period(Duration::from_millis(1))
+            .ideal_offset(Duration::from_micros(500))
+            .margin(Duration::from_micros(100))
+            .build()
+            .unwrap();
+        let moved = t.retarget(DeviceId(7));
+        assert_eq!(moved.device(), DeviceId(7));
+        assert_eq!(moved.id(), t.id());
+        assert_eq!(moved.wcet(), t.wcet());
+        assert_eq!(moved.period(), t.period());
+        assert_eq!(moved.ideal_offset(), t.ideal_offset());
     }
 
     #[test]

@@ -1,0 +1,1210 @@
+//! The multi-partition scheduling fleet: N [`OnlineScheduler`]s behind a
+//! batching event router.
+//!
+//! A single [`OnlineScheduler`] owns one device partition. Production
+//! traffic spans *many* devices, so [`FleetScheduler`] scales the service
+//! out the way parallel multi-channel readout systems do: one worker per
+//! partition behind a router, with state changes batched per epoch and
+//! committed between them.
+//!
+//! Each call to [`FleetScheduler::apply_batch`] is one **epoch**:
+//!
+//! 1. **route** — sequentially, with the fleet's seeded RNG: every event
+//!    is assigned a partition lane by the [`PlacementPolicy`] (arrivals),
+//!    by task ownership (departures), by device (spikes), or broadcast
+//!    (mode changes). Fleet-level verdicts (duplicate ids, unroutable
+//!    events) are decided here without touching any partition.
+//! 2. **admit in parallel** — partition lanes are disjoint, so the
+//!    partitions evaluate their lanes concurrently on a scoped thread
+//!    pool (the same chunking pattern as `tagio-ga`'s parallel
+//!    evaluation). Results are independent of the thread count.
+//! 3. **commit in partition-id order** — ownership updates and fleet
+//!    counters fold deterministically.
+//! 4. **cross-partition retry** — an arrival its routed partition
+//!    rejected is re-offered, sequentially and in event order, to the
+//!    next `retries` partitions of its preference order, carrying the
+//!    [`Infeasible`] diagnostics forward so the final cause is attributed
+//!    correctly. Departures of tasks that arrived earlier in the same
+//!    batch are resolved here too, once ownership has settled.
+//!
+//! The composition is therefore bit-deterministic for any thread count:
+//! all randomness and all cross-partition coupling live in the
+//! sequential phases.
+
+use crate::service::{EventOutcome, OnlineScheduler, OnlineStats, RejectReason, RepairStrategy};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use tagio_core::event::{RoutedEvent, SystemEvent};
+use tagio_core::schedule::Schedule;
+use tagio_core::solve::{Infeasible, InfeasibleCause};
+use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+
+/// How the router picks an arrival's partition (and the order in which
+/// rejected arrivals are re-offered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// The arrival's own device first (its affinity), then partitions in
+    /// ascending id order — partitions that pass the utilisation gate
+    /// are preferred. The cheapest policy; hot origin devices overload.
+    #[default]
+    FirstFit,
+    /// The fitting partition with the *least* residual headroom (classic
+    /// best fit: pack tight, keep big holes for big arrivals); exact
+    /// headroom ties are broken by the fleet's seeded RNG.
+    BestFit,
+    /// Rejection-aware rebalance: prefer the fitting partition with the
+    /// fewest [`InfeasibleCause::UtilisationOverload`] rejections so
+    /// far, then the *most* headroom — traffic drains away from
+    /// partitions that have been refusing work.
+    Rebalance,
+}
+
+impl PlacementPolicy {
+    /// Every policy, in report order.
+    pub const ALL: [PlacementPolicy; 3] = [
+        PlacementPolicy::FirstFit,
+        PlacementPolicy::BestFit,
+        PlacementPolicy::Rebalance,
+    ];
+
+    /// Stable kebab-case name (used by experiment reports and flags).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlacementPolicy::FirstFit => "first-fit",
+            PlacementPolicy::BestFit => "best-fit",
+            PlacementPolicy::Rebalance => "rebalance",
+        }
+    }
+}
+
+impl core::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl core::str::FromStr for PlacementPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PlacementPolicy::ALL
+            .into_iter()
+            .find(|p| p.as_str() == s.trim())
+            .ok_or_else(|| format!("unknown placement policy `{s}` (first-fit|best-fit|rebalance)"))
+    }
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// The arrival placement policy.
+    pub policy: PlacementPolicy,
+    /// How many *additional* partitions a rejected arrival is offered
+    /// (`0` disables cross-partition retry).
+    pub retries: usize,
+    /// Worker threads for the parallel admission phase (`0` = all
+    /// cores). Results are identical for every value.
+    pub threads: usize,
+    /// Seed of the routing RNG (tie-breaks only; all decisions are a
+    /// pure function of config + event stream).
+    pub seed: u64,
+    /// Integration strategy handed to every partition.
+    pub strategy: RepairStrategy,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            policy: PlacementPolicy::default(),
+            retries: 1,
+            threads: 0,
+            seed: 2020,
+            strategy: RepairStrategy::default(),
+        }
+    }
+}
+
+/// Fleet-level counters: unique arrivals (each partition also counts the
+/// offers *it* saw — see [`OnlineStats::merge`] for the aggregate view),
+/// retries, migrations and final reject causes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Epochs committed ([`FleetScheduler::apply_batch`] calls).
+    pub epochs: usize,
+    /// Events received (before mode-change broadcast fan-out).
+    pub events: usize,
+    /// Unique arrival events routed (retries do not re-count).
+    pub arrivals: usize,
+    /// Arrivals admitted by some partition.
+    pub admitted: usize,
+    /// Arrivals every offered partition rejected.
+    pub rejected: usize,
+    /// Arrivals turned away at the router because their id was already
+    /// active somewhere in the fleet. No partition was consulted, so
+    /// these count in neither [`arrivals`](FleetStats::arrivals) nor
+    /// [`rejected`](FleetStats::rejected) (and leave
+    /// [`acceptance_ratio`](FleetStats::acceptance_ratio) untouched).
+    pub duplicate_rejects: usize,
+    /// Cross-partition re-offers attempted.
+    pub retries: usize,
+    /// Admissions that needed at least one retry.
+    pub retry_admissions: usize,
+    /// Admissions on a partition other than the arrival's own device.
+    pub migrations: usize,
+    /// Events no partition could be found for (unknown departure ids,
+    /// spikes naming devices outside the fleet).
+    pub unrouted: usize,
+    /// Final causes of fleet-rejected arrivals: the first
+    /// integration-tier diagnostic carried through the retry chain when
+    /// one exists, otherwise the last gate verdict.
+    pub reject_causes: BTreeMap<InfeasibleCause, usize>,
+}
+
+impl FleetStats {
+    /// Admitted fraction of unique routed arrivals (`1.0` when none).
+    #[must_use]
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.arrivals == 0 {
+            1.0
+        } else {
+            self.admitted as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Final rejections attributed to `cause`.
+    #[must_use]
+    pub fn rejects_with_cause(&self, cause: InfeasibleCause) -> usize {
+        self.reject_causes.get(&cause).copied().unwrap_or(0)
+    }
+}
+
+/// The fleet's verdict on one input event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// The partition that made the final decision; `None` for verdicts
+    /// decided at the router (duplicates, unroutable events) and for
+    /// mode-change broadcasts (which every partition shares).
+    pub partition: Option<DeviceId>,
+    /// Partitions offered an arrival (`1` = first choice admitted or no
+    /// retry budget; `0` for non-arrivals and router verdicts).
+    pub attempts: u32,
+    /// The decision, in the single-partition vocabulary. For broadcasts
+    /// this is the fleet-merged [`EventOutcome::ModeChanged`].
+    pub outcome: EventOutcome,
+}
+
+/// A routed arrival awaiting commit/retry resolution.
+#[derive(Debug)]
+struct ArrivalPlan {
+    task: IoTask,
+    origin: DeviceId,
+    /// Partition indices in offer order (first entry was offered in the
+    /// parallel phase).
+    order: Vec<usize>,
+    /// Rejections collected so far, in offer order.
+    carried: Vec<RejectReason>,
+}
+
+/// N partitions behind a batching, retrying, policy-driven event router.
+/// See the [module docs](self) for the epoch pipeline.
+#[derive(Debug)]
+pub struct FleetScheduler {
+    config: FleetConfig,
+    /// Partitions sorted by device id (the commit order).
+    partitions: Vec<OnlineScheduler>,
+    /// Which partition (index) currently runs each active task.
+    owner: BTreeMap<TaskId, usize>,
+    /// Per-partition count of utilisation-overload rejections issued
+    /// (drives [`PlacementPolicy::Rebalance`]).
+    overload_rejects: Vec<usize>,
+    rng: StdRng,
+    stats: FleetStats,
+}
+
+impl FleetScheduler {
+    /// An empty fleet over `devices` (deduplicated, sorted).
+    pub fn new(devices: impl IntoIterator<Item = DeviceId>, config: FleetConfig) -> Self {
+        let mut devs: Vec<DeviceId> = devices.into_iter().collect();
+        devs.sort_unstable();
+        devs.dedup();
+        let partitions: Vec<OnlineScheduler> = devs
+            .into_iter()
+            .map(|d| OnlineScheduler::new(d).with_strategy(config.strategy))
+            .collect();
+        let overload_rejects = vec![0; partitions.len()];
+        let rng = StdRng::seed_from_u64(config.seed);
+        FleetScheduler {
+            config,
+            partitions,
+            owner: BTreeMap::new(),
+            overload_rejects,
+            rng,
+            stats: FleetStats::default(),
+        }
+    }
+
+    /// A fleet bootstrapped from per-device base systems. Each base is
+    /// synthesised wholesale when feasible, task-by-task otherwise (so
+    /// every base comes up). Task ids must be fleet-unique; a base task
+    /// whose id is already owned by an earlier partition is skipped.
+    pub fn bootstrap(bases: &BTreeMap<DeviceId, TaskSet>, config: FleetConfig) -> Self {
+        let mut fleet = FleetScheduler::new(bases.keys().copied(), config);
+        for (device, base) in bases {
+            let Some(idx) = fleet.index_of(*device) else {
+                continue;
+            };
+            let fresh: TaskSet = base
+                .iter()
+                .filter(|t| !fleet.owner.contains_key(&t.id()))
+                .cloned()
+                .collect();
+            match OnlineScheduler::bootstrap(*device, fresh) {
+                Ok(svc) => {
+                    fleet.partitions[idx] = svc.with_strategy(fleet.config.strategy);
+                }
+                Err(tasks) => {
+                    for t in &tasks {
+                        let _ = fleet.partitions[idx].apply(&SystemEvent::Arrival(t.clone()));
+                    }
+                }
+            }
+            let owned: Vec<TaskId> = fleet.partitions[idx]
+                .tasks()
+                .iter()
+                .map(IoTask::id)
+                .collect();
+            for id in owned {
+                fleet.owner.insert(id, idx);
+            }
+        }
+        fleet
+    }
+
+    /// The partitions, in device-id (commit) order.
+    #[must_use]
+    pub fn partitions(&self) -> &[OnlineScheduler] {
+        &self.partitions
+    }
+
+    /// The partition owning `device`.
+    #[must_use]
+    pub fn partition(&self, device: DeviceId) -> Option<&OnlineScheduler> {
+        self.index_of(device).map(|i| &self.partitions[i])
+    }
+
+    /// The partition currently running `task`.
+    #[must_use]
+    pub fn owner_of(&self, task: TaskId) -> Option<DeviceId> {
+        self.owner.get(&task).map(|&i| self.partitions[i].device())
+    }
+
+    /// Fleet-level counters.
+    #[must_use]
+    pub fn stats(&self) -> &FleetStats {
+        &self.stats
+    }
+
+    /// Every partition's counters folded into one [`OnlineStats`]
+    /// (per-offer view: retried arrivals count once per partition that
+    /// saw them — the fleet-unique view is [`FleetScheduler::stats`]).
+    #[must_use]
+    pub fn aggregate_stats(&self) -> OnlineStats {
+        let mut total = OnlineStats::default();
+        for p in &self.partitions {
+            total.merge(p.stats());
+        }
+        total
+    }
+
+    /// Every partition's live schedule, keyed by device — the payload a
+    /// fleet-wide controller hot-swap
+    /// (`IoController::hot_swap_all`) installs between hyper-periods.
+    #[must_use]
+    pub fn schedules(&self) -> BTreeMap<DeviceId, Schedule> {
+        self.partitions
+            .iter()
+            .map(|p| (p.device(), p.schedule().clone()))
+            .collect()
+    }
+
+    /// Mean Ψ over partitions with live jobs (`1.0` for an idle fleet).
+    #[must_use]
+    pub fn mean_psi(&self) -> f64 {
+        mean_over(&self.partitions, OnlineScheduler::psi)
+    }
+
+    /// Mean Υ over partitions with live jobs (`1.0` for an idle fleet).
+    #[must_use]
+    pub fn mean_upsilon(&self) -> f64 {
+        mean_over(&self.partitions, OnlineScheduler::upsilon)
+    }
+
+    /// Active tasks across the fleet.
+    #[must_use]
+    pub fn active_tasks(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Applies one event (an epoch of one).
+    pub fn apply(&mut self, event: &SystemEvent) -> FleetOutcome {
+        self.apply_batch(core::slice::from_ref(event))
+            .pop()
+            .unwrap_or(FleetOutcome {
+                partition: None,
+                attempts: 0,
+                outcome: EventOutcome::Ignored {
+                    reason: "empty batch",
+                },
+            })
+    }
+
+    /// Applies one epoch: routes `events` to partition lanes, evaluates
+    /// the lanes in parallel, commits in partition-id order, then runs
+    /// the cross-partition admission retries. Returns one outcome per
+    /// input event, in order. Deterministic for any thread count.
+    pub fn apply_batch(&mut self, events: &[SystemEvent]) -> Vec<FleetOutcome> {
+        self.stats.epochs += 1;
+        self.stats.events += events.len();
+        let n = self.partitions.len();
+        let mut outcomes: Vec<Option<FleetOutcome>> = events.iter().map(|_| None).collect();
+        if n == 0 {
+            return events
+                .iter()
+                .map(|_| FleetOutcome {
+                    partition: None,
+                    attempts: 0,
+                    outcome: EventOutcome::Ignored {
+                        reason: "fleet has no partitions",
+                    },
+                })
+                .collect();
+        }
+        // Phase 1 — sequential routing (the only phase that draws from
+        // the RNG or reads cross-partition state).
+        let mut lanes: Vec<Vec<(usize, SystemEvent)>> = vec![Vec::new(); n];
+        let mut plans: Vec<Option<ArrivalPlan>> = events.iter().map(|_| None).collect();
+        let mut routed_ids: BTreeSet<TaskId> = BTreeSet::new();
+        // Departures of tasks whose arrival is earlier in this batch:
+        // resolved after ownership settles (post-retry), in event order.
+        let mut deferred: Vec<(usize, TaskId)> = Vec::new();
+        // Ownership as it will stand once this batch's departures land:
+        // a Departure followed by a same-id Arrival in one batch (a task
+        // restart) must admit, not duplicate-reject — sequential-trace
+        // semantics, mirroring the deferred-departure case above.
+        let mut projected: BTreeSet<TaskId> = self.owner.keys().copied().collect();
+        for (i, event) in events.iter().enumerate() {
+            match event {
+                SystemEvent::Arrival(task) => {
+                    let id = task.id();
+                    if projected.contains(&id) || !routed_ids.insert(id) {
+                        // Fleet-wide id uniqueness is the router's job:
+                        // two partitions must never run the same task.
+                        // Duplicates are counted apart — they are never
+                        // routed, so they belong in neither `arrivals`
+                        // nor `rejected` (and cannot deflate acceptance).
+                        self.stats.duplicate_rejects += 1;
+                        outcomes[i] = Some(FleetOutcome {
+                            partition: None,
+                            attempts: 0,
+                            outcome: EventOutcome::Rejected {
+                                task: id,
+                                reason: RejectReason::DuplicateTask,
+                            },
+                        });
+                        continue;
+                    }
+                    self.stats.arrivals += 1;
+                    let order = self.preference(task);
+                    let first = order[0];
+                    let routed = RoutedEvent::dispatch(event, self.partitions[first].device(), 0);
+                    lanes[first].push((i, routed.event));
+                    plans[i] = Some(ArrivalPlan {
+                        origin: routed.origin.unwrap_or_else(|| task.device()),
+                        task: task.clone(),
+                        order,
+                        carried: Vec::new(),
+                    });
+                }
+                SystemEvent::Departure(id) => match self.owner.get(id) {
+                    Some(&p) => {
+                        lanes[p].push((i, event.clone()));
+                        projected.remove(id);
+                    }
+                    // The task is not owned *yet*, but an arrival earlier
+                    // in this very batch routed it: ownership resolves in
+                    // the commit/retry phases, so the departure is
+                    // deferred to the post-retry phase instead of being
+                    // silently dropped (sequential-trace semantics).
+                    None if routed_ids.contains(id) => deferred.push((i, *id)),
+                    None => {
+                        self.stats.unrouted += 1;
+                        outcomes[i] = Some(FleetOutcome {
+                            partition: None,
+                            attempts: 0,
+                            outcome: EventOutcome::Ignored {
+                                reason: "departure of a task no partition owns",
+                            },
+                        });
+                    }
+                },
+                SystemEvent::ModeChange(_) => {
+                    for lane in &mut lanes {
+                        lane.push((i, event.clone()));
+                    }
+                }
+                SystemEvent::UtilisationSpike { device, .. } => match self.index_of(*device) {
+                    Some(p) => lanes[p].push((i, event.clone())),
+                    None => {
+                        self.stats.unrouted += 1;
+                        outcomes[i] = Some(FleetOutcome {
+                            partition: None,
+                            attempts: 0,
+                            outcome: EventOutcome::Ignored {
+                                reason: "spike on a device outside the fleet",
+                            },
+                        });
+                    }
+                },
+            }
+        }
+        // Phase 2 — parallel, independent lane evaluation.
+        let results = self.run_lanes(&lanes);
+        // Phase 3 — commit in partition-id order.
+        let mut mode_acc: BTreeMap<usize, (Vec<TaskId>, Vec<TaskId>)> = BTreeMap::new();
+        for (p, lane_results) in results.into_iter().enumerate() {
+            for (i, outcome) in lane_results {
+                self.commit(p, i, outcome, &mut outcomes, &mut plans, &mut mode_acc);
+            }
+        }
+        // Phase 4 — sequential cross-partition retries, in event order.
+        for (i, slot) in plans.iter_mut().enumerate() {
+            let Some(plan) = slot else { continue };
+            if outcomes[i].is_some() {
+                continue; // admitted first try (or router verdict)
+            }
+            let mut attempts: u32 = 1;
+            let mut admitted_at = None;
+            for &p in plan.order.iter().skip(1).take(self.config.retries) {
+                attempts += 1;
+                self.stats.retries += 1;
+                let routed = RoutedEvent::dispatch(
+                    &SystemEvent::Arrival(plan.task.clone()),
+                    self.partitions[p].device(),
+                    attempts - 1,
+                );
+                match self.partitions[p].apply(&routed.event) {
+                    outcome @ EventOutcome::Admitted { .. } => {
+                        self.owner.insert(plan.task.id(), p);
+                        self.stats.admitted += 1;
+                        self.stats.retry_admissions += 1;
+                        if routed.migrated() {
+                            self.stats.migrations += 1;
+                        }
+                        admitted_at = Some((p, outcome));
+                        break;
+                    }
+                    EventOutcome::Rejected { reason, .. } => {
+                        self.record_partition_reject(p, &reason);
+                        plan.carried.push(reason);
+                    }
+                    _ => {}
+                }
+            }
+            outcomes[i] = Some(match admitted_at {
+                Some((p, outcome)) => FleetOutcome {
+                    partition: Some(self.partitions[p].device()),
+                    attempts,
+                    outcome,
+                },
+                None => {
+                    self.stats.rejected += 1;
+                    let reason = final_reject_reason(std::mem::take(&mut plan.carried));
+                    if let Some(diag) = reason.diagnostic() {
+                        *self.stats.reject_causes.entry(diag.cause).or_insert(0) += 1;
+                    }
+                    FleetOutcome {
+                        partition: plan.order.first().map(|&p| self.partitions[p].device()),
+                        attempts,
+                        outcome: EventOutcome::Rejected {
+                            task: plan.task.id(),
+                            reason,
+                        },
+                    }
+                }
+            });
+        }
+        // Phase 4b — deferred same-batch departures, now that ownership
+        // has settled through commit and retry (sequential, event order).
+        for (i, id) in deferred {
+            match self.owner.get(&id).copied() {
+                Some(p) => {
+                    let outcome = self.partitions[p].apply(&SystemEvent::Departure(id));
+                    if matches!(outcome, EventOutcome::Departed { .. }) {
+                        self.owner.remove(&id);
+                    }
+                    outcomes[i] = Some(FleetOutcome {
+                        partition: Some(self.partitions[p].device()),
+                        attempts: 0,
+                        outcome,
+                    });
+                }
+                None => {
+                    // The same-batch arrival was rejected everywhere:
+                    // there is nothing to depart.
+                    self.stats.unrouted += 1;
+                    outcomes[i] = Some(FleetOutcome {
+                        partition: None,
+                        attempts: 0,
+                        outcome: EventOutcome::Ignored {
+                            reason: "departure of a task no partition admitted",
+                        },
+                    });
+                }
+            }
+        }
+        // Phase 5 — merge broadcast (mode-change) outcomes.
+        for (i, event) in events.iter().enumerate() {
+            if outcomes[i].is_none() {
+                if let SystemEvent::ModeChange(mode) = event {
+                    let (admitted, departed) = mode_acc.remove(&i).unwrap_or_default();
+                    outcomes[i] = Some(self.merged_mode_outcome(mode, admitted, departed));
+                }
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| {
+                o.unwrap_or(FleetOutcome {
+                    partition: None,
+                    attempts: 0,
+                    outcome: EventOutcome::Ignored {
+                        reason: "event produced no partition outcome",
+                    },
+                })
+            })
+            .collect()
+    }
+
+    /// Commits one parallel-phase outcome: ownership and fleet counters.
+    fn commit(
+        &mut self,
+        p: usize,
+        i: usize,
+        outcome: EventOutcome,
+        outcomes: &mut [Option<FleetOutcome>],
+        plans: &mut [Option<ArrivalPlan>],
+        mode_acc: &mut BTreeMap<usize, (Vec<TaskId>, Vec<TaskId>)>,
+    ) {
+        let device = self.partitions[p].device();
+        match outcome {
+            EventOutcome::Admitted { task, .. } => {
+                self.owner.insert(task, p);
+                if let Some(plan) = &plans[i] {
+                    self.stats.admitted += 1;
+                    if device != plan.origin {
+                        self.stats.migrations += 1;
+                    }
+                }
+                outcomes[i] = Some(FleetOutcome {
+                    partition: Some(device),
+                    attempts: 1,
+                    outcome,
+                });
+            }
+            EventOutcome::Rejected { ref reason, .. } => {
+                self.record_partition_reject(p, reason);
+                if let Some(plan) = plans[i].as_mut() {
+                    // Leave the outcome slot empty: phase 4 retries.
+                    plan.carried.push(reason.clone());
+                } else {
+                    outcomes[i] = Some(FleetOutcome {
+                        partition: Some(device),
+                        attempts: 0,
+                        outcome,
+                    });
+                }
+            }
+            EventOutcome::Departed { task } => {
+                self.owner.remove(&task);
+                outcomes[i] = Some(FleetOutcome {
+                    partition: Some(device),
+                    attempts: 0,
+                    outcome,
+                });
+            }
+            EventOutcome::ModeChanged {
+                ref admitted,
+                ref departed,
+                ..
+            } => {
+                // Broadcast: fold ownership and accumulate; the merged
+                // outcome is built in phase 5 once every partition
+                // committed (in partition-id order, so the lists are
+                // deterministic). Departures first — they free ownership
+                // the same partition's re-admissions may reuse.
+                for t in departed {
+                    if self.owner.get(t) == Some(&p) {
+                        self.owner.remove(t);
+                    }
+                    mode_acc.entry(i).or_default().1.push(*t);
+                }
+                for t in admitted {
+                    match self.owner.get(t).copied() {
+                        // Another partition already runs this task —
+                        // partition pools keep departed tasks, so a
+                        // broadcast mode change can re-admit an id that
+                        // migrated elsewhere since. Fleet-wide uniqueness
+                        // wins: roll this partition's re-admission back
+                        // (lowest partition id keeps the task).
+                        Some(q) if q != p => {
+                            let _ = self.partitions[p].apply(&SystemEvent::Departure(*t));
+                        }
+                        _ => {
+                            self.owner.insert(*t, p);
+                            mode_acc.entry(i).or_default().0.push(*t);
+                        }
+                    }
+                }
+            }
+            EventOutcome::SpikeApplied { ref shed, .. } => {
+                for t in shed {
+                    self.owner.remove(t);
+                }
+                outcomes[i] = Some(FleetOutcome {
+                    partition: Some(device),
+                    attempts: 0,
+                    outcome,
+                });
+            }
+            EventOutcome::Ignored { .. } => {
+                outcomes[i] = Some(FleetOutcome {
+                    partition: Some(device),
+                    attempts: 0,
+                    outcome,
+                });
+            }
+        }
+    }
+
+    /// Evaluates the partition lanes, in parallel when configured (and
+    /// when there is more than one partition). Identical results for any
+    /// width: lanes touch disjoint partitions.
+    fn run_lanes(
+        &mut self,
+        lanes: &[Vec<(usize, SystemEvent)>],
+    ) -> Vec<Vec<(usize, EventOutcome)>> {
+        let n = self.partitions.len();
+        let threads = effective_threads(self.config.threads).clamp(1, n);
+        let apply_lane = |svc: &mut OnlineScheduler, lane: &[(usize, SystemEvent)]| {
+            lane.iter().map(|(i, e)| (*i, svc.apply(e))).collect()
+        };
+        if threads == 1 {
+            return self
+                .partitions
+                .iter_mut()
+                .zip(lanes)
+                .map(|(svc, lane)| apply_lane(svc, lane))
+                .collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut out: Vec<Option<Vec<(usize, EventOutcome)>>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for ((svcs, lane_chunk), slots) in self
+                .partitions
+                .chunks_mut(chunk)
+                .zip(lanes.chunks(chunk))
+                .zip(out.chunks_mut(chunk))
+            {
+                let apply_lane = &apply_lane;
+                scope.spawn(move || {
+                    for ((svc, lane), slot) in svcs.iter_mut().zip(lane_chunk).zip(slots.iter_mut())
+                    {
+                        *slot = Some(apply_lane(svc, lane));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(Option::unwrap_or_default).collect()
+    }
+
+    /// The policy's partition preference for `task`: every partition
+    /// index, best first. Gate-fitting partitions always precede
+    /// non-fitting ones (the latter are still listed — a retry against a
+    /// nearly-full partition can succeed after a same-epoch departure).
+    fn preference(&mut self, task: &IoTask) -> Vec<usize> {
+        let u = task.utilisation();
+        let head: Vec<f64> = self
+            .partitions
+            .iter()
+            .map(|p| 1.0 - p.tasks().utilisation())
+            .collect();
+        let fits = |i: &usize| head[*i] + 1e-9 >= u;
+        let mut order: Vec<usize> = (0..self.partitions.len()).collect();
+        match self.config.policy {
+            PlacementPolicy::FirstFit => {
+                // Affinity first: start the scan at the arrival's own
+                // device when it is one of ours.
+                let start = self.index_of(task.device()).unwrap_or(0);
+                order.rotate_left(start);
+                let (mut fit, rest): (Vec<usize>, Vec<usize>) = order.into_iter().partition(fits);
+                fit.extend(rest);
+                fit
+            }
+            PlacementPolicy::BestFit => {
+                self.shuffle(&mut order); // seeded tie-break for equal headroom
+                let (mut fit, mut rest): (Vec<usize>, Vec<usize>) =
+                    order.into_iter().partition(fits);
+                fit.sort_by(|&a, &b| head[a].total_cmp(&head[b])); // tightest first
+                rest.sort_by(|&a, &b| head[b].total_cmp(&head[a])); // roomiest first
+                fit.extend(rest);
+                fit
+            }
+            PlacementPolicy::Rebalance => {
+                self.shuffle(&mut order);
+                let key = |a: usize, b: usize| {
+                    self.overload_rejects[a]
+                        .cmp(&self.overload_rejects[b])
+                        .then(head[b].total_cmp(&head[a])) // roomiest first
+                };
+                let (mut fit, mut rest): (Vec<usize>, Vec<usize>) =
+                    order.into_iter().partition(fits);
+                fit.sort_by(|&a, &b| key(a, b));
+                rest.sort_by(|&a, &b| key(a, b));
+                fit.extend(rest);
+                fit
+            }
+        }
+    }
+
+    /// Deterministic Fisher–Yates over partition indices (the seeded
+    /// routing RNG; stable sorts after this make exact key ties random
+    /// but reproducible).
+    fn shuffle(&mut self, order: &mut [usize]) {
+        for i in (1..order.len()).rev() {
+            let j = self.rng.random_range(0..i + 1);
+            order.swap(i, j);
+        }
+    }
+
+    fn record_partition_reject(&mut self, p: usize, reason: &RejectReason) {
+        if reason
+            .diagnostic()
+            .is_some_and(|d| d.cause == InfeasibleCause::UtilisationOverload)
+        {
+            self.overload_rejects[p] += 1;
+        }
+    }
+
+    /// The fleet-merged view of a broadcast mode change: admissions and
+    /// departures concatenated in partition-id order; `rejected` lists
+    /// the mode's tasks that ended up active nowhere in the fleet.
+    fn merged_mode_outcome(
+        &self,
+        mode: &tagio_core::event::Mode,
+        admitted: Vec<TaskId>,
+        departed: Vec<TaskId>,
+    ) -> FleetOutcome {
+        let mut rejected = Vec::new();
+        for id in &mode.active {
+            if !self.owner.contains_key(id) && !rejected.contains(id) {
+                rejected.push(*id);
+            }
+        }
+        FleetOutcome {
+            partition: None,
+            attempts: 0,
+            outcome: EventOutcome::ModeChanged {
+                mode: mode.id,
+                admitted,
+                rejected,
+                departed,
+            },
+        }
+    }
+
+    fn index_of(&self, device: DeviceId) -> Option<usize> {
+        self.partitions
+            .binary_search_by(|p| p.device().cmp(&device))
+            .ok()
+    }
+}
+
+/// Chooses the most informative final rejection: the first diagnostic
+/// from a failed integration tier when one exists (it names jobs and
+/// partial quality), otherwise the last verdict seen (typically the
+/// utilisation gate's overload).
+fn final_reject_reason(carried: Vec<RejectReason>) -> RejectReason {
+    let richest = carried.iter().position(|r| {
+        r.diagnostic()
+            .is_some_and(|d| d.cause != InfeasibleCause::UtilisationOverload)
+    });
+    let mut carried = carried;
+    match richest {
+        Some(i) => carried.swap_remove(i),
+        None => carried
+            .pop()
+            .unwrap_or(RejectReason::Infeasible(Infeasible::new(
+                InfeasibleCause::NoFeasibleSlot,
+            ))),
+    }
+}
+
+fn effective_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    } else {
+        configured
+    }
+}
+
+fn mean_over(partitions: &[OnlineScheduler], f: impl Fn(&OnlineScheduler) -> f64) -> f64 {
+    let busy: Vec<f64> = partitions
+        .iter()
+        .filter(|p| !p.jobs().is_empty())
+        .map(f)
+        .collect();
+    if busy.is_empty() {
+        1.0
+    } else {
+        busy.iter().sum::<f64>() / busy.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagio_core::time::Duration;
+
+    fn mk(id: u32, device: u32, period_ms: u64, wcet_us: u64, delta_ms: u64) -> IoTask {
+        IoTask::builder(TaskId(id), DeviceId(device))
+            .wcet(Duration::from_micros(wcet_us))
+            .period(Duration::from_millis(period_ms))
+            .ideal_offset(Duration::from_millis(delta_ms))
+            .margin(Duration::from_millis(period_ms) / 8)
+            .quality(f64::from(id) + 1.0, 0.0)
+            .build()
+            .unwrap()
+    }
+
+    fn two_partition_fleet(policy: PlacementPolicy) -> FleetScheduler {
+        let mut bases = BTreeMap::new();
+        bases.insert(
+            DeviceId(0),
+            vec![mk(0, 0, 8, 500, 2)].into_iter().collect::<TaskSet>(),
+        );
+        bases.insert(
+            DeviceId(1),
+            vec![mk(1, 1, 8, 500, 3)].into_iter().collect::<TaskSet>(),
+        );
+        FleetScheduler::bootstrap(
+            &bases,
+            FleetConfig {
+                policy,
+                threads: 1,
+                ..FleetConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn bootstrap_owns_base_tasks_per_partition() {
+        let fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        assert_eq!(fleet.partitions().len(), 2);
+        assert_eq!(fleet.owner_of(TaskId(0)), Some(DeviceId(0)));
+        assert_eq!(fleet.owner_of(TaskId(1)), Some(DeviceId(1)));
+        assert_eq!(fleet.active_tasks(), 2);
+        assert_eq!(fleet.schedules().len(), 2);
+    }
+
+    #[test]
+    fn first_fit_honours_arrival_affinity() {
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        let out = fleet.apply(&SystemEvent::Arrival(mk(5, 1, 8, 500, 5)));
+        assert_eq!(out.partition, Some(DeviceId(1)), "affinity respected");
+        assert_eq!(out.attempts, 1);
+        assert!(matches!(out.outcome, EventOutcome::Admitted { .. }));
+        assert_eq!(fleet.owner_of(TaskId(5)), Some(DeviceId(1)));
+        assert_eq!(fleet.stats().migrations, 0);
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected_at_the_router() {
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        // Task 0 is active on partition 0; an arrival with the same id
+        // aimed at partition 1 must not create a second copy.
+        let out = fleet.apply(&SystemEvent::Arrival(mk(0, 1, 8, 500, 5)));
+        assert_eq!(out.partition, None, "decided at the router");
+        assert!(matches!(
+            out.outcome,
+            EventOutcome::Rejected {
+                reason: RejectReason::DuplicateTask,
+                ..
+            }
+        ));
+        assert_eq!(fleet.stats().duplicate_rejects, 1);
+        // Router duplicates are excluded from the routed-arrival
+        // accounting, so acceptance is unaffected.
+        assert_eq!(fleet.stats().arrivals, 0);
+        assert_eq!(fleet.stats().rejected, 0);
+        assert_eq!(fleet.stats().acceptance_ratio(), 1.0);
+        // Same-batch duplicates collapse too.
+        let t = mk(9, 0, 8, 400, 2);
+        let outs = fleet.apply_batch(&[
+            SystemEvent::Arrival(t.clone()),
+            SystemEvent::Arrival(t.clone()),
+        ]);
+        assert!(matches!(outs[0].outcome, EventOutcome::Admitted { .. }));
+        assert!(matches!(
+            outs[1].outcome,
+            EventOutcome::Rejected {
+                reason: RejectReason::DuplicateTask,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn same_epoch_departure_of_a_new_arrival_is_not_lost() {
+        // Routing snapshots ownership at epoch start, but a departure of
+        // a task whose arrival sits earlier in the same batch must still
+        // land (deferred until ownership settles), not be dropped.
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        let outs = fleet.apply_batch(&[
+            SystemEvent::Arrival(mk(9, 0, 8, 400, 2)),
+            SystemEvent::Departure(TaskId(9)),
+        ]);
+        assert!(matches!(outs[0].outcome, EventOutcome::Admitted { .. }));
+        assert!(matches!(outs[1].outcome, EventOutcome::Departed { .. }));
+        assert_eq!(fleet.owner_of(TaskId(9)), None, "no leaked ghost task");
+        assert_eq!(fleet.stats().unrouted, 0);
+        // If the arrival is rejected everywhere, the deferred departure
+        // resolves to an ignore, not a panic or a partition call.
+        let hog = IoTask::builder(TaskId(10), DeviceId(0))
+            .wcet(Duration::from_micros(9_900))
+            .period(Duration::from_millis(10))
+            .ideal_offset(Duration::from_micros(100))
+            .margin(Duration::from_micros(100))
+            .build()
+            .unwrap();
+        let outs = fleet.apply_batch(&[
+            SystemEvent::Arrival(hog),
+            SystemEvent::Departure(TaskId(10)),
+        ]);
+        assert!(matches!(outs[0].outcome, EventOutcome::Rejected { .. }));
+        assert!(matches!(outs[1].outcome, EventOutcome::Ignored { .. }));
+    }
+
+    #[test]
+    fn same_epoch_restart_departs_then_readmits() {
+        // The mirrored ordering: Departure then a same-id Arrival in one
+        // batch is a task restart, not a duplicate — routing works on
+        // the ownership the batch's departures project, so the arrival
+        // must admit (as it would with batch size 1).
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        let outs = fleet.apply_batch(&[
+            SystemEvent::Departure(TaskId(0)),
+            SystemEvent::Arrival(mk(0, 0, 8, 400, 2)),
+        ]);
+        assert!(matches!(outs[0].outcome, EventOutcome::Departed { .. }));
+        assert!(matches!(outs[1].outcome, EventOutcome::Admitted { .. }));
+        assert_eq!(fleet.owner_of(TaskId(0)), Some(DeviceId(0)));
+        assert_eq!(fleet.stats().duplicate_rejects, 0);
+        let restarted = fleet
+            .partition(DeviceId(0))
+            .unwrap()
+            .tasks()
+            .get(TaskId(0))
+            .unwrap();
+        assert_eq!(
+            restarted.wcet(),
+            Duration::from_micros(400),
+            "the restart's new parameters are in force"
+        );
+    }
+
+    #[test]
+    fn mode_change_cannot_duplicate_a_migrated_task() {
+        // Partition pools remember departed tasks, so a broadcast mode
+        // change can try to re-admit an id that has since migrated to
+        // another partition. Fleet-wide uniqueness must win.
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        fleet.apply(&SystemEvent::Arrival(mk(5, 0, 8, 400, 5)));
+        assert_eq!(fleet.owner_of(TaskId(5)), Some(DeviceId(0)));
+        fleet.apply(&SystemEvent::Departure(TaskId(5)));
+        // Re-arrival with affinity for partition 1: migrates there.
+        fleet.apply(&SystemEvent::Arrival(mk(5, 1, 8, 400, 5)));
+        assert_eq!(fleet.owner_of(TaskId(5)), Some(DeviceId(1)));
+        // Partition 0's stale pool would re-admit task 5 on broadcast;
+        // the commit rolls it back so only partition 1 runs it.
+        let mode = tagio_core::event::Mode {
+            id: tagio_core::ModeId(1),
+            active: vec![TaskId(0), TaskId(1), TaskId(5)],
+        };
+        let _ = fleet.apply(&SystemEvent::ModeChange(mode));
+        assert_eq!(fleet.owner_of(TaskId(5)), Some(DeviceId(1)));
+        let p0 = fleet.partition(DeviceId(0)).unwrap();
+        assert!(
+            p0.tasks().get(TaskId(5)).is_none(),
+            "no ghost copy of task 5 on partition 0"
+        );
+        p0.schedule().validate(p0.jobs()).unwrap();
+        let p1 = fleet.partition(DeviceId(1)).unwrap();
+        assert!(p1.tasks().get(TaskId(5)).is_some());
+        p1.schedule().validate(p1.jobs()).unwrap();
+    }
+
+    #[test]
+    fn departures_route_to_the_owning_partition() {
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        let out = fleet.apply(&SystemEvent::Departure(TaskId(1)));
+        assert_eq!(out.partition, Some(DeviceId(1)));
+        assert!(matches!(out.outcome, EventOutcome::Departed { .. }));
+        assert_eq!(fleet.owner_of(TaskId(1)), None);
+        // Unknown ids never touch a partition.
+        let out = fleet.apply(&SystemEvent::Departure(TaskId(77)));
+        assert_eq!(out.partition, None);
+        assert_eq!(fleet.stats().unrouted, 1);
+    }
+
+    #[test]
+    fn rejected_arrival_retries_on_the_next_partition_with_cause_carried() {
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        // Overload partition 0 so its effective WCETs triple; an arrival
+        // whose scaled parameters no longer validate there is turned
+        // away locally but fits partition 1 at nominal load.
+        fleet.apply(&SystemEvent::UtilisationSpike {
+            device: DeviceId(0),
+            percent: 300,
+        });
+        let fussy = IoTask::builder(TaskId(6), DeviceId(0))
+            .wcet(Duration::from_micros(1_000))
+            .period(Duration::from_millis(10))
+            .ideal_offset(Duration::from_millis(8))
+            .margin(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        let out = fleet.apply(&SystemEvent::Arrival(fussy));
+        assert_eq!(out.attempts, 2, "first choice rejected, one retry");
+        assert_eq!(out.partition, Some(DeviceId(1)));
+        assert!(matches!(out.outcome, EventOutcome::Admitted { .. }));
+        assert_eq!(fleet.stats().retry_admissions, 1);
+        assert_eq!(fleet.stats().migrations, 1);
+        assert_eq!(fleet.stats().retries, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_attribute_the_final_cause() {
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        // A hog no partition can hold: every offer fast-rejects on the
+        // utilisation gate; the final diagnostic must carry that cause.
+        let hog = IoTask::builder(TaskId(8), DeviceId(0))
+            .wcet(Duration::from_micros(9_900))
+            .period(Duration::from_millis(10))
+            .ideal_offset(Duration::from_micros(100))
+            .margin(Duration::from_micros(100))
+            .build()
+            .unwrap();
+        let out = fleet.apply(&SystemEvent::Arrival(hog));
+        assert_eq!(out.attempts, 2, "first choice plus the default retry");
+        match out.outcome {
+            EventOutcome::Rejected {
+                reason: RejectReason::Infeasible(diag),
+                ..
+            } => assert_eq!(diag.cause, InfeasibleCause::UtilisationOverload),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            fleet
+                .stats()
+                .rejects_with_cause(InfeasibleCause::UtilisationOverload),
+            1
+        );
+        assert_eq!(fleet.stats().rejected, 1);
+    }
+
+    #[test]
+    fn mode_changes_broadcast_and_merge() {
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        let mode = tagio_core::event::Mode {
+            id: tagio_core::ModeId(1),
+            active: vec![TaskId(0), TaskId(42)],
+        };
+        let out = fleet.apply(&SystemEvent::ModeChange(mode));
+        match out.outcome {
+            EventOutcome::ModeChanged {
+                departed, rejected, ..
+            } => {
+                assert_eq!(departed, vec![TaskId(1)], "partition 1 drops its task");
+                assert_eq!(rejected, vec![TaskId(42)], "unknown id active nowhere");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(fleet.owner_of(TaskId(0)), Some(DeviceId(0)));
+        assert_eq!(fleet.owner_of(TaskId(1)), None);
+    }
+
+    #[test]
+    fn policy_parsing_round_trips() {
+        for policy in PlacementPolicy::ALL {
+            assert_eq!(policy.as_str().parse::<PlacementPolicy>(), Ok(policy));
+        }
+        assert!("nope".parse::<PlacementPolicy>().is_err());
+    }
+
+    #[test]
+    fn empty_fleet_ignores_everything() {
+        let mut fleet = FleetScheduler::new([], FleetConfig::default());
+        let out = fleet.apply(&SystemEvent::Departure(TaskId(0)));
+        assert!(matches!(out.outcome, EventOutcome::Ignored { .. }));
+    }
+
+    #[test]
+    fn best_fit_packs_the_tighter_partition() {
+        // Partition 0 carries more load than partition 1; best fit sends
+        // a small arrival to the *fuller* (still fitting) partition.
+        let mut bases = BTreeMap::new();
+        bases.insert(
+            DeviceId(0),
+            vec![mk(0, 0, 8, 2_000, 2)].into_iter().collect::<TaskSet>(),
+        );
+        bases.insert(
+            DeviceId(1),
+            vec![mk(1, 1, 8, 500, 3)].into_iter().collect::<TaskSet>(),
+        );
+        let mut fleet = FleetScheduler::bootstrap(
+            &bases,
+            FleetConfig {
+                policy: PlacementPolicy::BestFit,
+                threads: 1,
+                ..FleetConfig::default()
+            },
+        );
+        let out = fleet.apply(&SystemEvent::Arrival(mk(7, 1, 8, 400, 5)));
+        assert_eq!(out.partition, Some(DeviceId(0)), "tightest fit wins");
+        assert_eq!(fleet.stats().migrations, 1, "moved off its origin");
+    }
+
+    #[test]
+    fn rebalance_avoids_partitions_that_reject() {
+        let mut fleet = two_partition_fleet(PlacementPolicy::Rebalance);
+        // Fill partition 0 to the brim so it fast-rejects a mid-size
+        // arrival, teaching the router to avoid it.
+        let filler = IoTask::builder(TaskId(20), DeviceId(0))
+            .wcet(Duration::from_micros(3_500))
+            .period(Duration::from_millis(8))
+            .ideal_offset(Duration::from_millis(4))
+            .margin(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            fleet.apply(&SystemEvent::Arrival(filler)).outcome,
+            EventOutcome::Admitted { .. }
+        ));
+        let probe = |id: u32| mk(id, 0, 8, 4_000, 2);
+        // First probe: may hit the full partition and migrate via retry.
+        let _ = fleet.apply(&SystemEvent::Arrival(probe(21)));
+        assert_eq!(fleet.owner_of(TaskId(21)), Some(DeviceId(1)));
+    }
+}

@@ -23,11 +23,23 @@
 //!    infeasible, active tasks are dropped in *quality order* (smallest
 //!    peak quality `Vmax` first) until a feasible schedule exists again.
 //!
+//! [`fleet`] scales the single-partition service to a **multi-partition
+//! fleet**: a [`FleetScheduler`] routes
+//! [`SystemEvent`](tagio_core::event::SystemEvent)s to N per-device
+//! partitions via a pluggable placement policy (first-fit affinity,
+//! best-fit-by-headroom, rejection-aware rebalance), batches events per
+//! epoch, evaluates the disjoint partition lanes in parallel, and
+//! re-offers rejected arrivals to the next-best partitions with the
+//! [`Infeasible`](tagio_core::solve::Infeasible) diagnostics carried
+//! forward — bit-deterministic for any thread count.
+//!
 //! [`scenario`] generates seeded, reproducible event traces (and a
 //! line-based text format for them) so the service can be regression
 //! tested and benchmarked — the `online_scenarios` experiment binary in
 //! `tagio-bench` sweeps arrival rates and compares incremental repair
-//! against always-resynthesising from scratch.
+//! against always-resynthesising from scratch, and `fleet_scenarios`
+//! sweeps partition count × arrival rate × placement policy against a
+//! single partition at equal aggregate load.
 //!
 //! ```
 //! use tagio_core::event::SystemEvent;
@@ -59,8 +71,13 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod fleet;
 pub mod scenario;
 pub mod service;
 
-pub use scenario::{ReplayOutcome, Scenario, ScenarioConfig, TraceError};
+pub use fleet::{FleetConfig, FleetOutcome, FleetScheduler, FleetStats, PlacementPolicy};
+pub use scenario::{
+    FleetReplayOutcome, FleetScenario, FleetScenarioConfig, ReplayOutcome, Scenario,
+    ScenarioConfig, TraceError,
+};
 pub use service::{EventOutcome, OnlineScheduler, OnlineStats, RejectReason, RepairStrategy};

@@ -14,10 +14,13 @@
 //! ([`format_trace`] / [`parse_trace`], documented in `EXPERIMENTS.md`)
 //! so traces can be stored, diffed and replayed outside the generator.
 
+use crate::fleet::{FleetConfig, FleetScheduler};
 use crate::service::{OnlineScheduler, RepairStrategy};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
 use tagio_core::event::{Mode, ModeId, SystemEvent, TimedEvent};
+use tagio_core::solve::InfeasibleCause;
 use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
 use tagio_core::time::{Duration, Time};
 use tagio_sched::SlotPolicy;
@@ -319,6 +322,271 @@ impl Scenario {
             .collect();
         all.extend(self.events.iter().cloned());
         format_trace(&all)
+    }
+}
+
+/// Parameters of multi-partition (fleet) scenario generation. As with
+/// [`ScenarioConfig`], the seed drives everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScenarioConfig {
+    /// Number of device partitions (`DeviceId(0)..DeviceId(n)`).
+    pub partitions: u32,
+    /// Per-partition base-system utilisation at bootstrap.
+    pub base_utilisation: f64,
+    /// Total arrival attempts across the fleet.
+    pub arrivals: usize,
+    /// Origin-device skew of the arrival stream: `0.0` draws origins
+    /// uniformly, `1.0` aims every arrival at `DeviceId(0)` (a hot
+    /// device). Affinity-respecting policies (first-fit) feel the skew;
+    /// load-spreading ones (best-fit, rebalance) largely do not.
+    pub skew: f64,
+    /// Per-mille probability that a departure of a random known task
+    /// follows an arrival.
+    pub departure_permille: u32,
+    /// Emit a utilisation spike on a random partition after every
+    /// `spike_every`-th arrival (`0` disables spikes).
+    pub spike_every: usize,
+    /// Emit one fleet-wide mode change halfway through the stream.
+    pub mode_change: bool,
+    /// Smallest period drawn for arriving tasks.
+    pub min_arrival_period: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FleetScenarioConfig {
+    fn default() -> Self {
+        FleetScenarioConfig {
+            partitions: 2,
+            base_utilisation: 0.4,
+            arrivals: 16,
+            skew: 0.5,
+            departure_permille: 300,
+            spike_every: 9,
+            mode_change: true,
+            min_arrival_period: Duration::from_millis(30),
+            seed: 2020,
+        }
+    }
+}
+
+/// A generated multi-partition scenario: per-device base systems plus one
+/// fleet-wide event stream whose arrivals carry (skewed) origin devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScenario {
+    /// Per-partition base systems (task ids are fleet-unique).
+    pub bases: BTreeMap<DeviceId, TaskSet>,
+    /// The event stream, ordered by instant.
+    pub events: Vec<TimedEvent>,
+}
+
+/// What one fleet replay produced (fleet-unique arrival accounting; see
+/// [`FleetStats`](crate::fleet::FleetStats) for the distinction from the
+/// per-partition aggregate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReplayOutcome {
+    /// Unique arrivals routed.
+    pub arrivals: usize,
+    /// Arrivals admitted somewhere in the fleet.
+    pub admitted: usize,
+    /// `admitted / arrivals` (`1.0` when no arrivals).
+    pub acceptance: f64,
+    /// Cross-partition re-offers attempted.
+    pub retries: usize,
+    /// Admissions that needed at least one retry.
+    pub retry_admissions: usize,
+    /// Admissions on a partition other than the arrival's origin device.
+    pub migrations: usize,
+    /// Arrivals rejected at the router as duplicates.
+    pub duplicate_rejects: usize,
+    /// Final rejections whose cause was the utilisation gate.
+    pub reject_overload: usize,
+    /// Final rejections from failed integration tiers.
+    pub reject_infeasible: usize,
+    /// Tasks shed fleet-wide to survive spikes.
+    pub shed: usize,
+    /// Successful incremental repairs across all partitions.
+    pub repairs: usize,
+    /// Full re-syntheses across all partitions.
+    pub resyntheses: usize,
+    /// Mean admission-construction latency across all partitions,
+    /// microseconds (wall clock — not deterministic).
+    pub mean_admission_micros: f64,
+    /// Mean Ψ over busy partitions after the stream.
+    pub mean_psi: f64,
+    /// Mean Υ over busy partitions after the stream.
+    pub mean_upsilon: f64,
+}
+
+impl FleetScenario {
+    /// Generates the fleet scenario determined by `config`.
+    #[must_use]
+    pub fn generate(config: &FleetScenarioConfig) -> FleetScenario {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let partitions = config.partitions.max(1);
+        // Per-partition base systems with fleet-unique id ranges: device
+        // `d` owns ids `d*100_000..`, and the arrival stream starts at
+        // `partitions*100_000` — above every base range for any
+        // partition count (base systems are far smaller than 100_000
+        // tasks), so ids never collide and nothing is silently
+        // duplicate-rejected at the router.
+        let arrival_ids = partitions * 100_000;
+        let mut bases = BTreeMap::new();
+        let mut known: Vec<TaskId> = Vec::new();
+        for d in 0..partitions {
+            let device = DeviceId(d);
+            let raw = SystemConfig::paper(config.base_utilisation).generate(&mut rng);
+            let base: TaskSet = raw
+                .iter()
+                .enumerate()
+                .map(|(i, t)| rebuild_with_dm_priority(t, TaskId(d * 100_000 + i as u32), device))
+                .collect();
+            known.extend(base.iter().map(IoTask::id));
+            bases.insert(device, base);
+        }
+        let pool = PeriodPool::paper_default();
+        let mut events = Vec::new();
+        let mut at = Time::ZERO;
+        let step = |at: &mut Time| {
+            *at += Duration::from_millis(10);
+            *at
+        };
+        for k in 0..config.arrivals {
+            // Draw the origin device: `skew` routes to the hot device 0,
+            // the rest spreads uniformly.
+            let origin = if rng.random::<f64>() < config.skew {
+                DeviceId(0)
+            } else {
+                DeviceId(rng.random_range(0..partitions))
+            };
+            let period = pool.sample_at_least(config.min_arrival_period, &mut rng);
+            let margin = period / 4;
+            let u = 0.02 + 0.08 * rng.random::<f64>();
+            let wcet_us = ((period.as_micros() as f64) * u).round().max(1.0) as u64;
+            let wcet = Duration::from_micros(wcet_us)
+                .min(margin)
+                .min(blocking_cap());
+            let delta_us = rng.random_range(margin.as_micros()..=(period - margin).as_micros());
+            let id = TaskId(arrival_ids + k as u32);
+            let task = rebuild_with_dm_priority(
+                &IoTask::builder(id, origin)
+                    .wcet(wcet)
+                    .period(period)
+                    .ideal_offset(Duration::from_micros(delta_us))
+                    .margin(margin)
+                    .build()
+                    .expect("generated arrival parameters are valid"),
+                id,
+                origin,
+            );
+            known.push(id);
+            events.push(TimedEvent {
+                at: step(&mut at),
+                event: SystemEvent::Arrival(task),
+            });
+            if config.departure_permille > 0
+                && rng.random_range(0..1000) < config.departure_permille
+            {
+                let victim = known[rng.random_range(0..known.len())];
+                events.push(TimedEvent {
+                    at: step(&mut at),
+                    event: SystemEvent::Departure(victim),
+                });
+            }
+            if config.spike_every > 0 && (k + 1) % config.spike_every == 0 {
+                let percent = *[80u32, 110, 125, 150, 100]
+                    .get(rng.random_range(0..5usize))
+                    .expect("index in range");
+                events.push(TimedEvent {
+                    at: step(&mut at),
+                    event: SystemEvent::UtilisationSpike {
+                        device: DeviceId(rng.random_range(0..partitions)),
+                        percent,
+                    },
+                });
+            }
+            if config.mode_change && k + 1 == config.arrivals / 2 {
+                let active: Vec<TaskId> = known.iter().copied().step_by(2).collect();
+                events.push(TimedEvent {
+                    at: step(&mut at),
+                    event: SystemEvent::ModeChange(Mode {
+                        id: ModeId(1),
+                        active,
+                    }),
+                });
+            }
+        }
+        FleetScenario { bases, events }
+    }
+
+    /// The same scenario collapsed onto a single partition: every base
+    /// task and every event re-targeted to `DeviceId(0)`. This is the
+    /// equal-aggregate-load baseline the fleet is compared against — the
+    /// total offered work is identical, the capacity is one device.
+    #[must_use]
+    pub fn collapsed(&self) -> FleetScenario {
+        let device = DeviceId(0);
+        let merged: TaskSet = self
+            .bases
+            .values()
+            .flat_map(|base| base.iter().map(|t| t.retarget(device)))
+            .collect();
+        let mut bases = BTreeMap::new();
+        bases.insert(device, merged);
+        let events = self
+            .events
+            .iter()
+            .map(|e| TimedEvent {
+                at: e.at,
+                event: e.event.retargeted(device),
+            })
+            .collect();
+        FleetScenario { bases, events }
+    }
+
+    /// Replays the scenario through a freshly bootstrapped
+    /// [`FleetScheduler`] under `config`, batching `batch` events per
+    /// epoch (`0` batches the whole stream as one epoch), and summarises
+    /// what happened. Deterministic apart from wall-clock latencies for
+    /// any `config.threads`.
+    #[must_use]
+    pub fn replay(&self, config: FleetConfig, batch: usize) -> FleetReplayOutcome {
+        let mut fleet = FleetScheduler::bootstrap(&self.bases, config);
+        let stream: Vec<SystemEvent> = self.events.iter().map(|e| e.event.clone()).collect();
+        let epoch = if batch == 0 {
+            stream.len().max(1)
+        } else {
+            batch
+        };
+        for chunk in stream.chunks(epoch) {
+            let _ = fleet.apply_batch(chunk);
+        }
+        let stats = fleet.stats();
+        let reject_overload = stats.rejects_with_cause(InfeasibleCause::UtilisationOverload);
+        let reject_infeasible = stats
+            .reject_causes
+            .iter()
+            .filter(|(cause, _)| **cause != InfeasibleCause::UtilisationOverload)
+            .map(|(_, n)| n)
+            .sum();
+        let aggregate = fleet.aggregate_stats();
+        FleetReplayOutcome {
+            arrivals: stats.arrivals,
+            admitted: stats.admitted,
+            acceptance: stats.acceptance_ratio(),
+            retries: stats.retries,
+            retry_admissions: stats.retry_admissions,
+            migrations: stats.migrations,
+            duplicate_rejects: stats.duplicate_rejects,
+            reject_overload,
+            reject_infeasible,
+            shed: aggregate.shed,
+            repairs: aggregate.repairs,
+            resyntheses: aggregate.resyntheses,
+            mean_admission_micros: aggregate.mean_admission_micros(),
+            mean_psi: fleet.mean_psi(),
+            mean_upsilon: fleet.mean_upsilon(),
+        }
     }
 }
 
@@ -633,6 +901,125 @@ mod tests {
         }
         // Comments and blanks are fine.
         assert_eq!(parse_trace("# nothing\n\n").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn fleet_generation_is_deterministic_and_multi_device() {
+        let cfg = FleetScenarioConfig {
+            partitions: 3,
+            arrivals: 12,
+            ..FleetScenarioConfig::default()
+        };
+        let a = FleetScenario::generate(&cfg);
+        let b = FleetScenario::generate(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.bases.len(), 3);
+        // Base ids are fleet-unique.
+        let mut ids: Vec<TaskId> = a
+            .bases
+            .values()
+            .flat_map(|b| b.iter().map(|t| t.id()))
+            .collect();
+        let total = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), total);
+        // Arrivals name devices inside the fleet.
+        for e in &a.events {
+            if let SystemEvent::Arrival(t) = &e.event {
+                assert!(t.device().0 < 3);
+            }
+        }
+        assert_ne!(
+            a,
+            FleetScenario::generate(&FleetScenarioConfig {
+                seed: 9,
+                partitions: 3,
+                arrivals: 12,
+                ..FleetScenarioConfig::default()
+            })
+        );
+    }
+
+    #[test]
+    fn id_ranges_stay_unique_for_many_partitions() {
+        // Base ids live at d*100_000.. and arrivals start above every
+        // base range; 11+ partitions used to collide with a fixed
+        // 1_000_000 arrival base.
+        let s = FleetScenario::generate(&FleetScenarioConfig {
+            partitions: 11,
+            arrivals: 3,
+            ..FleetScenarioConfig::default()
+        });
+        let mut ids: Vec<TaskId> = s
+            .bases
+            .values()
+            .flat_map(|b| b.iter().map(|t| t.id()))
+            .collect();
+        for e in &s.events {
+            if let SystemEvent::Arrival(t) = &e.event {
+                ids.push(t.id());
+            }
+        }
+        let total = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), total, "no id collides across the fleet");
+    }
+
+    #[test]
+    fn full_skew_aims_every_arrival_at_the_hot_device() {
+        let s = FleetScenario::generate(&FleetScenarioConfig {
+            partitions: 4,
+            arrivals: 10,
+            skew: 1.0,
+            ..FleetScenarioConfig::default()
+        });
+        for e in &s.events {
+            if let SystemEvent::Arrival(t) = &e.event {
+                assert_eq!(t.device(), DeviceId(0));
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_scenario_targets_one_device_with_equal_load() {
+        let s = FleetScenario::generate(&FleetScenarioConfig {
+            partitions: 3,
+            arrivals: 8,
+            ..FleetScenarioConfig::default()
+        });
+        let single = s.collapsed();
+        assert_eq!(single.bases.len(), 1);
+        let merged = &single.bases[&DeviceId(0)];
+        let fleet_tasks: usize = s.bases.values().map(TaskSet::len).sum();
+        assert_eq!(merged.len(), fleet_tasks, "no work lost in the collapse");
+        assert_eq!(single.events.len(), s.events.len());
+        for e in &single.events {
+            assert!(e.event.device().is_none_or(|d| d == DeviceId(0)));
+        }
+    }
+
+    #[test]
+    fn fleet_replay_produces_consistent_summary() {
+        let s = FleetScenario::generate(&FleetScenarioConfig {
+            partitions: 2,
+            arrivals: 8,
+            ..FleetScenarioConfig::default()
+        });
+        let out = s.replay(
+            FleetConfig {
+                threads: 1,
+                ..FleetConfig::default()
+            },
+            4,
+        );
+        assert!(out.arrivals >= 8);
+        assert!(out.admitted <= out.arrivals);
+        assert!((0.0..=1.0).contains(&out.acceptance));
+        assert!((0.0..=1.0).contains(&out.mean_psi));
+        assert!(out.mean_upsilon >= 0.0);
+        assert!(out.repairs + out.resyntheses > 0);
     }
 
     #[test]

@@ -12,12 +12,12 @@
 //!    device; reject without touching anything (a *fast reject*);
 //! 2. **cached pre-check** — the NP-FPS response-time test over the
 //!    candidate set, answered mostly from the cache (only entries the
-//!    newcomer can affect are recomputed). For distinct priorities a
-//!    pass guarantees a feasible schedule exists (the FPS simulation
-//!    realises one); with priority ties the analysis ignores
-//!    equal-priority contention, so the pass is only a strong signal —
-//!    the FPS fallback tier therefore admits on the *actual* simulated
-//!    schedule, never on the pre-check alone;
+//!    newcomer can affect are recomputed). Priority ties are resolved by
+//!    the analysis's documented total order (equal priority, smaller id
+//!    outranks — matching the FPS dispatcher), so a pass signals that
+//!    the FPS simulation realises a schedule; the FPS fallback tier
+//!    still admits only on the *actual* simulated schedule, never on
+//!    the pre-check alone (defence in depth);
 //! 3. **integration** — incremental repair around the live schedule,
 //!    falling back to full LCC-D re-synthesis, falling back (only under a
 //!    pre-check guarantee) to the FPS schedule.
@@ -227,6 +227,36 @@ impl OnlineStats {
     fn record_reject_cause(&mut self, cause: InfeasibleCause) {
         *self.reject_causes.entry(cause).or_insert(0) += 1;
     }
+
+    /// Folds another partition's counters into this one — the fleet-level
+    /// aggregation: every count and duration adds up, reject causes merge
+    /// per cause. Note that fleet-level acceptance derived from an
+    /// aggregate over-counts retried arrivals (each partition that was
+    /// offered a task counts it); [`FleetStats`](crate::fleet::FleetStats)
+    /// tracks unique arrivals separately.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        self.arrivals += other.arrivals;
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.fast_rejects += other.fast_rejects;
+        for (cause, n) in &other.reject_causes {
+            *self.reject_causes.entry(*cause).or_insert(0) += n;
+        }
+        self.shed_overload += other.shed_overload;
+        self.shed_infeasible += other.shed_infeasible;
+        self.departures += other.departures;
+        self.repairs += other.repairs;
+        self.resyntheses += other.resyntheses;
+        self.fps_fallbacks += other.fps_fallbacks;
+        self.shed += other.shed;
+        self.spikes += other.spikes;
+        self.mode_changes += other.mode_changes;
+        self.ignored += other.ignored;
+        self.repair_time += other.repair_time;
+        self.repair_events += other.repair_events;
+        self.admission_time += other.admission_time;
+        self.admission_events += other.admission_events;
+    }
 }
 
 /// The event-driven scheduling service for one device partition.
@@ -420,12 +450,19 @@ impl OnlineScheduler {
             };
         }
         // 2. Cached pre-check: recomputes only the entries the newcomer
-        //    can affect. A pass signals (and, for distinct priorities,
-        //    guarantees) that the FPS simulation realises a schedule.
+        //    can affect. A pass signals that the FPS simulation realises
+        //    a schedule (ties resolved by the analysis's id tie-break).
         let mut candidate = self.tasks.clone();
-        candidate
-            .push(effective.clone())
-            .expect("id uniqueness checked above");
+        if candidate.push(effective.clone()).is_err() {
+            // Unreachable given the duplicate check above, but the
+            // admission hot path must never panic on a hostile trace —
+            // degrade to the duplicate rejection instead.
+            self.stats.rejected += 1;
+            return EventOutcome::Rejected {
+                task: id,
+                reason: RejectReason::DuplicateTask,
+            };
+        }
         self.cache.invalidate_for(&effective);
         let guaranteed = self.cache.schedulable(&candidate);
         // 3. Integration tiers.
@@ -482,6 +519,13 @@ impl OnlineScheduler {
     /// full-re-synthesis baseline re-runs Algorithm 1 (its defining
     /// cost) with the pinning repair as a safety net. Callers handle
     /// cache invalidation and stats.
+    ///
+    /// This path can never fail: removing tasks only removes jobs, and a
+    /// feasible schedule restricted to a subset of its jobs stays
+    /// feasible. Should a repair tier still decline (a solver bug, not an
+    /// input condition), the live placements are filtered down directly
+    /// instead of panicking — departures on the hot path must always
+    /// land.
     fn shrink_to(&mut self, remaining: TaskSet) {
         let jobs = JobSet::expand(&remaining);
         let (schedule, timed) = time(|| {
@@ -495,9 +539,22 @@ impl OnlineScheduler {
                     .schedule(&jobs)
                     .or_else(|_| repaired()),
             }
-            .expect("a subset of a feasible schedule stays feasible")
+            .unwrap_or_else(|_| {
+                // Infallible last resort: keep exactly the surviving
+                // jobs' validated placements. The new hyper-period
+                // divides the old one, so every remaining job id already
+                // has an entry.
+                let keep: std::collections::BTreeSet<tagio_core::job::JobId> =
+                    jobs.iter().map(tagio_core::job::Job::id).collect();
+                self.schedule
+                    .iter()
+                    .filter(|e| keep.contains(&e.job))
+                    .copied()
+                    .collect()
+            })
         });
         self.record_construction(timed);
+        debug_assert!(schedule.validate(&jobs).is_ok());
         self.tasks = remaining;
         self.jobs = jobs;
         self.schedule = schedule;
@@ -669,9 +726,9 @@ impl OnlineScheduler {
             outcome.or_else(|diagnostic| {
                 // The response-time signal: try the actual FPS
                 // simulation and admit only on its real (quality-blind)
-                // schedule — ties in priority make the analysis alone
-                // insufficient. On failure, keep the richer diagnostic
-                // of the repair/re-synthesis tier.
+                // schedule — never on the analysis alone. On failure,
+                // keep the richer diagnostic of the repair/re-synthesis
+                // tier.
                 if !guaranteed {
                     return Err(diagnostic);
                 }
@@ -706,17 +763,15 @@ impl OnlineScheduler {
 }
 
 /// Index of the shedding victim: smallest peak quality `Vmax`, ties
-/// broken towards the larger id (newer streams go first).
+/// broken towards the larger id (newer streams go first). Uses the IEEE
+/// total order so a `Vmax` smuggled past the builder's finiteness check
+/// (e.g. [`IoTask::set_vmax`] with a NaN) picks a deterministic victim
+/// instead of panicking mid-shed.
 fn quality_victim(tasks: &[IoTask]) -> Option<usize> {
     tasks
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            a.vmax()
-                .partial_cmp(&b.vmax())
-                .expect("finite vmax")
-                .then(b.id().cmp(&a.id()))
-        })
+        .min_by(|(_, a), (_, b)| a.vmax().total_cmp(&b.vmax()).then(b.id().cmp(&a.id())))
         .map(|(i, _)| i)
 }
 
@@ -1079,6 +1134,104 @@ mod tests {
     }
 
     #[test]
+    fn nan_vmax_cannot_poison_the_shedding_order() {
+        // `IoTask::set_vmax` used to bypass the builder's finiteness
+        // check, letting a hostile producer hand the service a NaN
+        // quality: the old shedding comparator (`partial_cmp().expect`)
+        // then panicked on the first over-capacity spike. The override is
+        // now sanitised (NaN ignored) *and* the comparator uses the IEEE
+        // total order, so shedding stays deterministic either way.
+        let heavy = |id: u32, delta_ms: u64, vmax: f64| {
+            IoTask::builder(TaskId(id), DeviceId(0))
+                .wcet(Duration::from_micros(1_500))
+                .period(Duration::from_millis(10))
+                .ideal_offset(Duration::from_millis(delta_ms))
+                .margin(Duration::from_micros(2_500))
+                .quality(vmax, 0.0)
+                .build()
+                .unwrap()
+        };
+        let mut poisoned = heavy(0, 3, 5.0);
+        poisoned.set_vmax(f64::NAN);
+        assert_eq!(poisoned.vmax(), 5.0, "non-finite override is ignored");
+        let base: TaskSet = vec![poisoned, heavy(1, 4, 1.0)].into_iter().collect();
+        let mut svc = OnlineScheduler::bootstrap(DeviceId(0), base).unwrap();
+        match svc.apply(&SystemEvent::UtilisationSpike {
+            device: DeviceId(0),
+            percent: 400,
+        }) {
+            EventOutcome::SpikeApplied { shed, .. } => {
+                assert_eq!(shed, vec![TaskId(1)], "lowest finite quality goes first");
+            }
+            other => panic!("{other:?}"),
+        }
+        svc.schedule().validate(svc.jobs()).unwrap();
+    }
+
+    #[test]
+    fn hostile_trace_replays_without_panicking() {
+        // The offending trace for the old admission-path panics: tied
+        // priorities (the pre-check's weak spot), duplicate and
+        // over-capacity arrivals, departures that shrink the hyper-period
+        // after admissions grew it, re-admissions via mode change, spike
+        // extremes (0 percent, u32::MAX percent) and unknown ids. Every
+        // event must produce a decision, never a panic, and leave a
+        // schedule that validates.
+        let trace = "\
+@0 arrive t0 d0 c=500 t=8000 dl=8000 o=0 delta=2000 theta=1000 p=3 vmax=2 vmin=0
+@1 arrive t1 d0 c=500 t=8000 dl=8000 o=0 delta=5000 theta=1000 p=3 vmax=3 vmin=0
+@2 arrive t2 d0 c=500 t=16000 dl=16000 o=0 delta=9000 theta=1500 p=3 vmax=1 vmin=0
+@3 arrive t2 d0 c=500 t=16000 dl=16000 o=0 delta=9000 theta=1500 p=3 vmax=1 vmin=0
+@4 arrive t3 d0 c=7000 t=8000 dl=8000 o=0 delta=1000 theta=0 p=3 vmax=9 vmin=0
+@5 spike d0 0
+@6 spike d0 4294967295
+@7 depart t2
+@8 spike d0 100
+@9 mode m1 t0,t2,t9
+@10 depart t0
+@11 depart t0
+@12 mode m0 t0,t1,t2
+";
+        let events = crate::scenario::parse_trace(trace).expect("trace parses");
+        let mut svc = OnlineScheduler::new(DeviceId(0));
+        for ev in &events {
+            let _ = svc.apply(&ev.event);
+            svc.schedule().validate(svc.jobs()).unwrap();
+        }
+        // The same trace against the re-synthesis baseline.
+        let mut full =
+            OnlineScheduler::new(DeviceId(0)).with_strategy(RepairStrategy::FullResynthesis);
+        for ev in &events {
+            let _ = full.apply(&ev.event);
+            full.schedule().validate(full.jobs()).unwrap();
+        }
+    }
+
+    #[test]
+    fn merged_stats_add_counters_and_causes() {
+        let mut a = service();
+        a.apply(&SystemEvent::Arrival(mk(2, 8, 500, 3)));
+        a.apply(&SystemEvent::Arrival(hog(9))); // fast reject
+        let mut b = service();
+        b.apply(&SystemEvent::Arrival(hog(8))); // fast reject
+        b.apply(&SystemEvent::Departure(TaskId(0)));
+        let mut merged = a.stats().clone();
+        merged.merge(b.stats());
+        assert_eq!(merged.arrivals, a.stats().arrivals + b.stats().arrivals);
+        assert_eq!(merged.admitted, 1);
+        assert_eq!(merged.rejected, 2);
+        assert_eq!(merged.departures, 1);
+        assert_eq!(
+            merged.rejects_with_cause(InfeasibleCause::UtilisationOverload),
+            2
+        );
+        assert_eq!(
+            merged.repair_events,
+            a.stats().repair_events + b.stats().repair_events
+        );
+    }
+
+    #[test]
     fn stats_ratios_and_cache_counters_accumulate() {
         let mut svc = service();
         assert_eq!(svc.stats().acceptance_ratio(), 1.0); // vacuous
@@ -1088,9 +1241,10 @@ mod tests {
         assert_eq!((s.arrivals, s.admitted, s.rejected), (2, 1, 1));
         assert!((s.acceptance_ratio() - 0.5).abs() < 1e-12);
         assert!(svc.cache().misses() > 0);
-        // A second identical-shape admission hits cached entries of
-        // undisturbed tasks.
-        svc.apply(&SystemEvent::Arrival(mk(3, 8, 500, 6)));
+        // A lighter admission hits cached entries of undisturbed tasks
+        // (its 400us WCET stays below their 500us blocking bounds, so
+        // the tie-aware invalidation keeps the higher-ranked entries).
+        svc.apply(&SystemEvent::Arrival(mk(3, 8, 400, 6)));
         assert!(svc.cache().hits() > 0);
     }
 }

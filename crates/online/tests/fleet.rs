@@ -1,0 +1,192 @@
+//! Fleet-level regression tests: thread-count determinism, cross-
+//! partition retry monotonicity, and the scaling headline — a fleet
+//! admits at least as much as a single partition offered the same
+//! aggregate load.
+//!
+//! Everything here is a pure function of the scenario seeds (wall-clock
+//! latencies are deliberately excluded from every comparison).
+
+use tagio_online::fleet::{FleetConfig, FleetScheduler, PlacementPolicy};
+use tagio_online::scenario::{FleetScenario, FleetScenarioConfig};
+use tagio_online::service::OnlineStats;
+
+/// The default fleet sweep shared with the `fleet_scenarios` binary:
+/// (partitions, arrivals) per scenario.
+fn default_sweep() -> Vec<(u32, usize)> {
+    vec![(2, 8), (2, 16), (4, 16), (4, 32)]
+}
+
+fn scenarios_at(partitions: u32, arrivals: usize, base_seed: u64) -> Vec<FleetScenario> {
+    (0..2)
+        .map(|i| {
+            FleetScenario::generate(&FleetScenarioConfig {
+                partitions,
+                arrivals,
+                seed: base_seed
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add(arrivals as u64 * 7919)
+                    .wrapping_add(u64::from(partitions) * 104_729)
+                    .wrapping_add(i),
+                ..FleetScenarioConfig::default()
+            })
+        })
+        .collect()
+}
+
+/// The deterministic slice of [`OnlineStats`] (wall-clock fields out).
+fn deterministic_stats(stats: &OnlineStats) -> impl PartialEq + std::fmt::Debug {
+    (
+        (stats.arrivals, stats.admitted, stats.rejected),
+        (stats.fast_rejects, stats.reject_causes.clone()),
+        (stats.repairs, stats.resyntheses, stats.fps_fallbacks),
+        (stats.shed, stats.shed_overload, stats.shed_infeasible),
+        (stats.departures, stats.mode_changes, stats.spikes),
+        (stats.repair_events, stats.admission_events),
+    )
+}
+
+/// Replays `scenario` and returns the fleet for post-mortem inspection.
+fn run(scenario: &FleetScenario, config: FleetConfig, batch: usize) -> FleetScheduler {
+    let mut fleet = FleetScheduler::bootstrap(&scenario.bases, config);
+    let stream: Vec<_> = scenario.events.iter().map(|e| e.event.clone()).collect();
+    for chunk in stream.chunks(batch) {
+        let _ = fleet.apply_batch(chunk);
+    }
+    fleet
+}
+
+#[test]
+fn thread_count_never_changes_schedules_or_stats() {
+    for policy in PlacementPolicy::ALL {
+        for (partitions, arrivals) in default_sweep() {
+            for scenario in scenarios_at(partitions, arrivals, 2020) {
+                let config = |threads| FleetConfig {
+                    policy,
+                    threads,
+                    ..FleetConfig::default()
+                };
+                let serial = run(&scenario, config(1), 4);
+                let wide = run(&scenario, config(4), 4);
+                // Fleet counters are bit-identical...
+                assert_eq!(serial.stats(), wide.stats(), "policy {policy}");
+                // ...and so is every partition: schedule and stats.
+                for (a, b) in serial.partitions().iter().zip(wide.partitions()) {
+                    assert_eq!(a.device(), b.device());
+                    assert_eq!(
+                        a.schedule(),
+                        b.schedule(),
+                        "policy {policy}, partition {:?}",
+                        a.device()
+                    );
+                    assert_eq!(a.tasks().len(), b.tasks().len());
+                    assert_eq!(
+                        deterministic_stats(a.stats()),
+                        deterministic_stats(b.stats())
+                    );
+                    assert_eq!(a.psi().to_bits(), b.psi().to_bits());
+                    assert_eq!(a.upsilon().to_bits(), b.upsilon().to_bits());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_partition_retry_never_reduces_acceptance() {
+    for (partitions, arrivals) in default_sweep() {
+        for scenario in scenarios_at(partitions, arrivals, 77) {
+            let config = |retries| FleetConfig {
+                policy: PlacementPolicy::FirstFit,
+                retries,
+                threads: 1,
+                ..FleetConfig::default()
+            };
+            let without = run(&scenario, config(0), 4);
+            let with = run(&scenario, config(partitions as usize), 4);
+            assert!(
+                with.stats().admitted >= without.stats().admitted,
+                "partitions={partitions} arrivals={arrivals}: retry admitted {} < {}",
+                with.stats().admitted,
+                without.stats().admitted,
+            );
+            assert_eq!(with.stats().arrivals, without.stats().arrivals);
+        }
+    }
+}
+
+#[test]
+fn fleet_accepts_at_least_the_single_partition_baseline() {
+    // The scaling headline: at equal aggregate load (identical event
+    // stream, identical base task sets) a multi-partition fleet admits
+    // at least as many arrivals as one partition holding everything.
+    for (partitions, arrivals) in default_sweep() {
+        for scenario in scenarios_at(partitions, arrivals, 2020) {
+            let config = FleetConfig {
+                policy: PlacementPolicy::BestFit,
+                threads: 1,
+                ..FleetConfig::default()
+            };
+            let fleet = run(&scenario, config.clone(), 4);
+            let single = run(&scenario.collapsed(), config, 4);
+            assert_eq!(fleet.stats().arrivals, single.stats().arrivals);
+            assert!(
+                fleet.stats().admitted >= single.stats().admitted,
+                "partitions={partitions} arrivals={arrivals}: fleet {} < single {}",
+                fleet.stats().admitted,
+                single.stats().admitted,
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_traffic_benefits_from_load_spreading_policies() {
+    // Under a fully-skewed arrival stream the affinity policy piles work
+    // on the hot device; the spreading policies must do no worse.
+    let scenario = FleetScenario::generate(&FleetScenarioConfig {
+        partitions: 4,
+        arrivals: 24,
+        skew: 1.0,
+        base_utilisation: 0.5,
+        seed: 11,
+        ..FleetScenarioConfig::default()
+    });
+    let admitted = |policy| {
+        let fleet = run(
+            &scenario,
+            FleetConfig {
+                policy,
+                retries: 0,
+                threads: 1,
+                ..FleetConfig::default()
+            },
+            4,
+        );
+        fleet.stats().admitted
+    };
+    assert!(admitted(PlacementPolicy::BestFit) >= admitted(PlacementPolicy::FirstFit));
+    assert!(admitted(PlacementPolicy::Rebalance) >= admitted(PlacementPolicy::FirstFit));
+}
+
+#[test]
+fn batch_size_one_matches_whole_stream_epochs_on_admissions() {
+    // Batching granularity may shift *which* partition sees an arrival
+    // first (routing snapshots are per epoch), but the pipeline itself
+    // must stay deterministic for a fixed batch size.
+    let scenario = FleetScenario::generate(&FleetScenarioConfig {
+        partitions: 2,
+        arrivals: 12,
+        seed: 5,
+        ..FleetScenarioConfig::default()
+    });
+    let config = FleetConfig {
+        threads: 1,
+        ..FleetConfig::default()
+    };
+    let a = run(&scenario, config.clone(), 3);
+    let b = run(&scenario, config, 3);
+    assert_eq!(a.stats(), b.stats());
+    for (x, y) in a.partitions().iter().zip(b.partitions()) {
+        assert_eq!(x.schedule(), y.schedule());
+    }
+}

@@ -8,16 +8,25 @@
 //! discards the entries its interference or blocking can actually reach.
 //!
 //! Invalidation rules for a changed task `τc` (arrival, departure, or WCET
-//! change), derived from the analysis structure:
+//! change — a departure *must* invalidate exactly like an arrival, since
+//! removing a blocker can loosen higher-ranked bounds and removing
+//! interference loosens lower-ranked ones), derived from the analysis
+//! structure and its total rank order ([`outranks`](crate::analysis::outranks): priority first,
+//! then smaller id on ties):
 //!
 //! * `τc`'s own entry is always discarded;
-//! * every task with **lower** priority than `τc` is discarded — `τc`
-//!   contributes to (or withdraws from) their interference term;
-//! * a task with **higher** priority is discarded only when its cached
-//!   blocking bound could move: `Bi = max{Cj | Pj < Pi}` can change only
-//!   if `Ci(τc)` reaches the cached bound (`≥` on arrival, `=` on
-//!   departure; [`AnalysisCache::invalidate_for`] uses the conservative
-//!   union `Ci(τc) ≥ Bi`).
+//! * every task `τc` **outranks** (lower priority, or equal priority with
+//!   a larger id) is discarded — `τc` contributes to (or withdraws from)
+//!   their interference term;
+//! * a task that **outranks `τc`** is discarded only when its cached
+//!   blocking bound could move: `Bi = max{Cj | τj outranked by τi}` can
+//!   change only if `Ci(τc)` reaches the cached bound (`≥` on arrival,
+//!   `=` on departure; [`AnalysisCache::invalidate_for`] uses the
+//!   conservative union `Ci(τc) ≥ Bi`).
+//!
+//! Because the entry's id is the map key, the tie direction is resolved
+//! per entry — equal-priority entries are *not* blanket-invalidated, only
+//! the side of the tie the analysis says `τc` can actually reach.
 //!
 //! The cache is trust-based: callers must route every task-set mutation
 //! through [`AnalysisCache::invalidate_for`] (or drop everything with
@@ -103,15 +112,15 @@ impl AnalysisCache {
     /// `true` when every task of `tasks` passes the response-time test,
     /// recomputing only entries the cache does not hold.
     ///
-    /// This is the online admission pre-check. For task sets with
-    /// **distinct** priorities it is a sufficient condition for
+    /// This is the online admission pre-check: a sufficient condition for
     /// non-preemptive FPS feasibility (pessimistic versus the offline
-    /// methods — see [`crate::analysis`]). With priority *ties* the
-    /// analysis counts neither interference nor blocking between
-    /// equal-priority tasks, so a passing set may still be infeasible —
-    /// callers must confirm with an actual schedule construction (the
-    /// online service checks [`FpsOffline`](crate::fps::FpsOffline)'s
-    /// real output before admitting on this signal).
+    /// methods — see [`crate::analysis`]). Priority ties are covered by
+    /// the documented total tie-break (equal priority, smaller id
+    /// outranks — the same final tie-break the
+    /// [`FpsOffline`](crate::fps::FpsOffline) dispatcher applies), so
+    /// duplicate priorities no longer silently weaken the test. The
+    /// online service still confirms a tie-breaking admission against the
+    /// actual simulated FPS schedule as defence in depth.
     pub fn schedulable(&mut self, tasks: &TaskSet) -> bool {
         tasks
             .iter()
@@ -132,13 +141,18 @@ impl AnalysisCache {
             if tid == id {
                 return false;
             }
-            if entry.priority < prio {
-                return false; // interference set changed
+            // The changed task outranks this entry (strictly higher
+            // priority, or an equal-priority tie won by the smaller id):
+            // the entry's interference set changed.
+            if entry.priority < prio || (entry.priority == prio && tid > id) {
+                return false;
             }
-            if entry.priority > prio && wcet >= entry.result.blocking {
-                return false; // blocking bound may move
+            // The entry outranks the changed task: only its blocking
+            // bound can move, and only when the changed WCET reaches it.
+            if wcet >= entry.result.blocking {
+                return false;
             }
-            true // equal priority, or blocking untouched
+            true // blocking untouched
         });
     }
 
@@ -232,18 +246,40 @@ mod tests {
         let mut cache = AnalysisCache::new();
         assert!(cache.schedulable(&tasks));
         assert_eq!(cache.len(), 3);
-        // A mid-priority arrival with a tiny WCET: lower-priority entries
-        // (prio 1 and 0 < 2 is false... prio of newcomer is 1.5-ish) —
-        // use priority 1 duplicate band: entries with lower priority go,
-        // higher-priority entries stay because 50us < their blocking.
+        // A mid-priority arrival with a tiny WCET: only the entries it
+        // outranks are dropped; higher-ranked entries stay because 50us
+        // is below their cached blocking bound.
         let newcomer = mk(9, 20, 50, 1);
         cache.invalidate_for(&newcomer);
-        // prio 0 entry (lower) dropped; prio 2 entry kept (blocking for
-        // task 0 is max lp wcet = 400us > 50us); prio 1 entry kept (equal
-        // priority neither blocks nor interferes in the analysis).
+        // prio 0 entry (lower) dropped; prio 2 entry kept (its blocking
+        // is 400us > 50us); the equal-priority entry kept — its id 1 wins
+        // the tie against 9, and its blocking (400us) exceeds 50us.
         assert!(cache.entries.contains_key(&TaskId(0)));
         assert!(cache.entries.contains_key(&TaskId(1)));
         assert!(!cache.entries.contains_key(&TaskId(2)));
+    }
+
+    #[test]
+    fn equal_priority_ties_invalidate_per_entry_direction() {
+        // Three tasks; two share priority 1 around the changed id 3.
+        let tasks: TaskSet = vec![mk(1, 10, 100, 1), mk(5, 10, 100, 1), mk(8, 40, 400, 0)]
+            .into_iter()
+            .collect();
+        let mut cache = AnalysisCache::new();
+        assert!(cache.schedulable(&tasks));
+        // A light equal-priority change with id 3: it outranks entry 5
+        // (tie, larger id -> interference changed, dropped) but not entry
+        // 1 (tie won by the smaller id; 50us < its 400us blocking, kept).
+        cache.invalidate_for(&mk(3, 10, 50, 1));
+        assert!(cache.entries.contains_key(&TaskId(1)));
+        assert!(!cache.entries.contains_key(&TaskId(5)));
+        assert!(!cache.entries.contains_key(&TaskId(8)));
+        // A heavy equal-priority change reaches entry 1's blocking bound
+        // (900us >= 400us) and drops it too — the departure of such a
+        // blocker must loosen the higher-ranked entry.
+        assert!(cache.schedulable(&tasks));
+        cache.invalidate_for(&mk(3, 10, 900, 1));
+        assert!(!cache.entries.contains_key(&TaskId(1)));
     }
 
     #[test]
@@ -253,12 +289,13 @@ mod tests {
         assert!(cache.schedulable(&tasks));
         let blocker = mk(9, 40, 4_000, 0);
         cache.invalidate_for(&blocker);
-        // Every other entry had blocking <= 400us < 4000us: all dropped
-        // except none (prio 0 equals task 2's priority — equal priority is
-        // kept, but its blocking 0 <= 4000 only matters for *higher*).
+        // Every higher-ranked entry had blocking <= 400us < 4000us: all
+        // dropped — including the equal-priority entry 2, whose smaller
+        // id outranks the newcomer and whose blocking bound (0) the new
+        // 4000us WCET trivially reaches.
         assert!(!cache.entries.contains_key(&TaskId(0)));
         assert!(!cache.entries.contains_key(&TaskId(1)));
-        assert!(cache.entries.contains_key(&TaskId(2)));
+        assert!(!cache.entries.contains_key(&TaskId(2)));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Property-based equivalence of cached and uncached admission analysis.
+//!
+//! The online service trusts [`AnalysisCache::invalidate_for`] to discard
+//! exactly the entries a task-set mutation can reach. This suite drives
+//! random event traces — arrivals, departures, and re-admissions of the
+//! same id with a *changed WCET* (the mode-change pattern) — through a
+//! persistent cache and asserts, after every event, that the cached
+//! verdicts are identical to a cold re-analysis. Duplicate priorities are
+//! drawn deliberately often so the tie-break invalidation direction is
+//! exercised.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tagio_core::task::{DeviceId, IoTask, Priority, TaskId, TaskSet};
+use tagio_core::time::Duration;
+use tagio_sched::analysis::{response_time_np_fps, taskset_schedulable_np_fps};
+use tagio_sched::AnalysisCache;
+
+/// Builds a pool task from drawn parameters. Periods come from a small
+/// divisor-friendly list; priorities from a 3-value band so ties are
+/// frequent; WCET is scaled off the period.
+fn pool_task(id: u32, period_ix: usize, wcet_permille: u64, prio: u32) -> IoTask {
+    let periods_ms = [4u64, 8, 8, 16];
+    let period = Duration::from_millis(periods_ms[period_ix % periods_ms.len()]);
+    let wcet =
+        Duration::from_micros((period.as_micros() * wcet_permille.clamp(1, 240) / 1000).max(1));
+    IoTask::builder(TaskId(id), DeviceId(0))
+        .wcet(wcet)
+        .period(period)
+        .ideal_offset(period / 2)
+        .margin(period / 4)
+        .priority(Priority(prio % 3))
+        .build()
+        .expect("pool parameters are valid")
+}
+
+/// One trace step: which pool slot to touch, and a WCET variant so a
+/// re-admission of a departed id can come back with a different WCET.
+#[derive(Debug, Clone)]
+struct Step {
+    slot: usize,
+    wcet_permille: u64,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    vec((0usize..6, 1u64..240), 1..24).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(slot, wcet_permille)| Step {
+                slot,
+                wcet_permille,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every arrival, departure, or changed-WCET re-admission, the
+    /// persistent cache must agree with a cold analysis — both on the
+    /// whole-set verdict and on each per-task response time.
+    #[test]
+    fn cached_decisions_match_cold_analysis_over_random_traces(
+        trace in steps(),
+        period_seed in 0usize..4,
+        prio_seed in 0u32..3,
+    ) {
+        let mut active = TaskSet::new();
+        let mut cache = AnalysisCache::new();
+        for (i, step) in trace.iter().enumerate() {
+            let id = step.slot as u32;
+            if let Some(current) = active.get(TaskId(id)).cloned() {
+                // Departure: shrink the set, invalidate with the task as
+                // it was when analysed.
+                active = active
+                    .iter()
+                    .filter(|t| t.id() != current.id())
+                    .cloned()
+                    .collect();
+                cache.invalidate_for(&current);
+            } else {
+                // Arrival (possibly a re-admission of a previously
+                // departed id with a different WCET — the mode-change
+                // pattern the cache must survive).
+                let task = pool_task(
+                    id,
+                    period_seed + step.slot + i,
+                    step.wcet_permille,
+                    prio_seed + id,
+                );
+                cache.invalidate_for(&task);
+                active.push(task).expect("slot was inactive");
+            }
+            // The cached verdict must be indistinguishable from a cold
+            // run, event by event.
+            prop_assert_eq!(
+                cache.schedulable(&active),
+                taskset_schedulable_np_fps(&active),
+                "set verdict diverged at step {}", i
+            );
+            for t in &active {
+                prop_assert_eq!(
+                    cache.response_time(t, &active),
+                    response_time_np_fps(t, &active),
+                    "stale entry for {:?} at step {}", t.id(), i
+                );
+            }
+        }
+    }
+}

@@ -16,7 +16,7 @@
 //! | [`workload`] | `tagio-workload` | UUniFast + the paper's §V.A system generator |
 //! | [`sched`] | `tagio-sched` | static heuristic, GA scheduler, FPS & GPIOCP baselines |
 //! | [`ga`] | `tagio-ga` | the multi-objective GA engine |
-//! | [`online`] | `tagio-online` | event-driven online scheduling: admission, repair, shedding |
+//! | [`online`] | `tagio-online` | event-driven online scheduling: admission, repair, shedding; `online::fleet` — the multi-partition fleet router |
 //! | [`controller`] | `tagio-controller` | the Section IV controller simulator |
 //! | [`noc`] | `tagio-noc` | flit-level mesh NoC simulator |
 //! | [`hwcost`] | `tagio-hwcost` | Table I resource model |
@@ -73,8 +73,12 @@ pub use tagio_workload as workload;
 
 /// The unified solving API in one import: the [`Solve`](prelude::Solve)
 /// trait and its context/diagnostics, the runtime-extensible method
-/// [`Registry`](prelude::Registry), every in-tree solver, and the core
-/// model types a solve call touches.
+/// [`Registry`](prelude::Registry), every in-tree solver, the core
+/// model types a solve call touches, and the online entry points — the
+/// per-partition [`OnlineScheduler`](prelude::OnlineScheduler), the
+/// multi-partition [`FleetScheduler`](prelude::FleetScheduler) with its
+/// [`PlacementPolicy`](prelude::PlacementPolicy), and the event
+/// vocabulary that drives them.
 ///
 /// ```
 /// use tagio::prelude::*;
@@ -114,10 +118,13 @@ pub use tagio_workload as workload;
 /// assert_eq!(err.cause, InfeasibleCause::UtilisationOverload);
 /// ```
 pub mod prelude {
+    pub use tagio_core::event::{RoutedEvent, SystemEvent, TimedEvent};
     pub use tagio_core::job::{Job, JobId, JobSet};
     pub use tagio_core::schedule::{Schedule, ScheduleEntry};
     pub use tagio_core::solve::{Infeasible, InfeasibleCause, SolveBudget, SolverCtx};
     pub use tagio_core::task::{DeviceId, IoTask, Priority, TaskId, TaskSet};
+    pub use tagio_online::fleet::{FleetConfig, FleetScheduler, PlacementPolicy};
+    pub use tagio_online::service::OnlineScheduler;
     pub use tagio_sched::{
         check_capacity, BoxedSolver, EdfOffline, FpsOffline, GaScheduler, Gpiocp, MethodError,
         MethodSet, MethodSpec, OptimalPsi, Registry, RepairSolver, Scheduler, SchedulerBug,

@@ -143,3 +143,73 @@ fn online_repaired_schedule_hot_swaps_and_round_trips() {
         Some(JITTER_BOUND_US)
     );
 }
+
+#[test]
+fn fleet_epoch_hot_swaps_every_partition_and_round_trips() {
+    // The multi-partition wiring: a fleet routes an epoch of arrivals
+    // across its partitions, then `schedules()` is pushed down to the
+    // hardware in one fleet-wide hot swap — every partition replays its
+    // repaired schedule with zero jitter.
+    use std::collections::BTreeMap;
+    use tagio::online::fleet::{FleetConfig, FleetScheduler, PlacementPolicy};
+
+    let mk = |id: u32, device: u32, delta_ms: u64| {
+        IoTask::builder(TaskId(id), DeviceId(device))
+            .wcet(Duration::from_micros(500))
+            .period(Duration::from_millis(10))
+            .ideal_offset(Duration::from_millis(delta_ms))
+            .margin(Duration::from_millis(2))
+            .build()
+            .unwrap()
+    };
+    let mut bases = BTreeMap::new();
+    bases.insert(
+        DeviceId(0),
+        vec![mk(0, 0, 3)].into_iter().collect::<TaskSet>(),
+    );
+    bases.insert(
+        DeviceId(1),
+        vec![mk(1, 1, 7)].into_iter().collect::<TaskSet>(),
+    );
+    let mut fleet = FleetScheduler::bootstrap(
+        &bases,
+        FleetConfig {
+            policy: PlacementPolicy::BestFit,
+            threads: 1,
+            ..FleetConfig::default()
+        },
+    );
+
+    // One epoch: two arrivals routed across the fleet.
+    let epoch = [
+        SystemEvent::Arrival(mk(2, 0, 5)),
+        SystemEvent::Arrival(mk(3, 1, 4)),
+    ];
+    let outcomes = fleet.apply_batch(&epoch);
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o.outcome, tagio::online::EventOutcome::Admitted { .. })));
+
+    // All active tasks across all partitions, preloaded into one
+    // controller; then the whole epoch's schedules swap in together.
+    let all_tasks: TaskSet = fleet
+        .partitions()
+        .iter()
+        .flat_map(|p| p.tasks().iter().cloned())
+        .collect();
+    let mut ctrl = IoController::for_taskset(&all_tasks).expect("memory fits");
+    let schedules = fleet.schedules();
+    let enabled = ctrl.hot_swap_all(&schedules);
+    assert_eq!(enabled, 0, "no requests have arrived yet");
+    ctrl.enable_all();
+    let traces = ctrl.run();
+    for (device, schedule) in &schedules {
+        let trace = &traces[device];
+        assert!(trace.fault_free(), "partition {device:?} faulted");
+        assert!(
+            trace_matches_schedule(trace, schedule),
+            "partition {device:?} diverged from its swapped schedule"
+        );
+        assert_eq!(max_deviation_micros(trace, schedule), Some(JITTER_BOUND_US));
+    }
+}
