@@ -1,0 +1,70 @@
+use std::collections::BTreeMap;
+use tagio_core::event::SystemEvent;
+use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+use tagio_core::time::Duration;
+use tagio_online::fleet::{FleetConfig, FleetScheduler, PlacementPolicy};
+
+fn mk(id: u32, device: u32, period_ms: u64, wcet_us: u64, delta_ms: u64) -> IoTask {
+    IoTask::builder(TaskId(id), DeviceId(device))
+        .wcet(Duration::from_micros(wcet_us))
+        .period(Duration::from_millis(period_ms))
+        .ideal_offset(Duration::from_millis(delta_ms))
+        .margin(Duration::from_millis(period_ms) / 8)
+        .quality(f64::from(id) + 1.0, 0.0)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn same_batch_restart_migrating_to_lower_partition_keeps_ownership() {
+    let mut bases = BTreeMap::new();
+    bases.insert(
+        DeviceId(0),
+        vec![mk(0, 0, 8, 500, 2)].into_iter().collect::<TaskSet>(),
+    );
+    bases.insert(
+        DeviceId(1),
+        vec![mk(1, 1, 8, 500, 3)].into_iter().collect::<TaskSet>(),
+    );
+    let mut fleet = FleetScheduler::bootstrap(
+        &bases,
+        FleetConfig {
+            policy: PlacementPolicy::FirstFit,
+            threads: 1,
+            ..FleetConfig::default()
+        },
+    );
+    // Task 1 is owned by partition 1. Restart it in one batch with
+    // affinity for device 0: the arrival routes to partition 0 (lower
+    // index), the departure to partition 1.
+    let outs = fleet.apply_batch(&[
+        SystemEvent::Departure(TaskId(1)),
+        SystemEvent::Arrival(mk(1, 0, 8, 400, 2)),
+    ]);
+    eprintln!("outs = {outs:?}");
+    eprintln!("owner_of(1) = {:?}", fleet.owner_of(TaskId(1)));
+    eprintln!(
+        "p0 has task1: {:?}, p1 has task1: {:?}",
+        fleet
+            .partition(DeviceId(0))
+            .unwrap()
+            .tasks()
+            .get(TaskId(1))
+            .is_some(),
+        fleet
+            .partition(DeviceId(1))
+            .unwrap()
+            .tasks()
+            .get(TaskId(1))
+            .is_some()
+    );
+    // The task is live on partition 0, so the fleet must still know its owner.
+    assert_eq!(fleet.owner_of(TaskId(1)), Some(DeviceId(0)));
+    // And a later same-id arrival must be duplicate-rejected, not admitted twice.
+    let out = fleet.apply(&SystemEvent::Arrival(mk(1, 1, 8, 400, 3)));
+    eprintln!("second arrival outcome = {out:?}");
+    assert!(matches!(
+        out.outcome,
+        tagio_online::service::EventOutcome::Rejected { .. }
+    ));
+}
