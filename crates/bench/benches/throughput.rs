@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the fleet admission hot path: the
+//! allocation-lean mode against the naive baseline on one gate-bound
+//! and one churning scenario.
+//!
+//! These measure per-replay cost under criterion's statistics; the
+//! sweep-shaped `BENCH_throughput.json` trajectory comes from the
+//! `throughput` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tagio_online::fleet::{FleetConfig, FleetScheduler};
+use tagio_online::scenario::{FleetScenario, FleetScenarioConfig};
+
+/// Events per routing epoch (mirrors the `throughput` binary).
+const BATCH: usize = 16;
+
+fn replay(scenario: &FleetScenario, lean: bool) -> usize {
+    let config = FleetConfig {
+        threads: 1,
+        lean,
+        ..FleetConfig::default()
+    };
+    let mut fleet = FleetScheduler::bootstrap(&scenario.bases, config);
+    let events: Vec<_> = scenario.events.iter().map(|e| e.event.clone()).collect();
+    let mut decided = 0;
+    for chunk in events.chunks(BATCH) {
+        decided += fleet.apply_batch(chunk).len();
+    }
+    decided
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet-admission");
+    group.sample_size(10);
+    // Gate-bound: a near-capacity partition fast-rejects most arrivals —
+    // the regime the lean mode targets.
+    let gate_bound = FleetScenario::generate(
+        &FleetScenarioConfig::builder()
+            .partitions(1)
+            .base_utilisation(0.90)
+            .arrivals(192)
+            .departure_permille(0)
+            .spike_every(0)
+            .mode_change(false)
+            .seed(42)
+            .build()
+            .expect("valid config"),
+    );
+    // Churning: departures, spikes and a mode change keep the repair
+    // ladder busy — both modes do identical repair work here.
+    let churning = FleetScenario::generate(
+        &FleetScenarioConfig::builder()
+            .partitions(2)
+            .base_utilisation(0.55)
+            .arrivals(48)
+            .seed(42)
+            .build()
+            .expect("valid config"),
+    );
+    for (label, scenario) in [("gate-bound", &gate_bound), ("churning", &churning)] {
+        group.bench_with_input(BenchmarkId::new("naive", label), scenario, |b, s| {
+            b.iter(|| black_box(replay(s, false)));
+        });
+        group.bench_with_input(BenchmarkId::new("lean", label), scenario, |b, s| {
+            b.iter(|| black_box(replay(s, true)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

@@ -51,18 +51,10 @@ const BATCH: usize = 4;
 const SWEEP: [(u32, usize); 4] = [(2, 8), (2, 16), (4, 16), (4, 32)];
 
 fn metrics(out: &FleetReplayOutcome) -> Outcome {
-    Outcome::with_metrics(vec![
-        ("acceptance", out.acceptance),
-        ("retries", out.retries as f64),
-        ("retry_adm", out.retry_admissions as f64),
-        ("migrations", out.migrations as f64),
-        ("repair_latency_us", out.mean_admission_micros),
-        ("psi", out.mean_psi),
-        ("upsilon", out.mean_upsilon),
-        ("shed", out.shed as f64),
-        ("rej_overload", out.reject_overload as f64),
-        ("rej_infeasible", out.reject_infeasible as f64),
-    ])
+    // One schema for every consumer: the column names come from
+    // `FleetReplayOutcome::metric_set` (shared with the `throughput`
+    // bench), not from a binary-local list that could drift.
+    Outcome::with_metrics(out.metric_set())
 }
 
 fn fleet_config(policy: PlacementPolicy) -> FleetConfig {

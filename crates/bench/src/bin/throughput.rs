@@ -1,0 +1,339 @@
+//! Event-throughput trajectory: **allocation-lean hot path vs. the naive
+//! baseline** over partition count × task-set size × arrival rate.
+//!
+//! Each sweep point is a seeded [`FleetScenario`] replayed twice through
+//! [`FleetScheduler::apply_batch`] with identical events: once with
+//! `FleetConfig { lean: false, .. }` (full Ψ/Υ recomputation, conservative
+//! cache invalidation, fresh repair scratch per admission) and once with
+//! the default `lean: true` hot path (cached quality, blocking-aware
+//! invalidation, reused arenas). Decisions are bit-identical either way —
+//! pinned by `crates/online/tests/quality_props.rs` — so the columns
+//! differ only in cost, and the lean/naive `events_per_sec` ratio is the
+//! performance trajectory this binary exists to pin.
+//!
+//! Reported per method:
+//!
+//! * `events_per_sec` — replayed events / wall-clock seconds (the
+//!   headline; **not deterministic** across runs);
+//! * `p50_us` / `p99_us` — admission-latency percentiles in microseconds
+//!   over every [`EventOutcome::Admitted`] in the stream (nearest-rank,
+//!   see [`tagio_bench::percentile`]; wall clock, not deterministic);
+//! * `repair_invocations` — repairs + full re-syntheses across all
+//!   partitions (deterministic, equal between columns);
+//! * `cache_hit_rate` — analysis-cache hits / lookups folded over the
+//!   partitions (deterministic; *higher* under lean invalidation);
+//! * `acceptance` — fleet-unique admitted / routed arrivals
+//!   (deterministic, equal between columns).
+//!
+//! The sweep leans into the fast-reject regime (high base utilisation,
+//! dense arrivals): a near-capacity partition decides most arrivals at
+//! the admission gate, where the naive path still pays two full O(jobs)
+//! Ψ/Υ scans per verdict and the lean path reads a cached pair.
+//!
+//! Flags: `--systems N` (scenarios per point), `--seed N`, `--threads N`
+//! (worker pool, `0` = all cores), `--json`. JSON schema (versioned,
+//! `schema_version` is diffed by CI against the committed
+//! `BENCH_throughput.json`): EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p tagio-bench --bin throughput -- --json > BENCH_throughput.json
+//! ```
+
+use std::time::Instant;
+use tagio_bench::{percentile, Method, Options, Outcome, Runner, Sweep};
+use tagio_core::event::SystemEvent;
+use tagio_core::MetricSet;
+use tagio_online::fleet::{FleetConfig, FleetScheduler};
+use tagio_online::scenario::{FleetScenario, FleetScenarioConfig};
+use tagio_online::EventOutcome;
+use tagio_sched::Summary;
+
+/// Version of the emitted JSON envelope. Bump when the envelope or the
+/// metric vocabulary above changes shape; CI diffs this against the
+/// committed `BENCH_throughput.json`.
+const SCHEMA_VERSION: u32 = 1;
+
+/// Events per routing epoch during replay (larger than the
+/// `fleet_scenarios` batch: throughput is the point here, and batching
+/// amortises the router's per-epoch work).
+const BATCH: usize = 16;
+
+/// The throughput sweep: (partitions, base utilisation, arrivals,
+/// churn), labelled `NNp-uUU-aAA`. `churn: false` disables departures,
+/// spikes and the mode change, so a near-capacity partition *stays* at
+/// capacity — the admission gate then decides nearly every arrival, which
+/// is exactly where the naive path's two per-verdict Ψ/Υ scans cost the
+/// most and the lean path reads a cached pair. The churning points keep
+/// the repair ladder honest (both columns do identical repair work).
+const SWEEP: [(u32, f64, usize, bool); 5] = [
+    (1, 0.40, 64, true),
+    (2, 0.55, 128, true),
+    (2, 0.90, 256, false),
+    (4, 0.90, 384, false),
+    (1, 0.90, 2048, false),
+];
+
+/// Replays `scenario` once with the given hot-path mode and measures the
+/// run: throughput, admission-latency percentiles, repair-ladder
+/// invocations and cache behaviour.
+fn measure(scenario: &FleetScenario, lean: bool) -> Outcome {
+    let config = FleetConfig {
+        threads: 1, // the engine parallelises across systems instead
+        lean,
+        ..FleetConfig::default()
+    };
+    let mut fleet = FleetScheduler::bootstrap(&scenario.bases, config);
+    let stream: Vec<SystemEvent> = scenario.events.iter().map(|e| e.event.clone()).collect();
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let started = Instant::now();
+    for chunk in stream.chunks(BATCH) {
+        for out in fleet.apply_batch(chunk) {
+            if let EventOutcome::Admitted { latency, .. } = out.outcome {
+                latencies_us.push(latency.as_secs_f64() * 1e6);
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let aggregate = fleet.aggregate_stats();
+    let (hits, misses) = fleet
+        .partitions()
+        .iter()
+        .fold((0usize, 0usize), |(h, m), p| {
+            (h + p.cache().hits(), m + p.cache().misses())
+        });
+    let lookups = hits + misses;
+    let mut set = MetricSet::new();
+    set.push(
+        "events_per_sec",
+        if elapsed > 0.0 {
+            stream.len() as f64 / elapsed
+        } else {
+            0.0
+        },
+    );
+    set.push("p50_us", percentile(&latencies_us, 50.0));
+    set.push("p99_us", percentile(&latencies_us, 99.0));
+    set.push(
+        "repair_invocations",
+        (aggregate.repairs + aggregate.resyntheses) as f64,
+    );
+    set.push(
+        "cache_hit_rate",
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
+    );
+    set.push("acceptance", fleet.stats().acceptance_ratio());
+    Outcome::with_metrics(set)
+}
+
+/// The scenario for sweep point `ix`, system `i` — every parameter comes
+/// off the static sweep through the validating builder.
+fn scenario(ix: usize, seed: u64, i: usize) -> FleetScenario {
+    let (partitions, utilisation, arrivals, churn) = SWEEP[ix];
+    let mut builder = FleetScenarioConfig::builder()
+        .partitions(partitions)
+        .base_utilisation(utilisation)
+        .arrivals(arrivals)
+        .seed(
+            seed.wrapping_mul(1_000_003)
+                .wrapping_add(arrivals as u64 * 7919)
+                .wrapping_add(u64::from(partitions) * 104_729)
+                .wrapping_add(i as u64),
+        );
+    if !churn {
+        builder = builder
+            .departure_permille(0)
+            .spike_every(0)
+            .mode_change(false);
+    }
+    let config = builder.build().expect("static sweep points are valid");
+    FleetScenario::generate(&config)
+}
+
+/// Wraps the engine report in the versioned envelope CI diffs against
+/// the committed `BENCH_throughput.json`.
+fn json_envelope(report: &tagio_bench::Report) -> String {
+    format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"benchmark\":\"throughput\",\"report\":{}}}",
+        report.to_json()
+    )
+}
+
+fn main() {
+    let opts = Options::from_args();
+    opts.reject_budgets_override("throughput");
+    opts.reject_methods_override("throughput");
+    opts.reject_ga_budget_override("throughput"); // no GA here
+    let title = format!(
+        "throughput — allocation-lean hot path vs naive baseline ({} scenarios/point)",
+        opts.systems
+    );
+    // x is the sweep index: the generate closure decodes it back into
+    // (partitions, utilisation, arrivals) via the SWEEP table.
+    let sweep = Sweep::labelled(
+        "fleet",
+        SWEEP
+            .iter()
+            .enumerate()
+            .map(|(i, (partitions, utilisation, arrivals, _))| {
+                (
+                    format!(
+                        "{partitions}p-u{:02}-a{arrivals}",
+                        (utilisation * 100.0).round() as u32
+                    ),
+                    i as f64,
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    let methods = vec![
+        Method::new("naive", |s: &FleetScenario, _| measure(s, false)),
+        Method::new("lean", |s: &FleetScenario, _| measure(s, true)),
+    ];
+    let seed = opts.seed;
+    let systems = opts.systems;
+    let json = opts.json;
+    let report = Runner::new(title, opts).run(
+        &sweep,
+        |point| {
+            let ix = point.x as usize;
+            (0..systems).map(|i| scenario(ix, seed, i)).collect()
+        },
+        &methods,
+    );
+    if json {
+        println!("{}", json_envelope(&report));
+    } else {
+        print!("{}", report.render_table());
+        for point in &report.points {
+            let eps = |name: &str| {
+                point
+                    .methods
+                    .iter()
+                    .find(|m| m.method == name)
+                    .and_then(|m| m.metric("events_per_sec"))
+                    .map_or(0.0, Summary::mean)
+            };
+            let (naive, lean) = (eps("naive"), eps("lean"));
+            if naive > 0.0 {
+                println!(
+                    "  {}: lean/naive events/sec speedup {:.2}x",
+                    point.label,
+                    lean / naive
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(out: &Outcome, name: &str) -> f64 {
+        out.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("missing metric {name}"))
+    }
+
+    #[test]
+    fn measured_latency_distribution_is_sane() {
+        let out = measure(&scenario(1, 7, 0), true);
+        let (p50, p99) = (metric(&out, "p50_us"), metric(&out, "p99_us"));
+        assert!(p50 >= 0.0 && p99 >= p50, "p50={p50} p99={p99}");
+        assert!(metric(&out, "events_per_sec") > 0.0);
+        let hit_rate = metric(&out, "cache_hit_rate");
+        assert!((0.0..=1.0).contains(&hit_rate));
+        let acceptance = metric(&out, "acceptance");
+        assert!((0.0..=1.0).contains(&acceptance));
+        assert!(metric(&out, "repair_invocations").is_finite());
+    }
+
+    #[test]
+    fn lean_and_naive_agree_on_every_deterministic_metric() {
+        // The two columns differ only in cost: decisions (and hence
+        // acceptance and repair counts) are bit-identical. The full
+        // per-event proof lives in crates/online/tests/quality_props.rs.
+        for ix in [0, 2] {
+            let s = scenario(ix, 11, 0);
+            let naive = measure(&s, false);
+            let lean = measure(&s, true);
+            assert_eq!(metric(&naive, "acceptance"), metric(&lean, "acceptance"));
+            assert_eq!(
+                metric(&naive, "repair_invocations"),
+                metric(&lean, "repair_invocations")
+            );
+            // Lean invalidation keeps strictly more entries alive.
+            assert!(
+                metric(&lean, "cache_hit_rate") >= metric(&naive, "cache_hit_rate"),
+                "point {ix}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_are_monotone_in_task_set_size() {
+        // The measurement maths on a deterministic latency model: each
+        // admission over a task set of `size` jobs costs size² + jitter,
+        // so both percentiles must grow with the set size.
+        let mut last = (0.0, 0.0);
+        for size in [8usize, 16, 32, 64] {
+            let samples: Vec<f64> = (0..size * 10)
+                .map(|i| (size * size + i % size) as f64)
+                .collect();
+            let (p50, p99) = (percentile(&samples, 50.0), percentile(&samples, 99.0));
+            assert!(p99 >= p50, "size {size}");
+            assert!(p50 > last.0 && p99 > last.1, "size {size}");
+            last = (p50, p99);
+        }
+    }
+
+    #[test]
+    fn json_envelope_is_valid_and_versioned() {
+        // The throughput binary is deliberately absent from the golden
+        // suite (its output is wall-clock-dominated and the full sweep
+        // is minutes-slow unoptimised); the envelope shape is pinned
+        // here instead, and CI diffs `schema_version` against the
+        // committed BENCH_throughput.json.
+        let report = tagio_bench::Report {
+            title: "t".into(),
+            parameter: "fleet".into(),
+            options: Options::default(),
+            points: Vec::new(),
+        };
+        let doc = json_envelope(&report);
+        tagio_bench::json::validate(&doc).expect("envelope is valid JSON");
+        assert!(doc.starts_with("{\"schema_version\":1,"));
+        assert!(doc.contains("\"benchmark\":\"throughput\""));
+        assert!(doc.contains("\"report\":{"));
+    }
+
+    #[test]
+    fn every_sweep_point_generates() {
+        // The paper workload generator only accepts utilisations in
+        // multiples of 0.05; catch a bad SWEEP entry here, not at run
+        // time.
+        for (ix, &(partitions, ..)) in SWEEP.iter().enumerate() {
+            let s = scenario(ix, 1, 0);
+            assert_eq!(s.bases.len(), partitions as usize);
+            assert!(!s.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn sweep_labels_are_unique_and_decode_back() {
+        let labels: Vec<String> = SWEEP
+            .iter()
+            .map(|(p, u, a, _)| format!("{p}p-u{:02}-a{a}", (u * 100.0).round() as u32))
+            .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), SWEEP.len());
+    }
+}

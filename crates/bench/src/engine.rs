@@ -84,7 +84,7 @@ pub struct Outcome {
     /// Whether the method found the system feasible/schedulable.
     pub feasible: bool,
     /// Named metric samples, e.g. `("psi", 0.93)`.
-    pub metrics: Vec<(&'static str, f64)>,
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl Outcome {
@@ -103,12 +103,14 @@ impl Outcome {
         Self::flag(false)
     }
 
-    /// A feasible outcome carrying metric samples.
+    /// A feasible outcome carrying metric samples. Accepts any named
+    /// collection — `vec![("psi", 0.9)]` or a
+    /// [`MetricSet`](tagio_core::MetricSet) snapshot alike.
     #[must_use]
-    pub fn with_metrics(metrics: Vec<(&'static str, f64)>) -> Self {
+    pub fn with_metrics<N: Into<String>>(metrics: impl IntoIterator<Item = (N, f64)>) -> Self {
         Outcome {
             feasible: true,
-            metrics,
+            metrics: metrics.into_iter().map(|(n, v)| (n.into(), v)).collect(),
         }
     }
 
@@ -409,7 +411,7 @@ mod tests {
         };
         let outcome = Method::ga("ga", cfg).evaluate(&systems[0], &point);
         if outcome.feasible {
-            let names: Vec<&str> = outcome.metrics.iter().map(|(n, _)| *n).collect();
+            let names: Vec<&str> = outcome.metrics.iter().map(|(n, _)| n.as_str()).collect();
             assert_eq!(names, vec!["psi", "upsilon", "hypervolume"]);
         }
     }

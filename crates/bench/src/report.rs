@@ -37,13 +37,13 @@ impl MethodReport {
             if outcome.feasible {
                 report.feasible += 1;
             }
-            for &(name, value) in &outcome.metrics {
-                match report.metrics.iter_mut().find(|(n, _)| n.as_str() == name) {
-                    Some((_, summary)) => summary.push(value),
+            for (name, value) in &outcome.metrics {
+                match report.metrics.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, summary)) => summary.push(*value),
                     None => {
                         let mut summary = Summary::new();
-                        summary.push(value);
-                        report.metrics.push((name.to_owned(), summary));
+                        summary.push(*value);
+                        report.metrics.push((name.clone(), summary));
                     }
                 }
             }

@@ -25,6 +25,7 @@ fn binaries() -> Vec<(&'static str, &'static str)> {
         ),
         ("online_scenarios", env!("CARGO_BIN_EXE_online_scenarios")),
         ("fleet_scenarios", env!("CARGO_BIN_EXE_fleet_scenarios")),
+        ("throughput", env!("CARGO_BIN_EXE_throughput")),
     ]
 }
 
@@ -78,6 +79,7 @@ fn fixed_method_binaries_reject_methods_override() {
         "ablation_ga",
         "online_scenarios",
         "fleet_scenarios",
+        "throughput",
     ] {
         let path = binaries()
             .into_iter()
@@ -137,6 +139,7 @@ fn fixed_budget_binaries_reject_ga_overrides() {
         "ablation_ga",
         "online_scenarios",
         "fleet_scenarios",
+        "throughput",
     ] {
         let path = binaries()
             .into_iter()

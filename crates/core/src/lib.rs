@@ -68,6 +68,7 @@ pub mod time;
 pub use error::{ValidateScheduleError, ValidateTaskError};
 pub use event::{Mode, ModeId, SystemEvent, TimedEvent};
 pub use job::{Job, JobId, JobSet};
+pub use metrics::{MetricSet, Metrics};
 pub use quality::{QualityCurve, QualityShape};
 pub use schedule::{entry_for, Schedule, ScheduleEntry};
 pub use solve::{Infeasible, InfeasibleCause, SolveBudget, SolverCtx};

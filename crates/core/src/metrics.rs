@@ -11,10 +11,95 @@
 //! callers should [`Schedule::validate`] first (the metrics do not re-check
 //! feasibility, and jobs missing from the schedule simply contribute zero
 //! achieved quality).
+//!
+//! The module also hosts the shared stats-emission vocabulary: every
+//! counter struct in the workspace (`OnlineStats`, `FleetStats`,
+//! `Summary`, `MethodStats`, …) implements the [`Metrics`] trait, so
+//! partition aggregation and the experiment binaries all fold and emit
+//! the same named-metric schema — a [`MetricSet`] — instead of each
+//! hand-rolling its own.
 
 use crate::job::JobSet;
 use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
+
+/// An ordered collection of named scalar metrics: the one emission schema
+/// shared by every [`Metrics`] implementor. Names keep first-push order
+/// (the order reports render them in); duplicate names are not collapsed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricSet {
+    entries: Vec<(String, f64)>,
+}
+
+impl MetricSet {
+    /// An empty metric set.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Appends one named metric sample.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.entries.push((name.into(), value));
+    }
+
+    /// The first metric named `name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Number of metrics held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set holds no metrics.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The metrics, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+}
+
+impl FromIterator<(String, f64)> for MetricSet {
+    fn from_iter<T: IntoIterator<Item = (String, f64)>>(iter: T) -> Self {
+        MetricSet {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for MetricSet {
+    type Item = (String, f64);
+    type IntoIter = std::vec::IntoIter<(String, f64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// The unified stats surface: anything that can fold a peer of its own
+/// type into itself and report its state as named scalars.
+///
+/// `merge` must be commutative up to counter arithmetic (fleet partition
+/// aggregation folds in partition-id order, but the totals must not
+/// depend on it); `snapshot` must be cheap and side-effect free.
+pub trait Metrics {
+    /// Folds `other`'s counters into `self`.
+    fn merge(&mut self, other: &Self);
+
+    /// The current state as an ordered named-metric schema.
+    fn snapshot(&self) -> MetricSet;
+}
 
 /// Ψ (Eq. (1)): fraction of jobs with exact timing-accurate control.
 ///
@@ -64,6 +149,39 @@ pub fn upsilon(schedule: &Schedule, jobs: &JobSet) -> f64 {
         .filter_map(|j| schedule.start_of(j.id()).map(|s| j.quality_at(s)))
         .sum();
     achieved / peak
+}
+
+/// Ψ and Υ in one pass over the job set.
+///
+/// Bit-identical to calling [`psi`] and [`upsilon`] separately (same
+/// iteration order, same `f64` summation order), but touches each job's
+/// schedule entry once instead of twice — the form the online service's
+/// incremental quality cache refreshes through on its hot path.
+#[must_use]
+pub fn quality(schedule: &Schedule, jobs: &JobSet) -> (f64, f64) {
+    if jobs.is_empty() {
+        return (1.0, 1.0);
+    }
+    let mut exact = 0usize;
+    // `Iterator::sum::<f64>()` folds from -0.0; start there so an empty
+    // schedule yields the same bits as `upsilon`.
+    let mut achieved = -0.0f64;
+    for job in jobs {
+        if let Some(start) = schedule.start_of(job.id()) {
+            if start == job.ideal_start() {
+                exact += 1;
+            }
+            achieved += job.quality_at(start);
+        }
+    }
+    let psi = exact as f64 / jobs.len() as f64;
+    let peak = jobs.peak_quality();
+    let upsilon = if peak <= 0.0 || peak.is_nan() {
+        0.0
+    } else {
+        achieved / peak
+    };
+    (psi, upsilon)
 }
 
 /// Distributional statistics of timing-accuracy error `|κ − ideal|`.
@@ -218,6 +336,75 @@ mod tests {
         let s: Schedule = vec![entry_for(a, a.ideal_start())].into_iter().collect();
         // achieved = 2 (task0 at peak), peak total = 5
         assert!((upsilon(&s, &jobs) - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_is_bit_identical_to_psi_and_upsilon() {
+        let jobs = two_task_jobs();
+        let a = jobs.get(crate::job::JobId::new(TaskId(0), 0)).unwrap();
+        let b = jobs.get(crate::job::JobId::new(TaskId(1), 0)).unwrap();
+        // Mixed exact/late/missing entries exercise all three branches.
+        let schedules: Vec<Schedule> = vec![
+            jobs.iter().map(|j| entry_for(j, j.ideal_start())).collect(),
+            vec![
+                entry_for(a, a.ideal_start()),
+                entry_for(b, b.ideal_start() + Duration::from_micros(400)),
+            ]
+            .into_iter()
+            .collect(),
+            vec![entry_for(a, a.ideal_start())].into_iter().collect(),
+            Schedule::new(),
+        ];
+        for (i, s) in schedules.iter().enumerate() {
+            let (p, u) = quality(s, &jobs);
+            assert_eq!(p.to_bits(), psi(s, &jobs).to_bits(), "psi case {i}");
+            assert_eq!(
+                u.to_bits(),
+                upsilon(s, &jobs).to_bits(),
+                "upsilon case {i}: {u} vs {}",
+                upsilon(s, &jobs)
+            );
+        }
+        let empty = JobSet::from_jobs(vec![], Duration::from_millis(1));
+        assert_eq!(quality(&Schedule::new(), &empty), (1.0, 1.0));
+    }
+
+    #[test]
+    fn metric_set_keeps_order_and_looks_up() {
+        let mut set = MetricSet::new();
+        assert!(set.is_empty());
+        set.push("arrivals", 4.0);
+        set.push("admitted", 3.0);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get("admitted"), Some(3.0));
+        assert_eq!(set.get("missing"), None);
+        let names: Vec<&str> = set.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["arrivals", "admitted"]);
+        let rebuilt: MetricSet = set.clone().into_iter().collect();
+        assert_eq!(rebuilt, set);
+    }
+
+    #[test]
+    fn metrics_trait_is_object_safe_enough_to_fold_through() {
+        #[derive(Default)]
+        struct Counter {
+            hits: usize,
+        }
+        impl Metrics for Counter {
+            fn merge(&mut self, other: &Self) {
+                self.hits += other.hits;
+            }
+            fn snapshot(&self) -> MetricSet {
+                let mut set = MetricSet::new();
+                set.push("hits", self.hits as f64);
+                set
+            }
+        }
+        let mut total = Counter::default();
+        for part in [Counter { hits: 2 }, Counter { hits: 3 }] {
+            total.merge(&part);
+        }
+        assert_eq!(total.snapshot().get("hits"), Some(5.0));
     }
 
     #[test]

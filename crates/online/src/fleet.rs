@@ -39,6 +39,7 @@ use tagio_core::event::{RoutedEvent, SystemEvent};
 use tagio_core::schedule::Schedule;
 use tagio_core::solve::{Infeasible, InfeasibleCause};
 use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+use tagio_core::{MetricSet, Metrics};
 
 /// How the router picks an arrival's partition (and the order in which
 /// rejected arrivals are re-offered).
@@ -112,6 +113,12 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Integration strategy handed to every partition.
     pub strategy: RepairStrategy,
+    /// Allocation-lean hot path toggle handed to every partition
+    /// ([`OnlineScheduler::with_lean`]): `true` (the default) enables
+    /// cached Ψ/Υ, direction-aware cache invalidation and repair-scratch
+    /// reuse; `false` replays the naive baseline the `throughput` bench
+    /// compares against. Decisions are identical either way.
+    pub lean: bool,
 }
 
 impl Default for FleetConfig {
@@ -122,6 +129,7 @@ impl Default for FleetConfig {
             threads: 0,
             seed: 2020,
             strategy: RepairStrategy::default(),
+            lean: true,
         }
     }
 }
@@ -178,6 +186,46 @@ impl FleetStats {
     pub fn rejects_with_cause(&self, cause: InfeasibleCause) -> usize {
         self.reject_causes.get(&cause).copied().unwrap_or(0)
     }
+
+    /// Folds another fleet's counters into this one (cause counts merge
+    /// per cause). Used when aggregating across independent fleet runs.
+    pub fn merge(&mut self, other: &FleetStats) {
+        self.epochs += other.epochs;
+        self.events += other.events;
+        self.arrivals += other.arrivals;
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.duplicate_rejects += other.duplicate_rejects;
+        self.retries += other.retries;
+        self.retry_admissions += other.retry_admissions;
+        self.migrations += other.migrations;
+        self.unrouted += other.unrouted;
+        for (&cause, &count) in &other.reject_causes {
+            *self.reject_causes.entry(cause).or_insert(0) += count;
+        }
+    }
+}
+
+impl Metrics for FleetStats {
+    fn merge(&mut self, other: &Self) {
+        FleetStats::merge(self, other);
+    }
+
+    fn snapshot(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.push("epochs", self.epochs as f64);
+        set.push("events", self.events as f64);
+        set.push("arrivals", self.arrivals as f64);
+        set.push("admitted", self.admitted as f64);
+        set.push("rejected", self.rejected as f64);
+        set.push("duplicate_rejects", self.duplicate_rejects as f64);
+        set.push("retries", self.retries as f64);
+        set.push("retry_admissions", self.retry_admissions as f64);
+        set.push("migrations", self.migrations as f64);
+        set.push("unrouted", self.unrouted as f64);
+        set.push("acceptance", self.acceptance_ratio());
+        set
+    }
 }
 
 /// The fleet's verdict on one input event.
@@ -231,7 +279,11 @@ impl FleetScheduler {
         devs.dedup();
         let partitions: Vec<OnlineScheduler> = devs
             .into_iter()
-            .map(|d| OnlineScheduler::new(d).with_strategy(config.strategy))
+            .map(|d| {
+                OnlineScheduler::new(d)
+                    .with_strategy(config.strategy)
+                    .with_lean(config.lean)
+            })
             .collect();
         let overload_rejects = vec![0; partitions.len()];
         let rng = StdRng::seed_from_u64(config.seed);
@@ -262,7 +314,9 @@ impl FleetScheduler {
                 .collect();
             match OnlineScheduler::bootstrap(*device, fresh) {
                 Ok(svc) => {
-                    fleet.partitions[idx] = svc.with_strategy(fleet.config.strategy);
+                    fleet.partitions[idx] = svc
+                        .with_strategy(fleet.config.strategy)
+                        .with_lean(fleet.config.lean);
                 }
                 Err(tasks) => {
                     for t in &tasks {
@@ -627,7 +681,13 @@ impl FleetScheduler {
                 }
             }
             EventOutcome::Departed { task } => {
-                self.owner.remove(&task);
+                // Only the recorded owner may release the id: a same-batch
+                // restart that migrated to a lower partition has already
+                // committed its admission, and this departure (from the
+                // *old* partition) must not erase the new ownership.
+                if self.owner.get(&task) == Some(&p) {
+                    self.owner.remove(&task);
+                }
                 outcomes[i] = Some(FleetOutcome {
                     partition: Some(device),
                     attempts: 0,

@@ -77,7 +77,7 @@ pub mod service;
 
 pub use fleet::{FleetConfig, FleetOutcome, FleetScheduler, FleetStats, PlacementPolicy};
 pub use scenario::{
-    FleetReplayOutcome, FleetScenario, FleetScenarioConfig, ReplayOutcome, Scenario,
-    ScenarioConfig, TraceError,
+    ConfigError, FleetReplayOutcome, FleetScenario, FleetScenarioConfig,
+    FleetScenarioConfigBuilder, ReplayOutcome, Scenario, ScenarioConfig, TraceError,
 };
 pub use service::{EventOutcome, OnlineScheduler, OnlineStats, RejectReason, RepairStrategy};

@@ -370,6 +370,182 @@ impl Default for FleetScenarioConfig {
     }
 }
 
+impl FleetScenarioConfig {
+    /// A validating builder seeded with the default configuration.
+    ///
+    /// Field-soup construction (`FleetScenarioConfig { .. }`) cannot stop
+    /// a zero-partition fleet, an arrival count that overflows the
+    /// fleet-unique id scheme, or a NaN skew — all of which generate
+    /// scenarios that look plausible and replay wrong. The builder
+    /// rejects them at build time:
+    ///
+    /// ```
+    /// use tagio_online::scenario::{ConfigError, FleetScenarioConfig};
+    /// let cfg = FleetScenarioConfig::builder()
+    ///     .partitions(4)
+    ///     .arrivals(32)
+    ///     .skew(0.8)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.partitions, 4);
+    /// let err = FleetScenarioConfig::builder().partitions(0).build();
+    /// assert_eq!(err, Err(ConfigError::ZeroPartitions));
+    /// ```
+    #[must_use]
+    pub fn builder() -> FleetScenarioConfigBuilder {
+        FleetScenarioConfigBuilder {
+            config: FleetScenarioConfig::default(),
+        }
+    }
+
+    /// Validates this configuration (the builder's `build` check, usable
+    /// on hand-assembled configs too).
+    ///
+    /// # Errors
+    /// See [`ConfigError`] for each rejected class.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.partitions == 0 {
+            return Err(ConfigError::ZeroPartitions);
+        }
+        // Device `d` owns base ids `d*100_000..`, and arrival ids start
+        // at `partitions*100_000`; the last arrival id must fit in the
+        // `u32` id space or later arrivals silently wrap onto base
+        // ranges and duplicate-reject at the router.
+        let last_id = (u64::from(self.partitions) * 100_000).saturating_add(self.arrivals as u64);
+        if last_id > u64::from(u32::MAX) {
+            return Err(ConfigError::IdRangeCollision {
+                partitions: self.partitions,
+                arrivals: self.arrivals,
+            });
+        }
+        if !self.skew.is_finite() {
+            return Err(ConfigError::NonFiniteSkew);
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FleetScenarioConfig`] was rejected at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `partitions == 0`: a fleet with no devices routes nothing.
+    ZeroPartitions,
+    /// `partitions * 100_000 + arrivals` exceeds the `u32` task-id
+    /// space, so arrival ids would wrap onto a base partition's range
+    /// and be duplicate-rejected at the router.
+    IdRangeCollision {
+        /// The offending partition count.
+        partitions: u32,
+        /// The offending arrival count.
+        arrivals: usize,
+    },
+    /// `skew` is NaN or infinite — the origin draw compares it against
+    /// a uniform sample, so every comparison would be vacuous.
+    NonFiniteSkew,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::ZeroPartitions => f.write_str("fleet scenarios need at least 1 partition"),
+            ConfigError::IdRangeCollision {
+                partitions,
+                arrivals,
+            } => write!(
+                f,
+                "{partitions} partitions x {arrivals} arrivals overflow the fleet-unique \
+                 task-id ranges (d*100_000 per device, arrivals above them)"
+            ),
+            ConfigError::NonFiniteSkew => f.write_str("skew must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`FleetScenarioConfig`] — see
+/// [`FleetScenarioConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct FleetScenarioConfigBuilder {
+    config: FleetScenarioConfig,
+}
+
+impl FleetScenarioConfigBuilder {
+    /// Number of device partitions.
+    #[must_use]
+    pub fn partitions(mut self, partitions: u32) -> Self {
+        self.config.partitions = partitions;
+        self
+    }
+
+    /// Per-partition base-system utilisation at bootstrap.
+    #[must_use]
+    pub fn base_utilisation(mut self, utilisation: f64) -> Self {
+        self.config.base_utilisation = utilisation;
+        self
+    }
+
+    /// Total arrival attempts across the fleet.
+    #[must_use]
+    pub fn arrivals(mut self, arrivals: usize) -> Self {
+        self.config.arrivals = arrivals;
+        self
+    }
+
+    /// Origin-device skew of the arrival stream (`0.0` uniform, `1.0`
+    /// all-hot-device).
+    #[must_use]
+    pub fn skew(mut self, skew: f64) -> Self {
+        self.config.skew = skew;
+        self
+    }
+
+    /// Per-mille probability of a departure after each arrival.
+    #[must_use]
+    pub fn departure_permille(mut self, permille: u32) -> Self {
+        self.config.departure_permille = permille;
+        self
+    }
+
+    /// Spike cadence in arrivals (`0` disables spikes).
+    #[must_use]
+    pub fn spike_every(mut self, every: usize) -> Self {
+        self.config.spike_every = every;
+        self
+    }
+
+    /// Whether to emit one fleet-wide mode change mid-stream.
+    #[must_use]
+    pub fn mode_change(mut self, emit: bool) -> Self {
+        self.config.mode_change = emit;
+        self
+    }
+
+    /// Smallest period drawn for arriving tasks.
+    #[must_use]
+    pub fn min_arrival_period(mut self, period: Duration) -> Self {
+        self.config.min_arrival_period = period;
+        self
+    }
+
+    /// RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// [`ConfigError::ZeroPartitions`], [`ConfigError::IdRangeCollision`]
+    /// or [`ConfigError::NonFiniteSkew`].
+    pub fn build(self) -> Result<FleetScenarioConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 /// A generated multi-partition scenario: per-device base systems plus one
 /// fleet-wide event stream whose arrivals carry (skewed) origin devices.
 #[derive(Debug, Clone, PartialEq)]
@@ -416,6 +592,28 @@ pub struct FleetReplayOutcome {
     pub mean_psi: f64,
     /// Mean Υ over busy partitions after the stream.
     pub mean_upsilon: f64,
+}
+
+impl FleetReplayOutcome {
+    /// The outcome as a named [`MetricSet`](tagio_core::MetricSet) — the exact column schema the
+    /// `fleet_scenarios` experiment reports, so every consumer (the
+    /// experiment binary, the `throughput` bench, ad-hoc analysis) emits
+    /// identical metric names.
+    #[must_use]
+    pub fn metric_set(&self) -> tagio_core::MetricSet {
+        let mut set = tagio_core::MetricSet::new();
+        set.push("acceptance", self.acceptance);
+        set.push("retries", self.retries as f64);
+        set.push("retry_adm", self.retry_admissions as f64);
+        set.push("migrations", self.migrations as f64);
+        set.push("repair_latency_us", self.mean_admission_micros);
+        set.push("psi", self.mean_psi);
+        set.push("upsilon", self.mean_upsilon);
+        set.push("shed", self.shed as f64);
+        set.push("rej_overload", self.reject_overload as f64);
+        set.push("rej_infeasible", self.reject_infeasible as f64);
+        set
+    }
 }
 
 impl FleetScenario {
@@ -1020,6 +1218,87 @@ mod tests {
         assert!((0.0..=1.0).contains(&out.mean_psi));
         assert!(out.mean_upsilon >= 0.0);
         assert!(out.repairs + out.resyntheses > 0);
+    }
+
+    #[test]
+    fn builder_accepts_valid_and_rejects_invalid_configs() {
+        let cfg = FleetScenarioConfig::builder()
+            .partitions(3)
+            .base_utilisation(0.5)
+            .arrivals(24)
+            .skew(0.9)
+            .departure_permille(100)
+            .spike_every(5)
+            .mode_change(false)
+            .min_arrival_period(Duration::from_millis(20))
+            .seed(7)
+            .build()
+            .expect("valid config builds");
+        assert_eq!(cfg.partitions, 3);
+        assert_eq!(cfg.arrivals, 24);
+        assert!(!cfg.mode_change);
+        // The built value generates exactly like the equivalent literal.
+        assert_eq!(
+            FleetScenario::generate(&cfg),
+            FleetScenario::generate(&FleetScenarioConfig {
+                partitions: 3,
+                base_utilisation: 0.5,
+                arrivals: 24,
+                skew: 0.9,
+                departure_permille: 100,
+                spike_every: 5,
+                mode_change: false,
+                min_arrival_period: Duration::from_millis(20),
+                seed: 7,
+            })
+        );
+
+        assert_eq!(
+            FleetScenarioConfig::builder().partitions(0).build(),
+            Err(ConfigError::ZeroPartitions)
+        );
+        assert_eq!(
+            FleetScenarioConfig::builder().skew(f64::NAN).build(),
+            Err(ConfigError::NonFiniteSkew)
+        );
+        assert_eq!(
+            FleetScenarioConfig::builder().skew(f64::INFINITY).build(),
+            Err(ConfigError::NonFiniteSkew)
+        );
+        let err = FleetScenarioConfig::builder()
+            .partitions(42_950)
+            .arrivals(usize::MAX)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::IdRangeCollision { .. }));
+        // Errors render human-readable text.
+        assert!(err.to_string().contains("overflow"));
+        assert!(ConfigError::ZeroPartitions.to_string().contains("1"));
+    }
+
+    #[test]
+    fn metric_set_matches_outcome_fields() {
+        let s = FleetScenario::generate(&FleetScenarioConfig {
+            partitions: 2,
+            arrivals: 6,
+            ..FleetScenarioConfig::default()
+        });
+        let out = s.replay(
+            FleetConfig {
+                threads: 1,
+                ..FleetConfig::default()
+            },
+            4,
+        );
+        let set = out.metric_set();
+        assert_eq!(set.get("acceptance"), Some(out.acceptance));
+        assert_eq!(set.get("retries"), Some(out.retries as f64));
+        assert_eq!(set.get("psi"), Some(out.mean_psi));
+        assert_eq!(
+            set.get("rej_infeasible"),
+            Some(out.reject_infeasible as f64)
+        );
+        assert_eq!(set.len(), 10);
     }
 
     #[test]

@@ -34,10 +34,12 @@ use tagio_core::job::JobSet;
 use tagio_core::schedule::Schedule;
 use tagio_core::solve::{Infeasible, InfeasibleCause};
 use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
-use tagio_core::{metrics, ModeId};
-use tagio_sched::heuristic::repair::repair_or_resynthesize;
+use tagio_core::{metrics, MetricSet, Metrics, ModeId};
+use tagio_sched::heuristic::repair::{
+    repair_in, repair_or_resynthesize, repair_or_resynthesize_in, retime_in,
+};
 use tagio_sched::heuristic::{SlotPolicy, StaticScheduler};
-use tagio_sched::{AnalysisCache, FpsOffline, Scheduler};
+use tagio_sched::{AnalysisCache, FpsOffline, RepairScratch, Scheduler};
 
 /// How the service integrates schedule changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -259,6 +261,32 @@ impl OnlineStats {
     }
 }
 
+impl Metrics for OnlineStats {
+    fn merge(&mut self, other: &Self) {
+        OnlineStats::merge(self, other);
+    }
+
+    fn snapshot(&self) -> MetricSet {
+        let mut m = MetricSet::new();
+        m.push("arrivals", self.arrivals as f64);
+        m.push("admitted", self.admitted as f64);
+        m.push("rejected", self.rejected as f64);
+        m.push("fast_rejects", self.fast_rejects as f64);
+        m.push("departures", self.departures as f64);
+        m.push("repairs", self.repairs as f64);
+        m.push("resyntheses", self.resyntheses as f64);
+        m.push("fps_fallbacks", self.fps_fallbacks as f64);
+        m.push("shed", self.shed as f64);
+        m.push("spikes", self.spikes as f64);
+        m.push("mode_changes", self.mode_changes as f64);
+        m.push("ignored", self.ignored as f64);
+        m.push("acceptance", self.acceptance_ratio());
+        m.push("event_latency_us", self.mean_event_micros());
+        m.push("admission_latency_us", self.mean_admission_micros());
+        m
+    }
+}
+
 /// The event-driven scheduling service for one device partition.
 ///
 /// See the [module docs](self) for the admission pipeline and the crate
@@ -279,6 +307,16 @@ pub struct OnlineScheduler {
     schedule: Schedule,
     cache: AnalysisCache,
     stats: OnlineStats,
+    /// `true` (the default) enables the allocation-lean hot path: cached
+    /// Ψ/Υ, direction-aware cache invalidation, and repair-scratch reuse.
+    /// `false` is the naive baseline every lean change is equivalence-
+    /// tested (and benchmarked) against.
+    lean: bool,
+    /// Cached `(Ψ, Υ)` of the live schedule, refreshed at every commit
+    /// point (lean mode reads it instead of two O(jobs) scans).
+    quality: (f64, f64),
+    /// Reused working memory for the repair ladder (lean mode only).
+    scratch: RepairScratch,
 }
 
 impl OnlineScheduler {
@@ -297,6 +335,9 @@ impl OnlineScheduler {
             schedule: Schedule::new(),
             cache: AnalysisCache::new(),
             stats: OnlineStats::default(),
+            lean: true,
+            quality: (1.0, 1.0),
+            scratch: RepairScratch::default(),
         }
     }
 
@@ -311,6 +352,18 @@ impl OnlineScheduler {
     #[must_use]
     pub fn with_policy(mut self, policy: SlotPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Toggles the allocation-lean hot path (builder style). `true` (the
+    /// default) keeps Ψ/Υ incrementally, invalidates the analysis cache
+    /// direction-aware, and reuses repair working memory; `false` replays
+    /// the naive path — full recomputation, conservative invalidation,
+    /// fresh buffers per event. Decisions are identical either way (see
+    /// the `quality_props` equivalence suite); only the cost differs.
+    #[must_use]
+    pub fn with_lean(mut self, lean: bool) -> Self {
+        self.lean = lean;
         self
     }
 
@@ -338,6 +391,7 @@ impl OnlineScheduler {
         svc.tasks = tasks;
         svc.jobs = jobs;
         svc.schedule = schedule;
+        svc.quality = metrics::quality(&svc.schedule, &svc.jobs);
         Ok(svc)
     }
 
@@ -377,16 +431,26 @@ impl OnlineScheduler {
         &self.cache
     }
 
-    /// Ψ of the live schedule.
+    /// Ψ of the live schedule. Lean mode answers from the cached value
+    /// maintained at every commit point (bit-identical to the full scan;
+    /// see the `quality_props` equivalence suite).
     #[must_use]
     pub fn psi(&self) -> f64 {
-        metrics::psi(&self.schedule, &self.jobs)
+        if self.lean {
+            self.quality.0
+        } else {
+            metrics::psi(&self.schedule, &self.jobs)
+        }
     }
 
-    /// Υ of the live schedule.
+    /// Υ of the live schedule (cached in lean mode, like [`Self::psi`]).
     #[must_use]
     pub fn upsilon(&self) -> f64 {
-        metrics::upsilon(&self.schedule, &self.jobs)
+        if self.lean {
+            self.quality.1
+        } else {
+            metrics::upsilon(&self.schedule, &self.jobs)
+        }
     }
 
     /// Applies one event, returning the decision. The schedule changes
@@ -463,7 +527,14 @@ impl OnlineScheduler {
                 reason: RejectReason::DuplicateTask,
             };
         }
-        self.cache.invalidate_for(&effective);
+        if self.lean {
+            // Direction-aware: an arrival can only *raise* blocking
+            // bounds, so entries whose bound the newcomer merely ties
+            // stay valid (their tie count is bumped instead).
+            self.cache.invalidate_for_arrival(&effective);
+        } else {
+            self.cache.invalidate_for(&effective);
+        }
         let guaranteed = self.cache.schedulable(&candidate);
         // 3. Integration tiers.
         match self.integrate(&candidate, guaranteed) {
@@ -473,6 +544,7 @@ impl OnlineScheduler {
                 self.tasks = candidate;
                 self.jobs = jobs;
                 self.schedule = outcome.schedule;
+                self.quality = metrics::quality(&self.schedule, &self.jobs);
                 self.pool.insert(id, nominal.clone());
                 self.stats.admitted += 1;
                 EventOutcome::Admitted {
@@ -483,8 +555,13 @@ impl OnlineScheduler {
                 }
             }
             Err(diagnostic) => {
-                // Purge entries computed against the rejected candidate.
-                self.cache.invalidate_for(&effective);
+                // Purge entries computed against the rejected candidate —
+                // from the cache's viewpoint the newcomer departs again.
+                if self.lean {
+                    self.cache.invalidate_for_departure(&effective);
+                } else {
+                    self.cache.invalidate_for(&effective);
+                }
                 self.stats.rejected += 1;
                 self.stats.record_reject_cause(diagnostic.cause);
                 EventOutcome::Rejected {
@@ -509,7 +586,11 @@ impl OnlineScheduler {
             .cloned()
             .collect();
         self.shrink_to(remaining);
-        self.cache.invalidate_for(&leaving);
+        if self.lean {
+            self.cache.invalidate_for_departure(&leaving);
+        } else {
+            self.cache.invalidate_for(&leaving);
+        }
         self.stats.departures += 1;
         EventOutcome::Departed { task: id }
     }
@@ -528,16 +609,22 @@ impl OnlineScheduler {
     /// land.
     fn shrink_to(&mut self, remaining: TaskSet) {
         let jobs = JobSet::expand(&remaining);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let lean = self.lean;
         let (schedule, timed) = time(|| {
-            let repaired = || {
-                tagio_sched::heuristic::repair::repair(&jobs, &self.schedule, &[], self.policy)
-                    .map(|(s, _)| s)
+            let repaired = |scratch: &mut RepairScratch| {
+                if lean {
+                    repair_in(&jobs, &self.schedule, &[], self.policy, scratch).map(|(s, _)| s)
+                } else {
+                    tagio_sched::heuristic::repair::repair(&jobs, &self.schedule, &[], self.policy)
+                        .map(|(s, _)| s)
+                }
             };
             match self.strategy {
-                RepairStrategy::Incremental => repaired(),
+                RepairStrategy::Incremental => repaired(&mut scratch),
                 RepairStrategy::FullResynthesis => StaticScheduler::with_policy(self.policy)
                     .schedule(&jobs)
-                    .or_else(|_| repaired()),
+                    .or_else(|_| repaired(&mut scratch)),
             }
             .unwrap_or_else(|_| {
                 // Infallible last resort: keep exactly the surviving
@@ -553,11 +640,13 @@ impl OnlineScheduler {
                     .collect()
             })
         });
+        self.scratch = scratch;
         self.record_construction(timed);
         debug_assert!(schedule.validate(&jobs).is_ok());
         self.tasks = remaining;
         self.jobs = jobs;
         self.schedule = schedule;
+        self.quality = metrics::quality(&self.schedule, &self.jobs);
     }
 
     fn on_mode_change(&mut self, mode: &Mode) -> EventOutcome {
@@ -582,7 +671,11 @@ impl OnlineScheduler {
                 .collect();
             self.shrink_to(remaining);
             for t in &leaving {
-                self.cache.invalidate_for(t);
+                if self.lean {
+                    self.cache.invalidate_for_departure(t);
+                } else {
+                    self.cache.invalidate_for(t);
+                }
                 departed.push(t.id());
             }
             self.stats.departures += leaving.len();
@@ -641,6 +734,8 @@ impl OnlineScheduler {
         loop {
             let candidate: TaskSet = survivors.iter().cloned().collect();
             let jobs = JobSet::expand(&candidate);
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let lean = self.lean;
             let (result, timed) = time(|| {
                 match self.strategy {
                     RepairStrategy::Incremental => {
@@ -649,12 +744,26 @@ impl OnlineScheduler {
                         // (minimal right-shifts) before any re-placement;
                         // repair_or_resynthesize embeds the plain-repair,
                         // neighbourhood and Algorithm 1 tiers.
-                        tagio_sched::heuristic::repair::retime(&jobs, &self.schedule).or_else(
-                            |_| {
-                                repair_or_resynthesize(&jobs, &self.schedule, &[], self.policy)
-                                    .map(|o| o.schedule)
-                            },
-                        )
+                        if lean {
+                            retime_in(&jobs, &self.schedule, &mut scratch).or_else(|_| {
+                                repair_or_resynthesize_in(
+                                    &jobs,
+                                    &self.schedule,
+                                    &[],
+                                    self.policy,
+                                    &tagio_core::solve::SolverCtx::new(),
+                                    &mut scratch,
+                                )
+                                .map(|o| o.schedule)
+                            })
+                        } else {
+                            tagio_sched::heuristic::repair::retime(&jobs, &self.schedule).or_else(
+                                |_| {
+                                    repair_or_resynthesize(&jobs, &self.schedule, &[], self.policy)
+                                        .map(|o| o.schedule)
+                                },
+                            )
+                        }
                     }
                     RepairStrategy::FullResynthesis => {
                         StaticScheduler::with_policy(self.policy).schedule(&jobs)
@@ -662,6 +771,7 @@ impl OnlineScheduler {
                 }
                 .or_else(|_| FpsOffline::new().schedule(&jobs))
             });
+            self.scratch = scratch;
             self.record_construction(timed);
             if let Ok(schedule) = result {
                 debug_assert!(schedule.validate(&jobs).is_ok());
@@ -669,6 +779,7 @@ impl OnlineScheduler {
                 self.tasks = candidate;
                 self.jobs = jobs;
                 self.schedule = schedule;
+                self.quality = metrics::quality(&self.schedule, &self.jobs);
                 self.stats.shed += shed.len();
                 return EventOutcome::SpikeApplied { percent, shed };
             }
@@ -680,6 +791,7 @@ impl OnlineScheduler {
                 self.tasks = TaskSet::new();
                 self.jobs = JobSet::from_jobs(Vec::new(), tagio_core::time::Duration::ZERO);
                 self.schedule = Schedule::new();
+                self.quality = (1.0, 1.0);
                 self.stats.shed += shed.len();
                 return EventOutcome::SpikeApplied { percent, shed };
             };
@@ -701,6 +813,8 @@ impl OnlineScheduler {
         let jobs = JobSet::expand(candidate);
         let new_h = candidate.hyperperiod();
         let old_h = self.tasks.hyperperiod();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let lean = self.lean;
         let (result, latency) = time(|| {
             // Align the live schedule to the candidate's hyper-period so
             // undisturbed placements stay pinnable (§III.C repetition).
@@ -713,7 +827,18 @@ impl OnlineScheduler {
             };
             let outcome = match self.strategy {
                 RepairStrategy::Incremental => {
-                    repair_or_resynthesize(&jobs, &base, &[], self.policy)
+                    if lean {
+                        repair_or_resynthesize_in(
+                            &jobs,
+                            &base,
+                            &[],
+                            self.policy,
+                            &tagio_core::solve::SolverCtx::new(),
+                            &mut scratch,
+                        )
+                    } else {
+                        repair_or_resynthesize(&jobs, &base, &[], self.policy)
+                    }
                 }
                 RepairStrategy::FullResynthesis => StaticScheduler::with_policy(self.policy)
                     .schedule(&jobs)
@@ -743,6 +868,7 @@ impl OnlineScheduler {
                     .inspect(|_| self.stats.fps_fallbacks += 1)
             })
         });
+        self.scratch = scratch;
         self.record_construction(latency);
         self.stats.admission_time += latency;
         self.stats.admission_events += 1;

@@ -1,0 +1,136 @@
+//! Property-based equivalence of the allocation-lean and naive online
+//! service paths.
+//!
+//! Lean mode ([`OnlineScheduler::with_lean`]) layers three hot-path
+//! optimisations over the naive baseline: cached Ψ/Υ maintained at every
+//! commit point instead of recomputed per query, direction-aware analysis
+//! cache invalidation, and a reused repair scratch arena. None of them may
+//! change a single decision or a single metric bit. This suite drives a
+//! lean and a naive service through identical random event traces —
+//! arrivals across a parameter pool, departures, utilisation spikes (both
+//! overload and relief), and mode changes over the known pool — and after
+//! *every* event asserts bit-identical Ψ/Υ, equal schedules, equal task
+//! sets, and equal decisions.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tagio_core::event::{Mode, ModeId, SystemEvent};
+use tagio_core::task::{DeviceId, IoTask, Priority, TaskId};
+use tagio_core::time::Duration;
+use tagio_online::service::{EventOutcome, OnlineScheduler};
+
+/// Builds a valid pool task from drawn parameters (same scheme as the
+/// repair-ladder equivalence suite in `tagio-sched`).
+fn pool_task(id: u32, period_ix: usize, wcet_permille: u64, prio: u32) -> IoTask {
+    let periods_ms = [4u64, 8, 8, 16];
+    let period = Duration::from_millis(periods_ms[period_ix % periods_ms.len()]);
+    let wcet =
+        Duration::from_micros((period.as_micros() * wcet_permille.clamp(1, 240) / 1000).max(1));
+    IoTask::builder(TaskId(id), DeviceId(0))
+        .wcet(wcet)
+        .period(period)
+        .ideal_offset(period / 2)
+        .margin(period / 4)
+        .priority(Priority(prio % 3))
+        .quality(f64::from(id % 7) + 1.0, 0.25)
+        .build()
+        .expect("pool parameters are valid")
+}
+
+/// Strips the wall-clock admission latency, the only legitimately
+/// run-dependent field, so decisions compare exactly.
+fn canon(outcome: EventOutcome) -> EventOutcome {
+    match outcome {
+        EventOutcome::Admitted {
+            task,
+            replaced,
+            resynthesized,
+            ..
+        } => EventOutcome::Admitted {
+            task,
+            replaced,
+            resynthesized,
+            latency: std::time::Duration::ZERO,
+        },
+        other => other,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lean and naive services fed the same trace agree on every decision
+    /// and every quality bit after every event.
+    #[test]
+    fn lean_service_is_bit_identical_to_naive(
+        trace in vec((0u32..5, 0usize..4, 20u64..200, 0usize..5), 1..24),
+    ) {
+        let mut lean = OnlineScheduler::new(DeviceId(0)).with_lean(true);
+        let mut naive = OnlineScheduler::new(DeviceId(0)).with_lean(false);
+        for (i, &(slot, period_ix, wcet_permille, kind)) in trace.iter().enumerate() {
+            let event = match kind {
+                // Arrival (or duplicate re-offer) of a pool slot.
+                0 | 1 => SystemEvent::Arrival(pool_task(
+                    slot,
+                    period_ix,
+                    wcet_permille,
+                    slot + i as u32,
+                )),
+                2 => SystemEvent::Departure(TaskId(slot)),
+                // Overload and relief spikes, 40%..230% of nominal.
+                3 => SystemEvent::UtilisationSpike {
+                    device: DeviceId(0),
+                    percent: 40 + (wcet_permille as u32),
+                },
+                // A mode over a prefix of the slot space: everything
+                // below the drawn slot stays, the rest departs.
+                _ => SystemEvent::ModeChange(Mode {
+                    id: ModeId(slot),
+                    active: (0..=slot).map(TaskId).collect(),
+                }),
+            };
+            let a = canon(lean.apply(&event));
+            let b = canon(naive.apply(&event));
+            prop_assert_eq!(a, b, "decision diverged at step {}", i);
+            prop_assert_eq!(
+                lean.psi().to_bits(),
+                naive.psi().to_bits(),
+                "psi diverged at step {}: lean={} naive={}",
+                i,
+                lean.psi(),
+                naive.psi()
+            );
+            prop_assert_eq!(
+                lean.upsilon().to_bits(),
+                naive.upsilon().to_bits(),
+                "upsilon diverged at step {}: lean={} naive={}",
+                i,
+                lean.upsilon(),
+                naive.upsilon()
+            );
+            prop_assert_eq!(lean.schedule(), naive.schedule(), "schedule diverged at step {}", i);
+            prop_assert_eq!(
+                lean.tasks().len(),
+                naive.tasks().len(),
+                "task set diverged at step {}",
+                i
+            );
+            // Decision counters only — the wall-clock accumulators are
+            // legitimately run-dependent.
+            let counters = |s: &tagio_online::service::OnlineStats| {
+                (
+                    (s.arrivals, s.admitted, s.rejected, s.fast_rejects),
+                    (s.departures, s.repairs, s.resyntheses, s.fps_fallbacks),
+                    (s.shed, s.spikes, s.mode_changes, s.ignored),
+                    s.reject_causes.clone(),
+                )
+            };
+            prop_assert_eq!(
+                counters(lean.stats()),
+                counters(naive.stats()),
+                "stats diverged at step {}",
+                i
+            );
+        }
+    }
+}

@@ -11,7 +11,7 @@
 //! change — a departure *must* invalidate exactly like an arrival, since
 //! removing a blocker can loosen higher-ranked bounds and removing
 //! interference loosens lower-ranked ones), derived from the analysis
-//! structure and its total rank order ([`outranks`](crate::analysis::outranks): priority first,
+//! structure and its total rank order ([`outranks`]: priority first,
 //! then smaller id on ties):
 //!
 //! * `τc`'s own entry is always discarded;
@@ -24,18 +24,32 @@
 //!   `=` on departure; [`AnalysisCache::invalidate_for`] uses the
 //!   conservative union `Ci(τc) ≥ Bi`).
 //!
+//! The direction-aware entry points sharpen that last rule. Each entry
+//! records how many outranked tasks *realise* its blocking bound (the
+//! `max` witnesses), so:
+//!
+//! * [`AnalysisCache::invalidate_for_arrival`] keeps an outranking entry
+//!   on an exact tie `Ci(τc) = Bi` — the max cannot move, the newcomer
+//!   just becomes one more witness — and drops it only on `Ci(τc) > Bi`;
+//! * [`AnalysisCache::invalidate_for_departure`] keeps an outranking
+//!   entry when the leaver's WCET is below the bound *or* ties it with
+//!   another witness still present; only the departure of the last
+//!   witness can lower the max.
+//!
 //! Because the entry's id is the map key, the tie direction is resolved
 //! per entry — equal-priority entries are *not* blanket-invalidated, only
 //! the side of the tie the analysis says `τc` can actually reach.
 //!
 //! The cache is trust-based: callers must route every task-set mutation
-//! through [`AnalysisCache::invalidate_for`] (or drop everything with
-//! [`AnalysisCache::clear`]). Hit/miss counters expose how much work the
-//! incremental rules save — the online service's tests pin that saving.
+//! through the matching `invalidate_for*` entry point (or drop everything
+//! with [`AnalysisCache::clear`]). Hit/miss counters expose how much work
+//! the incremental rules save — the online service's tests pin that
+//! saving.
 
-use crate::analysis::{response_time_np_fps, ResponseTime};
+use crate::analysis::{outranks, response_time_np_fps, ResponseTime};
 use std::collections::HashMap;
 use tagio_core::task::{IoTask, Priority, TaskId, TaskSet};
+use tagio_core::time::Duration;
 
 /// One memoised per-task analysis result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +58,11 @@ struct CachedAnalysis {
     /// invalidate; see [`AnalysisCache::response_time`]).
     priority: Priority,
     result: ResponseTime,
+    /// How many outranked tasks realised the blocking bound when the
+    /// entry was computed (`|{τj | Cj = Bi}|`; `0` when `Bi = 0`). The
+    /// direction-aware invalidations maintain this count so an exact-tie
+    /// churn does not discard the entry.
+    blocking_ties: usize,
 }
 
 /// A memoising wrapper around the non-preemptive FPS response-time
@@ -99,11 +118,20 @@ impl AnalysisCache {
         }
         self.misses += 1;
         let result = response_time_np_fps(task, tasks);
+        let blocking_ties = if result.blocking == Duration::ZERO {
+            0
+        } else {
+            tasks
+                .iter()
+                .filter(|t| t.id() != task.id() && outranks(task, t) && t.wcet() == result.blocking)
+                .count()
+        };
         self.entries.insert(
             task.id(),
             CachedAnalysis {
                 priority: task.priority(),
                 result,
+                blocking_ties,
             },
         );
         result
@@ -153,6 +181,68 @@ impl AnalysisCache {
                 return false;
             }
             true // blocking untouched
+        });
+    }
+
+    /// Discards the entries an **arrival** of `changed` can affect.
+    ///
+    /// Sharper than [`AnalysisCache::invalidate_for`] on the blocking
+    /// side: an outranking entry is dropped only when the new WCET
+    /// *strictly exceeds* its cached bound. An exact tie leaves the bound
+    /// (a `max`) where it is — the entry stays, with the newcomer
+    /// recorded as one more witness of the bound.
+    pub fn invalidate_for_arrival(&mut self, changed: &IoTask) {
+        let (id, prio, wcet) = (changed.id(), changed.priority(), changed.wcet());
+        self.entries.retain(|&tid, entry| {
+            if tid == id {
+                return false;
+            }
+            // The arrival outranks this entry: interference changed.
+            if entry.priority < prio || (entry.priority == prio && tid > id) {
+                return false;
+            }
+            // The entry outranks the arrival: its blocking bound moves
+            // only when the new WCET climbs past it.
+            if wcet > entry.result.blocking {
+                return false;
+            }
+            if wcet == entry.result.blocking && entry.result.blocking > Duration::ZERO {
+                entry.blocking_ties += 1;
+            }
+            true
+        });
+    }
+
+    /// Discards the entries a **departure** of `changed` can affect.
+    ///
+    /// Sharper than [`AnalysisCache::invalidate_for`] on the blocking
+    /// side: an outranking entry whose bound the leaver realised is kept
+    /// when another equal-WCET witness is still present (the `max` cannot
+    /// drop), and only the departure of the last witness discards it. A
+    /// leaver's WCET above the cached bound means the witness bookkeeping
+    /// never saw this task — the entry is dropped conservatively.
+    pub fn invalidate_for_departure(&mut self, changed: &IoTask) {
+        let (id, prio, wcet) = (changed.id(), changed.priority(), changed.wcet());
+        self.entries.retain(|&tid, entry| {
+            if tid == id {
+                return false;
+            }
+            // The leaver outranked this entry: interference changed.
+            if entry.priority < prio || (entry.priority == prio && tid > id) {
+                return false;
+            }
+            // The entry outranks the leaver: the bound can only drop, and
+            // only when the last witness of the current max departs.
+            if wcet > entry.result.blocking {
+                return false;
+            }
+            if wcet == entry.result.blocking && entry.result.blocking > Duration::ZERO {
+                if entry.blocking_ties <= 1 {
+                    return false;
+                }
+                entry.blocking_ties -= 1;
+            }
+            true
         });
     }
 
@@ -296,6 +386,91 @@ mod tests {
         assert!(!cache.entries.contains_key(&TaskId(0)));
         assert!(!cache.entries.contains_key(&TaskId(1)));
         assert!(!cache.entries.contains_key(&TaskId(2)));
+    }
+
+    #[test]
+    fn arrival_tying_the_blocking_bound_keeps_the_entry() {
+        // Entry 0 (prio 2) outranks tasks 1 and 2; its blocking bound is
+        // task 2's 400us. An arrival that exactly ties the bound cannot
+        // move a max — the union rule dropped the entry anyway, the
+        // arrival-aware rule keeps it, and the kept result still agrees
+        // with a cold analysis of the grown set.
+        let tasks = set();
+        let mut cache = AnalysisCache::new();
+        assert!(cache.schedulable(&tasks));
+        let newcomer = mk(9, 20, 400, 1);
+        cache.invalidate_for_arrival(&newcomer);
+        assert!(cache.entries.contains_key(&TaskId(0)), "tie kept");
+        let mut grown = tasks.clone();
+        grown.push(newcomer).unwrap();
+        let hits = cache.hits();
+        let cached = cache.response_time(grown.get(TaskId(0)).unwrap(), &grown);
+        assert_eq!(cache.hits(), hits + 1, "answered from the cache");
+        assert_eq!(
+            cached,
+            response_time_np_fps(grown.get(TaskId(0)).unwrap(), &grown)
+        );
+        // A strictly larger WCET still invalidates.
+        cache.invalidate_for_arrival(&mk(10, 20, 401, 1));
+        assert!(!cache.entries.contains_key(&TaskId(0)));
+    }
+
+    #[test]
+    fn departure_keeps_entry_while_another_blocking_witness_remains() {
+        // Grow the set so entry 0's 400us bound has two witnesses (tasks
+        // 2 and 9). Departing one witness keeps the entry; departing the
+        // last one drops it.
+        let mut grown = set();
+        let twin = mk(9, 20, 400, 1);
+        grown.push(twin.clone()).unwrap();
+        let mut cache = AnalysisCache::new();
+        assert!(cache.schedulable(&grown));
+        cache.invalidate_for_departure(&twin);
+        assert!(
+            cache.entries.contains_key(&TaskId(0)),
+            "bound still realised by task 2"
+        );
+        let shrunk = set();
+        assert_eq!(
+            cache.response_time(shrunk.get(TaskId(0)).unwrap(), &shrunk),
+            response_time_np_fps(shrunk.get(TaskId(0)).unwrap(), &shrunk)
+        );
+        cache.invalidate_for_departure(&mk(2, 40, 400, 0));
+        assert!(
+            !cache.entries.contains_key(&TaskId(0)),
+            "last witness departed"
+        );
+    }
+
+    #[test]
+    fn departure_above_the_cached_bound_drops_conservatively() {
+        // A leaver whose WCET exceeds the cached bound was never counted
+        // as a witness — the bookkeeping cannot vouch for the entry.
+        let tasks = set();
+        let mut cache = AnalysisCache::new();
+        assert!(cache.schedulable(&tasks));
+        cache.invalidate_for_departure(&mk(9, 20, 900, 1));
+        assert!(!cache.entries.contains_key(&TaskId(0)));
+    }
+
+    #[test]
+    fn arrival_then_departure_of_a_tying_task_round_trips() {
+        // The admission pre-check pairs an arrival invalidation with a
+        // departure purge when the candidate is rejected; a tying WCET
+        // must leave the cache exactly as consistent as before.
+        let tasks = set();
+        let mut cache = AnalysisCache::new();
+        assert!(cache.schedulable(&tasks));
+        let newcomer = mk(9, 20, 400, 1);
+        cache.invalidate_for_arrival(&newcomer);
+        cache.invalidate_for_departure(&newcomer);
+        assert!(cache.entries.contains_key(&TaskId(0)));
+        let hits = cache.hits();
+        assert_eq!(
+            cache.response_time(tasks.get(TaskId(0)).unwrap(), &tasks),
+            response_time_np_fps(tasks.get(TaskId(0)).unwrap(), &tasks)
+        );
+        assert_eq!(cache.hits(), hits + 1);
     }
 
     #[test]

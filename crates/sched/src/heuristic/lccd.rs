@@ -53,12 +53,36 @@ impl Placed {
     }
 }
 
+/// Reusable buffers for [`Timeline`] construction and allocation.
+///
+/// Every `allocate` call needs slot lists, fitting filters, candidate
+/// runs and (on the shifting path) a rollback snapshot; a repair-driven
+/// admission loop runs thousands of such calls per second, so the online
+/// hot path keeps one scratch alive and threads it through
+/// [`Timeline::with_placements_in`] / [`Timeline::into_schedule_in`]
+/// instead of re-allocating the buffers per admission. A fresh
+/// (`Default`) scratch reproduces the original allocating behaviour
+/// exactly — the buffers are cleared before every use, so reuse never
+/// changes results, only allocation traffic.
+#[derive(Debug, Default)]
+pub struct TimelineScratch {
+    placed: Vec<Placed>,
+    slots: Vec<(Time, Time)>,
+    fitting: Vec<(Time, Time)>,
+    candidates: Vec<(usize, usize, usize)>,
+    snapshot: Vec<Placed>,
+}
+
 /// The partition timeline during allocation: executions sorted by start.
 #[derive(Debug, Clone)]
 pub struct Timeline<'a> {
     jobs: &'a JobSet,
     placed: Vec<Placed>,
     horizon: Time,
+    slots: Vec<(Time, Time)>,
+    fitting: Vec<(Time, Time)>,
+    candidates: Vec<(usize, usize, usize)>,
+    snapshot: Vec<Placed>,
 }
 
 impl<'a> Timeline<'a> {
@@ -90,6 +114,10 @@ impl<'a> Timeline<'a> {
             jobs,
             placed,
             horizon: jobs.horizon(),
+            slots: Vec::new(),
+            fitting: Vec::new(),
+            candidates: Vec::new(),
+            snapshot: Vec::new(),
         }
     }
 
@@ -105,16 +133,32 @@ impl<'a> Timeline<'a> {
     /// and falls back to full re-synthesis instead of panicking).
     #[must_use]
     pub fn with_placements(jobs: &'a JobSet, placements: &[(usize, Time)]) -> Self {
+        Self::with_placements_in(jobs, placements, &mut TimelineScratch::default())
+    }
+
+    /// [`Timeline::with_placements`], recycling the buffers of `scratch`
+    /// instead of allocating fresh ones. Pair with
+    /// [`Timeline::into_schedule_in`] to hand the buffers back once the
+    /// timeline is finalised.
+    ///
+    /// # Panics
+    /// Panics if the placements mutually overlap, exactly like
+    /// [`Timeline::with_placements`].
+    #[must_use]
+    pub fn with_placements_in(
+        jobs: &'a JobSet,
+        placements: &[(usize, Time)],
+        scratch: &mut TimelineScratch,
+    ) -> Self {
         let all = jobs.as_slice();
-        let mut placed: Vec<Placed> = placements
-            .iter()
-            .map(|&(i, start)| Placed {
-                job: i,
-                start,
-                wcet: all[i].wcet(),
-                exact: start == all[i].ideal_start(),
-            })
-            .collect();
+        let mut placed = std::mem::take(&mut scratch.placed);
+        placed.clear();
+        placed.extend(placements.iter().map(|&(i, start)| Placed {
+            job: i,
+            start,
+            wcet: all[i].wcet(),
+            exact: start == all[i].ideal_start(),
+        }));
         placed.sort_by_key(|p| p.start);
         for w in placed.windows(2) {
             assert!(
@@ -126,6 +170,10 @@ impl<'a> Timeline<'a> {
             jobs,
             placed,
             horizon: jobs.horizon(),
+            slots: std::mem::take(&mut scratch.slots),
+            fitting: std::mem::take(&mut scratch.fitting),
+            candidates: std::mem::take(&mut scratch.candidates),
+            snapshot: std::mem::take(&mut scratch.snapshot),
         }
     }
 
@@ -167,19 +215,25 @@ impl<'a> Timeline<'a> {
             .map(|p| p.start)
     }
 
-    /// Free slots clipped to `[lo, hi]`, in time order.
-    fn slots_within(&self, lo: Time, hi: Time) -> Vec<(Time, Time)> {
-        let mut out = Vec::new();
+    /// Free slots clipped to `[lo, hi]`, in time order, into `out`.
+    fn collect_slots(&self, lo: Time, hi: Time, out: &mut Vec<(Time, Time)>) {
+        out.clear();
         let mut cursor = Time::ZERO;
         for p in &self.placed {
             if p.start > cursor {
-                push_clipped(&mut out, cursor, p.start, lo, hi);
+                push_clipped(out, cursor, p.start, lo, hi);
             }
             cursor = cursor.max(p.finish());
         }
         if self.horizon > cursor {
-            push_clipped(&mut out, cursor, self.horizon, lo, hi);
+            push_clipped(out, cursor, self.horizon, lo, hi);
         }
+    }
+
+    #[cfg(test)]
+    fn slots_within(&self, lo: Time, hi: Time) -> Vec<(Time, Time)> {
+        let mut out = Vec::new();
+        self.collect_slots(lo, hi, &mut out);
         out
     }
 
@@ -193,25 +247,32 @@ impl<'a> Timeline<'a> {
     pub fn allocate(&mut self, job_idx: usize, pending: &[usize], policy: SlotPolicy) -> bool {
         let job = &self.jobs.as_slice()[job_idx];
         let (lo, hi) = (job.release(), job.abs_deadline());
-        let slots = self.slots_within(lo, hi);
-        let fitting: Vec<(Time, Time)> = slots
-            .iter()
-            .copied()
-            .filter(|&s| Self::usable(s) >= job.wcet())
-            .collect();
+        // The slot buffers live on `self` so repeated allocations reuse
+        // their capacity; take them out for the duration of the call to
+        // keep the borrow checker happy about the `&mut self` calls below.
+        let mut slots = std::mem::take(&mut self.slots);
+        let mut fitting = std::mem::take(&mut self.fitting);
+        self.collect_slots(lo, hi, &mut slots);
+        fitting.clear();
+        fitting.extend(
+            slots
+                .iter()
+                .copied()
+                .filter(|&s| Self::usable(s) >= job.wcet()),
+        );
 
-        if !fitting.is_empty() {
+        let placed = if !fitting.is_empty() {
             let slot = self.pick_slot(&fitting, pending, policy);
             self.place(job_idx, slot.0, false);
-            return true;
-        }
-
-        // Case 2: coalesce consecutive slots by shifting jobs leftwards.
-        let total: Duration = slots.iter().map(|&s| Self::usable(s)).sum();
-        if total >= job.wcet() {
-            return self.allocate_with_shift(job_idx, &slots);
-        }
-        false
+            true
+        } else {
+            // Case 2: coalesce consecutive slots by shifting jobs leftwards.
+            let total: Duration = slots.iter().map(|&s| Self::usable(s)).sum();
+            total >= job.wcet() && self.allocate_with_shift(job_idx, &slots)
+        };
+        self.slots = slots;
+        self.fitting = fitting;
+        placed
     }
 
     fn pick_slot(
@@ -259,7 +320,8 @@ impl<'a> Timeline<'a> {
         let job = &self.jobs.as_slice()[job_idx];
         let n = slots.len();
         // Candidate runs [a..=b], ranked by (exact jobs shifted, start).
-        let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
         for a in 0..n {
             let mut total = Duration::ZERO;
             for b in a..n {
@@ -272,12 +334,15 @@ impl<'a> Timeline<'a> {
             }
         }
         candidates.sort_unstable();
-        for (_, a, b) in candidates {
+        let mut placed = false;
+        for &(_, a, b) in &candidates {
             if self.try_compact_and_place(job_idx, slots[a].0, slots[b].1) {
-                return true;
+                placed = true;
+                break;
             }
         }
-        false
+        self.candidates = candidates;
+        placed
     }
 
     /// Number of currently-exact placements inside `[lo, hi)`.
@@ -292,9 +357,12 @@ impl<'a> Timeline<'a> {
     /// (never before its release or `lo`'s preceding boundary), then tries
     /// to place `job_idx` in the coalesced tail gap. Rolls back on failure.
     fn try_compact_and_place(&mut self, job_idx: usize, lo: Time, hi: Time) -> bool {
-        let job = &self.jobs.as_slice()[job_idx];
         let all = self.jobs.as_slice();
-        let snapshot = self.placed.clone();
+        let job = &all[job_idx];
+        // Rollback snapshot into the reusable buffer: `clone_from` keeps
+        // its capacity across calls instead of allocating a fresh Vec.
+        let mut snapshot = std::mem::take(&mut self.snapshot);
+        snapshot.clone_from(&self.placed);
 
         let mut cursor = lo;
         for p in &mut self.placed {
@@ -314,14 +382,17 @@ impl<'a> Timeline<'a> {
         // to the job's own window.
         let gap_lo = cursor.max(job.release());
         let gap_hi = hi.min(job.abs_deadline());
-        if gap_hi.saturating_sub(gap_lo) >= job.wcet() && self.is_free(gap_lo, gap_lo + job.wcet())
+        let placed = if gap_hi.saturating_sub(gap_lo) >= job.wcet()
+            && self.is_free(gap_lo, gap_lo + job.wcet())
         {
             self.place(job_idx, gap_lo, false);
             true
         } else {
-            self.placed = snapshot;
+            std::mem::swap(&mut self.placed, &mut snapshot);
             false
-        }
+        };
+        self.snapshot = snapshot;
+        placed
     }
 
     fn is_free(&self, lo: Time, hi: Time) -> bool {
@@ -348,14 +419,29 @@ impl<'a> Timeline<'a> {
     /// Finalises the timeline into a [`Schedule`].
     #[must_use]
     pub fn into_schedule(self) -> Schedule {
-        self.placed
+        self.into_schedule_in(&mut TimelineScratch::default())
+    }
+
+    /// [`Timeline::into_schedule`], returning the timeline's buffers to
+    /// `scratch` so the next [`Timeline::with_placements_in`] reuses
+    /// their capacity.
+    #[must_use]
+    pub fn into_schedule_in(mut self, scratch: &mut TimelineScratch) -> Schedule {
+        let schedule = self
+            .placed
             .iter()
             .map(|p| ScheduleEntry {
                 job: self.jobs.as_slice()[p.job].id(),
                 start: p.start,
                 duration: p.wcet,
             })
-            .collect()
+            .collect();
+        scratch.placed = std::mem::take(&mut self.placed);
+        scratch.slots = std::mem::take(&mut self.slots);
+        scratch.fitting = std::mem::take(&mut self.fitting);
+        scratch.candidates = std::mem::take(&mut self.candidates);
+        scratch.snapshot = std::mem::take(&mut self.snapshot);
+        schedule
     }
 
     /// Number of placements currently at their ideal instants.

@@ -23,10 +23,11 @@ pub mod lccd;
 pub mod repair;
 
 pub use graph::ConflictGraph;
-pub use lccd::{SlotPolicy, Timeline};
+pub use lccd::{SlotPolicy, Timeline, TimelineScratch};
 pub use repair::{
-    repair, repair_neighbourhood, repair_or_resynthesize, repair_or_resynthesize_with, retime,
-    RepairOutcome, RepairSolver,
+    repair, repair_in, repair_neighbourhood, repair_neighbourhood_in, repair_or_resynthesize,
+    repair_or_resynthesize_in, repair_or_resynthesize_with, retime, retime_in, RepairOutcome,
+    RepairScratch, RepairSolver,
 };
 
 use crate::scheduler::Scheduler;

@@ -19,7 +19,7 @@
 //! (`tagio-online`); [`RepairSolver`] packages the whole ladder as a
 //! budgeted [`Solve`] implementation.
 
-use super::lccd::{SlotPolicy, Timeline};
+use super::lccd::{SlotPolicy, Timeline, TimelineScratch};
 use super::StaticScheduler;
 use crate::scheduler::Scheduler;
 use crate::solve::Solve;
@@ -28,6 +28,35 @@ use tagio_core::job::{JobId, JobSet};
 use tagio_core::metrics;
 use tagio_core::schedule::Schedule;
 use tagio_core::solve::{Infeasible, InfeasibleCause, SolverCtx};
+use tagio_core::task::TaskId;
+use tagio_core::time::{Duration, Time};
+
+/// Reusable working memory for the repair ladder.
+///
+/// A single incremental repair allocates a dozen transient collections —
+/// lookup tables, pinned/disturbed sets, the timeline's slot buffers.
+/// The online admission path runs a repair per event, so
+/// [`repair_in`] / [`retime_in`] / [`repair_neighbourhood_in`] /
+/// [`repair_or_resynthesize_in`] accept a long-lived scratch and recycle
+/// those collections' capacity across calls. Every buffer is cleared
+/// before use: a reused scratch produces bit-identical results to a
+/// fresh (`Default`) one, which is what the plain entry points pass.
+#[derive(Debug, Default)]
+pub struct RepairScratch {
+    disturbed: HashSet<JobId>,
+    base_starts: Vec<(JobId, Time)>,
+    pinned: Vec<(usize, Time)>,
+    to_place: Vec<usize>,
+    intervals: Vec<(Time, Time, JobId)>,
+    offsets: HashMap<TaskId, Duration>,
+    unplaceable: Vec<JobId>,
+    failed_tasks: HashSet<TaskId>,
+    escalated: HashSet<JobId>,
+    escalated_vec: Vec<JobId>,
+    windows: Vec<(Time, Time)>,
+    order: Vec<(Time, usize)>,
+    timeline: TimelineScratch,
+}
 
 /// How a repaired schedule was obtained.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,22 +93,35 @@ pub fn repair(
     disturbed: &[JobId],
     policy: SlotPolicy,
 ) -> Result<(Schedule, usize), Infeasible> {
-    try_repair(jobs, base, disturbed, policy)
+    try_repair(jobs, base, disturbed, policy, &mut RepairScratch::default())
+}
+
+/// [`repair`], recycling the working memory of `scratch` across calls.
+///
+/// Results are identical to [`repair`]; only the allocation traffic
+/// differs. This is the entry point the online admission loop uses.
+///
+/// # Errors
+/// Exactly as [`repair`].
+pub fn repair_in(
+    jobs: &JobSet,
+    base: &Schedule,
+    disturbed: &[JobId],
+    policy: SlotPolicy,
+    scratch: &mut RepairScratch,
+) -> Result<(Schedule, usize), Infeasible> {
+    try_repair(jobs, base, disturbed, policy, scratch)
 }
 
 /// `(job, start)` pairs of a schedule, sorted by job id for binary
-/// search.
-fn sorted_starts(base: &Schedule) -> Vec<(JobId, tagio_core::time::Time)> {
-    let mut v: Vec<(JobId, tagio_core::time::Time)> =
-        base.iter().map(|e| (e.job, e.start)).collect();
-    v.sort_unstable_by_key(|&(job, _)| job);
-    v
+/// search, rebuilt into `out`.
+fn sorted_starts_into(base: &Schedule, out: &mut Vec<(JobId, Time)>) {
+    out.clear();
+    out.extend(base.iter().map(|e| (e.job, e.start)));
+    out.sort_unstable_by_key(|&(job, _)| job);
 }
 
-fn lookup_start(
-    starts: &[(JobId, tagio_core::time::Time)],
-    job: JobId,
-) -> Option<tagio_core::time::Time> {
+fn lookup_start(starts: &[(JobId, Time)], job: JobId) -> Option<Time> {
     starts
         .binary_search_by_key(&job, |&(j, _)| j)
         .ok()
@@ -91,22 +133,24 @@ fn try_repair(
     base: &Schedule,
     disturbed: &[JobId],
     policy: SlotPolicy,
+    scratch: &mut RepairScratch,
 ) -> Result<(Schedule, usize), Infeasible> {
-    let disturbed: HashSet<JobId> = disturbed.iter().copied().collect();
+    scratch.disturbed.clear();
+    scratch.disturbed.extend(disturbed.iter().copied());
     // Sorted lookup table instead of a HashMap: repair sits on the hot
     // path of every online event, and binary search over a sorted Vec is
     // markedly cheaper than hashing per job.
-    let base_starts = sorted_starts(base);
+    sorted_starts_into(base, &mut scratch.base_starts);
 
     let all = jobs.as_slice();
-    let mut pinned = Vec::with_capacity(all.len());
-    let mut to_place = Vec::new();
+    scratch.pinned.clear();
+    scratch.to_place.clear();
     for (idx, job) in all.iter().enumerate() {
-        match lookup_start(&base_starts, job.id()) {
-            Some(start) if !disturbed.contains(&job.id()) && job.start_feasible(start) => {
-                pinned.push((idx, start));
+        match lookup_start(&scratch.base_starts, job.id()) {
+            Some(start) if !scratch.disturbed.contains(&job.id()) && job.start_feasible(start) => {
+                scratch.pinned.push((idx, start));
             }
-            _ => to_place.push(idx),
+            _ => scratch.to_place.push(idx),
         }
     }
 
@@ -114,18 +158,23 @@ fn try_repair(
     // *current* WCETs; if not, the disturbance reaches beyond the declared
     // neighbourhood and repair cannot help. The diagnostic names the
     // overlapping placements so escalation frees exactly those pockets.
-    let mut intervals: Vec<(tagio_core::time::Time, tagio_core::time::Time, JobId)> = pinned
-        .iter()
-        .map(|&(i, start)| (start, start + all[i].wcet(), all[i].id()))
-        .collect();
-    intervals.sort_unstable();
-    let overlapping: Vec<JobId> = intervals
+    scratch.intervals.clear();
+    scratch.intervals.extend(
+        scratch
+            .pinned
+            .iter()
+            .map(|&(i, start)| (start, start + all[i].wcet(), all[i].id())),
+    );
+    scratch.intervals.sort_unstable();
+    let overlapping: Vec<JobId> = scratch
+        .intervals
         .windows(2)
         .filter(|w| w[0].1 > w[1].0)
         .flat_map(|w| [w[0].2, w[1].2])
         .collect();
     if !overlapping.is_empty() {
-        let partial: Schedule = pinned
+        let partial: Schedule = scratch
+            .pinned
             .iter()
             .map(|&(i, start)| tagio_core::schedule::entry_for(&all[i], start))
             .collect();
@@ -137,11 +186,11 @@ fn try_repair(
             ));
     }
 
-    let mut timeline = Timeline::with_placements(jobs, &pinned);
-    let replaced = to_place.len();
+    let mut timeline = Timeline::with_placements_in(jobs, &scratch.pinned, &mut scratch.timeline);
+    let replaced = scratch.to_place.len();
 
     // Highest priority first, like the static scheduler's phase three.
-    to_place.sort_by(|&a, &b| {
+    scratch.to_place.sort_by(|&a, &b| {
         all[b]
             .priority()
             .cmp(&all[a].priority())
@@ -153,17 +202,19 @@ fn try_repair(
     // §III.C) — an O(log n) probe instead of a full slot allocation.
     // `to_place` keeps a task's jobs consecutive (same priority, release
     // order), so one offset per task suffices.
-    let mut offsets: HashMap<tagio_core::task::TaskId, tagio_core::time::Duration> = HashMap::new();
-    let mut unplaceable = Vec::new();
-    let mut failed_tasks: HashSet<tagio_core::task::TaskId> = HashSet::new();
-    for pos in 0..to_place.len() {
-        let idx = to_place[pos];
+    scratch.offsets.clear();
+    scratch.unplaceable.clear();
+    scratch.failed_tasks.clear();
+    for pos in 0..scratch.to_place.len() {
+        let idx = scratch.to_place[pos];
         let job = &all[idx];
         if timeline.try_place_ideal(idx) {
-            offsets.insert(job.id().task, job.ideal_start() - job.release());
+            scratch
+                .offsets
+                .insert(job.id().task, job.ideal_start() - job.release());
             continue;
         }
-        if let Some(&offset) = offsets.get(&job.id().task) {
+        if let Some(&offset) = scratch.offsets.get(&job.id().task) {
             if timeline.try_place_at(idx, job.release() + offset) {
                 continue;
             }
@@ -173,28 +224,28 @@ fn try_repair(
         // gets only the cheap probes above for its remaining jobs — those
         // skips fail the attempt but do NOT become escalation seeds (they
         // would smear the neighbourhood across the whole hyper-period).
-        if failed_tasks.contains(&job.id().task) {
+        if scratch.failed_tasks.contains(&job.id().task) {
             continue;
         }
-        let pending = &to_place[pos + 1..];
+        let pending = &scratch.to_place[pos + 1..];
         if !timeline.allocate(idx, pending, policy) {
-            unplaceable.push(job.id());
-            failed_tasks.insert(job.id().task);
+            scratch.unplaceable.push(job.id());
+            scratch.failed_tasks.insert(job.id().task);
             continue;
         }
         let start = timeline.start_of(idx).expect("allocate placed the job");
-        offsets.insert(job.id().task, start - job.release());
+        scratch.offsets.insert(job.id().task, start - job.release());
     }
-    if !unplaceable.is_empty() {
-        let partial = timeline.into_schedule();
+    if !scratch.unplaceable.is_empty() {
+        let partial = timeline.into_schedule_in(&mut scratch.timeline);
         return Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot)
-            .with_jobs(unplaceable)
+            .with_jobs(scratch.unplaceable.iter().copied())
             .with_partial(
                 metrics::psi(&partial, jobs),
                 metrics::upsilon(&partial, jobs),
             ));
     }
-    Ok((timeline.into_schedule(), replaced))
+    Ok((timeline.into_schedule_in(&mut scratch.timeline), replaced))
 }
 
 /// Minimal-shift re-timing: keep the base schedule's *execution order*
@@ -211,28 +262,40 @@ fn try_repair(
 /// would miss its window (callers escalate to [`repair_neighbourhood`]
 /// or a full re-synthesis), or the jobs `base` does not cover at all.
 pub fn retime(jobs: &JobSet, base: &Schedule) -> Result<Schedule, Infeasible> {
-    let starts = sorted_starts(base);
+    retime_in(jobs, base, &mut RepairScratch::default())
+}
+
+/// [`retime`], recycling the working memory of `scratch` across calls.
+///
+/// # Errors
+/// Exactly as [`retime`].
+pub fn retime_in(
+    jobs: &JobSet,
+    base: &Schedule,
+    scratch: &mut RepairScratch,
+) -> Result<Schedule, Infeasible> {
+    sorted_starts_into(base, &mut scratch.base_starts);
+    let starts = &scratch.base_starts;
     let uncovered: Vec<JobId> = jobs
         .iter()
-        .filter(|j| lookup_start(&starts, j.id()).is_none())
+        .filter(|j| lookup_start(starts, j.id()).is_none())
         .map(tagio_core::job::Job::id)
         .collect();
     if !uncovered.is_empty() {
         return Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot).with_jobs(uncovered));
     }
-    let mut order: Vec<(tagio_core::time::Time, usize)> = jobs
-        .iter()
-        .enumerate()
-        .map(|(idx, job)| {
-            let start = lookup_start(&starts, job.id()).expect("coverage checked above");
+    scratch.order.clear();
+    scratch
+        .order
+        .extend(jobs.iter().enumerate().map(|(idx, job)| {
+            let start = lookup_start(starts, job.id()).expect("coverage checked above");
             (start, idx)
-        })
-        .collect();
-    order.sort_unstable();
+        }));
+    scratch.order.sort_unstable();
     let all = jobs.as_slice();
-    let mut cursor = tagio_core::time::Time::ZERO;
+    let mut cursor = Time::ZERO;
     let mut out = Schedule::new();
-    for (base_start, idx) in order {
+    for &(base_start, idx) in &scratch.order {
         let job = &all[idx];
         let start = base_start.max(cursor).max(job.release());
         if start > job.latest_start() {
@@ -266,36 +329,58 @@ pub fn repair_neighbourhood(
     base: &Schedule,
     policy: SlotPolicy,
 ) -> Result<(Schedule, usize), Infeasible> {
-    let mut disturbed: HashSet<JobId> = HashSet::new();
+    repair_neighbourhood_in(jobs, base, policy, &mut RepairScratch::default())
+}
+
+/// [`repair_neighbourhood`], recycling the working memory of `scratch`
+/// across calls.
+///
+/// # Errors
+/// Exactly as [`repair_neighbourhood`].
+pub fn repair_neighbourhood_in(
+    jobs: &JobSet,
+    base: &Schedule,
+    policy: SlotPolicy,
+    scratch: &mut RepairScratch,
+) -> Result<(Schedule, usize), Infeasible> {
+    scratch.escalated.clear();
     let mut last_failure = None;
     // Round 0 is the plain repair; each later round frees the pockets the
     // previous round's failures pointed at. Three rounds bound the cost —
     // past that, a full re-synthesis is the better spend.
     for _round in 0..3 {
-        let as_vec: Vec<JobId> = disturbed.iter().copied().collect();
-        let failure = match try_repair(jobs, base, &as_vec, policy) {
+        // `try_repair` needs the whole scratch, so the escalation set is
+        // snapshotted into a taken-out buffer for the duration of a round.
+        let mut as_vec = std::mem::take(&mut scratch.escalated_vec);
+        as_vec.clear();
+        as_vec.extend(scratch.escalated.iter().copied());
+        let attempt = try_repair(jobs, base, &as_vec, policy, scratch);
+        scratch.escalated_vec = as_vec;
+        let failure = match attempt {
             Ok(done) => return Ok(done),
             Err(failure) => failure,
         };
-        let mut windows: Vec<(tagio_core::time::Time, tagio_core::time::Time)> = Vec::new();
+        let mut windows = std::mem::take(&mut scratch.windows);
+        windows.clear();
         let mut grew = false;
         for &id in &failure.jobs {
             let job = jobs.get(id).expect("failure diagnostics name real jobs");
             windows.push((job.release(), job.abs_deadline()));
-            grew |= disturbed.insert(id);
+            grew |= scratch.escalated.insert(id);
         }
         // Free every pinned job inside the congested windows. (Jobs with
         // no feasible base placement are re-placed regardless, so only
         // pinned jobs need explicit entries.)
         for job in jobs {
-            if disturbed.contains(&job.id()) {
+            if scratch.escalated.contains(&job.id()) {
                 continue;
             }
             let (lo, hi) = (job.release(), job.abs_deadline());
             if windows.iter().any(|&(wlo, whi)| lo < whi && wlo < hi) {
-                grew |= disturbed.insert(job.id());
+                grew |= scratch.escalated.insert(job.id());
             }
         }
+        scratch.windows = windows;
         last_failure = Some(failure);
         if !grew {
             break; // stuck: the same failure would repeat verbatim
@@ -336,6 +421,29 @@ pub fn repair_or_resynthesize_with(
     policy: SlotPolicy,
     ctx: &SolverCtx,
 ) -> Result<RepairOutcome, Infeasible> {
+    repair_or_resynthesize_in(
+        jobs,
+        base,
+        disturbed,
+        policy,
+        ctx,
+        &mut RepairScratch::default(),
+    )
+}
+
+/// [`repair_or_resynthesize_with`], recycling the working memory of
+/// `scratch` across calls — the whole anytime ladder, allocation-lean.
+///
+/// # Errors
+/// Exactly as [`repair_or_resynthesize_with`].
+pub fn repair_or_resynthesize_in(
+    jobs: &JobSet,
+    base: &Schedule,
+    disturbed: &[JobId],
+    policy: SlotPolicy,
+    ctx: &SolverCtx,
+    scratch: &mut RepairScratch,
+) -> Result<RepairOutcome, Infeasible> {
     let mut budget = ctx.budget();
     if let Err(cause) = budget.spend(1) {
         return Err(Infeasible::new(cause));
@@ -344,9 +452,9 @@ pub fn repair_or_resynthesize_with(
     // that attempt's failure diagnostics), so with no explicit disturbed
     // set it covers both incremental tiers in one call.
     let repaired = if disturbed.is_empty() {
-        repair_neighbourhood(jobs, base, policy)
+        repair_neighbourhood_in(jobs, base, policy, scratch)
     } else {
-        repair(jobs, base, disturbed, policy)
+        try_repair(jobs, base, disturbed, policy, scratch)
     };
     let incremental_failure = match repaired {
         Ok((schedule, replaced)) => {

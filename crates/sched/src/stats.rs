@@ -4,6 +4,7 @@
 
 use crate::scheduler::SchedulingReport;
 use serde::{Deserialize, Serialize};
+use tagio_core::{MetricSet, Metrics};
 
 /// Running summary of one scalar metric: sample count, mean, min and max.
 ///
@@ -101,6 +102,21 @@ impl Default for Summary {
     }
 }
 
+impl Metrics for Summary {
+    fn merge(&mut self, other: &Self) {
+        Summary::merge(self, other);
+    }
+
+    fn snapshot(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.push("count", self.count() as f64);
+        set.push("mean", self.mean());
+        set.push("min", self.min());
+        set.push("max", self.max());
+        set
+    }
+}
+
 /// Per-method statistics over a sweep point: how many systems were tried,
 /// how many were schedulable, and the Ψ/Υ distributions among the
 /// schedulable ones (the paper's figures average "among schedulable
@@ -166,6 +182,31 @@ impl MethodStats {
         } else {
             self.schedulable as f64 / self.samples as f64
         }
+    }
+
+    /// Folds another accumulator of the *same method* in (disjoint
+    /// sample sets — e.g. per-shard sweeps aggregated after the fact).
+    pub fn merge(&mut self, other: &MethodStats) {
+        self.samples += other.samples;
+        self.schedulable += other.schedulable;
+        Summary::merge(&mut self.psi, &other.psi);
+        Summary::merge(&mut self.upsilon, &other.upsilon);
+    }
+}
+
+impl Metrics for MethodStats {
+    fn merge(&mut self, other: &Self) {
+        MethodStats::merge(self, other);
+    }
+
+    fn snapshot(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.push("samples", self.samples as f64);
+        set.push("schedulable", self.schedulable as f64);
+        set.push("schedulable_fraction", self.schedulable_fraction());
+        set.push("psi", self.psi.mean());
+        set.push("upsilon", self.upsilon.mean());
+        set
     }
 }
 
@@ -237,5 +278,48 @@ mod tests {
         let stats = MethodStats::new("ga");
         assert_eq!(stats.schedulable_fraction(), 0.0);
         assert_eq!(stats.psi.mean(), 0.0);
+    }
+
+    #[test]
+    fn method_stats_merge_equals_single_fold() {
+        let reports = [
+            report(true, 1.0, 0.9),
+            report(false, 0.0, 0.0),
+            report(true, 0.5, 0.7),
+            report(true, 0.2, 0.3),
+        ];
+        let mut a = MethodStats::collect("static", reports[..2].iter());
+        let b = MethodStats::collect("static", reports[2..].iter());
+        a.merge(&b);
+        let whole = MethodStats::collect("static", reports.iter());
+        assert_eq!(
+            (a.samples, a.schedulable),
+            (whole.samples, whole.schedulable)
+        );
+        assert_eq!(a.psi.count(), whole.psi.count());
+        assert_eq!(
+            (a.psi.min(), a.psi.max()),
+            (whole.psi.min(), whole.psi.max())
+        );
+        // Sums fold in a different order; only bitwise association differs.
+        assert!((a.psi.mean() - whole.psi.mean()).abs() < 1e-12);
+        assert!((a.upsilon.mean() - whole.upsilon.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshots_use_stable_metric_names() {
+        use tagio_core::Metrics as _;
+        let stats = MethodStats::collect(
+            "static",
+            [report(true, 0.8, 0.6), report(false, 0.0, 0.0)].iter(),
+        );
+        let set = stats.snapshot();
+        assert_eq!(set.get("samples"), Some(2.0));
+        assert_eq!(set.get("schedulable"), Some(1.0));
+        assert_eq!(set.get("schedulable_fraction"), Some(0.5));
+        assert_eq!(set.get("psi"), Some(0.8));
+        let summary = stats.psi.snapshot();
+        assert_eq!(summary.get("count"), Some(1.0));
+        assert_eq!(summary.get("mean"), Some(0.8));
     }
 }

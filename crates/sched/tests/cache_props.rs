@@ -107,4 +107,56 @@ proptest! {
             }
         }
     }
+
+    /// The direction-aware invalidations (`invalidate_for_arrival` /
+    /// `invalidate_for_departure`) keep strictly more entries than the
+    /// conservative union rule — every kept entry must still agree with a
+    /// cold analysis after every arrival, departure, and changed-WCET
+    /// re-admission. WCETs are drawn from a tiny band so exact blocking
+    /// ties (the rule's new keep-cases) occur constantly.
+    #[test]
+    fn direction_aware_invalidation_matches_cold_analysis(
+        trace in steps(),
+        period_seed in 0usize..4,
+        prio_seed in 0u32..3,
+        tie_band in 1u64..8,
+    ) {
+        let mut active = TaskSet::new();
+        let mut cache = AnalysisCache::new();
+        for (i, step) in trace.iter().enumerate() {
+            let id = step.slot as u32;
+            // Quantise WCETs into `tie_band` buckets so equal-WCET
+            // blockers (bound witnesses) are the norm, not the exception.
+            let permille = (step.wcet_permille / 30).clamp(1, tie_band) * 30;
+            if let Some(current) = active.get(TaskId(id)).cloned() {
+                active = active
+                    .iter()
+                    .filter(|t| t.id() != current.id())
+                    .cloned()
+                    .collect();
+                cache.invalidate_for_departure(&current);
+            } else {
+                let task = pool_task(
+                    id,
+                    period_seed + step.slot + i,
+                    permille,
+                    prio_seed + id,
+                );
+                cache.invalidate_for_arrival(&task);
+                active.push(task).expect("slot was inactive");
+            }
+            prop_assert_eq!(
+                cache.schedulable(&active),
+                taskset_schedulable_np_fps(&active),
+                "set verdict diverged at step {}", i
+            );
+            for t in &active {
+                prop_assert_eq!(
+                    cache.response_time(t, &active),
+                    response_time_np_fps(t, &active),
+                    "stale entry for {:?} at step {}", t.id(), i
+                );
+            }
+        }
+    }
 }
