@@ -69,7 +69,7 @@ fn bench_ga_generation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ga_generation");
     group.sample_size(10);
-    let cores = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    let cores = tagio_core::pool::available_workers();
     let mut counts = vec![1usize, 4, cores];
     counts.sort_unstable();
     counts.dedup(); // duplicate criterion ids are an error on 1- or 4-core boxes

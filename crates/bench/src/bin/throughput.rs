@@ -30,13 +30,27 @@
 //! the admission gate, where the naive path still pays two full O(jobs)
 //! Ψ/Υ scans per verdict and the lean path reads a cached pair.
 //!
+//! Schema v2 adds a **thread-scaling column**: the lean hot path is
+//! additionally replayed through the persistent worker pool at widths 2
+//! and 4 (`lean-w2`, `lean-w4`). The fleet clamps the pool to the
+//! partition count (workers are per-partition lanes), and the staged
+//! epoch pipeline keeps schedules and stats bit-identical at every
+//! width — the deterministic metrics of all four columns must agree,
+//! and on a multi-core box the `lean-wN` rows expose lane scaling on
+//! the multi-partition points.
+//!
 //! Flags: `--systems N` (scenarios per point), `--seed N`, `--threads N`
-//! (worker pool, `0` = all cores), `--json`. JSON schema (versioned,
-//! `schema_version` is diffed by CI against the committed
-//! `BENCH_throughput.json`): EXPERIMENTS.md.
+//! (worker pool for the *outer* scenario fan-out, `0` = all cores),
+//! `--json`. JSON schema (versioned, `schema_version` is diffed by CI
+//! against the committed `BENCH_throughput.json`): EXPERIMENTS.md.
+//!
+//! For committed wall-clock numbers use `--threads 1`: the outer
+//! fan-out measures scenarios concurrently, so any width above the
+//! machine's core count inflates every scenario's wall time with
+//! contention that is a measurement artifact, not scheduler cost.
 //!
 //! ```text
-//! cargo run --release -p tagio-bench --bin throughput -- --json > BENCH_throughput.json
+//! cargo run --release -p tagio-bench --bin throughput -- --threads 1 --json > BENCH_throughput.json
 //! ```
 
 use std::time::Instant;
@@ -50,8 +64,9 @@ use tagio_sched::Summary;
 
 /// Version of the emitted JSON envelope. Bump when the envelope or the
 /// metric vocabulary above changes shape; CI diffs this against the
-/// committed `BENCH_throughput.json`.
-const SCHEMA_VERSION: u32 = 1;
+/// committed `BENCH_throughput.json`. v2: `lean-w2`/`lean-w4`
+/// thread-scaling columns.
+const SCHEMA_VERSION: u32 = 2;
 
 /// Events per routing epoch during replay (larger than the
 /// `fleet_scenarios` batch: throughput is the point here, and batching
@@ -73,12 +88,15 @@ const SWEEP: [(u32, f64, usize, bool); 5] = [
     (1, 0.90, 2048, false),
 ];
 
-/// Replays `scenario` once with the given hot-path mode and measures the
-/// run: throughput, admission-latency percentiles, repair-ladder
-/// invocations and cache behaviour.
-fn measure(scenario: &FleetScenario, lean: bool) -> Outcome {
+/// Replays `scenario` once with the given hot-path mode and fleet
+/// worker-pool width, and measures the run: throughput,
+/// admission-latency percentiles, repair-ladder invocations and cache
+/// behaviour. `workers` is [`FleetConfig::threads`] — the fleet clamps
+/// it to the partition count, and every width produces bit-identical
+/// decisions (the `lean-wN` columns differ from `lean` only in cost).
+fn measure(scenario: &FleetScenario, lean: bool, workers: usize) -> Outcome {
     let config = FleetConfig {
-        threads: 1, // the engine parallelises across systems instead
+        threads: workers,
         lean,
         ..FleetConfig::default()
     };
@@ -190,8 +208,10 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     let methods = vec![
-        Method::new("naive", |s: &FleetScenario, _| measure(s, false)),
-        Method::new("lean", |s: &FleetScenario, _| measure(s, true)),
+        Method::new("naive", |s: &FleetScenario, _| measure(s, false, 1)),
+        Method::new("lean", |s: &FleetScenario, _| measure(s, true, 1)),
+        Method::new("lean-w2", |s: &FleetScenario, _| measure(s, true, 2)),
+        Method::new("lean-w4", |s: &FleetScenario, _| measure(s, true, 4)),
     ];
     let seed = opts.seed;
     let systems = opts.systems;
@@ -243,7 +263,7 @@ mod tests {
 
     #[test]
     fn measured_latency_distribution_is_sane() {
-        let out = measure(&scenario(1, 7, 0), true);
+        let out = measure(&scenario(1, 7, 0), true, 1);
         let (p50, p99) = (metric(&out, "p50_us"), metric(&out, "p99_us"));
         assert!(p50 >= 0.0 && p99 >= p50, "p50={p50} p99={p99}");
         assert!(metric(&out, "events_per_sec") > 0.0);
@@ -261,8 +281,8 @@ mod tests {
         // per-event proof lives in crates/online/tests/quality_props.rs.
         for ix in [0, 2] {
             let s = scenario(ix, 11, 0);
-            let naive = measure(&s, false);
-            let lean = measure(&s, true);
+            let naive = measure(&s, false, 1);
+            let lean = measure(&s, true, 1);
             assert_eq!(metric(&naive, "acceptance"), metric(&lean, "acceptance"));
             assert_eq!(
                 metric(&naive, "repair_invocations"),
@@ -273,6 +293,28 @@ mod tests {
                 metric(&lean, "cache_hit_rate") >= metric(&naive, "cache_hit_rate"),
                 "point {ix}"
             );
+        }
+    }
+
+    #[test]
+    fn pooled_widths_agree_on_every_deterministic_metric() {
+        // The thread-scaling columns must differ from `lean` only in
+        // wall-clock cost: a multi-partition point replayed at widths
+        // 1, 2 and 4 yields identical decisions, repair counts and
+        // cache behaviour (the epoch pipeline commits lanes in
+        // partition-id order regardless of worker count). The per-event
+        // proof lives in crates/online/tests/pool_determinism.rs.
+        let s = scenario(3, 13, 0); // 4 partitions: widths actually differ
+        let base = measure(&s, true, 1);
+        for workers in [2usize, 4] {
+            let wide = measure(&s, true, workers);
+            for name in ["acceptance", "repair_invocations", "cache_hit_rate"] {
+                assert_eq!(
+                    metric(&base, name),
+                    metric(&wide, name),
+                    "{name} diverged at width {workers}"
+                );
+            }
         }
     }
 
@@ -308,7 +350,7 @@ mod tests {
         };
         let doc = json_envelope(&report);
         tagio_bench::json::validate(&doc).expect("envelope is valid JSON");
-        assert!(doc.starts_with("{\"schema_version\":1,"));
+        assert!(doc.starts_with("{\"schema_version\":2,"));
         assert!(doc.contains("\"benchmark\":\"throughput\""));
         assert!(doc.contains("\"report\":{"));
     }

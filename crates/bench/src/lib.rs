@@ -214,16 +214,13 @@ impl Options {
     }
 
     /// The resolved worker-pool width: `--threads`, or every available
-    /// core when `0`.
+    /// core when `0` — via the one workspace-wide resolution rule
+    /// ([`tagio_core::pool::available_workers`]), so every binary
+    /// (throughput, fleet_scenarios, the GA sweeps) reads `--threads 0`
+    /// identically. See EXPERIMENTS.md, "Threading model".
     #[must_use]
     pub fn thread_count(&self) -> usize {
-        if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZero::get)
-                .unwrap_or(4)
-        } else {
-            self.threads
-        }
+        tagio_core::pool::resolve_width(self.threads)
     }
 
     /// The GA configuration implied by these options, based on
@@ -290,16 +287,14 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZero::get)
-        .unwrap_or(4);
-    parallel_map_with(items, threads, f)
+    parallel_map_with(items, tagio_core::pool::available_workers(), f)
 }
 
-/// Maps `f` over `items` on a scoped pool of `threads` workers, preserving
-/// order (results are written back by index, so the output is identical to
-/// a serial map for any pool width). Delegates to the same chunked map the
-/// GA engine evaluates populations with ([`tagio_ga::chunk_map`]).
+/// Maps `f` over `items` with chunking width `threads` on the shared
+/// persistent [`tagio_core::pool::WorkerPool`], preserving order
+/// (results are written back by index, so the output is identical to a
+/// serial map for any width). Delegates to the same chunked map the GA
+/// engine evaluates populations with ([`tagio_ga::chunk_map`]).
 pub fn parallel_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,

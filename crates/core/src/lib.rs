@@ -59,6 +59,7 @@ pub mod error;
 pub mod event;
 pub mod job;
 pub mod metrics;
+pub mod pool;
 pub mod quality;
 pub mod schedule;
 pub mod solve;
@@ -69,6 +70,7 @@ pub use error::{ValidateScheduleError, ValidateTaskError};
 pub use event::{Mode, ModeId, SystemEvent, TimedEvent};
 pub use job::{Job, JobId, JobSet};
 pub use metrics::{MetricSet, Metrics};
+pub use pool::{available_workers, WorkerPool};
 pub use quality::{QualityCurve, QualityShape};
 pub use schedule::{entry_for, Schedule, ScheduleEntry};
 pub use solve::{Infeasible, InfeasibleCause, SolveBudget, SolverCtx};

@@ -101,6 +101,32 @@ pub trait Metrics {
     fn snapshot(&self) -> MetricSet;
 }
 
+/// Sorted `(job, start)` lookup table over a schedule's entries.
+///
+/// Every metric below resolves one schedule entry per job; going through
+/// [`Schedule::start_of`] makes that a linear scan per job — quadratic
+/// over the whole set, and these metrics garnish every admission verdict
+/// on the online hot path. One `O(n log n)` sort turns each lookup into
+/// a binary search. Entries arrive in start order and the sort key is
+/// `(job, start)`, so the first match for a job is its earliest entry —
+/// exactly what `start_of`'s first-found scan returns.
+fn start_index(schedule: &Schedule) -> Vec<(crate::job::JobId, crate::time::Time)> {
+    let mut index: Vec<_> = schedule.iter().map(|e| (e.job, e.start)).collect();
+    index.sort_unstable();
+    index
+}
+
+fn indexed_start(
+    index: &[(crate::job::JobId, crate::time::Time)],
+    job: crate::job::JobId,
+) -> Option<crate::time::Time> {
+    let pos = index.partition_point(|&(j, _)| j < job);
+    match index.get(pos) {
+        Some(&(j, start)) if j == job => Some(start),
+        _ => None,
+    }
+}
+
 /// Ψ (Eq. (1)): fraction of jobs with exact timing-accurate control.
 ///
 /// Returns 1.0 for an empty job set (vacuously all-exact).
@@ -122,9 +148,10 @@ pub fn psi(schedule: &Schedule, jobs: &JobSet) -> f64 {
     if jobs.is_empty() {
         return 1.0;
     }
+    let index = start_index(schedule);
     let exact = jobs
         .iter()
-        .filter(|j| schedule.start_of(j.id()) == Some(j.ideal_start()))
+        .filter(|j| indexed_start(&index, j.id()) == Some(j.ideal_start()))
         .count();
     exact as f64 / jobs.len() as f64
 }
@@ -144,9 +171,10 @@ pub fn upsilon(schedule: &Schedule, jobs: &JobSet) -> f64 {
     if peak <= 0.0 || peak.is_nan() {
         return 0.0;
     }
+    let index = start_index(schedule);
     let achieved: f64 = jobs
         .iter()
-        .filter_map(|j| schedule.start_of(j.id()).map(|s| j.quality_at(s)))
+        .filter_map(|j| indexed_start(&index, j.id()).map(|s| j.quality_at(s)))
         .sum();
     achieved / peak
 }
@@ -166,8 +194,9 @@ pub fn quality(schedule: &Schedule, jobs: &JobSet) -> (f64, f64) {
     // `Iterator::sum::<f64>()` folds from -0.0; start there so an empty
     // schedule yields the same bits as `upsilon`.
     let mut achieved = -0.0f64;
+    let index = start_index(schedule);
     for job in jobs {
-        if let Some(start) = schedule.start_of(job.id()) {
+        if let Some(start) = indexed_start(&index, job.id()) {
             if start == job.ideal_start() {
                 exact += 1;
             }
@@ -212,8 +241,9 @@ impl AccuracyStats {
         };
         let mut err_sum: u128 = 0;
         let mut err_count: usize = 0;
+        let index = start_index(schedule);
         for job in jobs {
-            let Some(start) = schedule.start_of(job.id()) else {
+            let Some(start) = indexed_start(&index, job.id()) else {
                 continue;
             };
             let err = start.abs_diff(job.ideal_start()).as_micros();

@@ -60,10 +60,11 @@ pub struct GaConfig {
     /// Fraction of the initial population built from [`Problem::hint_gene`]
     /// values (0.0 = the paper's fully-random initialisation).
     pub hint_fraction: f64,
-    /// Worker threads for fitness evaluation; `0` means
-    /// [`std::thread::available_parallelism`]. Evaluation is pure and all
-    /// randomness stays in the sequential variation step, so the returned
-    /// front is bit-identical for every thread count.
+    /// Chunking width for fitness evaluation on the shared persistent
+    /// pool; `0` means one per available core (the workspace-wide
+    /// [`tagio_core::pool::resolve_width`] rule). Evaluation is pure and
+    /// all randomness stays in the sequential variation step, so the
+    /// returned front is bit-identical for every thread count.
     pub threads: usize,
 }
 
@@ -103,14 +104,17 @@ impl Default for GaConfig {
     }
 }
 
-/// Evaluates every genome of `genomes`, chunked across a scoped worker pool
-/// of `threads` threads (`0` = [`std::thread::available_parallelism`]).
+/// Evaluates every genome of `genomes`, chunked with width `threads`
+/// across the workspace's persistent worker pool (`0` = one per
+/// available core, by the shared [`tagio_core::pool::resolve_width`]
+/// rule every other `--threads`-style knob uses).
 ///
 /// Results are written back by index, so the output is identical to the
 /// serial `genomes.iter().map(|g| problem.evaluate(g))` regardless of the
 /// thread count — [`Problem::evaluate`] is required to be pure. Small
-/// populations are kept on fewer threads (at least [`MIN_EVAL_CHUNK`]
-/// genomes per worker) so spawn overhead cannot dominate toy problems.
+/// populations are kept on fewer chunks (at least [`MIN_EVAL_CHUNK`]
+/// genomes per worker) so scheduling overhead cannot dominate toy
+/// problems.
 pub fn evaluate_population<P>(
     problem: &P,
     genomes: &[Vec<P::Gene>],
@@ -120,13 +124,7 @@ where
     P: Problem + Sync,
     P::Gene: Sync,
 {
-    let requested = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZero::get)
-            .unwrap_or(1)
-    } else {
-        threads
-    };
+    let requested = tagio_core::pool::resolve_width(threads);
     let workers = requested.min(genomes.len().div_ceil(MIN_EVAL_CHUNK)).max(1);
     crate::parallel::chunk_map(genomes, workers, |genome| problem.evaluate(genome))
 }

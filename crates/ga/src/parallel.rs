@@ -1,43 +1,30 @@
-//! The scoped, chunked parallel map shared by the GA engine's population
-//! evaluation and the experiment harness's system sweeps.
+//! The chunked parallel map shared by the GA engine's population
+//! evaluation and the experiment harness's system sweeps — a thin façade
+//! over the workspace-wide persistent [`WorkerPool`].
+//!
+//! Earlier revisions spawned a fresh [`std::thread::scope`] per call —
+//! one spawn/join cycle per GA *generation* and per sweep *point*. Both
+//! now run on the long-lived pool workers, and because the pool's
+//! submitter helps with its own batch, a sweep running GA evaluations
+//! inside pool tasks nests without deadlock or oversubscription.
 
-/// Maps `f` over `items` on a scoped pool of `threads` workers, preserving
-/// order: results are written back by index, so the output is identical to
-/// the serial `items.iter().map(f)` for any pool width (given a pure `f`).
+use tagio_core::pool::WorkerPool;
+
+/// Maps `f` over `items` on the shared persistent pool, preserving
+/// order: results are written back by index, so the output is identical
+/// to the serial `items.iter().map(f)` for any width (given a pure `f`).
 ///
-/// `threads` is clamped to `[1, items.len()]`; a width of 1 (or an empty
-/// input) runs serially with no thread spawned. Callers decide their own
-/// granularity policy before calling (e.g. the engine's
-/// [`MIN_EVAL_CHUNK`](crate::engine::MIN_EVAL_CHUNK) floor).
+/// `threads` is the chunking width, clamped to `[1, items.len()]`; a
+/// width of 1 (or an empty input) runs serially on the calling thread.
+/// Callers decide their own granularity policy before calling (e.g. the
+/// engine's [`MIN_EVAL_CHUNK`](crate::engine::MIN_EVAL_CHUNK) floor).
 pub fn chunk_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, items.len());
-    if threads == 1 {
-        return items.iter().map(f).collect();
-    }
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    let chunk = items.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (slots, values) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
-                for (slot, item) in slots.iter_mut().zip(values) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    WorkerPool::global().map(items, threads.clamp(1, items.len().max(1)), f)
 }
 
 #[cfg(test)]
@@ -57,5 +44,19 @@ mod tests {
     fn empty_input_spawns_nothing() {
         let empty: [u64; 0] = [];
         assert!(chunk_map(&empty, 8, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn nests_inside_pool_tasks_without_deadlock() {
+        // A sweep maps systems on the pool; each system's GA evaluation
+        // calls chunk_map again from inside a pool task. Both levels
+        // must complete even when the pool is narrower than the fan-out.
+        let outer: Vec<u64> = (0..8).collect();
+        let result = chunk_map(&outer, 8, |x| {
+            let inner: Vec<u64> = (0..5).collect();
+            chunk_map(&inner, 5, |y| x * 10 + y).iter().sum::<u64>()
+        });
+        let expected: Vec<u64> = (0..8).map(|x| (0..5).map(|y| x * 10 + y).sum()).collect();
+        assert_eq!(result, expected);
     }
 }

@@ -7,35 +7,45 @@
 //! partition behind a router, with state changes batched per epoch and
 //! committed between them.
 //!
-//! Each call to [`FleetScheduler::apply_batch`] is one **epoch**:
+//! Each call to [`FleetScheduler::apply_batch`] is one **epoch**,
+//! pipelined over the persistent [`WorkerPool`] (no per-epoch thread
+//! spawns) with staging buffers reused across epochs (no per-epoch
+//! router allocations in steady state):
 //!
-//! 1. **route** — sequentially, with the fleet's seeded RNG: every event
-//!    is assigned a partition lane by the [`PlacementPolicy`] (arrivals),
-//!    by task ownership (departures), by device (spikes), or broadcast
-//!    (mode changes). Fleet-level verdicts (duplicate ids, unroutable
-//!    events) are decided here without touching any partition.
-//! 2. **admit in parallel** — partition lanes are disjoint, so the
-//!    partitions evaluate their lanes concurrently on a scoped thread
-//!    pool (the same chunking pattern as `tagio-ga`'s parallel
-//!    evaluation). Results are independent of the thread count.
+//! 1. **stage** — sequentially, with the fleet's seeded RNG: every event
+//!    is resolved to a per-partition lane of *event indices* by the
+//!    [`PlacementPolicy`] (arrivals, against a once-per-epoch headroom
+//!    snapshot), by task ownership (departures), by device (spikes), or
+//!    broadcast (mode changes). Fleet-level verdicts (duplicate ids,
+//!    unroutable events) are decided here without touching any
+//!    partition; nothing is cloned — arrivals are offered by reference
+//!    ([`OnlineScheduler::offer`]) and re-bound only on admission.
+//! 2. **evaluate in parallel** — partition lanes are disjoint, so the
+//!    long-lived pool workers drain them concurrently. Results are
+//!    independent of the worker count.
 //! 3. **commit in partition-id order** — ownership updates and fleet
 //!    counters fold deterministically.
-//! 4. **cross-partition retry** — an arrival its routed partition
-//!    rejected is re-offered, sequentially and in event order, to the
-//!    next `retries` partitions of its preference order, carrying the
-//!    [`Infeasible`] diagnostics forward so the final cause is attributed
-//!    correctly. Departures of tasks that arrived earlier in the same
-//!    batch are resolved here too, once ownership has settled.
+//! 4. **retry in waves** — arrivals their routed partition rejected are
+//!    re-offered along their preference ladder in *waves*: each wave
+//!    claims, in event order, the next ladder rung of every pending
+//!    arrival whose target partition no earlier arrival claimed this
+//!    wave (a contested rung simply waits for the next wave — it is
+//!    never skipped). A wave's offers target disjoint partitions, so
+//!    they evaluate in parallel; *wave order*, not thread order, defines
+//!    the semantics. Carried [`Infeasible`] diagnostics attribute the
+//!    final cause. Departures of tasks that arrived earlier in the same
+//!    batch are resolved after the waves, once ownership has settled.
 //!
-//! The composition is therefore bit-deterministic for any thread count:
+//! The composition is therefore bit-deterministic for any worker count:
 //! all randomness and all cross-partition coupling live in the
-//! sequential phases.
+//! sequential staging, commit and wave-formation steps.
 
 use crate::service::{EventOutcome, OnlineScheduler, OnlineStats, RejectReason, RepairStrategy};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::{BTreeMap, BTreeSet};
-use tagio_core::event::{RoutedEvent, SystemEvent};
+use std::collections::{BTreeMap, HashSet};
+use tagio_core::event::SystemEvent;
+use tagio_core::pool::WorkerPool;
 use tagio_core::schedule::Schedule;
 use tagio_core::solve::{Infeasible, InfeasibleCause};
 use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
@@ -243,16 +253,123 @@ pub struct FleetOutcome {
     pub outcome: EventOutcome,
 }
 
-/// A routed arrival awaiting commit/retry resolution.
-#[derive(Debug)]
+/// A routed arrival awaiting commit/retry resolution. Holds no task
+/// clone — the task lives in the caller's event slice, addressed by
+/// `event_ix`; the preference ladder lives in the epoch's shared order
+/// buffer ([`EpochStaging::order_buf`]), addressed by range.
+#[derive(Debug, Default, Clone)]
 struct ArrivalPlan {
-    task: IoTask,
+    /// Index of the arrival in the epoch's event slice.
+    event_ix: usize,
+    /// The arrival's own device (migration accounting).
     origin: DeviceId,
-    /// Partition indices in offer order (first entry was offered in the
-    /// parallel phase).
-    order: Vec<usize>,
+    /// This plan's preference ladder: partition indices, best first, at
+    /// `order_buf[order_start..order_start + order_len]`.
+    order_start: usize,
+    order_len: usize,
+    /// The next ladder rung to offer (`1` = first retry; rung 0 was
+    /// offered in the parallel lane phase).
+    cursor: usize,
+    /// Partitions offered so far.
+    attempts: u32,
     /// Rejections collected so far, in offer order.
     carried: Vec<RejectReason>,
+}
+
+/// Per-epoch staging, reused across epochs (structure-of-arrays): every
+/// buffer retains its capacity, so a steady-state epoch routes without
+/// allocating. Lanes and plans address events by index into the caller's
+/// slice instead of cloning them.
+#[derive(Debug, Default)]
+struct EpochStaging {
+    /// Per-partition lanes of event indices (parallel-phase input).
+    lanes: Vec<Vec<usize>>,
+    /// Per-partition lane results, `(event index, outcome)`.
+    results: Vec<Vec<(usize, EventOutcome)>>,
+    /// Arrival plans in event order; `plans_used` of them are live this
+    /// epoch (slots beyond that are recycled capacity).
+    plans: Vec<ArrivalPlan>,
+    plans_used: usize,
+    /// Per-event plan index (`usize::MAX` = the event has no plan).
+    plan_of: Vec<usize>,
+    /// Every plan's preference ladder, back to back.
+    order_buf: Vec<usize>,
+    /// Arrival ids routed this epoch (same-batch duplicate detection).
+    routed_ids: HashSet<TaskId>,
+    /// Ownership as projected through this batch's departures: a
+    /// Departure followed by a same-id Arrival in one batch (a task
+    /// restart) must admit, not duplicate-reject.
+    projected: HashSet<TaskId>,
+    /// Departures of tasks whose arrival is earlier in this batch:
+    /// resolved after ownership settles (post-retry), in event order.
+    deferred: Vec<(usize, TaskId)>,
+    /// Per-partition headroom, snapshotted once per epoch: staging runs
+    /// strictly before any admission, so one snapshot is bit-identical
+    /// to recomputing per arrival.
+    head: Vec<f64>,
+    /// Preference scratch: shuffled candidate order / non-fitting tail.
+    scratch: Vec<usize>,
+    rest: Vec<usize>,
+    /// Partitions already claimed by the current retry wave.
+    claimed: Vec<bool>,
+}
+
+impl EpochStaging {
+    /// Resets for a new epoch over `partitions` partitions and `events`
+    /// events, keeping every buffer's capacity.
+    fn begin(&mut self, partitions: usize, events: usize, owner: &BTreeMap<TaskId, usize>) {
+        self.lanes.resize_with(partitions, Vec::new);
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+        self.results.resize_with(partitions, Vec::new);
+        for result in &mut self.results {
+            result.clear();
+        }
+        self.plans_used = 0;
+        self.plan_of.clear();
+        self.plan_of.resize(events, usize::MAX);
+        self.order_buf.clear();
+        self.routed_ids.clear();
+        self.projected.clear();
+        self.projected.extend(owner.keys().copied());
+        self.deferred.clear();
+        self.head.clear();
+        self.claimed.clear();
+        self.claimed.resize(partitions, false);
+    }
+
+    /// Claims a plan slot (recycling a previous epoch's allocation) and
+    /// returns its index.
+    fn alloc_plan(
+        &mut self,
+        event_ix: usize,
+        origin: DeviceId,
+        order_start: usize,
+        order_len: usize,
+    ) -> usize {
+        let k = self.plans_used;
+        let plan = ArrivalPlan {
+            event_ix,
+            origin,
+            order_start,
+            order_len,
+            cursor: 1,
+            attempts: 1,
+            carried: Vec::new(),
+        };
+        if let Some(slot) = self.plans.get_mut(k) {
+            let carried = std::mem::take(&mut slot.carried);
+            *slot = plan;
+            slot.carried = carried;
+            slot.carried.clear();
+        } else {
+            self.plans.push(plan);
+        }
+        self.plans_used = k + 1;
+        self.plan_of[event_ix] = k;
+        k
+    }
 }
 
 /// N partitions behind a batching, retrying, policy-driven event router.
@@ -269,6 +386,8 @@ pub struct FleetScheduler {
     overload_rejects: Vec<usize>,
     rng: StdRng,
     stats: FleetStats,
+    /// Reused per-epoch staging (see [`EpochStaging`]).
+    staging: EpochStaging,
 }
 
 impl FleetScheduler {
@@ -294,6 +413,7 @@ impl FleetScheduler {
             overload_rejects,
             rng,
             stats: FleetStats::default(),
+            staging: EpochStaging::default(),
         }
     }
 
@@ -414,10 +534,11 @@ impl FleetScheduler {
             })
     }
 
-    /// Applies one epoch: routes `events` to partition lanes, evaluates
-    /// the lanes in parallel, commits in partition-id order, then runs
-    /// the cross-partition admission retries. Returns one outcome per
-    /// input event, in order. Deterministic for any thread count.
+    /// Applies one epoch: stages `events` into per-partition lanes,
+    /// evaluates the lanes in parallel on the persistent [`WorkerPool`],
+    /// commits in partition-id order, then runs the cross-partition
+    /// retry waves. Returns one outcome per input event, in order.
+    /// Deterministic for any worker count.
     pub fn apply_batch(&mut self, events: &[SystemEvent]) -> Vec<FleetOutcome> {
         self.stats.epochs += 1;
         self.stats.events += events.len();
@@ -435,163 +556,34 @@ impl FleetScheduler {
                 })
                 .collect();
         }
-        // Phase 1 — sequential routing (the only phase that draws from
+        self.staging.begin(n, events.len(), &self.owner);
+        // Phase 1 — sequential staging (the only phase that draws from
         // the RNG or reads cross-partition state).
-        let mut lanes: Vec<Vec<(usize, SystemEvent)>> = vec![Vec::new(); n];
-        let mut plans: Vec<Option<ArrivalPlan>> = events.iter().map(|_| None).collect();
-        let mut routed_ids: BTreeSet<TaskId> = BTreeSet::new();
-        // Departures of tasks whose arrival is earlier in this batch:
-        // resolved after ownership settles (post-retry), in event order.
-        let mut deferred: Vec<(usize, TaskId)> = Vec::new();
-        // Ownership as it will stand once this batch's departures land:
-        // a Departure followed by a same-id Arrival in one batch (a task
-        // restart) must admit, not duplicate-reject — sequential-trace
-        // semantics, mirroring the deferred-departure case above.
-        let mut projected: BTreeSet<TaskId> = self.owner.keys().copied().collect();
-        for (i, event) in events.iter().enumerate() {
-            match event {
-                SystemEvent::Arrival(task) => {
-                    let id = task.id();
-                    if projected.contains(&id) || !routed_ids.insert(id) {
-                        // Fleet-wide id uniqueness is the router's job:
-                        // two partitions must never run the same task.
-                        // Duplicates are counted apart — they are never
-                        // routed, so they belong in neither `arrivals`
-                        // nor `rejected` (and cannot deflate acceptance).
-                        self.stats.duplicate_rejects += 1;
-                        outcomes[i] = Some(FleetOutcome {
-                            partition: None,
-                            attempts: 0,
-                            outcome: EventOutcome::Rejected {
-                                task: id,
-                                reason: RejectReason::DuplicateTask,
-                            },
-                        });
-                        continue;
-                    }
-                    self.stats.arrivals += 1;
-                    let order = self.preference(task);
-                    let first = order[0];
-                    let routed = RoutedEvent::dispatch(event, self.partitions[first].device(), 0);
-                    lanes[first].push((i, routed.event));
-                    plans[i] = Some(ArrivalPlan {
-                        origin: routed.origin.unwrap_or_else(|| task.device()),
-                        task: task.clone(),
-                        order,
-                        carried: Vec::new(),
-                    });
-                }
-                SystemEvent::Departure(id) => match self.owner.get(id) {
-                    Some(&p) => {
-                        lanes[p].push((i, event.clone()));
-                        projected.remove(id);
-                    }
-                    // The task is not owned *yet*, but an arrival earlier
-                    // in this very batch routed it: ownership resolves in
-                    // the commit/retry phases, so the departure is
-                    // deferred to the post-retry phase instead of being
-                    // silently dropped (sequential-trace semantics).
-                    None if routed_ids.contains(id) => deferred.push((i, *id)),
-                    None => {
-                        self.stats.unrouted += 1;
-                        outcomes[i] = Some(FleetOutcome {
-                            partition: None,
-                            attempts: 0,
-                            outcome: EventOutcome::Ignored {
-                                reason: "departure of a task no partition owns",
-                            },
-                        });
-                    }
-                },
-                SystemEvent::ModeChange(_) => {
-                    for lane in &mut lanes {
-                        lane.push((i, event.clone()));
-                    }
-                }
-                SystemEvent::UtilisationSpike { device, .. } => match self.index_of(*device) {
-                    Some(p) => lanes[p].push((i, event.clone())),
-                    None => {
-                        self.stats.unrouted += 1;
-                        outcomes[i] = Some(FleetOutcome {
-                            partition: None,
-                            attempts: 0,
-                            outcome: EventOutcome::Ignored {
-                                reason: "spike on a device outside the fleet",
-                            },
-                        });
-                    }
-                },
-            }
-        }
-        // Phase 2 — parallel, independent lane evaluation.
-        let results = self.run_lanes(&lanes);
+        self.stage(events, &mut outcomes);
+        // Phase 2 — parallel, independent lane evaluation on the pool.
+        let width = self.lane_width();
+        eval_lanes(
+            &mut self.partitions,
+            &self.staging.lanes,
+            &mut self.staging.results,
+            events,
+            width,
+        );
         // Phase 3 — commit in partition-id order.
         let mut mode_acc: BTreeMap<usize, (Vec<TaskId>, Vec<TaskId>)> = BTreeMap::new();
-        for (p, lane_results) in results.into_iter().enumerate() {
-            for (i, outcome) in lane_results {
-                self.commit(p, i, outcome, &mut outcomes, &mut plans, &mut mode_acc);
+        let mut results = std::mem::take(&mut self.staging.results);
+        for (p, lane_results) in results.iter_mut().enumerate() {
+            for (i, outcome) in lane_results.drain(..) {
+                self.commit(p, i, outcome, &mut outcomes, &mut mode_acc);
             }
         }
-        // Phase 4 — sequential cross-partition retries, in event order.
-        for (i, slot) in plans.iter_mut().enumerate() {
-            let Some(plan) = slot else { continue };
-            if outcomes[i].is_some() {
-                continue; // admitted first try (or router verdict)
-            }
-            let mut attempts: u32 = 1;
-            let mut admitted_at = None;
-            for &p in plan.order.iter().skip(1).take(self.config.retries) {
-                attempts += 1;
-                self.stats.retries += 1;
-                let routed = RoutedEvent::dispatch(
-                    &SystemEvent::Arrival(plan.task.clone()),
-                    self.partitions[p].device(),
-                    attempts - 1,
-                );
-                match self.partitions[p].apply(&routed.event) {
-                    outcome @ EventOutcome::Admitted { .. } => {
-                        self.owner.insert(plan.task.id(), p);
-                        self.stats.admitted += 1;
-                        self.stats.retry_admissions += 1;
-                        if routed.migrated() {
-                            self.stats.migrations += 1;
-                        }
-                        admitted_at = Some((p, outcome));
-                        break;
-                    }
-                    EventOutcome::Rejected { reason, .. } => {
-                        self.record_partition_reject(p, &reason);
-                        plan.carried.push(reason);
-                    }
-                    _ => {}
-                }
-            }
-            outcomes[i] = Some(match admitted_at {
-                Some((p, outcome)) => FleetOutcome {
-                    partition: Some(self.partitions[p].device()),
-                    attempts,
-                    outcome,
-                },
-                None => {
-                    self.stats.rejected += 1;
-                    let reason = final_reject_reason(std::mem::take(&mut plan.carried));
-                    if let Some(diag) = reason.diagnostic() {
-                        *self.stats.reject_causes.entry(diag.cause).or_insert(0) += 1;
-                    }
-                    FleetOutcome {
-                        partition: plan.order.first().map(|&p| self.partitions[p].device()),
-                        attempts,
-                        outcome: EventOutcome::Rejected {
-                            task: plan.task.id(),
-                            reason,
-                        },
-                    }
-                }
-            });
-        }
+        self.staging.results = results;
+        // Phase 4 — cross-partition retry waves.
+        self.retry_waves(events, &mut outcomes);
         // Phase 4b — deferred same-batch departures, now that ownership
         // has settled through commit and retry (sequential, event order).
-        for (i, id) in deferred {
+        for k in 0..self.staging.deferred.len() {
+            let (i, id) = self.staging.deferred[k];
             match self.owner.get(&id).copied() {
                 Some(p) => {
                     let outcome = self.partitions[p].apply(&SystemEvent::Departure(id));
@@ -641,6 +633,231 @@ impl FleetScheduler {
             .collect()
     }
 
+    /// Phase 1: resolves every event to a lane of event indices (or to a
+    /// router verdict), building the arrival plans. Sequential — all RNG
+    /// draws and cross-partition reads happen here, against pre-epoch
+    /// state. Clones nothing.
+    fn stage(&mut self, events: &[SystemEvent], outcomes: &mut [Option<FleetOutcome>]) {
+        for (i, event) in events.iter().enumerate() {
+            match event {
+                SystemEvent::Arrival(task) => {
+                    let id = task.id();
+                    if self.staging.projected.contains(&id) || !self.staging.routed_ids.insert(id) {
+                        // Fleet-wide id uniqueness is the router's job:
+                        // two partitions must never run the same task.
+                        // Duplicates are counted apart — they are never
+                        // routed, so they belong in neither `arrivals`
+                        // nor `rejected` (and cannot deflate acceptance).
+                        self.stats.duplicate_rejects += 1;
+                        outcomes[i] = Some(FleetOutcome {
+                            partition: None,
+                            attempts: 0,
+                            outcome: EventOutcome::Rejected {
+                                task: id,
+                                reason: RejectReason::DuplicateTask,
+                            },
+                        });
+                        continue;
+                    }
+                    self.stats.arrivals += 1;
+                    let (start, len) = self.preference(task);
+                    let first = self.staging.order_buf[start];
+                    self.staging.lanes[first].push(i);
+                    self.staging.alloc_plan(i, task.device(), start, len);
+                }
+                SystemEvent::Departure(id) => match self.owner.get(id) {
+                    Some(&p) => {
+                        self.staging.lanes[p].push(i);
+                        self.staging.projected.remove(id);
+                    }
+                    // The task is not owned *yet*, but an arrival earlier
+                    // in this very batch routed it: ownership resolves in
+                    // the commit/retry phases, so the departure is
+                    // deferred to the post-retry phase instead of being
+                    // silently dropped (sequential-trace semantics).
+                    None if self.staging.routed_ids.contains(id) => {
+                        self.staging.deferred.push((i, *id));
+                    }
+                    None => {
+                        self.stats.unrouted += 1;
+                        outcomes[i] = Some(FleetOutcome {
+                            partition: None,
+                            attempts: 0,
+                            outcome: EventOutcome::Ignored {
+                                reason: "departure of a task no partition owns",
+                            },
+                        });
+                    }
+                },
+                SystemEvent::ModeChange(_) => {
+                    for lane in &mut self.staging.lanes {
+                        lane.push(i);
+                    }
+                }
+                SystemEvent::UtilisationSpike { device, .. } => match self.index_of(*device) {
+                    Some(p) => self.staging.lanes[p].push(i),
+                    None => {
+                        self.stats.unrouted += 1;
+                        outcomes[i] = Some(FleetOutcome {
+                            partition: None,
+                            attempts: 0,
+                            outcome: EventOutcome::Ignored {
+                                reason: "spike on a device outside the fleet",
+                            },
+                        });
+                    }
+                },
+            }
+        }
+    }
+
+    /// Phase 4: re-offers rejected arrivals along their preference
+    /// ladders in waves. Wave formation is sequential, in event order:
+    /// each pending arrival claims its next ladder rung unless an
+    /// earlier arrival claimed that partition this wave (a contested
+    /// rung waits for the next wave — it is never skipped, so retry
+    /// budgets are honoured exactly). A wave's offers therefore target
+    /// disjoint partitions and evaluate in parallel; wave order, not
+    /// thread order, defines the semantics. The first pending arrival
+    /// always claims its rung, so every wave makes progress and the
+    /// loop terminates.
+    fn retry_waves(&mut self, events: &[SystemEvent], outcomes: &mut [Option<FleetOutcome>]) {
+        let retries = self.config.retries;
+        let width = self.lane_width();
+        loop {
+            // Form the wave, finalising plans whose budget is spent.
+            for lane in &mut self.staging.lanes {
+                lane.clear();
+            }
+            for claimed in &mut self.staging.claimed {
+                *claimed = false;
+            }
+            let mut offers = 0usize;
+            for k in 0..self.staging.plans_used {
+                let plan = &self.staging.plans[k];
+                let (i, cursor) = (plan.event_ix, plan.cursor);
+                let (order_start, order_len) = (plan.order_start, plan.order_len);
+                if outcomes[i].is_some() {
+                    continue; // admitted in the lane phase, or finalised
+                }
+                if cursor > retries || cursor >= order_len {
+                    self.finalise_reject(k, events, outcomes);
+                    continue;
+                }
+                let p = self.staging.order_buf[order_start + cursor];
+                if self.staging.claimed[p] {
+                    continue; // contested: wait for the next wave
+                }
+                self.staging.claimed[p] = true;
+                let plan = &mut self.staging.plans[k];
+                plan.cursor += 1;
+                plan.attempts += 1;
+                self.stats.retries += 1;
+                self.staging.lanes[p].push(i);
+                offers += 1;
+            }
+            if offers == 0 {
+                return; // every plan resolved
+            }
+            // Evaluate the wave: disjoint partitions, in parallel.
+            for result in &mut self.staging.results {
+                result.clear();
+            }
+            eval_lanes(
+                &mut self.partitions,
+                &self.staging.lanes,
+                &mut self.staging.results,
+                events,
+                width,
+            );
+            // Commit the wave. Iteration is in partition-id order, but
+            // the wave's offers touch disjoint partitions and distinct
+            // task ids, so their commits commute — the outcome is fixed
+            // by the wave's composition alone.
+            let mut results = std::mem::take(&mut self.staging.results);
+            for (p, lane_results) in results.iter_mut().enumerate() {
+                for (i, outcome) in lane_results.drain(..) {
+                    self.commit_wave_offer(p, i, outcome, outcomes);
+                }
+            }
+            self.staging.results = results;
+        }
+    }
+
+    /// Commits one retry-wave offer: ownership, counters and the final
+    /// outcome on admission; a carried diagnostic on rejection (the
+    /// plan stays pending for the next wave or final attribution).
+    fn commit_wave_offer(
+        &mut self,
+        p: usize,
+        i: usize,
+        outcome: EventOutcome,
+        outcomes: &mut [Option<FleetOutcome>],
+    ) {
+        let k = self.staging.plan_of[i];
+        match outcome {
+            EventOutcome::Admitted { task, .. } => {
+                self.owner.insert(task, p);
+                self.stats.admitted += 1;
+                self.stats.retry_admissions += 1;
+                let device = self.partitions[p].device();
+                if device != self.staging.plans[k].origin {
+                    self.stats.migrations += 1;
+                }
+                outcomes[i] = Some(FleetOutcome {
+                    partition: Some(device),
+                    attempts: self.staging.plans[k].attempts,
+                    outcome,
+                });
+            }
+            EventOutcome::Rejected { reason, .. } => {
+                self.record_partition_reject(p, &reason);
+                self.staging.plans[k].carried.push(reason);
+            }
+            _ => {}
+        }
+    }
+
+    /// Finalises a plan whose retry budget (or ladder) is exhausted:
+    /// attributes the most informative carried cause.
+    fn finalise_reject(
+        &mut self,
+        k: usize,
+        events: &[SystemEvent],
+        outcomes: &mut [Option<FleetOutcome>],
+    ) {
+        let plan = &mut self.staging.plans[k];
+        let (i, attempts) = (plan.event_ix, plan.attempts);
+        let (order_start, order_len) = (plan.order_start, plan.order_len);
+        let carried = std::mem::take(&mut plan.carried);
+        // Plans are built from arrivals only; a non-arrival here would be
+        // a staging bug, and the hot path must not panic on it — the
+        // event then falls through to the no-outcome backstop.
+        let SystemEvent::Arrival(task) = &events[i] else {
+            return;
+        };
+        self.stats.rejected += 1;
+        let reason = final_reject_reason(carried);
+        if let Some(diag) = reason.diagnostic() {
+            *self.stats.reject_causes.entry(diag.cause).or_insert(0) += 1;
+        }
+        let first = (order_len > 0).then(|| self.staging.order_buf[order_start]);
+        outcomes[i] = Some(FleetOutcome {
+            partition: first.map(|p| self.partitions[p].device()),
+            attempts,
+            outcome: EventOutcome::Rejected {
+                task: task.id(),
+                reason,
+            },
+        });
+    }
+
+    /// Chunking width for the parallel phases (`0` = one per core,
+    /// resolved by the shared [`tagio_core::pool`] rule).
+    fn lane_width(&self) -> usize {
+        tagio_core::pool::resolve_width(self.config.threads).clamp(1, self.partitions.len().max(1))
+    }
+
     /// Commits one parallel-phase outcome: ownership and fleet counters.
     fn commit(
         &mut self,
@@ -648,16 +865,16 @@ impl FleetScheduler {
         i: usize,
         outcome: EventOutcome,
         outcomes: &mut [Option<FleetOutcome>],
-        plans: &mut [Option<ArrivalPlan>],
         mode_acc: &mut BTreeMap<usize, (Vec<TaskId>, Vec<TaskId>)>,
     ) {
         let device = self.partitions[p].device();
+        let plan_ix = self.staging.plan_of.get(i).copied().unwrap_or(usize::MAX);
         match outcome {
             EventOutcome::Admitted { task, .. } => {
                 self.owner.insert(task, p);
-                if let Some(plan) = &plans[i] {
+                if plan_ix != usize::MAX {
                     self.stats.admitted += 1;
-                    if device != plan.origin {
+                    if device != self.staging.plans[plan_ix].origin {
                         self.stats.migrations += 1;
                     }
                 }
@@ -667,16 +884,18 @@ impl FleetScheduler {
                     outcome,
                 });
             }
-            EventOutcome::Rejected { ref reason, .. } => {
-                self.record_partition_reject(p, reason);
-                if let Some(plan) = plans[i].as_mut() {
-                    // Leave the outcome slot empty: phase 4 retries.
-                    plan.carried.push(reason.clone());
+            EventOutcome::Rejected { task, reason } => {
+                self.record_partition_reject(p, &reason);
+                if plan_ix != usize::MAX {
+                    // Leave the outcome slot empty: phase 4 retries. The
+                    // reason moves into the plan — no clone on the
+                    // gate-saturated hot path.
+                    self.staging.plans[plan_ix].carried.push(reason);
                 } else {
                     outcomes[i] = Some(FleetOutcome {
                         partition: Some(device),
                         attempts: 0,
-                        outcome,
+                        outcome: EventOutcome::Rejected { task, reason },
                     });
                 }
             }
@@ -748,104 +967,85 @@ impl FleetScheduler {
         }
     }
 
-    /// Evaluates the partition lanes, in parallel when configured (and
-    /// when there is more than one partition). Identical results for any
-    /// width: lanes touch disjoint partitions.
-    fn run_lanes(
-        &mut self,
-        lanes: &[Vec<(usize, SystemEvent)>],
-    ) -> Vec<Vec<(usize, EventOutcome)>> {
+    /// Appends the policy's partition preference ladder for `task` to
+    /// the epoch's shared order buffer, returning `(start, length)`.
+    /// Every partition index appears, best first; gate-fitting
+    /// partitions always precede non-fitting ones (the latter are still
+    /// listed — a retry against a nearly-full partition can succeed
+    /// after a same-epoch departure). Headroom comes from the epoch
+    /// snapshot: staging runs strictly before any admission, so one
+    /// snapshot is bit-identical to recomputing per arrival.
+    fn preference(&mut self, task: &IoTask) -> (usize, usize) {
         let n = self.partitions.len();
-        let threads = effective_threads(self.config.threads).clamp(1, n);
-        let apply_lane = |svc: &mut OnlineScheduler, lane: &[(usize, SystemEvent)]| {
-            lane.iter().map(|(i, e)| (*i, svc.apply(e))).collect()
-        };
-        if threads == 1 {
-            return self
-                .partitions
-                .iter_mut()
-                .zip(lanes)
-                .map(|(svc, lane)| apply_lane(svc, lane))
-                .collect();
+        if self.staging.head.is_empty() {
+            let partitions = &self.partitions;
+            self.staging
+                .head
+                .extend(partitions.iter().map(|p| 1.0 - p.tasks().utilisation()));
         }
-        let chunk = n.div_ceil(threads);
-        let mut out: Vec<Option<Vec<(usize, EventOutcome)>>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for ((svcs, lane_chunk), slots) in self
-                .partitions
-                .chunks_mut(chunk)
-                .zip(lanes.chunks(chunk))
-                .zip(out.chunks_mut(chunk))
-            {
-                let apply_lane = &apply_lane;
-                scope.spawn(move || {
-                    for ((svc, lane), slot) in svcs.iter_mut().zip(lane_chunk).zip(slots.iter_mut())
-                    {
-                        *slot = Some(apply_lane(svc, lane));
-                    }
-                });
-            }
-        });
-        out.into_iter().map(Option::unwrap_or_default).collect()
-    }
-
-    /// The policy's partition preference for `task`: every partition
-    /// index, best first. Gate-fitting partitions always precede
-    /// non-fitting ones (the latter are still listed — a retry against a
-    /// nearly-full partition can succeed after a same-epoch departure).
-    fn preference(&mut self, task: &IoTask) -> Vec<usize> {
         let u = task.utilisation();
-        let head: Vec<f64> = self
-            .partitions
-            .iter()
-            .map(|p| 1.0 - p.tasks().utilisation())
-            .collect();
-        let fits = |i: &usize| head[*i] + 1e-9 >= u;
-        let mut order: Vec<usize> = (0..self.partitions.len()).collect();
-        match self.config.policy {
+        // Affinity: the scan starts at the arrival's own device when it
+        // is one of ours (FirstFit only).
+        let affinity = self.index_of(task.device()).unwrap_or(0);
+        let policy = self.config.policy;
+        let EpochStaging {
+            order_buf,
+            head,
+            scratch,
+            rest,
+            ..
+        } = &mut self.staging;
+        let start = order_buf.len();
+        let fits = |p: usize| head[p] + 1e-9 >= u;
+        rest.clear();
+        match policy {
             PlacementPolicy::FirstFit => {
-                // Affinity first: start the scan at the arrival's own
-                // device when it is one of ours.
-                let start = self.index_of(task.device()).unwrap_or(0);
-                order.rotate_left(start);
-                let (mut fit, rest): (Vec<usize>, Vec<usize>) = order.into_iter().partition(fits);
-                fit.extend(rest);
-                fit
+                for k in 0..n {
+                    let p = (k + affinity) % n;
+                    if fits(p) {
+                        order_buf.push(p);
+                    } else {
+                        rest.push(p);
+                    }
+                }
             }
             PlacementPolicy::BestFit => {
-                self.shuffle(&mut order); // seeded tie-break for equal headroom
-                let (mut fit, mut rest): (Vec<usize>, Vec<usize>) =
-                    order.into_iter().partition(fits);
-                fit.sort_by(|&a, &b| head[a].total_cmp(&head[b])); // tightest first
+                scratch.clear();
+                scratch.extend(0..n);
+                shuffle(&mut self.rng, scratch); // seeded tie-break for equal headroom
+                for &p in scratch.iter() {
+                    if fits(p) {
+                        order_buf.push(p);
+                    } else {
+                        rest.push(p);
+                    }
+                }
+                order_buf[start..].sort_by(|&a, &b| head[a].total_cmp(&head[b])); // tightest first
                 rest.sort_by(|&a, &b| head[b].total_cmp(&head[a])); // roomiest first
-                fit.extend(rest);
-                fit
             }
             PlacementPolicy::Rebalance => {
-                self.shuffle(&mut order);
+                scratch.clear();
+                scratch.extend(0..n);
+                shuffle(&mut self.rng, scratch);
+                let overload = &self.overload_rejects;
                 let key = |a: usize, b: usize| {
-                    self.overload_rejects[a]
-                        .cmp(&self.overload_rejects[b])
+                    overload[a]
+                        .cmp(&overload[b])
                         .then(head[b].total_cmp(&head[a])) // roomiest first
                 };
-                let (mut fit, mut rest): (Vec<usize>, Vec<usize>) =
-                    order.into_iter().partition(fits);
-                fit.sort_by(|&a, &b| key(a, b));
+                for &p in scratch.iter() {
+                    if fits(p) {
+                        order_buf.push(p);
+                    } else {
+                        rest.push(p);
+                    }
+                }
+                order_buf[start..].sort_by(|&a, &b| key(a, b));
                 rest.sort_by(|&a, &b| key(a, b));
-                fit.extend(rest);
-                fit
             }
         }
-    }
-
-    /// Deterministic Fisher–Yates over partition indices (the seeded
-    /// routing RNG; stable sorts after this make exact key ties random
-    /// but reproducible).
-    fn shuffle(&mut self, order: &mut [usize]) {
-        for i in (1..order.len()).rev() {
-            let j = self.rng.random_range(0..i + 1);
-            order.swap(i, j);
-        }
+        order_buf.extend_from_slice(rest);
+        (start, order_buf.len() - start)
     }
 
     fn record_partition_reject(&mut self, p: usize, reason: &RejectReason) {
@@ -911,12 +1111,61 @@ fn final_reject_reason(carried: Vec<RejectReason>) -> RejectReason {
     }
 }
 
-fn effective_threads(configured: usize) -> usize {
-    if configured == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
-    } else {
-        configured
+/// Deterministic Fisher–Yates over partition indices (the seeded routing
+/// RNG; stable sorts after this make exact key ties random but
+/// reproducible).
+fn shuffle(rng: &mut StdRng, order: &mut [usize]) {
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..i + 1);
+        order.swap(i, j);
     }
+}
+
+/// Drains each partition's lane of event indices into its result buffer,
+/// in parallel on the persistent [`WorkerPool`] when `width > 1`.
+/// Arrivals are *offered* ([`OnlineScheduler::offer`] — the admission
+/// pipeline, task re-bound only on admit); every other event is applied
+/// as-is. Lanes touch disjoint partitions, so results are identical for
+/// any width.
+fn eval_lanes(
+    partitions: &mut [OnlineScheduler],
+    lanes: &[Vec<usize>],
+    results: &mut [Vec<(usize, EventOutcome)>],
+    events: &[SystemEvent],
+    width: usize,
+) {
+    let eval = |svc: &mut OnlineScheduler, lane: &[usize], out: &mut Vec<(usize, EventOutcome)>| {
+        for &i in lane {
+            let outcome = match &events[i] {
+                SystemEvent::Arrival(task) => svc.offer(task),
+                event => svc.apply(event),
+            };
+            out.push((i, outcome));
+        }
+    };
+    if width <= 1 || partitions.len() <= 1 {
+        for ((svc, lane), out) in partitions.iter_mut().zip(lanes).zip(results.iter_mut()) {
+            eval(svc, lane, out);
+        }
+        return;
+    }
+    let chunk = partitions.len().div_ceil(width);
+    let eval = &eval;
+    WorkerPool::global().map_chunks(
+        partitions
+            .chunks_mut(chunk)
+            .zip(lanes.chunks(chunk))
+            .zip(results.chunks_mut(chunk))
+            .map(|((svcs, lane_chunk), out_chunk)| {
+                move || {
+                    for ((svc, lane), out) in
+                        svcs.iter_mut().zip(lane_chunk).zip(out_chunk.iter_mut())
+                    {
+                        eval(svc, lane, out);
+                    }
+                }
+            }),
+    );
 }
 
 fn mean_over(partitions: &[OnlineScheduler], f: impl Fn(&OnlineScheduler) -> f64) -> f64 {

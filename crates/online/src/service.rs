@@ -480,6 +480,17 @@ impl OnlineScheduler {
                 reason: "arrival for another device",
             };
         }
+        self.offer(nominal)
+    }
+
+    /// Offers an arrival to this partition regardless of the task's own
+    /// device binding — the fleet router's admission entry point. The
+    /// decision pipeline is identical to applying
+    /// `SystemEvent::Arrival(task.retarget(self.device()))`, but the
+    /// task is re-bound only *on admission*: at nominal load (no active
+    /// spike) the utilisation gate runs before any clone, so a
+    /// gate-saturated partition turns offers away without allocating.
+    pub fn offer(&mut self, nominal: &IoTask) -> EventOutcome {
         self.stats.arrivals += 1;
         let id = nominal.id();
         if self.tasks.get(id).is_some() {
@@ -489,30 +500,61 @@ impl OnlineScheduler {
                 reason: RejectReason::DuplicateTask,
             };
         }
-        let Some(effective) = scale_task(nominal, self.spike_percent) else {
+        if self.spike_percent == 100 {
+            // At 100% scaling is the identity (every valid task has a
+            // positive WCET, so the 1 µs floor never engages): gating on
+            // the nominal utilisation first reaches the same verdict as
+            // scale-then-gate, without building the scaled task at all.
+            if self.overloaded_by(nominal.utilisation()) {
+                return self.gate_reject(id);
+            }
+            return self.admit_effective(nominal, nominal.retarget(self.device));
+        }
+        // Under a spike the scaled task may be invalid outright, and that
+        // verdict precedes the gate — the order is observable, so it is
+        // preserved exactly.
+        let Some(effective) = scale_task(nominal, self.spike_percent, self.device) else {
             self.stats.rejected += 1;
             return EventOutcome::Rejected {
                 task: id,
                 reason: RejectReason::InvalidUnderLoad,
             };
         };
-        // 1. Utilisation gate: a necessary condition, checked without any
-        //    schedule work. The diagnostic names the newcomer — it is the
-        //    task that does not fit, whatever else is running.
-        if self.tasks.utilisation() + effective.utilisation() > 1.0 + 1e-9 {
-            self.stats.rejected += 1;
-            self.stats.fast_rejects += 1;
-            self.stats
-                .record_reject_cause(InfeasibleCause::UtilisationOverload);
-            return EventOutcome::Rejected {
-                task: id,
-                reason: RejectReason::Infeasible(
-                    Infeasible::new(InfeasibleCause::UtilisationOverload)
-                        .with_tasks([id])
-                        .with_partial(self.psi(), self.upsilon()),
-                ),
-            };
+        if self.overloaded_by(effective.utilisation()) {
+            return self.gate_reject(id);
         }
+        self.admit_effective(nominal, effective)
+    }
+
+    /// 1. Utilisation gate: a necessary condition, checked without any
+    ///    schedule work.
+    fn overloaded_by(&self, utilisation: f64) -> bool {
+        self.tasks.utilisation() + utilisation > 1.0 + 1e-9
+    }
+
+    /// The gate's fast rejection. The diagnostic names the newcomer — it
+    /// is the task that does not fit, whatever else is running.
+    fn gate_reject(&mut self, id: TaskId) -> EventOutcome {
+        self.stats.rejected += 1;
+        self.stats.fast_rejects += 1;
+        self.stats
+            .record_reject_cause(InfeasibleCause::UtilisationOverload);
+        EventOutcome::Rejected {
+            task: id,
+            reason: RejectReason::Infeasible(
+                Infeasible::new(InfeasibleCause::UtilisationOverload)
+                    .with_tasks([id])
+                    .with_partial(self.psi(), self.upsilon()),
+            ),
+        }
+    }
+
+    /// The integration tail of the arrival pipeline. `effective` is the
+    /// load-scaled task, already bound to this partition's device and
+    /// past the gate; `nominal` is the unscaled original recorded in the
+    /// mode-change pool.
+    fn admit_effective(&mut self, nominal: &IoTask, effective: IoTask) -> EventOutcome {
+        let id = effective.id();
         // 2. Cached pre-check: recomputes only the entries the newcomer
         //    can affect. A pass signals that the FPS simulation realises
         //    a schedule (ties resolved by the analysis's id tie-break).
@@ -545,7 +587,7 @@ impl OnlineScheduler {
                 self.jobs = jobs;
                 self.schedule = outcome.schedule;
                 self.quality = metrics::quality(&self.schedule, &self.jobs);
-                self.pool.insert(id, nominal.clone());
+                self.pool.insert(id, nominal.retarget(self.device));
                 self.stats.admitted += 1;
                 EventOutcome::Admitted {
                     task: id,
@@ -712,7 +754,7 @@ impl OnlineScheduler {
         let mut shed: Vec<TaskId> = Vec::new();
         for t in &self.tasks {
             let nominal = self.pool.get(&t.id()).unwrap_or(t);
-            match scale_task(nominal, percent) {
+            match scale_task(nominal, percent, self.device) {
                 Some(scaled) => survivors.push(scaled),
                 None => {
                     shed.push(t.id());
@@ -902,13 +944,15 @@ fn quality_victim(tasks: &[IoTask]) -> Option<usize> {
 }
 
 /// Rebuilds `task` with its WCET scaled to `percent`% of nominal (at
-/// least 1 µs). Returns `None` when the scaled WCET violates the model
-/// invariants (the task cannot run at this load level).
+/// least 1 µs), bound to `device` — the partition doing the scaling,
+/// which for a fleet-routed offer may differ from the task's own.
+/// Returns `None` when the scaled WCET violates the model invariants
+/// (the task cannot run at this load level).
 #[must_use]
-fn scale_task(task: &IoTask, percent: u32) -> Option<IoTask> {
+fn scale_task(task: &IoTask, percent: u32, device: DeviceId) -> Option<IoTask> {
     let scaled = (u128::from(task.wcet().as_micros()) * u128::from(percent) / 100).max(1);
     let wcet = tagio_core::time::Duration::from_micros(u64::try_from(scaled).ok()?);
-    IoTask::builder(task.id(), task.device())
+    IoTask::builder(task.id(), device)
         .wcet(wcet)
         .period(task.period())
         .deadline(task.deadline())

@@ -30,11 +30,22 @@ impl ConflictGraph {
         let all = jobs.as_slice();
         let n = all.len();
         let mut adjacency = vec![Vec::new(); n];
-        for i in 0..n {
-            let (si, ei) = (all[i].ideal_start(), all[i].ideal_start() + all[i].wcet());
-            for j in (i + 1)..n {
-                let (sj, ej) = (all[j].ideal_start(), all[j].ideal_start() + all[j].wcet());
-                if si < ej && sj < ei {
+        // Sweep in ideal-start order: with a ≤ b in that order, the ideal
+        // executions overlap iff b begins before a ends, so each job only
+        // needs the sweep continued while that holds — the all-pairs scan
+        // is quadratic in the job count, the sweep is linear in conflicts.
+        // (Same edge set as the pairwise check; adjacency lists come out
+        // in sweep order, which no consumer depends on.)
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by_key(|&i| all[i].ideal_start());
+        for (pos, &i) in order.iter().enumerate() {
+            let ei = all[i].ideal_start() + all[i].wcet();
+            for &j in &order[pos + 1..] {
+                let sj = all[j].ideal_start();
+                if sj >= ei {
+                    break;
+                }
+                if all[i].ideal_start() < sj + all[j].wcet() {
                     adjacency[i].push(j);
                     adjacency[j].push(i);
                 }
@@ -105,29 +116,49 @@ impl ConflictGraph {
     /// ideal starts and the removal order of the rest.
     #[must_use]
     pub fn decompose(&self, jobs: &JobSet) -> (Vec<usize>, Vec<usize>) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
         let all = jobs.as_slice();
         let n = self.adjacency.len();
         let mut degree: Vec<usize> = (0..n).map(|i| self.adjacency[i].len()).collect();
         let mut removed = vec![false; n];
         let mut sacrificed = Vec::new();
 
-        loop {
-            // Highest penalty; ties: lowest priority, latest release, index.
-            let candidate = (0..n)
-                .filter(|&i| !removed[i] && degree[i] > 0)
-                .max_by(|&a, &b| {
-                    degree[a]
-                        .cmp(&degree[b])
-                        .then(all[b].priority().cmp(&all[a].priority()))
-                        .then(all[a].release().cmp(&all[b].release()))
-                        .then(all[b].id().task.cmp(&all[a].id().task))
-                });
-            let Some(v) = candidate else { break };
+        // Max-heap with lazy decrease-key: a full rescan per removal is
+        // quadratic in the job count, while the conflict graph is sparse
+        // in practice (ideal executions only overlap locally in time). An
+        // entry is pushed whenever a vertex's degree changes; stale
+        // entries (recorded degree no longer current) are skipped on pop,
+        // so each pop yields exactly the vertex the rescan would have
+        // picked. The key mirrors the selection order: highest penalty,
+        // ties to lowest priority, latest release, lowest task id — and
+        // highest index last, matching `max_by`'s last-max-wins on the
+        // (degenerate) full tie.
+        let key = |i: usize, d: usize| {
+            (
+                d,
+                Reverse(all[i].priority()),
+                all[i].release(),
+                Reverse(all[i].id().task),
+                i,
+            )
+        };
+        let mut heap: BinaryHeap<_> = (0..n)
+            .filter(|&i| degree[i] > 0)
+            .map(|i| key(i, degree[i]))
+            .collect();
+        while let Some((d, _, _, _, v)) = heap.pop() {
+            if removed[v] || degree[v] != d {
+                continue;
+            }
             removed[v] = true;
             sacrificed.push(v);
             for &w in &self.adjacency[v] {
                 if !removed[w] {
                     degree[w] -= 1;
+                    if degree[w] > 0 {
+                        heap.push(key(w, degree[w]));
+                    }
                 }
             }
             degree[v] = 0;

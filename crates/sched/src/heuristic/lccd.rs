@@ -215,15 +215,42 @@ impl<'a> Timeline<'a> {
             .map(|p| p.start)
     }
 
+    /// Indices of the placements intersecting the window `[lo, hi)`.
+    ///
+    /// `placed` is sorted by start and mutually non-overlapping, so
+    /// finishes are monotone too (the same invariant `is_free` leans on):
+    /// both bounds are binary searches, and every allocation probe then
+    /// touches only the window's placements instead of walking the whole
+    /// hyper-period — the difference between an admission verdict that
+    /// scans ~20 placements and one that scans ~900.
+    fn window_range(&self, lo: Time, hi: Time) -> (usize, usize) {
+        let first = self.placed.partition_point(|p| p.finish() <= lo);
+        let past = self.placed.partition_point(|p| p.start < hi);
+        (first, past.max(first))
+    }
+
     /// Free slots clipped to `[lo, hi]`, in time order, into `out`.
+    ///
+    /// Identical output to walking every placement from `Time::ZERO`:
+    /// gaps that end before `lo` or start after `hi` clip to nothing, so
+    /// the scan starts at the first placement finishing past `lo` and
+    /// stops as soon as the running cursor reaches `hi`.
     fn collect_slots(&self, lo: Time, hi: Time, out: &mut Vec<(Time, Time)>) {
         out.clear();
-        let mut cursor = Time::ZERO;
-        for p in &self.placed {
+        let first = self.placed.partition_point(|p| p.finish() <= lo);
+        let mut cursor = if first == 0 {
+            Time::ZERO
+        } else {
+            self.placed[first - 1].finish()
+        };
+        for p in &self.placed[first..] {
             if p.start > cursor {
                 push_clipped(out, cursor, p.start, lo, hi);
             }
             cursor = cursor.max(p.finish());
+            if cursor >= hi {
+                return;
+            }
         }
         if self.horizon > cursor {
             push_clipped(out, cursor, self.horizon, lo, hi);
@@ -281,6 +308,12 @@ impl<'a> Timeline<'a> {
         pending: &[usize],
         policy: SlotPolicy,
     ) -> (Time, Time) {
+        // Every policy reduces to the sole candidate when only one slot
+        // fits — skip the ranking scans (the LCC-D contention count walks
+        // all pending jobs per slot, a real cost on escalated repairs).
+        if fitting.len() == 1 {
+            return fitting[0];
+        }
         match policy {
             SlotPolicy::FirstFit => fitting[0],
             SlotPolicy::BestFit => *fitting
@@ -292,22 +325,38 @@ impl<'a> Timeline<'a> {
                 .max_by(|&&a, &&b| Self::usable(a).cmp(&Self::usable(b)).then(b.0.cmp(&a.0)))
                 .expect("fitting is non-empty"),
             SlotPolicy::LeastContentionCapacityDecreasing => {
+                // Selection key is (contention, usable, start), minimised.
+                // Slot starts are unique (slots are disjoint), so no two
+                // slots tie on the full key and a manual strict-minimum
+                // loop equals `min_by_key`. That lets the contention count
+                // stop early: once a slot exceeds the best count seen, it
+                // has already lost — on escalated repairs `pending` holds
+                // hundreds of jobs, and the cap turns the O(slots×pending)
+                // scan into nearly O(pending) total.
                 let all = self.jobs.as_slice();
-                *fitting
-                    .iter()
-                    .min_by_key(|&&slot| {
-                        let contention = pending
-                            .iter()
-                            .filter(|&&p| {
-                                let other = &all[p];
-                                let olo = slot.0.max(other.release());
-                                let ohi = slot.1.min(other.abs_deadline());
-                                ohi.saturating_sub(olo) >= other.wcet()
-                            })
-                            .count();
-                        (contention, Self::usable(slot), slot.0)
-                    })
-                    .expect("fitting is non-empty")
+                let mut best = fitting[0];
+                let mut best_key = (usize::MAX, Duration::ZERO, Time::ZERO);
+                for &slot in fitting {
+                    let cap = best_key.0;
+                    let mut contention = 0usize;
+                    for &p in pending {
+                        let other = &all[p];
+                        let olo = slot.0.max(other.release());
+                        let ohi = slot.1.min(other.abs_deadline());
+                        if ohi.saturating_sub(olo) >= other.wcet() {
+                            contention += 1;
+                            if contention > cap {
+                                break;
+                            }
+                        }
+                    }
+                    let key = (contention, Self::usable(slot), slot.0);
+                    if key < best_key {
+                        best = slot;
+                        best_key = key;
+                    }
+                }
+                best
             }
         }
     }
@@ -347,28 +396,49 @@ impl<'a> Timeline<'a> {
 
     /// Number of currently-exact placements inside `[lo, hi)`.
     fn exact_between(&self, lo: Time, hi: Time) -> usize {
-        self.placed
-            .iter()
-            .filter(|p| p.exact && p.start < hi && p.finish() > lo)
-            .count()
+        let (first, past) = self.window_range(lo, hi);
+        self.placed[first..past].iter().filter(|p| p.exact).count()
     }
 
     /// Shifts every placement inside `[lo, hi)` as early as allowed
     /// (never before its release or `lo`'s preceding boundary), then tries
     /// to place `job_idx` in the coalesced tail gap. Rolls back on failure.
+    ///
+    /// Compaction is deterministic, so the coalesced cursor is first
+    /// computed by a read-only dry run; the mutation (and its rollback
+    /// snapshot) only happens once the gap provably fits. Candidate runs
+    /// overwhelmingly *fail* — `allocate_with_shift` tries them in cost
+    /// order — and the dry run turns each failure from a full
+    /// clone/shift/sort/rollback cycle into a short window walk.
     fn try_compact_and_place(&mut self, job_idx: usize, lo: Time, hi: Time) -> bool {
         let all = self.jobs.as_slice();
         let job = &all[job_idx];
+        let (first, past) = self.window_range(lo, hi);
+
+        // Dry run: replay the shifting loop below without writing.
+        let mut cursor = lo;
+        for p in &self.placed[first..past] {
+            let new_start = cursor.max(all[p.job].release());
+            let start = if new_start < p.start {
+                new_start
+            } else {
+                p.start
+            };
+            cursor = cursor.max(start + p.wcet);
+        }
+        let gap_lo = cursor.max(job.release());
+        let gap_hi = hi.min(job.abs_deadline());
+        if gap_hi.saturating_sub(gap_lo) < job.wcet() {
+            return false;
+        }
+
         // Rollback snapshot into the reusable buffer: `clone_from` keeps
         // its capacity across calls instead of allocating a fresh Vec.
         let mut snapshot = std::mem::take(&mut self.snapshot);
         snapshot.clone_from(&self.placed);
 
         let mut cursor = lo;
-        for p in &mut self.placed {
-            if p.start >= hi || p.finish() <= lo {
-                continue;
-            }
+        for p in &mut self.placed[first..past] {
             let new_start = cursor.max(all[p.job].release());
             if new_start < p.start {
                 p.start = new_start;

@@ -120,6 +120,7 @@ pub use tagio_workload as workload;
 pub mod prelude {
     pub use tagio_core::event::{RoutedEvent, SystemEvent, TimedEvent};
     pub use tagio_core::job::{Job, JobId, JobSet};
+    pub use tagio_core::pool::{available_workers, WorkerPool};
     pub use tagio_core::schedule::{Schedule, ScheduleEntry};
     pub use tagio_core::solve::{Infeasible, InfeasibleCause, SolveBudget, SolverCtx};
     pub use tagio_core::task::{DeviceId, IoTask, Priority, TaskId, TaskSet};

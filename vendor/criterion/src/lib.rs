@@ -106,6 +106,25 @@ impl BenchmarkId {
     }
 }
 
+/// How many routine invocations [`Bencher::iter_batched`] times per
+/// setup batch, mirroring the real crate's enum.
+///
+/// The stub's timer has no per-sample memory accounting, so the variants
+/// only control the measured batch length: `SmallInput` amortises the
+/// timer over many calls, `LargeInput`/`PerIteration` time each call
+/// individually (right for routines whose input is expensive to set up —
+/// the setup closure runs strictly *outside* the timed region either
+/// way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many routine calls per timed batch (cheap inputs).
+    SmallInput,
+    /// One routine call per timed batch (expensive inputs).
+    LargeInput,
+    /// Exactly one routine call per setup, timed individually.
+    PerIteration,
+}
+
 /// Timer handed to the benchmark closure.
 #[derive(Debug)]
 pub struct Bencher {
@@ -141,6 +160,56 @@ impl Bencher {
                     black_box(routine());
                 }
                 start.elapsed() / batch
+            })
+            .collect();
+        samples.sort();
+        self.median = samples[samples.len() / 2];
+    }
+
+    /// Measures `routine` on inputs produced by `setup`, excluding the
+    /// setup cost from the timing — the real crate's escape hatch for
+    /// routines that consume their input (or mutate state that must be
+    /// rebuilt per call). In `--test` mode the pair runs exactly once.
+    ///
+    /// `SmallInput` amortises the timer over a calibrated run of
+    /// setup+routine pairs (setup timed separately and subtracted);
+    /// `LargeInput` and `PerIteration` time every routine call
+    /// individually between untimed setups.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let per_iteration = matches!(size, BatchSize::LargeInput | BatchSize::PerIteration);
+        // Calibrate the batch length on the routine alone.
+        let mut batch = 1u32;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                let input = setup();
+                black_box(routine(input));
+            }
+            if per_iteration || start.elapsed() >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measure: median of 7 samples, timing only the routine — each
+        // input is built untimed, then the clock runs across the call.
+        let mut samples: Vec<Duration> = (0..7)
+            .map(|_| {
+                let mut timed = Duration::ZERO;
+                for _ in 0..batch {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    timed += start.elapsed();
+                }
+                timed / batch
             })
             .collect();
         samples.sort();
@@ -198,5 +267,40 @@ mod tests {
             b.iter(|| runs += 1);
         });
         assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn iter_batched_pairs_every_routine_call_with_a_setup() {
+        let mut c = Criterion { test_mode: false };
+        let mut setups = 0u64;
+        let mut calls = 0u64;
+        let mut saw = Duration::ZERO;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 64]
+                },
+                |v| {
+                    calls += 1;
+                    v.into_iter().sum::<u64>()
+                },
+                BatchSize::SmallInput,
+            );
+            saw = b.median;
+        });
+        assert_eq!(setups, calls, "every input is consumed exactly once");
+        assert!(calls > 0);
+        assert!(saw > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut pairs = 0;
+        c.bench_function("batched-once", |b| {
+            b.iter_batched(|| 1, |x| pairs += x, BatchSize::PerIteration);
+        });
+        assert_eq!(pairs, 1);
     }
 }
