@@ -1,0 +1,131 @@
+//! Partition failover under recurring deaths: **how much of a dead
+//! partition's work the fleet wins back**, by placement policy.
+//!
+//! Each system is a seeded [`FleetScenario`] whose event stream kills a
+//! random partition after every `death_every`-th arrival
+//! ([`FleetScenarioConfig::death_every`]): the victim restarts empty and
+//! the [`FleetScheduler`](tagio_online::fleet::FleetScheduler) mass
+//! re-admits its tasks onto the survivors through the retry machinery,
+//! diagnosing the rest. The sweep axis combines partition count and
+//! death cadence (`PxDN` labels — `4xD3` = 4 partitions, a death every
+//! 3 arrivals), so the table reads as fleet width × death rate ×
+//! placement policy: more survivors and slower death rates should both
+//! raise the rehomed share.
+//!
+//! Reported per method (all deterministic — no wall-clock columns, so
+//! the JSON is golden-mastered byte-exactly):
+//!
+//! * `acceptance` — fleet-unique admitted / routed arrivals (deaths
+//!   erase admitted work but do not touch admission accounting);
+//! * `deaths` — partition deaths routed;
+//! * `orphaned` — tasks stranded by those deaths;
+//! * `rehomed` — orphans re-admitted onto a surviving partition;
+//! * `lost` — orphans no survivor could take (each carries the dead
+//!   partition's id in its `Infeasible` diagnostics);
+//! * `psi` / `upsilon` — mean live-schedule quality over busy
+//!   partitions after the stream.
+//!
+//! Replays batch 4 events per epoch and run each fleet single-threaded
+//! inside the method (the experiment engine already parallelises across
+//! systems); results are identical for any thread split.
+//!
+//! Flags: `--systems N` (scenarios per point), `--seed N`, `--threads N`
+//! (worker pool, `0` = all cores), `--json`. JSON schema: EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p tagio-bench --bin failover_scenarios -- --systems 5
+//! ```
+
+use tagio_bench::{Method, Options, Outcome, Runner, Sweep};
+use tagio_online::fleet::{FleetConfig, PlacementPolicy};
+use tagio_online::scenario::{FleetReplayOutcome, FleetScenario, FleetScenarioConfig};
+
+/// Events per routing epoch during replay.
+const BATCH: usize = 4;
+
+/// The failover sweep: (partitions, death_every) pairs, labelled
+/// `PxDN`. Cadences divide into the arrival count so every point sees
+/// several deaths.
+const SWEEP: [(u32, usize); 5] = [(2, 8), (2, 4), (4, 8), (4, 4), (4, 2)];
+
+/// Arrivals per scenario (fixed: the sweep varies deaths, not load).
+const ARRIVALS: usize = 24;
+
+fn metrics(out: &FleetReplayOutcome) -> Outcome {
+    // Deterministic columns only: latency metrics are wall-clock and
+    // would unpin the golden master.
+    Outcome::with_metrics([
+        ("acceptance", out.acceptance),
+        ("deaths", out.deaths as f64),
+        ("orphaned", out.orphaned as f64),
+        ("rehomed", out.rehomed as f64),
+        ("lost", out.lost as f64),
+        ("psi", out.mean_psi),
+        ("upsilon", out.mean_upsilon),
+    ])
+}
+
+fn policy_method(policy: PlacementPolicy) -> Method<FleetScenario> {
+    Method::new(policy.as_str(), move |scenario: &FleetScenario, _| {
+        metrics(&scenario.replay(
+            FleetConfig {
+                policy,
+                threads: 1, // the engine parallelises across systems
+                ..FleetConfig::default()
+            },
+            BATCH,
+        ))
+    })
+}
+
+fn main() {
+    let opts = Options::from_args();
+    opts.reject_budgets_override("failover_scenarios");
+    opts.reject_methods_override("failover_scenarios");
+    opts.reject_ga_budget_override("failover_scenarios"); // no GA here
+    let title = format!(
+        "failover scenarios — partition deaths vs placement policy ({} scenarios/point)",
+        opts.systems
+    );
+    let sweep = Sweep::labelled(
+        "failover",
+        SWEEP.map(|(partitions, death_every)| {
+            (
+                format!("{partitions}xD{death_every}"),
+                f64::from(partitions) * 1000.0 + death_every as f64,
+            )
+        }),
+    );
+    let methods = vec![
+        policy_method(PlacementPolicy::FirstFit),
+        policy_method(PlacementPolicy::BestFit),
+        policy_method(PlacementPolicy::Rebalance),
+    ];
+    let seed = opts.seed;
+    let systems = opts.systems;
+    let report = Runner::new(title, opts.clone()).run(
+        &sweep,
+        |point| {
+            // Decode the combined axis (partitions * 1000 + cadence).
+            let partitions = (point.x / 1000.0) as u32;
+            let death_every = (point.x as usize) % 1000;
+            (0..systems)
+                .map(|i| {
+                    FleetScenario::generate(&FleetScenarioConfig {
+                        partitions,
+                        arrivals: ARRIVALS,
+                        death_every,
+                        seed: seed
+                            .wrapping_mul(1_000_003)
+                            .wrapping_add(death_every as u64 * 7919)
+                            .wrapping_add(u64::from(partitions) * 104_729)
+                            .wrapping_add(i as u64),
+                        ..FleetScenarioConfig::default()
+                    })
+                })
+                .collect::<Vec<_>>()
+        },
+        &methods,
+    );
+    report.emit(tagio_bench::Report::render_table);
+}

@@ -25,6 +25,10 @@ fn binaries() -> Vec<(&'static str, &'static str)> {
         ),
         ("online_scenarios", env!("CARGO_BIN_EXE_online_scenarios")),
         ("fleet_scenarios", env!("CARGO_BIN_EXE_fleet_scenarios")),
+        (
+            "failover_scenarios",
+            env!("CARGO_BIN_EXE_failover_scenarios"),
+        ),
         ("throughput", env!("CARGO_BIN_EXE_throughput")),
     ]
 }
@@ -79,6 +83,7 @@ fn fixed_method_binaries_reject_methods_override() {
         "ablation_ga",
         "online_scenarios",
         "fleet_scenarios",
+        "failover_scenarios",
         "throughput",
     ] {
         let path = binaries()
@@ -139,6 +144,7 @@ fn fixed_budget_binaries_reject_ga_overrides() {
         "ablation_ga",
         "online_scenarios",
         "fleet_scenarios",
+        "failover_scenarios",
         "throughput",
     ] {
         let path = binaries()

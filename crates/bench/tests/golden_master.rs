@@ -79,6 +79,11 @@ fn cases() -> Vec<(&'static str, &'static str, Vec<&'static str>)> {
             env!("CARGO_BIN_EXE_fleet_scenarios"),
             vec!["--systems", "2"],
         ),
+        (
+            "failover_scenarios",
+            env!("CARGO_BIN_EXE_failover_scenarios"),
+            vec!["--systems", "2"],
+        ),
     ]
 }
 

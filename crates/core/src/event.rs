@@ -68,6 +68,15 @@ pub enum SystemEvent {
         /// WCET. Clamped to at least 1 µs per task by consumers.
         percent: u32,
     },
+    /// The partition serving `device` crashed and restarted empty. The
+    /// partition loses all live state (active tasks, schedule, spike
+    /// scaling); a fleet router reacts by mass re-admitting the dead
+    /// partition's tasks onto surviving partitions via its retry
+    /// machinery, diagnosing the ones it cannot rehome.
+    PartitionDeath {
+        /// The partition that died.
+        device: DeviceId,
+    },
 }
 
 impl SystemEvent {
@@ -80,19 +89,21 @@ impl SystemEvent {
             SystemEvent::Departure(_) => "departure",
             SystemEvent::ModeChange(_) => "mode-change",
             SystemEvent::UtilisationSpike { .. } => "spike",
+            SystemEvent::PartitionDeath { .. } => "death",
         }
     }
 
     /// The device partition the event names, when it names one: an
-    /// arrival's task device or a spike's target. Departures and mode
-    /// changes are device-free (they are resolved by task ownership) and
-    /// return `None`. Fleet routers read this as the event's *origin*
-    /// partition hint.
+    /// arrival's task device, a spike's target, or a death's victim.
+    /// Departures and mode changes are device-free (they are resolved by
+    /// task ownership) and return `None`. Fleet routers read this as the
+    /// event's *origin* partition hint.
     #[must_use]
     pub fn device(&self) -> Option<DeviceId> {
         match self {
             SystemEvent::Arrival(task) => Some(task.device()),
-            SystemEvent::UtilisationSpike { device, .. } => Some(*device),
+            SystemEvent::UtilisationSpike { device, .. }
+            | SystemEvent::PartitionDeath { device } => Some(*device),
             SystemEvent::Departure(_) | SystemEvent::ModeChange(_) => None,
         }
     }
@@ -103,7 +114,9 @@ impl SystemEvent {
         match self {
             SystemEvent::Arrival(task) => Some(task.id()),
             SystemEvent::Departure(id) => Some(*id),
-            SystemEvent::ModeChange(_) | SystemEvent::UtilisationSpike { .. } => None,
+            SystemEvent::ModeChange(_)
+            | SystemEvent::UtilisationSpike { .. }
+            | SystemEvent::PartitionDeath { .. } => None,
         }
     }
 
@@ -120,6 +133,7 @@ impl SystemEvent {
                 device,
                 percent: *percent,
             },
+            SystemEvent::PartitionDeath { .. } => SystemEvent::PartitionDeath { device },
             other => other.clone(),
         }
     }
@@ -211,6 +225,13 @@ mod tests {
             .kind(),
             "spike"
         );
+        assert_eq!(
+            SystemEvent::PartitionDeath {
+                device: DeviceId(2),
+            }
+            .kind(),
+            "death"
+        );
     }
 
     #[test]
@@ -248,6 +269,11 @@ mod tests {
         });
         assert_eq!(mode.device(), None);
         assert_eq!(mode.task_id(), None);
+        let death = SystemEvent::PartitionDeath {
+            device: DeviceId(6),
+        };
+        assert_eq!(death.device(), Some(DeviceId(6)));
+        assert_eq!(death.task_id(), None);
     }
 
     #[test]
@@ -272,6 +298,14 @@ mod tests {
         );
         let depart = SystemEvent::Departure(TaskId(7));
         assert_eq!(depart.retargeted(DeviceId(9)), depart);
+        let death = SystemEvent::PartitionDeath {
+            device: DeviceId(0),
+        };
+        assert_eq!(
+            death.retargeted(DeviceId(5)).device(),
+            Some(DeviceId(5)),
+            "deaths follow the new partition"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! used to be baked into scheduler constructors.
 
 use crate::job::JobId;
-use crate::task::TaskId;
+use crate::task::{DeviceId, TaskId};
 use core::fmt;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,6 +43,15 @@ pub enum InfeasibleCause {
 }
 
 impl InfeasibleCause {
+    /// Every cause, in declaration order.
+    pub const ALL: [InfeasibleCause; 5] = [
+        InfeasibleCause::UtilisationOverload,
+        InfeasibleCause::BlockingBound,
+        InfeasibleCause::NoFeasibleSlot,
+        InfeasibleCause::BudgetExhausted,
+        InfeasibleCause::Cancelled,
+    ];
+
     /// Stable kebab-case identifier (used in reports and JSON output).
     #[must_use]
     pub fn as_str(self) -> &'static str {
@@ -59,6 +68,19 @@ impl InfeasibleCause {
 impl fmt::Display for InfeasibleCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
+    }
+}
+
+impl core::str::FromStr for InfeasibleCause {
+    type Err = String;
+
+    /// Parses the identifier [`InfeasibleCause::as_str`] emits (snapshot
+    /// and report round-trips).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        InfeasibleCause::ALL
+            .into_iter()
+            .find(|c| c.as_str() == s.trim())
+            .ok_or_else(|| format!("unknown infeasibility cause `{s}`"))
     }
 }
 
@@ -81,6 +103,10 @@ pub struct Infeasible {
     pub best_psi: Option<f64>,
     /// Best partial Υ achieved before giving up, when measured.
     pub best_upsilon: Option<f64>,
+    /// The partition whose loss orphaned the offending tasks, when the
+    /// diagnostic stems from a failover (a `PartitionDeath` whose tasks
+    /// could not all be rehomed). `None` for ordinary solve failures.
+    pub origin: Option<DeviceId>,
 }
 
 impl Infeasible {
@@ -93,6 +119,7 @@ impl Infeasible {
             jobs: Vec::new(),
             best_psi: None,
             best_upsilon: None,
+            origin: None,
         }
     }
 
@@ -132,14 +159,23 @@ impl Infeasible {
         self
     }
 
+    /// Records the partition whose death orphaned the offending tasks
+    /// (failover diagnostics name the lane that was lost).
+    #[must_use]
+    pub fn with_origin(mut self, origin: DeviceId) -> Self {
+        self.origin = Some(origin);
+        self
+    }
+
     /// `true` when the diagnostic carries any detail beyond the cause
-    /// (offending ids or a partial result).
+    /// (offending ids, a partial result, or a failover origin).
     #[must_use]
     pub fn is_populated(&self) -> bool {
         !self.tasks.is_empty()
             || !self.jobs.is_empty()
             || self.best_psi.is_some()
             || self.best_upsilon.is_some()
+            || self.origin.is_some()
     }
 }
 
@@ -166,6 +202,9 @@ impl fmt::Display for Infeasible {
         }
         if let (Some(p), Some(u)) = (self.best_psi, self.best_upsilon) {
             write!(f, "; best partial psi={p:.3} upsilon={u:.3}")?;
+        }
+        if let Some(origin) = self.origin {
+            write!(f, "; orphaned by death of {origin}")?;
         }
         Ok(())
     }
@@ -414,6 +453,19 @@ mod tests {
         // And it is a proper error type.
         fn assert_error<T: std::error::Error + Send + Sync>(_: &T) {}
         assert_error(&d);
+    }
+
+    #[test]
+    fn origin_marks_failover_diagnostics() {
+        let d = Infeasible::new(InfeasibleCause::NoFeasibleSlot).with_origin(DeviceId(3));
+        assert!(d.is_populated());
+        assert_eq!(d.origin, Some(DeviceId(3)));
+        let s = d.to_string();
+        assert!(s.contains("orphaned by death of d3"), "{s}");
+        assert_eq!(
+            Infeasible::new(InfeasibleCause::NoFeasibleSlot).origin,
+            None
+        );
     }
 
     #[test]

@@ -36,6 +36,14 @@
 //!    final cause. Departures of tasks that arrived earlier in the same
 //!    batch are resolved after the waves, once ownership has settled.
 //!
+//! [`SystemEvent::PartitionDeath`] rides the same pipeline: the death
+//! routes to its partition's lane (so within-lane event order defines
+//! the mid-batch semantics), the partition resets itself and hands its
+//! active set back as orphans, and the commit step queues each orphan
+//! through the retry waves against every *surviving* partition. Orphans
+//! that no survivor can hold are reported lost, with diagnostics naming
+//! the dead partition ([`Infeasible::origin`]).
+//!
 //! The composition is therefore bit-deterministic for any worker count:
 //! all randomness and all cross-partition coupling live in the
 //! sequential staging, commit and wave-formation steps.
@@ -178,6 +186,19 @@ pub struct FleetStats {
     /// integration-tier diagnostic carried through the retry chain when
     /// one exists, otherwise the last gate verdict.
     pub reject_causes: BTreeMap<InfeasibleCause, usize>,
+    /// Partition deaths processed ([`SystemEvent::PartitionDeath`]).
+    pub deaths: usize,
+    /// Tasks orphaned by partition deaths (their partition's whole
+    /// active set at the moment it died).
+    pub orphaned: usize,
+    /// Orphans re-admitted on a surviving partition. Kept out of
+    /// [`admitted`](FleetStats::admitted)/[`retries`](FleetStats::retries):
+    /// a rehomed task is not a new arrival.
+    pub rehomed: usize,
+    /// Orphans no surviving partition could hold. Their final
+    /// [`Infeasible`] diagnostics carry the dead partition as
+    /// [`Infeasible::origin`].
+    pub lost: usize,
 }
 
 impl FleetStats {
@@ -213,6 +234,10 @@ impl FleetStats {
         for (&cause, &count) in &other.reject_causes {
             *self.reject_causes.entry(cause).or_insert(0) += count;
         }
+        self.deaths += other.deaths;
+        self.orphaned += other.orphaned;
+        self.rehomed += other.rehomed;
+        self.lost += other.lost;
     }
 }
 
@@ -234,6 +259,10 @@ impl Metrics for FleetStats {
         set.push("migrations", self.migrations as f64);
         set.push("unrouted", self.unrouted as f64);
         set.push("acceptance", self.acceptance_ratio());
+        set.push("deaths", self.deaths as f64);
+        set.push("orphaned", self.orphaned as f64);
+        set.push("rehomed", self.rehomed as f64);
+        set.push("lost", self.lost as f64);
         set
     }
 }
@@ -253,15 +282,37 @@ pub struct FleetOutcome {
     pub outcome: EventOutcome,
 }
 
+/// What an [`ArrivalPlan`] re-offers across the retry waves: an arrival
+/// from the epoch's event slice, or an orphan of a partition death
+/// (index into [`EpochStaging::orphans`]). Orphans never saw a
+/// lane-phase offer, start at rung 0, and get the *whole* surviving
+/// ladder instead of the configured retry budget — failover is a
+/// recovery action, not an admission-control decision.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum PlanSource {
+    /// An arrival event; resolution lands in the epoch's outcome slot.
+    #[default]
+    Event,
+    /// An orphaned task; resolution lands in
+    /// [`EpochStaging::orphan_results`] and is folded into the death
+    /// event's [`EventOutcome::PartitionDied`] after the waves.
+    Orphan(usize),
+}
+
 /// A routed arrival awaiting commit/retry resolution. Holds no task
-/// clone — the task lives in the caller's event slice, addressed by
-/// `event_ix`; the preference ladder lives in the epoch's shared order
-/// buffer ([`EpochStaging::order_buf`]), addressed by range.
+/// clone — the task lives in the caller's event slice (or, for
+/// orphans, in [`EpochStaging::orphans`]), addressed by index; the
+/// preference ladder lives in the epoch's shared order buffer
+/// ([`EpochStaging::order_buf`]), addressed by range.
 #[derive(Debug, Default, Clone)]
 struct ArrivalPlan {
-    /// Index of the arrival in the epoch's event slice.
+    /// Index of the arrival in the epoch's event slice (for orphan
+    /// plans: the index of the death event that orphaned the task).
     event_ix: usize,
-    /// The arrival's own device (migration accounting).
+    /// What this plan re-offers (and where its resolution lands).
+    source: PlanSource,
+    /// The arrival's own device (migration accounting); for orphan
+    /// plans, the dead partition (failover diagnostics).
     origin: DeviceId,
     /// This plan's preference ladder: partition indices, best first, at
     /// `order_buf[order_start..order_start + order_len]`.
@@ -312,6 +363,17 @@ struct EpochStaging {
     rest: Vec<usize>,
     /// Partitions already claimed by the current retry wave.
     claimed: Vec<bool>,
+    /// Tasks orphaned by this epoch's partition deaths, in commit
+    /// order (each death's orphans are contiguous).
+    orphans: Vec<IoTask>,
+    /// Per-orphan resolution: rehomed to a device, or lost for a
+    /// reason. `None` while the waves are still running.
+    orphan_results: Vec<Option<Result<DeviceId, RejectReason>>>,
+    /// Per-orphan plan index into `plans`.
+    orphan_plan: Vec<usize>,
+    /// Death records awaiting finalisation:
+    /// `(event index, partition, orphan range start, orphan count)`.
+    deaths: Vec<(usize, usize, usize, usize)>,
 }
 
 impl EpochStaging {
@@ -337,25 +399,34 @@ impl EpochStaging {
         self.head.clear();
         self.claimed.clear();
         self.claimed.resize(partitions, false);
+        self.orphans.clear();
+        self.orphan_results.clear();
+        self.orphan_plan.clear();
+        self.deaths.clear();
     }
 
     /// Claims a plan slot (recycling a previous epoch's allocation) and
-    /// returns its index.
+    /// returns its index. Event plans start at rung 1 (rung 0 was
+    /// offered in the parallel lane phase); orphan plans never saw a
+    /// lane-phase offer and start at rung 0.
     fn alloc_plan(
         &mut self,
         event_ix: usize,
+        source: PlanSource,
         origin: DeviceId,
         order_start: usize,
         order_len: usize,
     ) -> usize {
         let k = self.plans_used;
+        let offered = matches!(source, PlanSource::Event);
         let plan = ArrivalPlan {
             event_ix,
+            source,
             origin,
             order_start,
             order_len,
-            cursor: 1,
-            attempts: 1,
+            cursor: usize::from(offered),
+            attempts: u32::from(offered),
             carried: Vec::new(),
         };
         if let Some(slot) = self.plans.get_mut(k) {
@@ -367,7 +438,13 @@ impl EpochStaging {
             self.plans.push(plan);
         }
         self.plans_used = k + 1;
-        self.plan_of[event_ix] = k;
+        match source {
+            PlanSource::Event => self.plan_of[event_ix] = k,
+            PlanSource::Orphan(ix) => {
+                debug_assert_eq!(ix, self.orphan_plan.len());
+                self.orphan_plan.push(k);
+            }
+        }
         k
     }
 }
@@ -567,6 +644,7 @@ impl FleetScheduler {
             &self.staging.lanes,
             &mut self.staging.results,
             events,
+            &self.staging.orphans,
             width,
         );
         // Phase 3 — commit in partition-id order.
@@ -574,12 +652,42 @@ impl FleetScheduler {
         let mut results = std::mem::take(&mut self.staging.results);
         for (p, lane_results) in results.iter_mut().enumerate() {
             for (i, outcome) in lane_results.drain(..) {
-                self.commit(p, i, outcome, &mut outcomes, &mut mode_acc);
+                self.commit(p, i, outcome, events, &mut outcomes, &mut mode_acc);
             }
         }
         self.staging.results = results;
-        // Phase 4 — cross-partition retry waves.
+        // Phase 4 — cross-partition retry waves (arrival retries and
+        // orphan rehoming share the wave machinery).
         self.retry_waves(events, &mut outcomes);
+        // Phase 4a — finalise partition-death outcomes now that every
+        // orphan is rehomed or lost.
+        let deaths = std::mem::take(&mut self.staging.deaths);
+        for &(i, p, start, count) in &deaths {
+            let device = self.partitions[p].device();
+            let mut rehomed = Vec::new();
+            let mut lost = Vec::new();
+            for ix in start..start + count {
+                let id = self.staging.orphans[ix].id();
+                match self.staging.orphan_results[ix].take() {
+                    Some(Ok(home)) => rehomed.push((id, home)),
+                    Some(Err(reason)) => lost.push((id, reason)),
+                    // Unreachable: every orphan plan resolves in the
+                    // waves. The hot path must not panic regardless.
+                    None => {}
+                }
+            }
+            outcomes[i] = Some(FleetOutcome {
+                partition: Some(device),
+                attempts: 0,
+                outcome: EventOutcome::PartitionDied {
+                    device,
+                    orphans: self.staging.orphans[start..start + count].to_vec(),
+                    rehomed,
+                    lost,
+                },
+            });
+        }
+        self.staging.deaths = deaths;
         // Phase 4b — deferred same-batch departures, now that ownership
         // has settled through commit and retry (sequential, event order).
         for k in 0..self.staging.deferred.len() {
@@ -663,7 +771,8 @@ impl FleetScheduler {
                     let (start, len) = self.preference(task);
                     let first = self.staging.order_buf[start];
                     self.staging.lanes[first].push(i);
-                    self.staging.alloc_plan(i, task.device(), start, len);
+                    self.staging
+                        .alloc_plan(i, PlanSource::Event, task.device(), start, len);
                 }
                 SystemEvent::Departure(id) => match self.owner.get(id) {
                     Some(&p) => {
@@ -707,20 +816,42 @@ impl FleetScheduler {
                         });
                     }
                 },
+                // A death routes to its partition's own lane (like a
+                // spike), so the lane's event order defines the
+                // mid-batch semantics: same-lane events before the
+                // death see the live partition, events after it see
+                // the restarted empty one. Orphaned ids stay projected
+                // for the epoch — a same-epoch re-arrival of an orphan
+                // still duplicate-rejects at the router.
+                SystemEvent::PartitionDeath { device } => match self.index_of(*device) {
+                    Some(p) => self.staging.lanes[p].push(i),
+                    None => {
+                        self.stats.unrouted += 1;
+                        outcomes[i] = Some(FleetOutcome {
+                            partition: None,
+                            attempts: 0,
+                            outcome: EventOutcome::Ignored {
+                                reason: "death of a partition outside the fleet",
+                            },
+                        });
+                    }
+                },
             }
         }
     }
 
-    /// Phase 4: re-offers rejected arrivals along their preference
-    /// ladders in waves. Wave formation is sequential, in event order:
-    /// each pending arrival claims its next ladder rung unless an
-    /// earlier arrival claimed that partition this wave (a contested
-    /// rung waits for the next wave — it is never skipped, so retry
-    /// budgets are honoured exactly). A wave's offers therefore target
-    /// disjoint partitions and evaluate in parallel; wave order, not
-    /// thread order, defines the semantics. The first pending arrival
-    /// always claims its rung, so every wave makes progress and the
-    /// loop terminates.
+    /// Phase 4: re-offers rejected arrivals (and the orphans of this
+    /// epoch's partition deaths) along their preference ladders in
+    /// waves. Wave formation is sequential, in plan order: each pending
+    /// plan claims its next ladder rung unless an earlier plan claimed
+    /// that partition this wave (a contested rung simply waits for the
+    /// next wave — it is never skipped, so retry budgets are honoured
+    /// exactly). A wave's offers therefore target disjoint partitions
+    /// and evaluate in parallel; wave order, not thread order, defines
+    /// the semantics. Arrival plans spend the configured retry budget;
+    /// orphan plans walk their whole surviving ladder. The first
+    /// pending plan always claims its rung, so every wave makes
+    /// progress and the loop terminates.
     fn retry_waves(&mut self, events: &[SystemEvent], outcomes: &mut [Option<FleetOutcome>]) {
         let retries = self.config.retries;
         let width = self.lane_width();
@@ -735,13 +866,28 @@ impl FleetScheduler {
             let mut offers = 0usize;
             for k in 0..self.staging.plans_used {
                 let plan = &self.staging.plans[k];
+                let source = plan.source;
                 let (i, cursor) = (plan.event_ix, plan.cursor);
                 let (order_start, order_len) = (plan.order_start, plan.order_len);
-                if outcomes[i].is_some() {
+                let resolved = match source {
+                    PlanSource::Event => outcomes[i].is_some(),
+                    PlanSource::Orphan(ix) => self.staging.orphan_results[ix].is_some(),
+                };
+                if resolved {
                     continue; // admitted in the lane phase, or finalised
                 }
-                if cursor > retries || cursor >= order_len {
-                    self.finalise_reject(k, events, outcomes);
+                let budget = match source {
+                    PlanSource::Event => retries,
+                    // Failover is a recovery action: an orphan may try
+                    // every surviving partition, not just the
+                    // admission-control retry budget.
+                    PlanSource::Orphan(_) => usize::MAX,
+                };
+                if cursor > budget || cursor >= order_len {
+                    match source {
+                        PlanSource::Event => self.finalise_reject(k, events, outcomes),
+                        PlanSource::Orphan(_) => self.finalise_lost(k),
+                    }
                     continue;
                 }
                 let p = self.staging.order_buf[order_start + cursor];
@@ -752,8 +898,17 @@ impl FleetScheduler {
                 let plan = &mut self.staging.plans[k];
                 plan.cursor += 1;
                 plan.attempts += 1;
-                self.stats.retries += 1;
-                self.staging.lanes[p].push(i);
+                let lane_ix = match source {
+                    PlanSource::Event => {
+                        // Rehoming offers are deliberately kept out of
+                        // the retry counter: a failover re-admission is
+                        // not a router re-offer of a new arrival.
+                        self.stats.retries += 1;
+                        i
+                    }
+                    PlanSource::Orphan(ix) => events.len() + ix,
+                };
+                self.staging.lanes[p].push(lane_ix);
                 offers += 1;
             }
             if offers == 0 {
@@ -768,6 +923,7 @@ impl FleetScheduler {
                 &self.staging.lanes,
                 &mut self.staging.results,
                 events,
+                &self.staging.orphans,
                 width,
             );
             // Commit the wave. Iteration is in partition-id order, but
@@ -777,7 +933,7 @@ impl FleetScheduler {
             let mut results = std::mem::take(&mut self.staging.results);
             for (p, lane_results) in results.iter_mut().enumerate() {
                 for (i, outcome) in lane_results.drain(..) {
-                    self.commit_wave_offer(p, i, outcome, outcomes);
+                    self.commit_wave_offer(p, i, outcome, events.len(), outcomes);
                 }
             }
             self.staging.results = results;
@@ -787,13 +943,33 @@ impl FleetScheduler {
     /// Commits one retry-wave offer: ownership, counters and the final
     /// outcome on admission; a carried diagnostic on rejection (the
     /// plan stays pending for the next wave or final attribution).
+    /// Lane indices at or past `n_events` are orphan rehoming offers —
+    /// their resolutions land in the per-orphan results, not the
+    /// epoch's outcome slots.
     fn commit_wave_offer(
         &mut self,
         p: usize,
         i: usize,
         outcome: EventOutcome,
+        n_events: usize,
         outcomes: &mut [Option<FleetOutcome>],
     ) {
+        if let Some(ix) = i.checked_sub(n_events) {
+            let k = self.staging.orphan_plan[ix];
+            match outcome {
+                EventOutcome::Admitted { task, .. } => {
+                    self.owner.insert(task, p);
+                    self.stats.rehomed += 1;
+                    self.staging.orphan_results[ix] = Some(Ok(self.partitions[p].device()));
+                }
+                EventOutcome::Rejected { reason, .. } => {
+                    self.record_partition_reject(p, &reason);
+                    self.staging.plans[k].carried.push(reason);
+                }
+                _ => {}
+            }
+            return;
+        }
         let k = self.staging.plan_of[i];
         match outcome {
             EventOutcome::Admitted { task, .. } => {
@@ -852,6 +1028,25 @@ impl FleetScheduler {
         });
     }
 
+    /// Finalises an orphan plan whose surviving ladder is exhausted:
+    /// the task is lost, and its diagnostic names the dead partition
+    /// ([`Infeasible::origin`]) so operators can attribute the failure
+    /// to the failover rather than to ordinary admission control.
+    fn finalise_lost(&mut self, k: usize) {
+        let plan = &mut self.staging.plans[k];
+        let PlanSource::Orphan(ix) = plan.source else {
+            return; // event plans finalise through `finalise_reject`
+        };
+        let origin = plan.origin;
+        let carried = std::mem::take(&mut plan.carried);
+        let reason = match final_reject_reason(carried) {
+            RejectReason::Infeasible(diag) => RejectReason::Infeasible(diag.with_origin(origin)),
+            other => other,
+        };
+        self.stats.lost += 1;
+        self.staging.orphan_results[ix] = Some(Err(reason));
+    }
+
     /// Chunking width for the parallel phases (`0` = one per core,
     /// resolved by the shared [`tagio_core::pool`] rule).
     fn lane_width(&self) -> usize {
@@ -864,6 +1059,7 @@ impl FleetScheduler {
         p: usize,
         i: usize,
         outcome: EventOutcome,
+        events: &[SystemEvent],
         outcomes: &mut [Option<FleetOutcome>],
         mode_acc: &mut BTreeMap<usize, (Vec<TaskId>, Vec<TaskId>)>,
     ) {
@@ -957,7 +1153,46 @@ impl FleetScheduler {
                     outcome,
                 });
             }
+            EventOutcome::PartitionDied { orphans, .. } => {
+                // The partition reset itself and handed back its whole
+                // active set. Release ownership, then queue every
+                // orphan for rehoming through the retry waves — the
+                // death event's outcome is finalised after the waves,
+                // once each orphan is rehomed or lost.
+                self.stats.deaths += 1;
+                self.stats.orphaned += orphans.len();
+                let start = self.staging.orphans.len();
+                for task in orphans {
+                    if self.owner.get(&task.id()) == Some(&p) {
+                        self.owner.remove(&task.id());
+                    }
+                    let ix = self.staging.orphans.len();
+                    let (order_start, order_len) = self.surviving_ladder(&task, p);
+                    self.staging.alloc_plan(
+                        i,
+                        PlanSource::Orphan(ix),
+                        device,
+                        order_start,
+                        order_len,
+                    );
+                    self.staging.orphans.push(task);
+                    self.staging.orphan_results.push(None);
+                }
+                let count = self.staging.orphans.len() - start;
+                self.staging.deaths.push((i, p, start, count));
+            }
             EventOutcome::Ignored { .. } => {
+                // A departure the dead partition could no longer see:
+                // its task was orphaned by a death earlier in this
+                // lane. Defer it to the post-wave phase so it lands on
+                // whichever partition rehomes the task (sequential-
+                // trace semantics), instead of vanishing.
+                if let SystemEvent::Departure(id) = &events[i] {
+                    if self.staging.orphans.iter().any(|t| t.id() == *id) {
+                        self.staging.deferred.push((i, *id));
+                        return;
+                    }
+                }
                 outcomes[i] = Some(FleetOutcome {
                     partition: Some(device),
                     attempts: 0,
@@ -965,6 +1200,29 @@ impl FleetScheduler {
                 });
             }
         }
+    }
+
+    /// Builds an orphan's rehoming ladder: the policy's full preference
+    /// order with the dead partition compacted out. Reuses the epoch's
+    /// headroom snapshot when one exists (staged before any admission —
+    /// deliberately stale, but deterministic for every worker count);
+    /// an epoch with no arrivals snapshots here instead, which is
+    /// equally deterministic because the commit phase is sequential.
+    fn surviving_ladder(&mut self, task: &IoTask, dead: usize) -> (usize, usize) {
+        let (start, len) = self.preference(task);
+        let buf = &mut self.staging.order_buf;
+        let mut w = start;
+        for r in start..start + len {
+            let q = buf[r];
+            if q != dead {
+                buf[w] = q;
+                w += 1;
+            }
+        }
+        // The ladder was just appended, so dropping the dead rung from
+        // its tail cannot disturb any earlier plan's range.
+        buf.truncate(w);
+        (start, w - start)
     }
 
     /// Appends the policy's partition preference ladder for `task` to
@@ -1089,6 +1347,54 @@ impl FleetScheduler {
             .binary_search_by(|p| p.device().cmp(&device))
             .ok()
     }
+
+    /// The fleet configuration (checkpointing).
+    pub(crate) fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The ownership map, by partition index (checkpointing).
+    pub(crate) fn owner_map(&self) -> &BTreeMap<TaskId, usize> {
+        &self.owner
+    }
+
+    /// Per-partition overload-rejection counts (checkpointing — they
+    /// drive [`PlacementPolicy::Rebalance`], so recovery must restore
+    /// them exactly).
+    pub(crate) fn overload_counts(&self) -> &[usize] {
+        &self.overload_rejects
+    }
+
+    /// The routing RNG's raw state (checkpointing).
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Reassembles a fleet from checkpointed parts. The caller (the
+    /// snapshot loader) guarantees `partitions` is sorted by device id
+    /// with no duplicates, `owner`'s indices are in range, and
+    /// `overload_rejects.len() == partitions.len()`; staging is rebuilt
+    /// fresh (it never outlives an epoch).
+    pub(crate) fn from_parts(
+        config: FleetConfig,
+        partitions: Vec<OnlineScheduler>,
+        owner: BTreeMap<TaskId, usize>,
+        overload_rejects: Vec<usize>,
+        rng_state: [u64; 4],
+        stats: FleetStats,
+    ) -> Self {
+        debug_assert!(partitions.windows(2).all(|w| w[0].device() < w[1].device()));
+        debug_assert_eq!(overload_rejects.len(), partitions.len());
+        FleetScheduler {
+            config,
+            partitions,
+            owner,
+            overload_rejects,
+            rng: StdRng::from_state(rng_state),
+            stats,
+            staging: EpochStaging::default(),
+        }
+    }
 }
 
 /// Chooses the most informative final rejection: the first diagnostic
@@ -1125,20 +1431,25 @@ fn shuffle(rng: &mut StdRng, order: &mut [usize]) {
 /// in parallel on the persistent [`WorkerPool`] when `width > 1`.
 /// Arrivals are *offered* ([`OnlineScheduler::offer`] — the admission
 /// pipeline, task re-bound only on admit); every other event is applied
-/// as-is. Lanes touch disjoint partitions, so results are identical for
-/// any width.
+/// as-is. Lane indices at or past `events.len()` address `orphans`
+/// (rehoming offers from the retry waves). Lanes touch disjoint
+/// partitions, so results are identical for any width.
 fn eval_lanes(
     partitions: &mut [OnlineScheduler],
     lanes: &[Vec<usize>],
     results: &mut [Vec<(usize, EventOutcome)>],
     events: &[SystemEvent],
+    orphans: &[IoTask],
     width: usize,
 ) {
     let eval = |svc: &mut OnlineScheduler, lane: &[usize], out: &mut Vec<(usize, EventOutcome)>| {
         for &i in lane {
-            let outcome = match &events[i] {
-                SystemEvent::Arrival(task) => svc.offer(task),
-                event => svc.apply(event),
+            let outcome = match i.checked_sub(events.len()) {
+                Some(ix) => svc.offer(&orphans[ix]),
+                None => match &events[i] {
+                    SystemEvent::Arrival(task) => svc.offer(task),
+                    event => svc.apply(event),
+                },
             };
             out.push((i, outcome));
         }
@@ -1493,6 +1804,146 @@ mod tests {
         let out = fleet.apply(&SystemEvent::Arrival(mk(7, 1, 8, 400, 5)));
         assert_eq!(out.partition, Some(DeviceId(0)), "tightest fit wins");
         assert_eq!(fleet.stats().migrations, 1, "moved off its origin");
+    }
+
+    #[test]
+    fn partition_death_rehomes_orphans_to_survivors() {
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        let out = fleet.apply(&SystemEvent::PartitionDeath {
+            device: DeviceId(0),
+        });
+        assert_eq!(out.partition, Some(DeviceId(0)));
+        match out.outcome {
+            EventOutcome::PartitionDied {
+                device,
+                orphans,
+                rehomed,
+                lost,
+            } => {
+                assert_eq!(device, DeviceId(0));
+                assert_eq!(orphans.len(), 1);
+                assert_eq!(orphans[0].id(), TaskId(0));
+                assert_eq!(rehomed, vec![(TaskId(0), DeviceId(1))]);
+                assert!(lost.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        // The orphan now lives on the survivor — and only there.
+        assert_eq!(fleet.owner_of(TaskId(0)), Some(DeviceId(1)));
+        let p0 = fleet.partition(DeviceId(0)).unwrap();
+        assert!(p0.tasks().is_empty(), "dead partition restarted empty");
+        let p1 = fleet.partition(DeviceId(1)).unwrap();
+        assert!(p1.tasks().get(TaskId(0)).is_some());
+        assert!(p1.tasks().get(TaskId(1)).is_some());
+        p1.schedule().validate(p1.jobs()).unwrap();
+        let stats = fleet.stats();
+        assert_eq!(
+            (stats.deaths, stats.orphaned, stats.rehomed, stats.lost),
+            (1, 1, 1, 0)
+        );
+        // Failover stays out of the admission-control accounting.
+        assert_eq!(stats.arrivals, 0);
+        assert_eq!(stats.admitted, 0);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.migrations, 0);
+    }
+
+    #[test]
+    fn death_in_a_single_partition_fleet_loses_tasks_with_origin() {
+        let mut bases = BTreeMap::new();
+        bases.insert(
+            DeviceId(0),
+            vec![mk(0, 0, 8, 500, 2)].into_iter().collect::<TaskSet>(),
+        );
+        let mut fleet = FleetScheduler::bootstrap(
+            &bases,
+            FleetConfig {
+                threads: 1,
+                ..FleetConfig::default()
+            },
+        );
+        let out = fleet.apply(&SystemEvent::PartitionDeath {
+            device: DeviceId(0),
+        });
+        match out.outcome {
+            EventOutcome::PartitionDied { rehomed, lost, .. } => {
+                assert!(rehomed.is_empty(), "no survivor to rehome onto");
+                assert_eq!(lost.len(), 1);
+                let (id, reason) = &lost[0];
+                assert_eq!(*id, TaskId(0));
+                match reason {
+                    RejectReason::Infeasible(diag) => {
+                        assert_eq!(diag.origin, Some(DeviceId(0)), "diagnostic names the death");
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(fleet.owner_of(TaskId(0)), None);
+        assert_eq!(fleet.stats().lost, 1);
+        assert_eq!(
+            fleet.stats().rejected,
+            0,
+            "a lost orphan is not a rejected arrival"
+        );
+    }
+
+    #[test]
+    fn death_outside_the_fleet_is_unrouted() {
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        let out = fleet.apply(&SystemEvent::PartitionDeath {
+            device: DeviceId(9),
+        });
+        assert_eq!(out.partition, None);
+        assert!(matches!(out.outcome, EventOutcome::Ignored { .. }));
+        assert_eq!(fleet.stats().unrouted, 1);
+        assert_eq!(fleet.stats().deaths, 0);
+    }
+
+    #[test]
+    fn same_epoch_departure_of_an_orphan_lands_after_rehoming() {
+        // Death then departure of an orphaned task, in one batch: the
+        // dead partition can no longer see the task, so the departure
+        // must follow the orphan to wherever failover rehomes it.
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        let outs = fleet.apply_batch(&[
+            SystemEvent::PartitionDeath {
+                device: DeviceId(0),
+            },
+            SystemEvent::Departure(TaskId(0)),
+        ]);
+        assert!(matches!(
+            outs[0].outcome,
+            EventOutcome::PartitionDied { .. }
+        ));
+        assert_eq!(
+            outs[1].partition,
+            Some(DeviceId(1)),
+            "landed on the new home"
+        );
+        assert!(matches!(outs[1].outcome, EventOutcome::Departed { .. }));
+        assert_eq!(fleet.owner_of(TaskId(0)), None, "no ghost task anywhere");
+        // The mirrored order: a departure *before* the death leaves
+        // nothing to orphan.
+        let outs = fleet.apply_batch(&[
+            SystemEvent::Departure(TaskId(1)),
+            SystemEvent::PartitionDeath {
+                device: DeviceId(1),
+            },
+        ]);
+        assert!(matches!(outs[0].outcome, EventOutcome::Departed { .. }));
+        match &outs[1].outcome {
+            EventOutcome::PartitionDied { orphans, .. } => {
+                assert!(orphans.is_empty(), "the departed task was not orphaned");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            fleet.stats().orphaned,
+            1,
+            "only the first death orphaned a task"
+        );
     }
 
     #[test]

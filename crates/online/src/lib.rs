@@ -41,6 +41,20 @@
 //! sweeps partition count × arrival rate × placement policy against a
 //! single partition at equal aggregate load.
 //!
+//! [`persist`] and [`wal`] make the fleet **crash-consistent**: a
+//! versioned [`FleetSnapshot`] checkpoints every partition at an epoch
+//! boundary, a write-ahead log ([`wal::WalSink`] / [`wal::WalSource`])
+//! journals each routed batch with per-partition commit digests, and
+//! [`FleetScheduler::recover`] replays the suffix deterministically —
+//! reconstructing bit-identical schedules and stats, with divergence
+//! pinned to the epoch that caused it. [`SystemEvent::PartitionDeath`]
+//! (`@N death d<id>` in traces) kills a partition mid-stream; the fleet
+//! re-admits its tasks on the surviving partitions and diagnoses the
+//! rest, and the `failover_scenarios` experiment binary sweeps death
+//! rate × partition count.
+//!
+//! [`SystemEvent::PartitionDeath`]: tagio_core::event::SystemEvent::PartitionDeath
+//!
 //! ```
 //! use tagio_core::event::SystemEvent;
 //! use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
@@ -72,12 +86,16 @@
 #![warn(clippy::all)]
 
 pub mod fleet;
+pub mod persist;
 pub mod scenario;
 pub mod service;
+pub mod wal;
 
 pub use fleet::{FleetConfig, FleetOutcome, FleetScheduler, FleetStats, PlacementPolicy};
+pub use persist::{FleetSnapshot, PartitionSnapshot, RecoveryReport, SnapshotError};
 pub use scenario::{
     ConfigError, FleetReplayOutcome, FleetScenario, FleetScenarioConfig,
     FleetScenarioConfigBuilder, ReplayOutcome, Scenario, ScenarioConfig, TraceError,
 };
 pub use service::{EventOutcome, OnlineScheduler, OnlineStats, RejectReason, RepairStrategy};
+pub use wal::{EpochRecord, FileWal, MemoryWal, WalContents, WalError, WalSink, WalSource};

@@ -1,0 +1,1003 @@
+//! Crash-consistent fleet state: versioned snapshots, WAL replay and
+//! digest-checked recovery.
+//!
+//! A [`FleetSnapshot`] captures everything a
+//! [`FleetScheduler`] needs to resume bit-identically: the config, the
+//! routing RNG's raw state, the fleet counters, the ownership map, the
+//! rebalance counters, and — per partition — the active set at
+//! effective WCETs, the nominal re-admission pool, the spike level, the
+//! exact live schedule and the decision counters. Derived state
+//! (expanded jobs, cached Ψ/Υ, the analysis cache, repair scratch) is
+//! deliberately *not* stored: it is rebuilt on load, and cold-vs-warm
+//! cache equivalence means decisions are unchanged.
+//!
+//! [`FleetScheduler::recover`] composes a snapshot with the suffix of a
+//! [`WalContents`] log: epochs recorded after the snapshot are replayed
+//! through the ordinary [`FleetScheduler::apply_batch`] pipeline, and
+//! after each one the per-partition schedule/stats digests are compared
+//! against the record's commit line — divergence is reported at the
+//! epoch that caused it. The digests cover only deterministic state:
+//! [`OnlineStats`] wall-clock durations vary run to run and are
+//! excluded by construction.
+//!
+//! The snapshot text format is versioned (`tagio-fleet-snapshot v1`
+//! header line) and line-based, sharing its task encoding with the
+//! scenario trace dialect; `EXPERIMENTS.md` documents both formats.
+
+use crate::fleet::{FleetConfig, FleetScheduler, FleetStats, PlacementPolicy};
+use crate::scenario::{format_event_body, parse_event_body};
+use crate::service::{OnlineScheduler, OnlineStats, RepairStrategy};
+use crate::wal::{EpochRecord, WalContents};
+use std::collections::BTreeMap;
+use tagio_core::event::SystemEvent;
+use tagio_core::job::JobId;
+use tagio_core::schedule::{Schedule, ScheduleEntry};
+use tagio_core::solve::InfeasibleCause;
+use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+use tagio_core::time::{Duration, Time};
+use tagio_sched::SlotPolicy;
+
+/// The snapshot format's magic + version header line. Bump the version
+/// when the line grammar changes; [`FleetSnapshot::parse`] rejects
+/// anything it does not speak.
+pub const SNAPSHOT_HEADER: &str = "tagio-fleet-snapshot v1";
+
+// ---------------------------------------------------------------------
+// Digests
+// ---------------------------------------------------------------------
+
+/// 64-bit FNV-1a, hand-rolled so digests are stable across platforms
+/// and independent of `std`'s unspecified hasher.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+}
+
+/// Digest of a live schedule: every entry's job id, start and duration,
+/// in the schedule's canonical `(start, job)` order. Two schedules
+/// digest equal iff they are bit-identical placements.
+#[must_use]
+pub fn schedule_digest(schedule: &Schedule) -> u64 {
+    let mut h = Fnv::new();
+    for e in schedule.iter() {
+        h.write_u64(u64::from(e.job.task.0));
+        h.write_u64(u64::from(e.job.index));
+        h.write_u64(e.start.as_micros());
+        h.write_u64(e.duration.as_micros());
+    }
+    h.0
+}
+
+/// Digest of a partition's *deterministic* decision counters. The
+/// wall-clock fields ([`OnlineStats::repair_time`] /
+/// [`OnlineStats::admission_time`]) vary run to run and are excluded;
+/// their event counts (which are decisions, not clocks) are covered.
+#[must_use]
+pub fn stats_digest(stats: &OnlineStats) -> u64 {
+    let mut h = Fnv::new();
+    for v in [
+        stats.arrivals,
+        stats.admitted,
+        stats.rejected,
+        stats.fast_rejects,
+        stats.shed_overload,
+        stats.shed_infeasible,
+        stats.departures,
+        stats.repairs,
+        stats.resyntheses,
+        stats.fps_fallbacks,
+        stats.shed,
+        stats.spikes,
+        stats.mode_changes,
+        stats.ignored,
+        stats.repair_events,
+        stats.admission_events,
+    ] {
+        h.write_u64(v as u64);
+    }
+    for (&cause, &count) in &stats.reject_causes {
+        h.write_bytes(cause.as_str().as_bytes());
+        h.write_u64(count as u64);
+    }
+    h.0
+}
+
+// ---------------------------------------------------------------------
+// Snapshot model
+// ---------------------------------------------------------------------
+
+/// One partition's persisted state.
+#[derive(Debug, Clone)]
+pub struct PartitionSnapshot {
+    /// The partition's device.
+    pub device: DeviceId,
+    /// Current WCET scale (percent of nominal).
+    pub spike_percent: u32,
+    /// The active set at effective (spike-scaled) WCETs.
+    pub active: Vec<IoTask>,
+    /// The nominal re-admission pool (every task ever admitted).
+    pub pool: Vec<IoTask>,
+    /// The live schedule's entries.
+    pub entries: Vec<ScheduleEntry>,
+    /// Decision counters (durations persisted as microseconds).
+    pub stats: OnlineStats,
+}
+
+/// A versioned, self-contained checkpoint of a whole fleet at an epoch
+/// boundary.
+#[derive(Debug, Clone)]
+pub struct FleetSnapshot {
+    /// The epoch this snapshot closes
+    /// (= [`FleetStats::epochs`] at capture).
+    pub epoch: usize,
+    /// The fleet configuration.
+    pub config: FleetConfig,
+    /// The routing RNG's raw xoshiro256++ state.
+    pub rng_state: [u64; 4],
+    /// Fleet-level counters.
+    pub stats: FleetStats,
+    /// Task ownership, by device (the snapshot does not assume
+    /// partition indices).
+    pub owner: BTreeMap<TaskId, DeviceId>,
+    /// Per-partition overload-rejection counts (they drive
+    /// [`PlacementPolicy::Rebalance`], so they must survive).
+    pub overload: BTreeMap<DeviceId, usize>,
+    /// The partitions, in device-id order.
+    pub partitions: Vec<PartitionSnapshot>,
+}
+
+/// A malformed snapshot text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// 1-based line of the defect (`0` = structural, e.g. truncation).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.line == 0 {
+            write!(f, "snapshot error: {}", self.message)
+        } else {
+            write!(f, "snapshot line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn strategy_str(strategy: RepairStrategy) -> &'static str {
+    match strategy {
+        RepairStrategy::Incremental => "incremental",
+        RepairStrategy::FullResynthesis => "full-resynthesis",
+    }
+}
+
+fn strategy_from(s: &str) -> Result<RepairStrategy, String> {
+    match s {
+        "incremental" => Ok(RepairStrategy::Incremental),
+        "full-resynthesis" => Ok(RepairStrategy::FullResynthesis),
+        other => Err(format!("unknown repair strategy `{other}`")),
+    }
+}
+
+impl FleetSnapshot {
+    /// Captures `fleet` at its current epoch boundary.
+    #[must_use]
+    pub fn capture(fleet: &FleetScheduler) -> FleetSnapshot {
+        let devices: Vec<DeviceId> = fleet
+            .partitions()
+            .iter()
+            .map(OnlineScheduler::device)
+            .collect();
+        FleetSnapshot {
+            epoch: fleet.stats().epochs,
+            config: fleet.config().clone(),
+            rng_state: fleet.rng_state(),
+            stats: fleet.stats().clone(),
+            owner: fleet
+                .owner_map()
+                .iter()
+                .map(|(&id, &ix)| (id, devices[ix]))
+                .collect(),
+            overload: devices
+                .iter()
+                .copied()
+                .zip(fleet.overload_counts().iter().copied())
+                .collect(),
+            partitions: fleet
+                .partitions()
+                .iter()
+                .map(|p| PartitionSnapshot {
+                    device: p.device(),
+                    spike_percent: p.spike_percent(),
+                    active: p.tasks().iter().cloned().collect(),
+                    pool: p.pool().values().cloned().collect(),
+                    entries: p.schedule().iter().cloned().collect(),
+                    stats: p.stats().clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a live fleet. Derived state (jobs, Ψ/Υ, caches) is
+    /// recomputed; every partition's schedule is re-validated against
+    /// its re-expanded jobs, so a corrupt snapshot fails here instead
+    /// of corrupting later decisions.
+    ///
+    /// # Errors
+    /// Returns a message naming the defect (invalid schedule, unknown
+    /// owner device, unsorted partitions).
+    pub fn restore(&self) -> Result<FleetScheduler, String> {
+        let sorted = self
+            .partitions
+            .windows(2)
+            .all(|w| w[0].device < w[1].device);
+        if !sorted {
+            return Err("snapshot partitions not in strict device order".into());
+        }
+        let devices: Vec<DeviceId> = self.partitions.iter().map(|p| p.device).collect();
+        let index_of = |device: DeviceId| devices.binary_search(&device);
+        let mut partitions = Vec::with_capacity(self.partitions.len());
+        for p in &self.partitions {
+            let svc = OnlineScheduler::restore(
+                p.device,
+                self.config.strategy,
+                SlotPolicy::default(),
+                self.config.lean,
+                p.active.iter().cloned().collect::<TaskSet>(),
+                p.pool.iter().map(|t| (t.id(), t.clone())).collect(),
+                p.spike_percent,
+                p.entries.iter().cloned().collect::<Schedule>(),
+                p.stats.clone(),
+            )?;
+            partitions.push(svc);
+        }
+        let mut owner = BTreeMap::new();
+        for (&id, &device) in &self.owner {
+            let ix = index_of(device)
+                .map_err(|_| format!("owner {id} names unknown partition {device}"))?;
+            owner.insert(id, ix);
+        }
+        let overload: Vec<usize> = devices
+            .iter()
+            .map(|d| self.overload.get(d).copied().unwrap_or(0))
+            .collect();
+        Ok(FleetScheduler::from_parts(
+            self.config.clone(),
+            partitions,
+            owner,
+            overload,
+            self.rng_state,
+            self.stats.clone(),
+        ))
+    }
+
+    /// Renders the snapshot in the versioned text format.
+    #[must_use]
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        out.push_str(SNAPSHOT_HEADER);
+        out.push('\n');
+        out.push_str(&format!("epoch {}\n", self.epoch));
+        out.push_str(&format!(
+            "config policy={} retries={} threads={} seed={} strategy={} lean={}\n",
+            self.config.policy.as_str(),
+            self.config.retries,
+            self.config.threads,
+            self.config.seed,
+            strategy_str(self.config.strategy),
+            self.config.lean,
+        ));
+        let [a, b, c, d] = self.rng_state;
+        out.push_str(&format!("rng {a} {b} {c} {d}\n"));
+        let s = &self.stats;
+        out.push_str(&format!(
+            "fstats epochs={} events={} arrivals={} admitted={} rejected={} \
+             duplicate_rejects={} retries={} retry_admissions={} migrations={} \
+             unrouted={} deaths={} orphaned={} rehomed={} lost={}\n",
+            s.epochs,
+            s.events,
+            s.arrivals,
+            s.admitted,
+            s.rejected,
+            s.duplicate_rejects,
+            s.retries,
+            s.retry_admissions,
+            s.migrations,
+            s.unrouted,
+            s.deaths,
+            s.orphaned,
+            s.rehomed,
+            s.lost,
+        ));
+        for (&cause, &count) in &s.reject_causes {
+            out.push_str(&format!("fcause {} {count}\n", cause.as_str()));
+        }
+        for (&id, &device) in &self.owner {
+            out.push_str(&format!("owner t{} d{}\n", id.0, device.0));
+        }
+        for (&device, &count) in &self.overload {
+            out.push_str(&format!("overload d{} {count}\n", device.0));
+        }
+        for p in &self.partitions {
+            out.push_str(&format!(
+                "partition d{} spike={}\n",
+                p.device.0, p.spike_percent
+            ));
+            for t in &p.active {
+                out.push_str("active ");
+                out.push_str(&format_event_body(&SystemEvent::Arrival(t.clone())));
+                out.push('\n');
+            }
+            for t in &p.pool {
+                out.push_str("pool ");
+                out.push_str(&format_event_body(&SystemEvent::Arrival(t.clone())));
+                out.push('\n');
+            }
+            for e in &p.entries {
+                out.push_str(&format!(
+                    "entry t{} j{} at={} c={}\n",
+                    e.job.task.0,
+                    e.job.index,
+                    e.start.as_micros(),
+                    e.duration.as_micros(),
+                ));
+            }
+            let ps = &p.stats;
+            out.push_str(&format!(
+                "pstats arrivals={} admitted={} rejected={} fast_rejects={} \
+                 shed_overload={} shed_infeasible={} departures={} repairs={} \
+                 resyntheses={} fps_fallbacks={} shed={} spikes={} mode_changes={} \
+                 ignored={} repair_time_us={} repair_events={} admission_time_us={} \
+                 admission_events={}\n",
+                ps.arrivals,
+                ps.admitted,
+                ps.rejected,
+                ps.fast_rejects,
+                ps.shed_overload,
+                ps.shed_infeasible,
+                ps.departures,
+                ps.repairs,
+                ps.resyntheses,
+                ps.fps_fallbacks,
+                ps.shed,
+                ps.spikes,
+                ps.mode_changes,
+                ps.ignored,
+                ps.repair_time.as_micros(),
+                ps.repair_events,
+                ps.admission_time.as_micros(),
+                ps.admission_events,
+            ));
+            for (&cause, &count) in &ps.reject_causes {
+                out.push_str(&format!("pcause {} {count}\n", cause.as_str()));
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Parses the text format [`FleetSnapshot::write`] emits. Blank
+    /// lines and `#` comments are skipped.
+    ///
+    /// # Errors
+    /// Returns a [`SnapshotError`] naming the first malformed line.
+    pub fn parse(s: &str) -> Result<FleetSnapshot, SnapshotError> {
+        let mut lines = s.lines().enumerate();
+        let header = loop {
+            match lines.next() {
+                Some((i, raw)) => {
+                    let text = raw.trim();
+                    if text.is_empty() || text.starts_with('#') {
+                        continue;
+                    }
+                    break (i + 1, text);
+                }
+                None => {
+                    return Err(SnapshotError {
+                        line: 0,
+                        message: "empty snapshot".into(),
+                    })
+                }
+            }
+        };
+        if header.1 != SNAPSHOT_HEADER {
+            return Err(SnapshotError {
+                line: header.0,
+                message: format!(
+                    "unsupported header `{}` (want `{SNAPSHOT_HEADER}`)",
+                    header.1
+                ),
+            });
+        }
+        let mut epoch = None;
+        let mut config = None;
+        let mut rng_state = None;
+        let mut stats: Option<FleetStats> = None;
+        let mut owner = BTreeMap::new();
+        let mut overload = BTreeMap::new();
+        let mut partitions: Vec<PartitionSnapshot> = Vec::new();
+        let mut open: Option<PartitionSnapshot> = None;
+        for (i, raw) in lines {
+            let line = i + 1;
+            let err = |message: String| SnapshotError { line, message };
+            let text = raw.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let mut words = text.split_whitespace();
+            let verb = words.next().expect("non-empty line has a first token");
+            match verb {
+                "epoch" => {
+                    epoch = Some(
+                        words
+                            .next()
+                            .and_then(|w| w.parse::<usize>().ok())
+                            .ok_or_else(|| err("expected `epoch <n>`".into()))?,
+                    );
+                }
+                "config" => {
+                    let policy: PlacementPolicy = kv(words.next(), "policy")
+                        .map_err(err)?
+                        .parse()
+                        .map_err(err)?;
+                    let retries = num(kv(words.next(), "retries").map_err(err)?).map_err(err)?;
+                    let threads = num(kv(words.next(), "threads").map_err(err)?).map_err(err)?;
+                    let seed: u64 = kv(words.next(), "seed")
+                        .map_err(err)?
+                        .parse()
+                        .map_err(|_| err("bad seed".into()))?;
+                    let strategy =
+                        strategy_from(kv(words.next(), "strategy").map_err(err)?).map_err(err)?;
+                    let lean: bool = kv(words.next(), "lean")
+                        .map_err(err)?
+                        .parse()
+                        .map_err(|_| err("bad lean flag".into()))?;
+                    config = Some(FleetConfig {
+                        policy,
+                        retries,
+                        threads,
+                        seed,
+                        strategy,
+                        lean,
+                    });
+                }
+                "rng" => {
+                    let mut word = |name: &str| {
+                        words
+                            .next()
+                            .and_then(|w| w.parse::<u64>().ok())
+                            .ok_or_else(|| format!("bad rng word `{name}`"))
+                    };
+                    rng_state = Some([
+                        word("s0").map_err(err)?,
+                        word("s1").map_err(err)?,
+                        word("s2").map_err(err)?,
+                        word("s3").map_err(err)?,
+                    ]);
+                }
+                "fstats" => {
+                    let mut f = FleetStats::default();
+                    let mut take =
+                        |key: &str| -> Result<usize, String> { num(kv(words.next(), key)?) };
+                    f.epochs = take("epochs").map_err(err)?;
+                    f.events = take("events").map_err(err)?;
+                    f.arrivals = take("arrivals").map_err(err)?;
+                    f.admitted = take("admitted").map_err(err)?;
+                    f.rejected = take("rejected").map_err(err)?;
+                    f.duplicate_rejects = take("duplicate_rejects").map_err(err)?;
+                    f.retries = take("retries").map_err(err)?;
+                    f.retry_admissions = take("retry_admissions").map_err(err)?;
+                    f.migrations = take("migrations").map_err(err)?;
+                    f.unrouted = take("unrouted").map_err(err)?;
+                    f.deaths = take("deaths").map_err(err)?;
+                    f.orphaned = take("orphaned").map_err(err)?;
+                    f.rehomed = take("rehomed").map_err(err)?;
+                    f.lost = take("lost").map_err(err)?;
+                    stats = Some(f);
+                }
+                "fcause" => {
+                    let stats = stats
+                        .as_mut()
+                        .ok_or_else(|| err("`fcause` before `fstats`".into()))?;
+                    let (cause, count) = cause_line(&mut words).map_err(err)?;
+                    stats.reject_causes.insert(cause, count);
+                }
+                "owner" => {
+                    let id = tagged(words.next(), 't').map_err(err)?;
+                    let device = tagged(words.next(), 'd').map_err(err)?;
+                    owner.insert(TaskId(id), DeviceId(device));
+                }
+                "overload" => {
+                    let device = tagged(words.next(), 'd').map_err(err)?;
+                    let count = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("expected overload count".into()))?;
+                    overload.insert(DeviceId(device), count);
+                }
+                "partition" => {
+                    if open.is_some() {
+                        return Err(err("`partition` before previous `end`".into()));
+                    }
+                    let device = tagged(words.next(), 'd').map_err(err)?;
+                    let spike = num(kv(words.next(), "spike").map_err(err)?).map_err(err)?;
+                    open = Some(PartitionSnapshot {
+                        device: DeviceId(device),
+                        spike_percent: spike as u32,
+                        active: Vec::new(),
+                        pool: Vec::new(),
+                        entries: Vec::new(),
+                        stats: OnlineStats::default(),
+                    });
+                }
+                "active" | "pool" => {
+                    let p = open
+                        .as_mut()
+                        .ok_or_else(|| err(format!("`{verb}` outside a partition section")))?;
+                    let inner = words
+                        .next()
+                        .ok_or_else(|| err("missing task body".into()))?;
+                    if inner != "arrive" {
+                        return Err(err(format!("expected `arrive` task body, got `{inner}`")));
+                    }
+                    let SystemEvent::Arrival(task) =
+                        parse_event_body(inner, &mut words).map_err(err)?
+                    else {
+                        unreachable!("`arrive` bodies parse to arrivals")
+                    };
+                    if verb == "active" {
+                        p.active.push(task);
+                    } else {
+                        p.pool.push(task);
+                    }
+                }
+                "entry" => {
+                    let p = open
+                        .as_mut()
+                        .ok_or_else(|| err("`entry` outside a partition section".into()))?;
+                    let task = tagged(words.next(), 't').map_err(err)?;
+                    let index = tagged(words.next(), 'j').map_err(err)?;
+                    let at = num(kv(words.next(), "at").map_err(err)?).map_err(err)?;
+                    let c = num(kv(words.next(), "c").map_err(err)?).map_err(err)?;
+                    p.entries.push(ScheduleEntry {
+                        job: JobId::new(TaskId(task), index),
+                        start: Time::from_micros(at as u64),
+                        duration: Duration::from_micros(c as u64),
+                    });
+                }
+                "pstats" => {
+                    let p = open
+                        .as_mut()
+                        .ok_or_else(|| err("`pstats` outside a partition section".into()))?;
+                    let mut take =
+                        |key: &str| -> Result<usize, String> { num(kv(words.next(), key)?) };
+                    let ps = &mut p.stats;
+                    ps.arrivals = take("arrivals").map_err(err)?;
+                    ps.admitted = take("admitted").map_err(err)?;
+                    ps.rejected = take("rejected").map_err(err)?;
+                    ps.fast_rejects = take("fast_rejects").map_err(err)?;
+                    ps.shed_overload = take("shed_overload").map_err(err)?;
+                    ps.shed_infeasible = take("shed_infeasible").map_err(err)?;
+                    ps.departures = take("departures").map_err(err)?;
+                    ps.repairs = take("repairs").map_err(err)?;
+                    ps.resyntheses = take("resyntheses").map_err(err)?;
+                    ps.fps_fallbacks = take("fps_fallbacks").map_err(err)?;
+                    ps.shed = take("shed").map_err(err)?;
+                    ps.spikes = take("spikes").map_err(err)?;
+                    ps.mode_changes = take("mode_changes").map_err(err)?;
+                    ps.ignored = take("ignored").map_err(err)?;
+                    ps.repair_time = std::time::Duration::from_micros(
+                        take("repair_time_us").map_err(err)? as u64,
+                    );
+                    ps.repair_events = take("repair_events").map_err(err)?;
+                    ps.admission_time = std::time::Duration::from_micros(
+                        take("admission_time_us").map_err(err)? as u64,
+                    );
+                    ps.admission_events = take("admission_events").map_err(err)?;
+                }
+                "pcause" => {
+                    let p = open
+                        .as_mut()
+                        .ok_or_else(|| err("`pcause` outside a partition section".into()))?;
+                    let (cause, count) = cause_line(&mut words).map_err(err)?;
+                    p.stats.reject_causes.insert(cause, count);
+                }
+                "end" => {
+                    let p = open
+                        .take()
+                        .ok_or_else(|| err("`end` without a partition section".into()))?;
+                    partitions.push(p);
+                }
+                other => return Err(err(format!("unknown snapshot verb `{other}`"))),
+            }
+        }
+        if open.is_some() {
+            return Err(SnapshotError {
+                line: 0,
+                message: "truncated snapshot: partition section without `end`".into(),
+            });
+        }
+        let missing = |name: &str| SnapshotError {
+            line: 0,
+            message: format!("snapshot missing `{name}`"),
+        };
+        Ok(FleetSnapshot {
+            epoch: epoch.ok_or_else(|| missing("epoch"))?,
+            config: config.ok_or_else(|| missing("config"))?,
+            rng_state: rng_state.ok_or_else(|| missing("rng"))?,
+            stats: stats.ok_or_else(|| missing("fstats"))?,
+            owner,
+            overload,
+            partitions,
+        })
+    }
+}
+
+fn kv<'a>(word: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+    word.and_then(|w| w.strip_prefix(key))
+        .and_then(|w| w.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=<value>"))
+}
+
+fn num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("bad number `{s}`"))
+}
+
+fn tagged(word: Option<&str>, tag: char) -> Result<u32, String> {
+    word.and_then(|w| w.strip_prefix(tag))
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| format!("expected {tag}<number>"))
+}
+
+fn cause_line<'a>(
+    words: &mut impl Iterator<Item = &'a str>,
+) -> Result<(InfeasibleCause, usize), String> {
+    let cause: InfeasibleCause = words
+        .next()
+        .ok_or_else(|| "missing cause".to_owned())?
+        .parse()?;
+    let count = num(words.next().ok_or_else(|| "missing count".to_owned())?)?;
+    Ok((cause, count))
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------
+
+/// What [`FleetScheduler::recover`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The epoch the snapshot closed.
+    pub snapshot_epoch: usize,
+    /// WAL epochs replayed on top of it.
+    pub replayed: usize,
+    /// Whether the log ended in an uncommitted (discarded) record.
+    pub torn_tail: bool,
+}
+
+impl FleetScheduler {
+    /// A journal record of the epoch just applied: the batch, plus
+    /// per-partition digests of the post-commit state. Append it to a
+    /// [`WalSink`](crate::wal::WalSink) right after
+    /// [`FleetScheduler::apply_batch`] returns.
+    #[must_use]
+    pub fn epoch_record(&self, events: &[SystemEvent]) -> EpochRecord {
+        EpochRecord {
+            epoch: self.stats().epochs,
+            seed: self.config().seed,
+            events: events.to_vec(),
+            routed: Vec::new(),
+            digests: self
+                .partitions()
+                .iter()
+                .map(|p| {
+                    (
+                        p.device(),
+                        (schedule_digest(p.schedule()), stats_digest(p.stats())),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Captures a [`FleetSnapshot`] at the current epoch boundary.
+    #[must_use]
+    pub fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot::capture(self)
+    }
+
+    /// Rebuilds a fleet from `snapshot` and replays every WAL epoch
+    /// recorded after it, in order, through the ordinary
+    /// [`FleetScheduler::apply_batch`] pipeline. After each replayed
+    /// epoch the per-partition schedule/stats digests are compared
+    /// against the record's commit line, so divergence (a corrupt
+    /// snapshot, a log from a different run, a non-deterministic bug)
+    /// is reported at the epoch that caused it. The log's torn tail,
+    /// if any, was already discarded by the WAL reader.
+    ///
+    /// # Errors
+    /// Returns a message naming the defect: a snapshot that fails to
+    /// restore, a seed mismatch, a gap in the epoch sequence, or a
+    /// digest divergence.
+    pub fn recover(
+        snapshot: &FleetSnapshot,
+        wal: &WalContents,
+    ) -> Result<(FleetScheduler, RecoveryReport), String> {
+        let mut fleet = snapshot.restore()?;
+        let mut replayed = 0usize;
+        for record in &wal.epochs {
+            if record.epoch <= snapshot.epoch {
+                continue; // already folded into the snapshot
+            }
+            if record.seed != fleet.config().seed {
+                return Err(format!(
+                    "WAL epoch {} was sealed under seed {}, fleet runs seed {}",
+                    record.epoch,
+                    record.seed,
+                    fleet.config().seed
+                ));
+            }
+            let expected = fleet.stats().epochs + 1;
+            if record.epoch != expected {
+                return Err(format!(
+                    "WAL gap: expected epoch {expected}, found {}",
+                    record.epoch
+                ));
+            }
+            let _ = fleet.apply_batch(&record.events);
+            for (&device, &(schedule, stats)) in &record.digests {
+                let p = fleet.partition(device).ok_or_else(|| {
+                    format!(
+                        "WAL epoch {} names unknown partition {device}",
+                        record.epoch
+                    )
+                })?;
+                if schedule_digest(p.schedule()) != schedule {
+                    return Err(format!(
+                        "schedule divergence on {device} replaying epoch {}",
+                        record.epoch
+                    ));
+                }
+                if stats_digest(p.stats()) != stats {
+                    return Err(format!(
+                        "stats divergence on {device} replaying epoch {}",
+                        record.epoch
+                    ));
+                }
+            }
+            replayed += 1;
+        }
+        Ok((
+            fleet,
+            RecoveryReport {
+                snapshot_epoch: snapshot.epoch,
+                replayed,
+                torn_tail: wal.torn_tail,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{MemoryWal, WalSink, WalSource};
+    use tagio_core::task::IoTask;
+
+    fn mk(id: u32, device: u32, delta_ms: u64) -> IoTask {
+        IoTask::builder(TaskId(id), DeviceId(device))
+            .wcet(Duration::from_micros(500))
+            .period(Duration::from_millis(8))
+            .ideal_offset(Duration::from_millis(delta_ms))
+            .margin(Duration::from_millis(1))
+            .quality(f64::from(id) + 1.0, 0.0)
+            .build()
+            .unwrap()
+    }
+
+    fn fleet() -> FleetScheduler {
+        let mut bases = BTreeMap::new();
+        bases.insert(
+            DeviceId(0),
+            vec![mk(0, 0, 2)].into_iter().collect::<TaskSet>(),
+        );
+        bases.insert(
+            DeviceId(1),
+            vec![mk(1, 1, 3)].into_iter().collect::<TaskSet>(),
+        );
+        FleetScheduler::bootstrap(
+            &bases,
+            FleetConfig {
+                threads: 1,
+                ..FleetConfig::default()
+            },
+        )
+    }
+
+    /// Four epochs exercising every event kind, death included.
+    fn batches() -> Vec<Vec<SystemEvent>> {
+        vec![
+            vec![
+                SystemEvent::Arrival(mk(10, 0, 4)),
+                SystemEvent::Arrival(mk(11, 1, 5)),
+            ],
+            vec![
+                SystemEvent::UtilisationSpike {
+                    device: DeviceId(0),
+                    percent: 130,
+                },
+                SystemEvent::Departure(TaskId(10)),
+            ],
+            vec![SystemEvent::PartitionDeath {
+                device: DeviceId(0),
+            }],
+            vec![SystemEvent::Arrival(mk(12, 0, 6))],
+        ]
+    }
+
+    fn fingerprint(fleet: &FleetScheduler) -> Vec<(DeviceId, u64, u64)> {
+        fleet
+            .partitions()
+            .iter()
+            .map(|p| {
+                (
+                    p.device(),
+                    schedule_digest(p.schedule()),
+                    stats_digest(p.stats()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stats_digest_ignores_wall_clock_but_not_decisions() {
+        let a = OnlineStats {
+            admitted: 3,
+            repair_events: 2,
+            ..Default::default()
+        };
+        let mut b = a.clone();
+        b.repair_time = std::time::Duration::from_micros(987);
+        b.admission_time = std::time::Duration::from_micros(123);
+        assert_eq!(stats_digest(&a), stats_digest(&b), "clocks must not count");
+        b.repair_events = 3;
+        assert_ne!(stats_digest(&a), stats_digest(&b), "decisions must count");
+    }
+
+    #[test]
+    fn snapshot_text_round_trips() {
+        let mut fleet = fleet();
+        for batch in batches() {
+            let _ = fleet.apply_batch(&batch);
+        }
+        let snap = fleet.snapshot();
+        let text = snap.write();
+        let parsed = FleetSnapshot::parse(&text).unwrap();
+        assert_eq!(parsed.epoch, snap.epoch);
+        assert_eq!(parsed.config, snap.config);
+        assert_eq!(parsed.rng_state, snap.rng_state);
+        assert_eq!(parsed.stats, snap.stats);
+        assert_eq!(parsed.owner, snap.owner);
+        assert_eq!(parsed.overload, snap.overload);
+        assert_eq!(parsed.write(), text, "format is a fixed point");
+    }
+
+    #[test]
+    fn restored_fleet_continues_bit_identically() {
+        let mut live = fleet();
+        let plan = batches();
+        let _ = live.apply_batch(&plan[0]);
+        let _ = live.apply_batch(&plan[1]);
+        let snap = FleetSnapshot::parse(&live.snapshot().write()).unwrap();
+        let mut restored = snap.restore().unwrap();
+        assert_eq!(fingerprint(&restored), fingerprint(&live));
+        // The epochs after the checkpoint (death included) must play out
+        // identically — cold caches, same decisions, same RNG stream.
+        let _ = live.apply_batch(&plan[2]);
+        let _ = restored.apply_batch(&plan[2]);
+        let _ = live.apply_batch(&plan[3]);
+        let _ = restored.apply_batch(&plan[3]);
+        assert_eq!(fingerprint(&restored), fingerprint(&live));
+        assert_eq!(restored.stats(), live.stats());
+        for (a, b) in restored.partitions().iter().zip(live.partitions()) {
+            assert_eq!(a.schedule().as_slice(), b.schedule().as_slice());
+            assert!((a.psi() - b.psi()).abs() < f64::EPSILON);
+            assert!((a.upsilon() - b.upsilon()).abs() < f64::EPSILON);
+        }
+    }
+
+    #[test]
+    fn recover_replays_the_wal_suffix_and_checks_digests() {
+        let mut live = fleet();
+        let mut wal = MemoryWal::new();
+        let mut snap = None;
+        for (i, batch) in batches().iter().enumerate() {
+            let _ = live.apply_batch(batch);
+            wal.append(&live.epoch_record(batch)).unwrap();
+            if i == 1 {
+                snap = Some(live.snapshot());
+            }
+        }
+        let snap = snap.unwrap();
+        let (recovered, report) = FleetScheduler::recover(&snap, &wal.load().unwrap()).unwrap();
+        assert_eq!(report.snapshot_epoch, 2);
+        assert_eq!(report.replayed, 2);
+        assert!(!report.torn_tail);
+        assert_eq!(fingerprint(&recovered), fingerprint(&live));
+        assert_eq!(recovered.stats(), live.stats());
+    }
+
+    #[test]
+    fn recover_rejects_gaps_seed_mismatch_and_divergence() {
+        let mut live = fleet();
+        let mut wal = MemoryWal::new();
+        for batch in batches() {
+            let _ = live.apply_batch(&batch);
+            wal.append(&live.epoch_record(&batch)).unwrap();
+        }
+        let genesis = fleet().snapshot(); // epoch 0: replay everything
+        let full = wal.load().unwrap();
+
+        let mut gap = full.clone();
+        gap.epochs.remove(1);
+        let err = FleetScheduler::recover(&genesis, &gap).unwrap_err();
+        assert!(err.contains("gap"), "{err}");
+
+        let mut alien = full.clone();
+        alien.epochs[0].seed = 1;
+        let err = FleetScheduler::recover(&genesis, &alien).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+
+        let mut tampered = full.clone();
+        let (_, digest) = tampered.epochs[2]
+            .digests
+            .iter_mut()
+            .next()
+            .expect("record has digests");
+        digest.0 ^= 1;
+        let err = FleetScheduler::recover(&genesis, &tampered).unwrap_err();
+        assert!(err.contains("divergence on d0 replaying epoch 3"), "{err}");
+
+        // The untampered log recovers from genesis, too.
+        let (recovered, report) = FleetScheduler::recover(&genesis, &full).unwrap();
+        assert_eq!(report.replayed, 4);
+        assert_eq!(fingerprint(&recovered), fingerprint(&live));
+    }
+
+    #[test]
+    fn malformed_snapshots_name_the_line() {
+        let err = FleetSnapshot::parse("").unwrap_err();
+        assert!(err.message.contains("empty"), "{err}");
+
+        let err = FleetSnapshot::parse("tagio-fleet-snapshot v9\n").unwrap_err();
+        assert!(err.message.contains("unsupported header"), "{err}");
+
+        let good = fleet().snapshot().write();
+        let truncated = good.trim_end_matches("end\n");
+        let err = FleetSnapshot::parse(truncated).unwrap_err();
+        assert!(err.message.contains("without `end`"), "{err}");
+
+        let bad = good.replace("rng ", "rngx ");
+        let err = FleetSnapshot::parse(&bad).unwrap_err();
+        assert!(err.message.contains("unknown snapshot verb"), "{err}");
+        assert!(err.line > 0);
+    }
+}

@@ -348,6 +348,11 @@ pub struct FleetScenarioConfig {
     pub spike_every: usize,
     /// Emit one fleet-wide mode change halfway through the stream.
     pub mode_change: bool,
+    /// Kill a random partition after every `death_every`-th arrival
+    /// (`0` disables deaths). Deaths exercise the fleet's failover path:
+    /// the dead partition restarts empty and its tasks are mass
+    /// re-admitted onto survivors.
+    pub death_every: usize,
     /// Smallest period drawn for arriving tasks.
     pub min_arrival_period: Duration,
     /// RNG seed.
@@ -364,6 +369,7 @@ impl Default for FleetScenarioConfig {
             departure_permille: 300,
             spike_every: 9,
             mode_change: true,
+            death_every: 0,
             min_arrival_period: Duration::from_millis(30),
             seed: 2020,
         }
@@ -521,6 +527,13 @@ impl FleetScenarioConfigBuilder {
         self
     }
 
+    /// Partition-death cadence in arrivals (`0` disables deaths).
+    #[must_use]
+    pub fn death_every(mut self, every: usize) -> Self {
+        self.config.death_every = every;
+        self
+    }
+
     /// Smallest period drawn for arriving tasks.
     #[must_use]
     pub fn min_arrival_period(mut self, period: Duration) -> Self {
@@ -592,6 +605,14 @@ pub struct FleetReplayOutcome {
     pub mean_psi: f64,
     /// Mean Υ over busy partitions after the stream.
     pub mean_upsilon: f64,
+    /// Partition deaths routed.
+    pub deaths: usize,
+    /// Tasks orphaned by those deaths.
+    pub orphaned: usize,
+    /// Orphans re-admitted onto a surviving partition.
+    pub rehomed: usize,
+    /// Orphans no survivor could take (diagnosed, then dropped).
+    pub lost: usize,
 }
 
 impl FleetReplayOutcome {
@@ -703,6 +724,17 @@ impl FleetScenario {
                     },
                 });
             }
+            // Periodic partition death (disabled by default; drawing no
+            // randomness when off keeps death-free streams byte-identical
+            // to pre-failover generations).
+            if config.death_every > 0 && (k + 1) % config.death_every == 0 {
+                events.push(TimedEvent {
+                    at: step(&mut at),
+                    event: SystemEvent::PartitionDeath {
+                        device: DeviceId(rng.random_range(0..partitions)),
+                    },
+                });
+            }
             if config.mode_change && k + 1 == config.arrivals / 2 {
                 let active: Vec<TaskId> = known.iter().copied().step_by(2).collect();
                 events.push(TimedEvent {
@@ -784,6 +816,10 @@ impl FleetScenario {
             mean_admission_micros: aggregate.mean_admission_micros(),
             mean_psi: fleet.mean_psi(),
             mean_upsilon: fleet.mean_upsilon(),
+            deaths: stats.deaths,
+            orphaned: stats.orphaned,
+            rehomed: stats.rehomed,
+            lost: stats.lost,
         }
     }
 }
@@ -822,43 +858,49 @@ pub fn format_trace(events: &[TimedEvent]) -> String {
     let mut out = String::new();
     for ev in events {
         out.push_str(&format!("@{} ", ev.at.as_micros()));
-        match &ev.event {
-            SystemEvent::Arrival(t) => {
-                out.push_str(&format!(
-                    "arrive t{} d{} c={} t={} dl={} o={} delta={} theta={} p={} vmax={} vmin={}",
-                    t.id().0,
-                    t.device().0,
-                    t.wcet().as_micros(),
-                    t.period().as_micros(),
-                    t.deadline().as_micros(),
-                    t.release_offset().as_micros(),
-                    t.ideal_offset().as_micros(),
-                    t.margin().as_micros(),
-                    t.priority().0,
-                    t.vmax(),
-                    t.vmin(),
-                ));
-            }
-            SystemEvent::Departure(id) => out.push_str(&format!("depart t{}", id.0)),
-            SystemEvent::ModeChange(mode) => {
-                let list = if mode.active.is_empty() {
-                    "-".to_owned()
-                } else {
-                    mode.active
-                        .iter()
-                        .map(|t| format!("t{}", t.0))
-                        .collect::<Vec<_>>()
-                        .join(",")
-                };
-                out.push_str(&format!("mode m{} {list}", mode.id.0));
-            }
-            SystemEvent::UtilisationSpike { device, percent } => {
-                out.push_str(&format!("spike d{} {percent}", device.0));
-            }
-        }
+        out.push_str(&format_event_body(&ev.event));
         out.push('\n');
     }
     out
+}
+
+/// Renders one event in the trace dialect, without the `@<micros>`
+/// timestamp — the shared body both [`format_trace`] and the WAL
+/// (`crate::wal`) emit.
+pub(crate) fn format_event_body(event: &SystemEvent) -> String {
+    match event {
+        SystemEvent::Arrival(t) => format!(
+            "arrive t{} d{} c={} t={} dl={} o={} delta={} theta={} p={} vmax={} vmin={}",
+            t.id().0,
+            t.device().0,
+            t.wcet().as_micros(),
+            t.period().as_micros(),
+            t.deadline().as_micros(),
+            t.release_offset().as_micros(),
+            t.ideal_offset().as_micros(),
+            t.margin().as_micros(),
+            t.priority().0,
+            t.vmax(),
+            t.vmin(),
+        ),
+        SystemEvent::Departure(id) => format!("depart t{}", id.0),
+        SystemEvent::ModeChange(mode) => {
+            let list = if mode.active.is_empty() {
+                "-".to_owned()
+            } else {
+                mode.active
+                    .iter()
+                    .map(|t| format!("t{}", t.0))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            format!("mode m{} {list}", mode.id.0)
+        }
+        SystemEvent::UtilisationSpike { device, percent } => {
+            format!("spike d{} {percent}", device.0)
+        }
+        SystemEvent::PartitionDeath { device } => format!("death d{}", device.0),
+    }
 }
 
 /// Parses the trace format emitted by [`format_trace`]. Blank lines and
@@ -883,49 +925,63 @@ pub fn parse_trace(s: &str) -> Result<Vec<TimedEvent>, TraceError> {
             .map(Time::from_micros)
             .ok_or_else(|| err("expected @<micros> timestamp".into()))?;
         let verb = words.next().ok_or_else(|| err("missing verb".into()))?;
-        let event = match verb {
-            "arrive" => parse_arrival(&mut words).map_err(err)?,
-            "depart" => {
-                let id = parse_tagged(words.next(), 't').map_err(err)?;
-                SystemEvent::Departure(TaskId(id))
-            }
-            "mode" => {
-                let id = parse_tagged(words.next(), 'm').map_err(err)?;
-                let list = words
-                    .next()
-                    .ok_or_else(|| err("missing task list".into()))?;
-                let active = if list == "-" {
-                    Vec::new()
-                } else {
-                    list.split(',')
-                        .map(|w| parse_tagged(Some(w), 't').map(TaskId))
-                        .collect::<Result<Vec<_>, _>>()
-                        .map_err(err)?
-                };
-                SystemEvent::ModeChange(Mode {
-                    id: ModeId(id),
-                    active,
-                })
-            }
-            "spike" => {
-                let device = parse_tagged(words.next(), 'd').map_err(err)?;
-                let percent: u32 = words
-                    .next()
-                    .and_then(|w| w.parse().ok())
-                    .ok_or_else(|| err("expected <percent>".into()))?;
-                SystemEvent::UtilisationSpike {
-                    device: DeviceId(device),
-                    percent,
-                }
-            }
-            other => return Err(err(format!("unknown verb `{other}`"))),
-        };
+        let event = parse_event_body(verb, &mut words).map_err(err)?;
         if words.next().is_some() {
             return Err(err("trailing tokens".into()));
         }
         events.push(TimedEvent { at, event });
     }
     Ok(events)
+}
+
+/// Parses one event body (verb already split off) in the trace dialect —
+/// the shared inverse of [`format_event_body`], also used by the WAL
+/// reader (`crate::wal`). Leaves any trailing tokens in `words` for the
+/// caller to reject.
+pub(crate) fn parse_event_body<'a>(
+    verb: &str,
+    words: &mut impl Iterator<Item = &'a str>,
+) -> Result<SystemEvent, String> {
+    match verb {
+        "arrive" => parse_arrival(words),
+        "depart" => {
+            let id = parse_tagged(words.next(), 't')?;
+            Ok(SystemEvent::Departure(TaskId(id)))
+        }
+        "mode" => {
+            let id = parse_tagged(words.next(), 'm')?;
+            let list = words.next().ok_or_else(|| "missing task list".to_owned())?;
+            let active = if list == "-" {
+                Vec::new()
+            } else {
+                list.split(',')
+                    .map(|w| parse_tagged(Some(w), 't').map(TaskId))
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            Ok(SystemEvent::ModeChange(Mode {
+                id: ModeId(id),
+                active,
+            }))
+        }
+        "spike" => {
+            let device = parse_tagged(words.next(), 'd')?;
+            let percent: u32 = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| "expected <percent>".to_owned())?;
+            Ok(SystemEvent::UtilisationSpike {
+                device: DeviceId(device),
+                percent,
+            })
+        }
+        "death" => {
+            let device = parse_tagged(words.next(), 'd')?;
+            Ok(SystemEvent::PartitionDeath {
+                device: DeviceId(device),
+            })
+        }
+        other => Err(format!("unknown verb `{other}`")),
+    }
 }
 
 fn parse_tagged(word: Option<&str>, tag: char) -> Result<u32, String> {
@@ -1094,6 +1150,8 @@ mod tests {
             ("@12 mode m0", "missing list"),
             ("@12 arrive t0 d0 c=1", "missing fields"),
             ("@12 depart t0 extra", "trailing tokens"),
+            ("@12 death x0", "bad device tag"),
+            ("@12 death d0 150", "trailing tokens"),
         ] {
             assert!(parse_trace(bad).is_err(), "accepted {what}: {bad}");
         }
@@ -1248,6 +1306,7 @@ mod tests {
                 departure_permille: 100,
                 spike_every: 5,
                 mode_change: false,
+                death_every: 0,
                 min_arrival_period: Duration::from_millis(20),
                 seed: 7,
             })
@@ -1299,6 +1358,45 @@ mod tests {
             Some(out.reject_infeasible as f64)
         );
         assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn death_lines_round_trip() {
+        let events = vec![TimedEvent {
+            at: Time::from_millis(4),
+            event: SystemEvent::PartitionDeath {
+                device: DeviceId(2),
+            },
+        }];
+        let text = format_trace(&events);
+        assert_eq!(text, "@4000 death d2\n");
+        assert_eq!(parse_trace(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn death_cadence_emits_deaths_only_when_enabled() {
+        let quiet = FleetScenario::generate(&FleetScenarioConfig {
+            partitions: 3,
+            arrivals: 12,
+            ..FleetScenarioConfig::default()
+        });
+        assert!(quiet.events.iter().all(|e| e.event.kind() != "death"));
+        let noisy = FleetScenario::generate(&FleetScenarioConfig {
+            partitions: 3,
+            arrivals: 12,
+            death_every: 4,
+            ..FleetScenarioConfig::default()
+        });
+        let deaths: Vec<DeviceId> = noisy
+            .events
+            .iter()
+            .filter_map(|e| match e.event {
+                SystemEvent::PartitionDeath { device } => Some(device),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deaths.len(), 3, "12 arrivals / death_every 4");
+        assert!(deaths.iter().all(|d| d.0 < 3), "victims live in the fleet");
     }
 
     #[test]

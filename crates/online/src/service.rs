@@ -127,6 +127,25 @@ pub enum EventOutcome {
         /// Tasks shed, lowest peak quality first.
         shed: Vec<TaskId>,
     },
+    /// The partition crashed and restarted empty (a
+    /// [`SystemEvent::PartitionDeath`] on its device): every live
+    /// structure — active set, pool, schedule, spike scaling, caches —
+    /// is gone. `orphans` lists the *nominal* definitions of the tasks
+    /// that were active at the moment of death, in active-set order.
+    /// A fleet router fills `rehomed`/`lost` after mass re-admission;
+    /// both stay empty for a standalone service.
+    PartitionDied {
+        /// The partition that died.
+        device: DeviceId,
+        /// Nominal tasks orphaned by the crash (active-set order).
+        orphans: Vec<IoTask>,
+        /// Orphans a fleet re-admitted, with their new partition.
+        rehomed: Vec<(TaskId, DeviceId)>,
+        /// Orphans no surviving partition could take, with the final
+        /// rejection (its diagnostic names the dead partition as
+        /// [`Infeasible::origin`]).
+        lost: Vec<(TaskId, RejectReason)>,
+    },
     /// The event did not concern this service (wrong device, unknown
     /// task, …); nothing changed.
     Ignored {
@@ -395,6 +414,65 @@ impl OnlineScheduler {
         Ok(svc)
     }
 
+    /// Rebuilds a service from snapshotted state (`crate::persist`): the
+    /// active set at effective WCETs, the nominal pool, the spike level,
+    /// the exact live schedule, and the decision counters. Jobs, cached
+    /// Ψ/Υ and a cold analysis cache are rederived — cold-vs-warm cache
+    /// equivalence means decisions are unchanged; only the first few
+    /// admissions after a restore pay the analysis again.
+    ///
+    /// # Errors
+    /// Returns a message when the schedule does not validate against the
+    /// active set's expanded jobs (a corrupt or mismatched snapshot).
+    #[allow(clippy::too_many_arguments)] // snapshot fields map 1:1 to parameters
+    pub(crate) fn restore(
+        device: DeviceId,
+        strategy: RepairStrategy,
+        policy: SlotPolicy,
+        lean: bool,
+        active: TaskSet,
+        pool: BTreeMap<TaskId, IoTask>,
+        spike_percent: u32,
+        schedule: Schedule,
+        stats: OnlineStats,
+    ) -> Result<Self, String> {
+        let jobs = JobSet::expand(&active);
+        schedule
+            .validate(&jobs)
+            .map_err(|e| format!("snapshot schedule invalid for {device}: {e}"))?;
+        let quality = if jobs.is_empty() {
+            (1.0, 1.0)
+        } else {
+            metrics::quality(&schedule, &jobs)
+        };
+        Ok(OnlineScheduler {
+            device,
+            strategy,
+            policy,
+            tasks: active,
+            pool,
+            spike_percent: spike_percent.max(1),
+            jobs,
+            schedule,
+            cache: AnalysisCache::new(),
+            stats,
+            lean,
+            quality,
+            scratch: RepairScratch::default(),
+        })
+    }
+
+    /// Every task ever admitted, at nominal WCET, keyed by id (the
+    /// mode-change re-admission pool) — snapshot support.
+    pub(crate) fn pool(&self) -> &BTreeMap<TaskId, IoTask> {
+        &self.pool
+    }
+
+    /// Current WCET scale in percent of nominal — snapshot support.
+    pub(crate) fn spike_percent(&self) -> u32 {
+        self.spike_percent
+    }
+
     /// The device partition this service owns.
     #[must_use]
     pub fn device(&self) -> DeviceId {
@@ -470,6 +548,43 @@ impl OnlineScheduler {
                     }
                 }
             }
+            SystemEvent::PartitionDeath { device } => {
+                if *device == self.device {
+                    self.on_death()
+                } else {
+                    self.stats.ignored += 1;
+                    EventOutcome::Ignored {
+                        reason: "death on another device",
+                    }
+                }
+            }
+        }
+    }
+
+    /// Crash-and-restart: collect the nominal definitions of every
+    /// active task (the mode-change pool's view, which survives spike
+    /// rescaling), then reset all live state to a fresh empty service.
+    /// Decision counters survive — they model the fleet supervisor's
+    /// view of this lane, not the crashed process's memory.
+    fn on_death(&mut self) -> EventOutcome {
+        let orphans: Vec<IoTask> = self
+            .tasks
+            .iter()
+            .map(|t| self.pool.get(&t.id()).cloned().unwrap_or_else(|| t.clone()))
+            .collect();
+        self.tasks = TaskSet::new();
+        self.pool.clear();
+        self.spike_percent = 100;
+        self.jobs = JobSet::from_jobs(Vec::new(), tagio_core::time::Duration::ZERO);
+        self.schedule = Schedule::new();
+        self.cache.clear();
+        self.quality = (1.0, 1.0);
+        self.scratch = RepairScratch::default();
+        EventOutcome::PartitionDied {
+            device: self.device,
+            orphans,
+            rehomed: Vec::new(),
+            lost: Vec::new(),
         }
     }
 
@@ -1416,5 +1531,57 @@ mod tests {
         // the tie-aware invalidation keeps the higher-ranked entries).
         svc.apply(&SystemEvent::Arrival(mk(3, 8, 400, 6)));
         assert!(svc.cache().hits() > 0);
+    }
+
+    #[test]
+    fn death_on_own_device_resets_everything_and_orphans_nominals() {
+        let mut svc = service();
+        // Scale WCETs up so orphans observably carry the *nominal*
+        // definition, not the spiked one.
+        let _ = svc.apply(&SystemEvent::UtilisationSpike {
+            device: DeviceId(0),
+            percent: 150,
+        });
+        let out = svc.apply(&SystemEvent::PartitionDeath {
+            device: DeviceId(0),
+        });
+        let EventOutcome::PartitionDied {
+            device,
+            orphans,
+            rehomed,
+            lost,
+        } = out
+        else {
+            panic!("expected PartitionDied, got {out:?}");
+        };
+        assert_eq!(device, DeviceId(0));
+        assert_eq!(orphans.len(), 2);
+        assert!(
+            orphans
+                .iter()
+                .all(|t| t.wcet() == Duration::from_micros(500)),
+            "orphans carry nominal WCETs"
+        );
+        assert!(rehomed.is_empty() && lost.is_empty());
+        assert!(svc.tasks().is_empty());
+        assert!(svc.schedule().is_empty());
+        assert_eq!((svc.psi(), svc.upsilon()), (1.0, 1.0));
+        // The restarted partition accepts fresh traffic immediately —
+        // even re-using an id it owned before the crash.
+        match svc.apply(&SystemEvent::Arrival(mk(0, 8, 500, 2))) {
+            EventOutcome::Admitted { task, .. } => assert_eq!(task, TaskId(0)),
+            other => panic!("restart refused an arrival: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn death_on_another_device_is_ignored() {
+        let mut svc = service();
+        let out = svc.apply(&SystemEvent::PartitionDeath {
+            device: DeviceId(1),
+        });
+        assert!(matches!(out, EventOutcome::Ignored { .. }));
+        assert_eq!(svc.tasks().len(), 2);
+        assert_eq!(svc.stats().ignored, 1);
     }
 }

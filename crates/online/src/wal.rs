@@ -1,0 +1,534 @@
+//! Durable write-ahead log for the fleet epoch pipeline.
+//!
+//! Every [`FleetScheduler::apply_batch`](crate::FleetScheduler::apply_batch)
+//! epoch can be journalled as an [`EpochRecord`]: the routed event batch
+//! (the replay payload), optional [`RoutedEvent`] observability notes
+//! (which partition each offer actually went to — metadata the plain
+//! trace format drops), and a **commit line** carrying the epoch id, the
+//! fleet seed and per-partition digests of the post-commit schedules and
+//! stats. `crate::persist` replays the suffix of a log on top of a
+//! [`FleetSnapshot`](crate::persist::FleetSnapshot) and checks every
+//! commit digest, so divergence is detected at the epoch that caused it
+//! rather than at the end of recovery.
+//!
+//! The on-disk dialect is line-based and shares its event bodies with
+//! the scenario trace format (`EXPERIMENTS.md` documents both):
+//!
+//! ```text
+//! epoch 3
+//! ev arrive t5 d0 c=120 t=30000 dl=30000 o=0 delta=7500 theta=7500 p=8 vmax=9 vmin=0
+//! ev depart t2
+//! routed from=d0 to=d1 attempt=1 arrive t5 d1 c=120 ...
+//! commit 3 seed=2020 events=2 d0=00000000deadbeef:00000000cafebabe d1=...
+//! ```
+//!
+//! A record is **committed** only once its `commit` line is fully
+//! written: a crash mid-append leaves a torn tail that
+//! [`parse_wal`]/[`WalSource::load`] truncate (and flag) instead of
+//! failing, which is exactly the prefix a recovering fleet may trust.
+
+use crate::scenario::{format_event_body, parse_event_body};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use tagio_core::event::{RoutedEvent, SystemEvent};
+use tagio_core::task::DeviceId;
+
+/// One committed epoch: what was applied, and what it produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// 1-based epoch id — equals
+    /// [`FleetStats::epochs`](crate::FleetStats::epochs) right after the
+    /// batch committed.
+    pub epoch: usize,
+    /// The fleet's RNG seed, re-checked on recovery: replaying a log
+    /// against a differently-seeded fleet can only diverge.
+    pub seed: u64,
+    /// The epoch's input events, in order — the replay payload.
+    pub events: Vec<SystemEvent>,
+    /// Router observability notes: where offers actually went
+    /// (origin/target/attempt metadata the plain trace format cannot
+    /// carry). Not consulted by replay, but round-tripped exactly.
+    pub routed: Vec<RoutedEvent>,
+    /// Per-partition `(schedule digest, stats digest)` of the
+    /// post-commit state, keyed by device — the crash-consistency
+    /// check. Computed by [`crate::persist::schedule_digest`] and
+    /// [`crate::persist::stats_digest`].
+    pub digests: BTreeMap<DeviceId, (u64, u64)>,
+}
+
+/// Everything a log held: the committed records plus whether an
+/// uncommitted (torn) tail was discarded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalContents {
+    /// Committed epochs, in file order.
+    pub epochs: Vec<EpochRecord>,
+    /// `true` when the log ended mid-record (a crash during append);
+    /// the torn tail was dropped, as recovery must.
+    pub torn_tail: bool,
+}
+
+/// A malformed log (or a failed append).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalError {
+    /// 1-based line of the defect; `0` for I/O-level failures.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for WalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.line == 0 {
+            write!(f, "WAL error: {}", self.message)
+        } else {
+            write!(f, "WAL line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// Where epoch records are appended (memory for tests, a file for
+/// durability).
+pub trait WalSink {
+    /// Appends one committed epoch. The record must be fully durable
+    /// when this returns — a torn write may only ever affect the
+    /// *latest* record.
+    ///
+    /// # Errors
+    /// Returns a [`WalError`] when the record cannot be written.
+    fn append(&mut self, record: &EpochRecord) -> Result<(), WalError>;
+}
+
+/// Where epoch records are loaded from at recovery.
+pub trait WalSource {
+    /// Reads every committed record, truncating (and flagging) a torn
+    /// tail.
+    ///
+    /// # Errors
+    /// Returns a [`WalError`] when the log is unreadable or a
+    /// *committed* record is malformed.
+    fn load(&self) -> Result<WalContents, WalError>;
+}
+
+/// Renders one record in the WAL dialect (always ends with the commit
+/// line and a trailing newline).
+#[must_use]
+pub fn format_record(record: &EpochRecord) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("epoch {}\n", record.epoch));
+    for event in &record.events {
+        out.push_str("ev ");
+        out.push_str(&format_event_body(event));
+        out.push('\n');
+    }
+    for routed in &record.routed {
+        let from = match routed.origin {
+            Some(d) => format!("d{}", d.0),
+            None => "-".to_owned(),
+        };
+        out.push_str(&format!(
+            "routed from={from} to=d{} attempt={} {}\n",
+            routed.target.0,
+            routed.attempt,
+            format_event_body(&routed.event),
+        ));
+    }
+    out.push_str(&format!(
+        "commit {} seed={} events={}",
+        record.epoch,
+        record.seed,
+        record.events.len()
+    ));
+    for (device, (schedule, stats)) in &record.digests {
+        out.push_str(&format!(" d{}={schedule:016x}:{stats:016x}", device.0));
+    }
+    out.push('\n');
+    out
+}
+
+/// Parses a whole log. A malformed *committed* record is an error; an
+/// incomplete record at the end of the text (no `commit` line yet — a
+/// crash mid-append) is silently truncated and flagged as a torn tail.
+///
+/// # Errors
+/// Returns a [`WalError`] naming the first malformed committed line.
+pub fn parse_wal(s: &str) -> Result<WalContents, WalError> {
+    // Every line the writer emits ends in a newline, so text after the
+    // last `\n` is a line the crash cut mid-write: part of the torn
+    // tail, not a committed line to be validated.
+    let (body, partial) = match s.rfind('\n') {
+        Some(ix) => (&s[..=ix], !s[ix + 1..].trim().is_empty()),
+        None => ("", !s.trim().is_empty()),
+    };
+    let mut epochs = Vec::new();
+    // The record being assembled: (epoch id, events, routed notes).
+    let mut open: Option<(usize, Vec<SystemEvent>, Vec<RoutedEvent>)> = None;
+    for (i, raw) in body.lines().enumerate() {
+        let line = i + 1;
+        let err = |message: String| WalError { line, message };
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let mut words = text.split_whitespace();
+        let verb = words.next().expect("non-empty line has a first token");
+        match verb {
+            "epoch" => {
+                // A fresh header while a record is open is a torn tail
+                // *inside* the log — only the final record may be torn.
+                if open.is_some() {
+                    return Err(err("epoch header inside an uncommitted record".into()));
+                }
+                let id: usize = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err("expected `epoch <id>`".into()))?;
+                open = Some((id, Vec::new(), Vec::new()));
+            }
+            "ev" => {
+                let (_, events, _) = open
+                    .as_mut()
+                    .ok_or_else(|| err("`ev` outside an epoch record".into()))?;
+                let verb = words
+                    .next()
+                    .ok_or_else(|| err("missing event verb".into()))?;
+                let event = parse_event_body(verb, &mut words).map_err(err)?;
+                if words.next().is_some() {
+                    return Err(err("trailing tokens".into()));
+                }
+                events.push(event);
+            }
+            "routed" => {
+                let (_, _, routed) = open
+                    .as_mut()
+                    .ok_or_else(|| err("`routed` outside an epoch record".into()))?;
+                let origin = match kv(words.next(), "from").map_err(err)? {
+                    "-" => None,
+                    w => Some(DeviceId(tagged(w, 'd').map_err(err)?)),
+                };
+                let target =
+                    DeviceId(tagged(kv(words.next(), "to").map_err(err)?, 'd').map_err(err)?);
+                let attempt: u32 = kv(words.next(), "attempt")
+                    .map_err(err)?
+                    .parse()
+                    .map_err(|_| err("bad attempt number".into()))?;
+                let verb = words
+                    .next()
+                    .ok_or_else(|| err("missing event verb".into()))?;
+                let event = parse_event_body(verb, &mut words).map_err(err)?;
+                if words.next().is_some() {
+                    return Err(err("trailing tokens".into()));
+                }
+                routed.push(RoutedEvent {
+                    event,
+                    origin,
+                    target,
+                    attempt,
+                });
+            }
+            "commit" => {
+                let (epoch, events, routed) = open
+                    .take()
+                    .ok_or_else(|| err("`commit` outside an epoch record".into()))?;
+                let id: usize = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err("expected `commit <id>`".into()))?;
+                if id != epoch {
+                    return Err(err(format!(
+                        "commit id {id} does not match epoch header {epoch}"
+                    )));
+                }
+                let seed: u64 = kv(words.next(), "seed")
+                    .map_err(err)?
+                    .parse()
+                    .map_err(|_| err("bad seed".into()))?;
+                let count: usize = kv(words.next(), "events")
+                    .map_err(err)?
+                    .parse()
+                    .map_err(|_| err("bad event count".into()))?;
+                if count != events.len() {
+                    return Err(err(format!(
+                        "commit says {count} events, record holds {}",
+                        events.len()
+                    )));
+                }
+                let mut digests = BTreeMap::new();
+                for word in words {
+                    let (dev, rest) = word
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("expected d<dev>=<hex>:<hex>, got `{word}`")))?;
+                    let device = DeviceId(tagged(dev, 'd').map_err(err)?);
+                    let (sched, stats) = rest
+                        .split_once(':')
+                        .ok_or_else(|| err("digest missing `:`".into()))?;
+                    let parse_hex = |w: &str| {
+                        u64::from_str_radix(w, 16).map_err(|_| err(format!("bad digest `{w}`")))
+                    };
+                    digests.insert(device, (parse_hex(sched)?, parse_hex(stats)?));
+                }
+                epochs.push(EpochRecord {
+                    epoch,
+                    seed,
+                    events,
+                    routed,
+                    digests,
+                });
+            }
+            other => return Err(err(format!("unknown WAL verb `{other}`"))),
+        }
+    }
+    Ok(WalContents {
+        epochs,
+        torn_tail: open.is_some() || partial,
+    })
+}
+
+fn kv<'a>(word: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+    word.and_then(|w| w.strip_prefix(key))
+        .and_then(|w| w.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=<value>"))
+}
+
+fn tagged(word: &str, tag: char) -> Result<u32, String> {
+    word.strip_prefix(tag)
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| format!("expected {tag}<number>"))
+}
+
+/// An in-memory log: the reference [`WalSink`]/[`WalSource`] pair (and
+/// what the crash-injection tests truncate at arbitrary byte offsets).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryWal {
+    text: String,
+}
+
+impl MemoryWal {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryWal::default()
+    }
+
+    /// A log over existing text (e.g. a torn prefix of another log).
+    #[must_use]
+    pub fn from_text(text: impl Into<String>) -> Self {
+        MemoryWal { text: text.into() }
+    }
+
+    /// The raw log text appended so far.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+impl WalSink for MemoryWal {
+    fn append(&mut self, record: &EpochRecord) -> Result<(), WalError> {
+        self.text.push_str(&format_record(record));
+        Ok(())
+    }
+}
+
+impl WalSource for MemoryWal {
+    fn load(&self) -> Result<WalContents, WalError> {
+        parse_wal(&self.text)
+    }
+}
+
+/// A file-backed log: records are appended and synced before `append`
+/// returns, so a crash can only ever tear the latest record — the case
+/// [`parse_wal`] truncates.
+#[derive(Debug, Clone)]
+pub struct FileWal {
+    path: PathBuf,
+}
+
+impl FileWal {
+    /// A log at `path` (created on first append).
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FileWal { path: path.into() }
+    }
+
+    /// The log's location.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl WalSink for FileWal {
+    fn append(&mut self, record: &EpochRecord) -> Result<(), WalError> {
+        let io = |e: std::io::Error| WalError {
+            line: 0,
+            message: format!("{}: {e}", self.path.display()),
+        };
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(io)?;
+        file.write_all(format_record(record).as_bytes())
+            .map_err(io)?;
+        file.sync_all().map_err(io)
+    }
+}
+
+impl WalSource for FileWal {
+    fn load(&self) -> Result<WalContents, WalError> {
+        let text = std::fs::read_to_string(&self.path).map_err(|e| WalError {
+            line: 0,
+            message: format!("{}: {e}", self.path.display()),
+        })?;
+        parse_wal(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagio_core::event::{Mode, ModeId};
+    use tagio_core::task::{IoTask, TaskId};
+    use tagio_core::time::Duration;
+
+    fn mk(id: u32, device: u32) -> IoTask {
+        IoTask::builder(TaskId(id), DeviceId(device))
+            .wcet(Duration::from_micros(120 + u64::from(id)))
+            .period(Duration::from_millis(8))
+            .ideal_offset(Duration::from_millis(u64::from(id % 7)))
+            .margin(Duration::from_millis(1))
+            .quality(f64::from(id) + 1.0, 0.5)
+            .build()
+            .unwrap()
+    }
+
+    fn every_kind_record(epoch: usize) -> EpochRecord {
+        let mut digests = BTreeMap::new();
+        digests.insert(DeviceId(0), (0xdead_beef_0102_0304, 0x0a0b_0c0d_0e0f_1011));
+        digests.insert(DeviceId(3), (u64::MAX, 0));
+        EpochRecord {
+            epoch,
+            seed: 2020,
+            events: vec![
+                SystemEvent::Arrival(mk(5, 0)),
+                SystemEvent::Departure(TaskId(2)),
+                SystemEvent::ModeChange(Mode {
+                    id: ModeId(1),
+                    active: vec![TaskId(0), TaskId(5)],
+                }),
+                SystemEvent::ModeChange(Mode {
+                    id: ModeId(2),
+                    active: Vec::new(),
+                }),
+                SystemEvent::UtilisationSpike {
+                    device: DeviceId(3),
+                    percent: 140,
+                },
+                SystemEvent::PartitionDeath {
+                    device: DeviceId(0),
+                },
+            ],
+            routed: vec![
+                RoutedEvent {
+                    event: SystemEvent::Arrival(mk(5, 1)),
+                    origin: Some(DeviceId(0)),
+                    target: DeviceId(1),
+                    attempt: 2,
+                },
+                RoutedEvent {
+                    event: SystemEvent::Departure(TaskId(2)),
+                    origin: None,
+                    target: DeviceId(0),
+                    attempt: 0,
+                },
+            ],
+            digests,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let mut wal = MemoryWal::new();
+        wal.append(&every_kind_record(1)).unwrap();
+        wal.append(&every_kind_record(2)).unwrap();
+        let loaded = wal.load().unwrap();
+        assert!(!loaded.torn_tail);
+        assert_eq!(
+            loaded.epochs,
+            vec![every_kind_record(1), every_kind_record(2)]
+        );
+    }
+
+    #[test]
+    fn any_byte_truncation_yields_a_committed_prefix() {
+        let mut wal = MemoryWal::new();
+        wal.append(&every_kind_record(1)).unwrap();
+        wal.append(&every_kind_record(2)).unwrap();
+        let text = wal.text().to_owned();
+        // A cut landing exactly between records leaves a clean log; any
+        // other offset must be flagged as a torn tail.
+        let boundaries = [0, format_record(&every_kind_record(1)).len(), text.len()];
+        for cut in 0..=text.len() {
+            let torn = MemoryWal::from_text(&text[..cut]);
+            let loaded = torn
+                .load()
+                .unwrap_or_else(|e| panic!("cut at byte {cut} must stay parseable, got {e}"));
+            // Whatever survives is a prefix of the committed records…
+            assert!(loaded.epochs.len() <= 2, "cut {cut}");
+            for (i, rec) in loaded.epochs.iter().enumerate() {
+                assert_eq!(*rec, every_kind_record(i + 1), "cut {cut}");
+            }
+            // …and anything short of a record boundary is flagged torn.
+            assert_eq!(loaded.torn_tail, !boundaries.contains(&cut), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_inside_a_committed_record_is_an_error() {
+        let mut wal = MemoryWal::new();
+        wal.append(&every_kind_record(1)).unwrap();
+        let bad = wal.text().replace("commit 1", "commit 9");
+        let err = MemoryWal::from_text(bad).load().unwrap_err();
+        assert!(err.message.contains("does not match"), "{err}");
+
+        let bad = wal.text().replace("events=6", "events=5");
+        let err = MemoryWal::from_text(bad).load().unwrap_err();
+        assert!(err.message.contains("record holds"), "{err}");
+    }
+
+    #[test]
+    fn interior_torn_records_do_not_pass_silently() {
+        // Only the *final* record may be torn; an epoch header inside an
+        // uncommitted record means the log itself is corrupt.
+        let text = "epoch 1\nev depart t0\nepoch 2\nev depart t1\ncommit 2 seed=1 events=1\n";
+        let err = parse_wal(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("uncommitted"), "{err}");
+    }
+
+    #[test]
+    fn file_wal_appends_and_reloads() {
+        let path = std::env::temp_dir().join(format!("tagio-wal-test-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut wal = FileWal::new(&path);
+        wal.append(&every_kind_record(1)).unwrap();
+        wal.append(&every_kind_record(2)).unwrap();
+        let loaded = wal.load().unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.epochs.len(), 2);
+        assert!(!loaded.torn_tail);
+        assert_eq!(loaded.epochs[1], every_kind_record(2));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let mut wal = MemoryWal::from_text("# journal\n\n");
+        wal.append(&every_kind_record(1)).unwrap();
+        let loaded = wal.load().unwrap();
+        assert_eq!(loaded.epochs.len(), 1);
+        assert!(!loaded.torn_tail);
+    }
+}

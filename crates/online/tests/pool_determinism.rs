@@ -95,9 +95,7 @@ fn event_for(
 ) -> SystemEvent {
     match kind {
         // Arrivals (including duplicate re-offers of a live slot).
-        0..=2 => {
-            SystemEvent::Arrival(pool_task(slot, device, period_ix, wcet, slot + step as u32))
-        }
+        0..=2 => SystemEvent::Arrival(pool_task(slot, device, period_ix, wcet, slot + step as u32)),
         3 => SystemEvent::Departure(TaskId(slot)),
         // Overload and relief spikes, 40%..230% of nominal.
         4 => SystemEvent::UtilisationSpike {

@@ -16,7 +16,7 @@
 //! | [`workload`] | `tagio-workload` | UUniFast + the paper's §V.A system generator |
 //! | [`sched`] | `tagio-sched` | static heuristic, GA scheduler, FPS & GPIOCP baselines |
 //! | [`ga`] | `tagio-ga` | the multi-objective GA engine |
-//! | [`online`] | `tagio-online` | event-driven online scheduling: admission, repair, shedding; `online::fleet` — the multi-partition fleet router |
+//! | [`online`] | `tagio-online` | event-driven online scheduling: admission, repair, shedding; `online::fleet` — the multi-partition fleet router; `online::persist`/`online::wal` — crash-consistent snapshots, write-ahead logging and digest-checked recovery |
 //! | [`controller`] | `tagio-controller` | the Section IV controller simulator |
 //! | [`noc`] | `tagio-noc` | flit-level mesh NoC simulator |
 //! | [`hwcost`] | `tagio-hwcost` | Table I resource model |
@@ -125,7 +125,9 @@ pub mod prelude {
     pub use tagio_core::solve::{Infeasible, InfeasibleCause, SolveBudget, SolverCtx};
     pub use tagio_core::task::{DeviceId, IoTask, Priority, TaskId, TaskSet};
     pub use tagio_online::fleet::{FleetConfig, FleetScheduler, PlacementPolicy};
+    pub use tagio_online::persist::{FleetSnapshot, RecoveryReport};
     pub use tagio_online::service::OnlineScheduler;
+    pub use tagio_online::wal::{FileWal, MemoryWal, WalSink, WalSource};
     pub use tagio_sched::{
         check_capacity, BoxedSolver, EdfOffline, FpsOffline, GaScheduler, Gpiocp, MethodError,
         MethodSet, MethodSpec, OptimalPsi, Registry, RepairSolver, Scheduler, SchedulerBug,
