@@ -29,6 +29,7 @@ fn binaries() -> Vec<(&'static str, &'static str)> {
             "failover_scenarios",
             env!("CARGO_BIN_EXE_failover_scenarios"),
         ),
+        ("tenant_scenarios", env!("CARGO_BIN_EXE_tenant_scenarios")),
         ("throughput", env!("CARGO_BIN_EXE_throughput")),
     ]
 }
@@ -84,6 +85,7 @@ fn fixed_method_binaries_reject_methods_override() {
         "online_scenarios",
         "fleet_scenarios",
         "failover_scenarios",
+        "tenant_scenarios",
         "throughput",
     ] {
         let path = binaries()
@@ -145,6 +147,7 @@ fn fixed_budget_binaries_reject_ga_overrides() {
         "online_scenarios",
         "fleet_scenarios",
         "failover_scenarios",
+        "tenant_scenarios",
         "throughput",
     ] {
         let path = binaries()

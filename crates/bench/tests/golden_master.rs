@@ -84,6 +84,11 @@ fn cases() -> Vec<(&'static str, &'static str, Vec<&'static str>)> {
             env!("CARGO_BIN_EXE_failover_scenarios"),
             vec!["--systems", "2"],
         ),
+        (
+            "tenant_scenarios",
+            env!("CARGO_BIN_EXE_tenant_scenarios"),
+            vec!["--systems", "2"],
+        ),
     ]
 }
 

@@ -13,7 +13,7 @@
 //! so any layer — scenario generators, trace files, the controller
 //! simulator — can produce or consume them without knowing the service.
 
-use crate::task::{DeviceId, IoTask, TaskId};
+use crate::task::{DeviceId, IoTask, TaskId, TenantId};
 use crate::time::Time;
 use core::fmt;
 use serde::{Deserialize, Serialize};
@@ -115,6 +115,22 @@ impl SystemEvent {
             SystemEvent::Arrival(task) => Some(task.id()),
             SystemEvent::Departure(id) => Some(*id),
             SystemEvent::ModeChange(_)
+            | SystemEvent::UtilisationSpike { .. }
+            | SystemEvent::PartitionDeath { .. } => None,
+        }
+    }
+
+    /// The tenant the event acts for, when it carries one: an arrival's
+    /// task tenant. Every other kind is tenant-free — departures and mode
+    /// changes are resolved by task ownership, spikes and deaths are
+    /// infrastructure events — and returns `None`. Fleet routers use this
+    /// for per-tenant admission accounting and quota enforcement.
+    #[must_use]
+    pub fn tenant(&self) -> Option<TenantId> {
+        match self {
+            SystemEvent::Arrival(task) => Some(task.tenant()),
+            SystemEvent::Departure(_)
+            | SystemEvent::ModeChange(_)
             | SystemEvent::UtilisationSpike { .. }
             | SystemEvent::PartitionDeath { .. } => None,
         }
@@ -274,6 +290,32 @@ mod tests {
         };
         assert_eq!(death.device(), Some(DeviceId(6)));
         assert_eq!(death.task_id(), None);
+    }
+
+    #[test]
+    fn arrivals_carry_their_tenant_through_retargeting() {
+        let tenanted = IoTask::builder(TaskId(0), DeviceId(0))
+            .wcet(Duration::from_micros(100))
+            .period(Duration::from_millis(4))
+            .ideal_offset(Duration::from_millis(2))
+            .margin(Duration::from_millis(1))
+            .tenant(TenantId(7))
+            .build()
+            .unwrap();
+        let arrival = SystemEvent::Arrival(tenanted);
+        assert_eq!(arrival.tenant(), Some(TenantId(7)));
+        assert_eq!(arrival.retargeted(DeviceId(3)).tenant(), Some(TenantId(7)));
+        // The anonymous default and the tenant-free kinds.
+        assert_eq!(SystemEvent::Arrival(task(1)).tenant(), Some(TenantId(0)));
+        assert!(TenantId::default().is_anonymous());
+        assert_eq!(SystemEvent::Departure(TaskId(1)).tenant(), None);
+        assert_eq!(
+            SystemEvent::PartitionDeath {
+                device: DeviceId(0),
+            }
+            .tenant(),
+            None
+        );
     }
 
     #[test]

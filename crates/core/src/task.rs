@@ -42,6 +42,30 @@ pub struct TaskId(pub u32);
 )]
 pub struct DeviceId(pub u32);
 
+/// Identifier of the **tenant** an I/O task belongs to.
+///
+/// Tenant `0` is the *anonymous* tenant: untenanted workloads (every
+/// trace written before the tenancy tier existed) carry it implicitly,
+/// and no per-tenant accounting is performed for it — so an anonymous
+/// stream behaves and serialises bit-identically to the pre-tenant
+/// system. The online service layer (`tagio-online`) maps non-anonymous
+/// tenants onto quotas and QoS classes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The anonymous tenant carried by untenanted workloads.
+    pub const ANONYMOUS: TenantId = TenantId(0);
+
+    /// Whether this is the anonymous (unaccounted) tenant.
+    #[must_use]
+    pub fn is_anonymous(self) -> bool {
+        self.0 == 0
+    }
+}
+
 /// A fixed task priority. **Larger numeric value means higher priority.**
 ///
 /// Deadline-monotonic priority ordering ([`TaskSet::assign_dmpo`]) gives the
@@ -61,6 +85,12 @@ impl fmt::Display for TaskId {
 impl fmt::Display for DeviceId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tn{}", self.0)
     }
 }
 
@@ -89,6 +119,8 @@ pub struct IoTask {
     vmin: f64,
     #[serde(default)]
     release_offset: Duration,
+    #[serde(default)]
+    tenant: TenantId,
 }
 
 impl IoTask {
@@ -107,6 +139,7 @@ impl IoTask {
             vmax: 1.0,
             vmin: 0.0,
             release_offset: Duration::ZERO,
+            tenant: TenantId::ANONYMOUS,
         }
     }
 
@@ -179,6 +212,14 @@ impl IoTask {
         self.release_offset
     }
 
+    /// The tenant this task belongs to ([`TenantId::ANONYMOUS`] unless
+    /// set at build time). Tenancy is routing/accounting metadata: it
+    /// never participates in the timing model or schedule validation.
+    #[must_use]
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
     /// Maximum quality `Vmax`, obtained when starting exactly at `δi`.
     #[must_use]
     pub fn vmax(&self) -> f64 {
@@ -243,6 +284,7 @@ pub struct IoTaskBuilder {
     vmax: f64,
     vmin: f64,
     release_offset: Duration,
+    tenant: TenantId,
 }
 
 impl IoTaskBuilder {
@@ -304,6 +346,13 @@ impl IoTaskBuilder {
         self
     }
 
+    /// Sets the owning tenant (defaults to [`TenantId::ANONYMOUS`]).
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
     /// Validates and builds the task.
     ///
     /// # Errors
@@ -330,6 +379,7 @@ impl IoTaskBuilder {
             vmax,
             vmin,
             release_offset,
+            tenant,
         } = self;
         let deadline = deadline.unwrap_or(period);
         if wcet.is_zero() {
@@ -386,6 +436,7 @@ impl IoTaskBuilder {
             vmax,
             vmin,
             release_offset,
+            tenant,
         })
     }
 }

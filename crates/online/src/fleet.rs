@@ -49,6 +49,7 @@
 //! sequential staging, commit and wave-formation steps.
 
 use crate::service::{EventOutcome, OnlineScheduler, OnlineStats, RejectReason, RepairStrategy};
+use crate::tenant::{utilisation_ppm, QosClass, TenantCounters, TenantLedger, TenantRegistry, PPM};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{BTreeMap, HashSet};
@@ -56,7 +57,7 @@ use tagio_core::event::SystemEvent;
 use tagio_core::pool::WorkerPool;
 use tagio_core::schedule::Schedule;
 use tagio_core::solve::{Infeasible, InfeasibleCause};
-use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet, TenantId};
 use tagio_core::{MetricSet, Metrics};
 
 /// How the router picks an arrival's partition (and the order in which
@@ -137,6 +138,11 @@ pub struct FleetConfig {
     /// reuse; `false` replays the naive baseline the `throughput` bench
     /// compares against. Decisions are identical either way.
     pub lean: bool,
+    /// Tenant contracts. A trivial (empty) registry — the default —
+    /// disables the router quota/fair gate and tenant-aware shedding
+    /// entirely, keeping untenanted fleets bit-identical to the
+    /// pre-tenant system.
+    pub tenants: TenantRegistry,
 }
 
 impl Default for FleetConfig {
@@ -148,6 +154,7 @@ impl Default for FleetConfig {
             seed: 2020,
             strategy: RepairStrategy::default(),
             lean: true,
+            tenants: TenantRegistry::new(),
         }
     }
 }
@@ -199,6 +206,12 @@ pub struct FleetStats {
     /// [`Infeasible`] diagnostics carry the dead partition as
     /// [`Infeasible::origin`].
     pub lost: usize,
+    /// Per-tenant router counters (fleet-unique arrivals, final
+    /// admitted/rejected verdicts — including router quota-gate
+    /// rejections, which never reach a partition). Anonymous traffic is
+    /// unaccounted, so untenanted runs keep this map empty and their
+    /// metric sets, digests and snapshots unchanged.
+    pub tenants: BTreeMap<TenantId, TenantCounters>,
 }
 
 impl FleetStats {
@@ -238,6 +251,19 @@ impl FleetStats {
         self.orphaned += other.orphaned;
         self.rehomed += other.rehomed;
         self.lost += other.lost;
+        for (&tenant, counters) in &other.tenants {
+            self.tenants.entry(tenant).or_default().merge(counters);
+        }
+    }
+
+    /// The mutable counter slot for `tenant` — `None` for the anonymous
+    /// tenant, which stays unaccounted by design.
+    fn tenant_entry(&mut self, tenant: TenantId) -> Option<&mut TenantCounters> {
+        if tenant.is_anonymous() {
+            None
+        } else {
+            Some(self.tenants.entry(tenant).or_default())
+        }
     }
 }
 
@@ -263,6 +289,11 @@ impl Metrics for FleetStats {
         set.push("orphaned", self.orphaned as f64);
         set.push("rehomed", self.rehomed as f64);
         set.push("lost", self.lost as f64);
+        for (tenant, c) in &self.tenants {
+            set.push(format!("{tenant}_arrivals"), c.arrivals as f64);
+            set.push(format!("{tenant}_admitted"), c.admitted as f64);
+            set.push(format!("{tenant}_rejected"), c.rejected as f64);
+        }
         set
     }
 }
@@ -463,6 +494,10 @@ pub struct FleetScheduler {
     overload_rejects: Vec<usize>,
     rng: StdRng,
     stats: FleetStats,
+    /// Banked deficit credit per best-effort tenant (router fair
+    /// admission on saturated epochs). Only mutated in sequential
+    /// staging, so it is deterministic for any pool width.
+    ledger: TenantLedger,
     /// Reused per-epoch staging (see [`EpochStaging`]).
     staging: EpochStaging,
 }
@@ -473,7 +508,7 @@ impl FleetScheduler {
         let mut devs: Vec<DeviceId> = devices.into_iter().collect();
         devs.sort_unstable();
         devs.dedup();
-        let partitions: Vec<OnlineScheduler> = devs
+        let mut partitions: Vec<OnlineScheduler> = devs
             .into_iter()
             .map(|d| {
                 OnlineScheduler::new(d)
@@ -481,6 +516,9 @@ impl FleetScheduler {
                     .with_lean(config.lean)
             })
             .collect();
+        for p in &mut partitions {
+            p.set_tenant_registry(config.tenants.clone());
+        }
         let overload_rejects = vec![0; partitions.len()];
         let rng = StdRng::seed_from_u64(config.seed);
         FleetScheduler {
@@ -490,6 +528,7 @@ impl FleetScheduler {
             overload_rejects,
             rng,
             stats: FleetStats::default(),
+            ledger: TenantLedger::new(),
             staging: EpochStaging::default(),
         }
     }
@@ -514,6 +553,7 @@ impl FleetScheduler {
                     fleet.partitions[idx] = svc
                         .with_strategy(fleet.config.strategy)
                         .with_lean(fleet.config.lean);
+                    fleet.partitions[idx].set_tenant_registry(fleet.config.tenants.clone());
                 }
                 Err(tasks) => {
                     for t in &tasks {
@@ -746,6 +786,40 @@ impl FleetScheduler {
     /// draws and cross-partition reads happen here, against pre-epoch
     /// state. Clones nothing.
     fn stage(&mut self, events: &[SystemEvent], outcomes: &mut [Option<FleetOutcome>]) {
+        // Tenant admission state for the epoch, built here in the
+        // sequential phase (before any RNG draw): each tenant's active
+        // utilisation across the fleet, and whether the batch's nominal
+        // arrival demand exceeds the fleet's headroom (only then does
+        // the deficit gate engage). A trivial registry skips all of it —
+        // untenanted fleets stay bit-identical to the pre-tenant system.
+        let gating = !self.config.tenants.is_trivial();
+        let mut usage: BTreeMap<TenantId, u64> = BTreeMap::new();
+        let mut saturated = false;
+        if gating {
+            let mut head_ppm: u64 = 0;
+            for p in &self.partitions {
+                let used = p.tasks().utilisation();
+                head_ppm += ((1.0 - used).max(0.0) * PPM as f64) as u64;
+                for t in p.tasks().iter() {
+                    *usage.entry(t.tenant()).or_insert(0) += utilisation_ppm(t);
+                }
+            }
+            let demand_ppm: u64 = events
+                .iter()
+                .filter_map(|e| match e {
+                    SystemEvent::Arrival(t) => Some(utilisation_ppm(t)),
+                    _ => None,
+                })
+                .sum();
+            saturated = demand_ppm > head_ppm;
+            if saturated {
+                for (tenant, spec) in self.config.tenants.iter() {
+                    if spec.qos == QosClass::BestEffort {
+                        self.ledger.accrue(tenant, spec.weight);
+                    }
+                }
+            }
+        }
         for (i, event) in events.iter().enumerate() {
             match event {
                 SystemEvent::Arrival(task) => {
@@ -768,6 +842,50 @@ impl FleetScheduler {
                         continue;
                     }
                     self.stats.arrivals += 1;
+                    let tenant = task.tenant();
+                    if let Some(c) = self.stats.tenant_entry(tenant) {
+                        c.arrivals += 1;
+                    }
+                    if gating {
+                        // Router gate: a best-effort arrival that would
+                        // push its tenant past quota — or, on a saturated
+                        // epoch, one whose tenant has no banked deficit —
+                        // is rejected *here*, before the routing RNG or
+                        // any partition is touched. A fully-gated tenant
+                        // therefore leaves zero trace on the rest of the
+                        // fleet: the isolation property depends on this.
+                        let spec = self.config.tenants.spec(tenant);
+                        let util = utilisation_ppm(task);
+                        let best_effort = spec.qos == QosClass::BestEffort;
+                        let over_quota = best_effort
+                            && usage.get(&tenant).copied().unwrap_or(0) + util > spec.quota_ppm;
+                        let starved = !over_quota
+                            && best_effort
+                            && saturated
+                            && !self.ledger.try_spend(tenant, util);
+                        if over_quota || starved {
+                            self.stats.rejected += 1;
+                            if let Some(c) = self.stats.tenant_entry(tenant) {
+                                c.rejected += 1;
+                            }
+                            let cause = InfeasibleCause::UtilisationOverload;
+                            *self.stats.reject_causes.entry(cause).or_insert(0) += 1;
+                            outcomes[i] = Some(FleetOutcome {
+                                partition: None,
+                                attempts: 0,
+                                outcome: EventOutcome::Rejected {
+                                    task: id,
+                                    reason: RejectReason::Infeasible(Infeasible::new(cause)),
+                                },
+                            });
+                            continue;
+                        }
+                        // Optimistically charge the tenant for the rest
+                        // of this epoch's quota checks; a later partition
+                        // rejection leaves the charge in place (quota
+                        // enforcement is conservative within an epoch).
+                        *usage.entry(tenant).or_insert(0) += util;
+                    }
                     let (start, len) = self.preference(task);
                     let first = self.staging.order_buf[start];
                     self.staging.lanes[first].push(i);
@@ -933,7 +1051,7 @@ impl FleetScheduler {
             let mut results = std::mem::take(&mut self.staging.results);
             for (p, lane_results) in results.iter_mut().enumerate() {
                 for (i, outcome) in lane_results.drain(..) {
-                    self.commit_wave_offer(p, i, outcome, events.len(), outcomes);
+                    self.commit_wave_offer(p, i, outcome, events, outcomes);
                 }
             }
             self.staging.results = results;
@@ -951,10 +1069,10 @@ impl FleetScheduler {
         p: usize,
         i: usize,
         outcome: EventOutcome,
-        n_events: usize,
+        events: &[SystemEvent],
         outcomes: &mut [Option<FleetOutcome>],
     ) {
-        if let Some(ix) = i.checked_sub(n_events) {
+        if let Some(ix) = i.checked_sub(events.len()) {
             let k = self.staging.orphan_plan[ix];
             match outcome {
                 EventOutcome::Admitted { task, .. } => {
@@ -975,6 +1093,11 @@ impl FleetScheduler {
             EventOutcome::Admitted { task, .. } => {
                 self.owner.insert(task, p);
                 self.stats.admitted += 1;
+                if let SystemEvent::Arrival(t) = &events[i] {
+                    if let Some(c) = self.stats.tenant_entry(t.tenant()) {
+                        c.admitted += 1;
+                    }
+                }
                 self.stats.retry_admissions += 1;
                 let device = self.partitions[p].device();
                 if device != self.staging.plans[k].origin {
@@ -1013,6 +1136,9 @@ impl FleetScheduler {
             return;
         };
         self.stats.rejected += 1;
+        if let Some(c) = self.stats.tenant_entry(task.tenant()) {
+            c.rejected += 1;
+        }
         let reason = final_reject_reason(carried);
         if let Some(diag) = reason.diagnostic() {
             *self.stats.reject_causes.entry(diag.cause).or_insert(0) += 1;
@@ -1070,6 +1196,11 @@ impl FleetScheduler {
                 self.owner.insert(task, p);
                 if plan_ix != usize::MAX {
                     self.stats.admitted += 1;
+                    if let SystemEvent::Arrival(t) = &events[i] {
+                        if let Some(c) = self.stats.tenant_entry(t.tenant()) {
+                            c.admitted += 1;
+                        }
+                    }
                     if device != self.staging.plans[plan_ix].origin {
                         self.stats.migrations += 1;
                     }
@@ -1370,6 +1501,13 @@ impl FleetScheduler {
         self.rng.state()
     }
 
+    /// The router's banked deficit credit per best-effort tenant
+    /// (checkpointed in snapshot v2 — future admissions depend on it).
+    #[must_use]
+    pub fn ledger(&self) -> &TenantLedger {
+        &self.ledger
+    }
+
     /// Reassembles a fleet from checkpointed parts. The caller (the
     /// snapshot loader) guarantees `partitions` is sorted by device id
     /// with no duplicates, `owner`'s indices are in range, and
@@ -1382,9 +1520,14 @@ impl FleetScheduler {
         overload_rejects: Vec<usize>,
         rng_state: [u64; 4],
         stats: FleetStats,
+        ledger: TenantLedger,
     ) -> Self {
         debug_assert!(partitions.windows(2).all(|w| w[0].device() < w[1].device()));
         debug_assert_eq!(overload_rejects.len(), partitions.len());
+        let mut partitions = partitions;
+        for p in &mut partitions {
+            p.set_tenant_registry(config.tenants.clone());
+        }
         FleetScheduler {
             config,
             partitions,
@@ -1392,6 +1535,7 @@ impl FleetScheduler {
             overload_rejects,
             rng: StdRng::from_state(rng_state),
             stats,
+            ledger,
             staging: EpochStaging::default(),
         }
     }
@@ -1495,6 +1639,7 @@ fn mean_over(partitions: &[OnlineScheduler], f: impl Fn(&OnlineScheduler) -> f64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tenant::TenantSpec;
     use tagio_core::time::Duration;
 
     fn mk(id: u32, device: u32, period_ms: u64, wcet_us: u64, delta_ms: u64) -> IoTask {
@@ -1966,5 +2111,119 @@ mod tests {
         // First probe: may hit the full partition and migrate via retry.
         let _ = fleet.apply(&SystemEvent::Arrival(probe(21)));
         assert_eq!(fleet.owner_of(TaskId(21)), Some(DeviceId(1)));
+    }
+
+    fn mkt(id: u32, device: u32, tenant: u32) -> IoTask {
+        IoTask::builder(TaskId(id), DeviceId(device))
+            .wcet(Duration::from_micros(500))
+            .period(Duration::from_millis(8))
+            .ideal_offset(Duration::from_millis(2))
+            .margin(Duration::from_millis(1))
+            .tenant(TenantId(tenant))
+            .build()
+            .unwrap()
+    }
+
+    fn tenanted_fleet(registry: TenantRegistry) -> FleetScheduler {
+        let mut bases = BTreeMap::new();
+        bases.insert(DeviceId(0), TaskSet::default());
+        bases.insert(DeviceId(1), TaskSet::default());
+        FleetScheduler::bootstrap(
+            &bases,
+            FleetConfig {
+                threads: 1,
+                tenants: registry,
+                ..FleetConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn best_effort_over_quota_is_gated_at_the_router() {
+        // mkt's 500us/8ms arrival costs 62_500 ppm; a 50_000 ppm quota
+        // caps tenant 1 at zero such tasks.
+        let mut registry = TenantRegistry::new();
+        registry.register(TenantId(1), TenantSpec::best_effort(50_000));
+        registry.register(TenantId(2), TenantSpec::guaranteed(PPM));
+        let mut fleet = tenanted_fleet(registry);
+
+        let out = fleet.apply(&SystemEvent::Arrival(mkt(10, 0, 1)));
+        assert_eq!(out.partition, None, "gated before any partition");
+        assert_eq!(out.attempts, 0);
+        assert!(matches!(
+            out.outcome,
+            EventOutcome::Rejected {
+                reason: RejectReason::Infeasible(_),
+                ..
+            }
+        ));
+        assert_eq!(fleet.owner_of(TaskId(10)), None);
+        let c = &fleet.stats().tenants[&TenantId(1)];
+        assert_eq!((c.arrivals, c.admitted, c.rejected), (1, 0, 1));
+
+        // A guaranteed tenant sails through the same router.
+        let out = fleet.apply(&SystemEvent::Arrival(mkt(11, 0, 2)));
+        assert!(matches!(out.outcome, EventOutcome::Admitted { .. }));
+        let c = &fleet.stats().tenants[&TenantId(2)];
+        assert_eq!((c.arrivals, c.admitted, c.rejected), (1, 1, 0));
+        assert_eq!(fleet.stats().arrivals, 2);
+        assert_eq!(fleet.stats().rejected, 1);
+    }
+
+    #[test]
+    fn guaranteed_tenants_are_never_router_gated() {
+        // Even a zero quota does not gate a guaranteed tenant at the
+        // router: quotas demote its shed rank under overload instead
+        // (partition-side), so admission stays partition-decided.
+        let mut registry = TenantRegistry::new();
+        registry.register(TenantId(1), TenantSpec::guaranteed(0));
+        let mut fleet = tenanted_fleet(registry);
+        let out = fleet.apply(&SystemEvent::Arrival(mkt(10, 1, 1)));
+        assert_eq!(out.partition, Some(DeviceId(1)), "a partition decided");
+        assert!(matches!(out.outcome, EventOutcome::Admitted { .. }));
+    }
+
+    #[test]
+    fn anonymous_traffic_stays_unaccounted() {
+        let mut fleet = two_partition_fleet(PlacementPolicy::FirstFit);
+        let out = fleet.apply(&SystemEvent::Arrival(mk(5, 0, 8, 500, 5)));
+        assert!(matches!(out.outcome, EventOutcome::Admitted { .. }));
+        assert!(
+            fleet.stats().tenants.is_empty(),
+            "anonymous arrivals leave the per-tenant map untouched"
+        );
+        assert!(fleet.ledger().is_empty(), "no deficit state accrues");
+    }
+
+    #[test]
+    fn tenant_counters_merge_across_stats() {
+        let mut a = FleetStats::default();
+        a.tenants.insert(
+            TenantId(1),
+            TenantCounters {
+                arrivals: 3,
+                admitted: 2,
+                rejected: 1,
+                shed: 0,
+            },
+        );
+        let mut b = FleetStats::default();
+        b.tenants.insert(
+            TenantId(1),
+            TenantCounters {
+                arrivals: 1,
+                admitted: 0,
+                rejected: 1,
+                shed: 2,
+            },
+        );
+        b.tenants.insert(TenantId(2), TenantCounters::default());
+        a.merge(&b);
+        let one = &a.tenants[&TenantId(1)];
+        assert_eq!(
+            (one.arrivals, one.admitted, one.rejected, one.shed),
+            (4, 2, 2, 2)
+        );
+        assert!(a.tenants.contains_key(&TenantId(2)));
     }
 }

@@ -53,6 +53,20 @@
 //! rest, and the `failover_scenarios` experiment binary sweeps death
 //! rate × partition count.
 //!
+//! [`tenant`] adds the **multi-tenant service tier** on top: arrivals
+//! carry a [`TenantId`] (`tn=` in traces; anonymous traffic stays
+//! untagged and unaccounted), a [`TenantRegistry`] maps tenants to
+//! utilisation quotas and QoS classes
+//! ([`Guaranteed`](tenant::QosClass::Guaranteed) /
+//! [`BestEffort`](tenant::QosClass::BestEffort)), saturated partitions
+//! shed best-effort and over-quota work before under-quota guaranteed
+//! work, and the fleet router applies a hard best-effort quota gate plus
+//! deficit-weighted fair admission when aggregate demand exceeds
+//! capacity — so one tenant's overload cannot reduce another tenant's
+//! under-quota guaranteed acceptance (pinned bit-exactly by the
+//! `tenant_isolation` suite, and swept by the `tenant_scenarios`
+//! experiment binary).
+//!
 //! [`SystemEvent::PartitionDeath`]: tagio_core::event::SystemEvent::PartitionDeath
 //!
 //! ```
@@ -89,13 +103,15 @@ pub mod fleet;
 pub mod persist;
 pub mod scenario;
 pub mod service;
+pub mod tenant;
 pub mod wal;
 
 pub use fleet::{FleetConfig, FleetOutcome, FleetScheduler, FleetStats, PlacementPolicy};
 pub use persist::{FleetSnapshot, PartitionSnapshot, RecoveryReport, SnapshotError};
 pub use scenario::{
     ConfigError, FleetReplayOutcome, FleetScenario, FleetScenarioConfig,
-    FleetScenarioConfigBuilder, ReplayOutcome, Scenario, ScenarioConfig, TraceError,
+    FleetScenarioConfigBuilder, ReplayOutcome, Scenario, ScenarioConfig, TenantReplay, TraceError,
 };
 pub use service::{EventOutcome, OnlineScheduler, OnlineStats, RejectReason, RepairStrategy};
+pub use tenant::{QosClass, TenantCounters, TenantId, TenantLedger, TenantRegistry, TenantSpec};
 pub use wal::{EpochRecord, FileWal, MemoryWal, WalContents, WalError, WalSink, WalSource};

@@ -23,10 +23,18 @@
 //! The snapshot text format is versioned (`tagio-fleet-snapshot v1`
 //! header line) and line-based, sharing its task encoding with the
 //! scenario trace dialect; `EXPERIMENTS.md` documents both formats.
+//!
+//! **Format v2** extends v1 with the tenant tier: `tenant` lines carry
+//! the registry's contracts, `deficit` lines the router's banked fair-
+//! admission credit, and `ftenant`/`ptenant` lines the per-tenant
+//! counters at fleet and partition level. A fleet with *no* tenant state
+//! still writes byte-exact v1 — pre-tenant snapshots, digests and
+//! recovery flows are untouched — and the parser speaks both versions.
 
 use crate::fleet::{FleetConfig, FleetScheduler, FleetStats, PlacementPolicy};
 use crate::scenario::{format_event_body, parse_event_body};
 use crate::service::{OnlineScheduler, OnlineStats, RepairStrategy};
+use crate::tenant::{QosClass, TenantCounters, TenantId, TenantLedger, TenantRegistry, TenantSpec};
 use crate::wal::{EpochRecord, WalContents};
 use std::collections::BTreeMap;
 use tagio_core::event::SystemEvent;
@@ -41,6 +49,11 @@ use tagio_sched::SlotPolicy;
 /// when the line grammar changes; [`FleetSnapshot::parse`] rejects
 /// anything it does not speak.
 pub const SNAPSHOT_HEADER: &str = "tagio-fleet-snapshot v1";
+
+/// The v2 header: v1 plus the tenant-tier verbs (`tenant`, `deficit`,
+/// `ftenant`, `ptenant`). Only written when the fleet actually holds
+/// tenant state, so untenanted snapshots stay byte-exact v1.
+pub const SNAPSHOT_HEADER_V2: &str = "tagio-fleet-snapshot v2";
 
 // ---------------------------------------------------------------------
 // Digests
@@ -114,6 +127,14 @@ pub fn stats_digest(stats: &OnlineStats) -> u64 {
         h.write_bytes(cause.as_str().as_bytes());
         h.write_u64(count as u64);
     }
+    // Tenant counters fold in only when present, so untenanted runs
+    // keep their pre-tenant digests (and old WALs keep verifying).
+    for (&tenant, c) in &stats.tenants {
+        h.write_u64(u64::from(tenant.0));
+        for v in [c.arrivals, c.admitted, c.rejected, c.shed] {
+            h.write_u64(v as u64);
+        }
+    }
     h.0
 }
 
@@ -157,6 +178,10 @@ pub struct FleetSnapshot {
     /// Per-partition overload-rejection counts (they drive
     /// [`PlacementPolicy::Rebalance`], so they must survive).
     pub overload: BTreeMap<DeviceId, usize>,
+    /// The router's banked deficit credit per best-effort tenant
+    /// (format v2; empty for v1 snapshots). Future admission decisions
+    /// depend on it, so it must survive a crash.
+    pub ledger: TenantLedger,
     /// The partitions, in device-id order.
     pub partitions: Vec<PartitionSnapshot>,
 }
@@ -221,6 +246,7 @@ impl FleetSnapshot {
                 .copied()
                 .zip(fleet.overload_counts().iter().copied())
                 .collect(),
+            ledger: fleet.ledger().clone(),
             partitions: fleet
                 .partitions()
                 .iter()
@@ -286,14 +312,31 @@ impl FleetSnapshot {
             overload,
             self.rng_state,
             self.stats.clone(),
+            self.ledger.clone(),
         ))
+    }
+
+    /// Whether this snapshot holds any tenant-tier state — the
+    /// condition under which [`FleetSnapshot::write`] emits format v2
+    /// instead of byte-exact v1.
+    #[must_use]
+    pub fn has_tenant_state(&self) -> bool {
+        !self.config.tenants.is_trivial()
+            || !self.ledger.is_empty()
+            || !self.stats.tenants.is_empty()
+            || self.partitions.iter().any(|p| !p.stats.tenants.is_empty())
     }
 
     /// Renders the snapshot in the versioned text format.
     #[must_use]
     pub fn write(&self) -> String {
+        let v2 = self.has_tenant_state();
         let mut out = String::new();
-        out.push_str(SNAPSHOT_HEADER);
+        out.push_str(if v2 {
+            SNAPSHOT_HEADER_V2
+        } else {
+            SNAPSHOT_HEADER
+        });
         out.push('\n');
         out.push_str(&format!("epoch {}\n", self.epoch));
         out.push_str(&format!(
@@ -305,6 +348,17 @@ impl FleetSnapshot {
             strategy_str(self.config.strategy),
             self.config.lean,
         ));
+        for (tenant, spec) in self.config.tenants.iter() {
+            out.push_str(&format!(
+                "tenant {tenant} qos={} quota={} weight={}\n",
+                spec.qos.as_str(),
+                spec.quota_ppm,
+                spec.weight,
+            ));
+        }
+        for (tenant, deficit) in self.ledger.iter() {
+            out.push_str(&format!("deficit {tenant} {deficit}\n"));
+        }
         let [a, b, c, d] = self.rng_state;
         out.push_str(&format!("rng {a} {b} {c} {d}\n"));
         let s = &self.stats;
@@ -329,6 +383,9 @@ impl FleetSnapshot {
         ));
         for (&cause, &count) in &s.reject_causes {
             out.push_str(&format!("fcause {} {count}\n", cause.as_str()));
+        }
+        for (&tenant, c) in &s.tenants {
+            out.push_str(&tenant_counter_line("ftenant", tenant, c));
         }
         for (&id, &device) in &self.owner {
             out.push_str(&format!("owner t{} d{}\n", id.0, device.0));
@@ -389,6 +446,9 @@ impl FleetSnapshot {
             for (&cause, &count) in &ps.reject_causes {
                 out.push_str(&format!("pcause {} {count}\n", cause.as_str()));
             }
+            for (&tenant, c) in &ps.tenants {
+                out.push_str(&tenant_counter_line("ptenant", tenant, c));
+            }
             out.push_str("end\n");
         }
         out
@@ -418,21 +478,23 @@ impl FleetSnapshot {
                 }
             }
         };
-        if header.1 != SNAPSHOT_HEADER {
+        if header.1 != SNAPSHOT_HEADER && header.1 != SNAPSHOT_HEADER_V2 {
             return Err(SnapshotError {
                 line: header.0,
                 message: format!(
-                    "unsupported header `{}` (want `{SNAPSHOT_HEADER}`)",
+                    "unsupported header `{}` (want `{SNAPSHOT_HEADER}` or `{SNAPSHOT_HEADER_V2}`)",
                     header.1
                 ),
             });
         }
         let mut epoch = None;
-        let mut config = None;
+        let mut config: Option<FleetConfig> = None;
         let mut rng_state = None;
         let mut stats: Option<FleetStats> = None;
         let mut owner = BTreeMap::new();
         let mut overload = BTreeMap::new();
+        let mut registry = TenantRegistry::new();
+        let mut ledger = TenantLedger::new();
         let mut partitions: Vec<PartitionSnapshot> = Vec::new();
         let mut open: Option<PartitionSnapshot> = None;
         for (i, raw) in lines {
@@ -477,7 +539,44 @@ impl FleetSnapshot {
                         seed,
                         strategy,
                         lean,
+                        tenants: TenantRegistry::new(),
                     });
+                }
+                "tenant" => {
+                    let tenant = tenant_tagged(words.next()).map_err(err)?;
+                    let qos: QosClass =
+                        kv(words.next(), "qos").map_err(err)?.parse().map_err(err)?;
+                    let quota_ppm: u64 = kv(words.next(), "quota")
+                        .map_err(err)?
+                        .parse()
+                        .map_err(|_| err("bad quota".into()))?;
+                    let weight: u32 = kv(words.next(), "weight")
+                        .map_err(err)?
+                        .parse()
+                        .map_err(|_| err("bad weight".into()))?;
+                    registry.register(
+                        tenant,
+                        TenantSpec {
+                            qos,
+                            quota_ppm,
+                            weight,
+                        },
+                    );
+                }
+                "deficit" => {
+                    let tenant = tenant_tagged(words.next()).map_err(err)?;
+                    let deficit: u64 = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("expected deficit ppm".into()))?;
+                    ledger.set_deficit(tenant, deficit);
+                }
+                "ftenant" => {
+                    let stats = stats
+                        .as_mut()
+                        .ok_or_else(|| err("`ftenant` before `fstats`".into()))?;
+                    let (tenant, counters) = tenant_counter_body(&mut words).map_err(err)?;
+                    stats.tenants.insert(tenant, counters);
                 }
                 "rng" => {
                     let mut word = |name: &str| {
@@ -620,6 +719,13 @@ impl FleetSnapshot {
                     let (cause, count) = cause_line(&mut words).map_err(err)?;
                     p.stats.reject_causes.insert(cause, count);
                 }
+                "ptenant" => {
+                    let p = open
+                        .as_mut()
+                        .ok_or_else(|| err("`ptenant` outside a partition section".into()))?;
+                    let (tenant, counters) = tenant_counter_body(&mut words).map_err(err)?;
+                    p.stats.tenants.insert(tenant, counters);
+                }
                 "end" => {
                     let p = open
                         .take()
@@ -639,16 +745,55 @@ impl FleetSnapshot {
             line: 0,
             message: format!("snapshot missing `{name}`"),
         };
+        let mut config = config.ok_or_else(|| missing("config"))?;
+        config.tenants = registry;
         Ok(FleetSnapshot {
             epoch: epoch.ok_or_else(|| missing("epoch"))?,
-            config: config.ok_or_else(|| missing("config"))?,
+            config,
             rng_state: rng_state.ok_or_else(|| missing("rng"))?,
             stats: stats.ok_or_else(|| missing("fstats"))?,
             owner,
             overload,
+            ledger,
             partitions,
         })
     }
+}
+
+/// One `ftenant`/`ptenant` line: every [`TenantCounters`] field, keyed.
+fn tenant_counter_line(verb: &str, tenant: TenantId, c: &TenantCounters) -> String {
+    format!(
+        "{verb} {tenant} arrivals={} admitted={} rejected={} shed={}\n",
+        c.arrivals, c.admitted, c.rejected, c.shed,
+    )
+}
+
+/// Parses a `tn<k>` tenant tag.
+fn tenant_tagged(word: Option<&str>) -> Result<TenantId, String> {
+    word.and_then(|w| w.strip_prefix("tn"))
+        .and_then(|w| w.parse().ok())
+        .map(TenantId)
+        .ok_or_else(|| "expected tn<number>".to_owned())
+}
+
+/// Parses the counter body of an `ftenant`/`ptenant` line.
+fn tenant_counter_body<'a>(
+    words: &mut impl Iterator<Item = &'a str>,
+) -> Result<(TenantId, TenantCounters), String> {
+    let tenant = tenant_tagged(words.next())?;
+    let arrivals = num(kv(words.next(), "arrivals")?)?;
+    let admitted = num(kv(words.next(), "admitted")?)?;
+    let rejected = num(kv(words.next(), "rejected")?)?;
+    let shed = num(kv(words.next(), "shed")?)?;
+    Ok((
+        tenant,
+        TenantCounters {
+            arrivals,
+            admitted,
+            rejected,
+            shed,
+        },
+    ))
 }
 
 fn kv<'a>(word: Option<&'a str>, key: &str) -> Result<&'a str, String> {
@@ -999,5 +1144,144 @@ mod tests {
         let err = FleetSnapshot::parse(&bad).unwrap_err();
         assert!(err.message.contains("unknown snapshot verb"), "{err}");
         assert!(err.line > 0);
+    }
+
+    fn mkt(id: u32, device: u32, delta_ms: u64, tenant: u32) -> IoTask {
+        IoTask::builder(TaskId(id), DeviceId(device))
+            .wcet(Duration::from_micros(500))
+            .period(Duration::from_millis(8))
+            .ideal_offset(Duration::from_millis(delta_ms))
+            .margin(Duration::from_millis(1))
+            .quality(f64::from(id) + 1.0, 0.0)
+            .tenant(crate::tenant::TenantId(tenant))
+            .build()
+            .unwrap()
+    }
+
+    fn tenanted_fleet() -> FleetScheduler {
+        let mut registry = TenantRegistry::new();
+        registry.register(TenantId(1), TenantSpec::guaranteed(500_000));
+        registry.register(TenantId(2), TenantSpec::best_effort(100_000).with_weight(2));
+        let mut bases = BTreeMap::new();
+        bases.insert(
+            DeviceId(0),
+            vec![mk(0, 0, 2)].into_iter().collect::<TaskSet>(),
+        );
+        bases.insert(
+            DeviceId(1),
+            vec![mk(1, 1, 3)].into_iter().collect::<TaskSet>(),
+        );
+        FleetScheduler::bootstrap(
+            &bases,
+            FleetConfig {
+                threads: 1,
+                tenants: registry,
+                ..FleetConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn untenanted_snapshots_keep_the_v1_format() {
+        let mut live = fleet();
+        for batch in batches() {
+            let _ = live.apply_batch(&batch);
+        }
+        let snap = live.snapshot();
+        assert!(!snap.has_tenant_state());
+        let text = snap.write();
+        assert!(text.starts_with(SNAPSHOT_HEADER), "header stays v1");
+        for verb in ["tenant ", "deficit ", "ftenant ", "ptenant "] {
+            assert!(!text.contains(verb), "v1 text must not carry `{verb}`");
+        }
+    }
+
+    #[test]
+    fn tenanted_snapshot_writes_v2_and_round_trips() {
+        let mut live = tenanted_fleet();
+        let _ = live.apply_batch(&[
+            SystemEvent::Arrival(mkt(10, 0, 4, 1)),
+            SystemEvent::Arrival(mkt(11, 1, 5, 2)),
+            SystemEvent::Arrival(mkt(12, 1, 6, 2)),
+        ]);
+        let snap = live.snapshot();
+        assert!(snap.has_tenant_state());
+        let text = snap.write();
+        assert!(text.starts_with(SNAPSHOT_HEADER_V2), "tenant state is v2");
+        assert!(text.contains("tenant tn1 qos=guaranteed"));
+        assert!(text.contains("tenant tn2 qos=best-effort"));
+        assert!(text.contains("ftenant tn1 "));
+
+        let parsed = FleetSnapshot::parse(&text).unwrap();
+        assert_eq!(parsed.config, snap.config, "registry survives the trip");
+        assert_eq!(parsed.ledger, snap.ledger);
+        assert_eq!(parsed.stats, snap.stats);
+        assert_eq!(parsed.partitions.len(), snap.partitions.len());
+        for (a, b) in parsed.partitions.iter().zip(&snap.partitions) {
+            assert_eq!(a.stats.tenants, b.stats.tenants);
+        }
+        assert_eq!(parsed.write(), text, "v2 format is a fixed point");
+    }
+
+    #[test]
+    fn restored_tenanted_fleet_continues_bit_identically() {
+        let mut live = tenanted_fleet();
+        let _ = live.apply_batch(&[
+            SystemEvent::Arrival(mkt(10, 0, 4, 1)),
+            SystemEvent::Arrival(mkt(11, 1, 5, 2)),
+        ]);
+        let snap = FleetSnapshot::parse(&live.snapshot().write()).unwrap();
+        let mut restored = snap.restore().unwrap();
+        assert_eq!(fingerprint(&restored), fingerprint(&live));
+        // Post-checkpoint epochs gate identically: the registry, the
+        // deficit ledger and the per-tenant counters all carried over.
+        let tail = vec![
+            SystemEvent::Arrival(mkt(12, 0, 6, 2)),
+            SystemEvent::Arrival(mkt(13, 1, 2, 1)),
+        ];
+        let _ = live.apply_batch(&tail);
+        let _ = restored.apply_batch(&tail);
+        assert_eq!(fingerprint(&restored), fingerprint(&live));
+        assert_eq!(restored.stats(), live.stats());
+        assert_eq!(restored.ledger(), live.ledger());
+    }
+
+    #[test]
+    fn stats_digest_extends_only_for_tenanted_stats() {
+        let plain = OnlineStats::default();
+        let mut tenanted = OnlineStats::default();
+        tenanted
+            .tenants
+            .insert(TenantId(1), crate::tenant::TenantCounters::default());
+        assert_ne!(
+            stats_digest(&plain),
+            stats_digest(&tenanted),
+            "tenant slices are commit-digest material"
+        );
+    }
+
+    #[test]
+    fn malformed_tenant_verbs_name_the_line() {
+        let good = tenanted_snapshot_text();
+        for (needle, replacement, what) in [
+            ("tenant tn1", "tenant x1", "bad tenant tag"),
+            ("qos=guaranteed", "qos=imaginary", "unknown qos class"),
+            (
+                "ftenant tn1 arrivals=",
+                "ftenant tn1 arr=",
+                "bad counter key",
+            ),
+        ] {
+            let bad = good.replace(needle, replacement);
+            assert_ne!(bad, good, "replacement `{needle}` must apply");
+            let err = FleetSnapshot::parse(&bad).unwrap_err();
+            assert!(err.line > 0, "{what}: {err}");
+        }
+    }
+
+    fn tenanted_snapshot_text() -> String {
+        let mut live = tenanted_fleet();
+        let _ = live.apply_batch(&[SystemEvent::Arrival(mkt(10, 0, 4, 1))]);
+        live.snapshot().write()
     }
 }

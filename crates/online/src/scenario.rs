@@ -16,12 +16,13 @@
 
 use crate::fleet::{FleetConfig, FleetScheduler};
 use crate::service::{OnlineScheduler, RepairStrategy};
+use crate::tenant::{TenantCounters, TenantRegistry, TenantSpec, PPM};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
 use tagio_core::event::{Mode, ModeId, SystemEvent, TimedEvent};
 use tagio_core::solve::InfeasibleCause;
-use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet, TenantId};
 use tagio_core::time::{Duration, Time};
 use tagio_sched::SlotPolicy;
 use tagio_workload::generator::SystemConfig;
@@ -158,8 +159,25 @@ fn rebuild_with_dm_priority(task: &IoTask, id: TaskId, device: DeviceId) -> IoTa
         .release_offset(task.release_offset())
         .priority(tagio_core::task::Priority(prio))
         .quality(f64::from(prio) + 1.0, task.vmin())
+        .tenant(task.tenant())
         .build()
         .expect("rebuilding a valid task preserves validity")
+}
+
+/// The same task re-tagged with `tenant` (everything else unchanged).
+fn tag_tenant(task: &IoTask, tenant: TenantId) -> IoTask {
+    IoTask::builder(task.id(), task.device())
+        .wcet(task.wcet())
+        .period(task.period())
+        .deadline(task.deadline())
+        .ideal_offset(task.ideal_offset())
+        .margin(task.margin())
+        .release_offset(task.release_offset())
+        .priority(task.priority())
+        .quality(task.vmax(), task.vmin())
+        .tenant(tenant)
+        .build()
+        .expect("re-tagging a valid task preserves validity")
 }
 
 impl Scenario {
@@ -357,6 +375,28 @@ pub struct FleetScenarioConfig {
     pub min_arrival_period: Duration,
     /// RNG seed.
     pub seed: u64,
+    /// Number of tenants (`TenantId(1)..=TenantId(n)`). `0` disables the
+    /// tenant model entirely: every task stays anonymous, no tenant
+    /// randomness is drawn, and generation is byte-identical to the
+    /// pre-tenant format.
+    pub tenants: u32,
+    /// How many of the *hottest* tenants (smallest ids, most popular
+    /// under the Zipf draw) run best-effort; the rest are guaranteed.
+    pub best_effort_tenants: u32,
+    /// Zipf popularity exponent `s` for the tenant draw: tenant `k` is
+    /// drawn with weight `1/k^s`. `0.0` is uniform; larger values
+    /// concentrate traffic on the hot tenants.
+    pub tenant_zipf: f64,
+    /// Diurnal load curve period in arrivals (`0` disables): arrival
+    /// utilisation is modulated by a triangle wave peaking mid-period
+    /// (factor 0.5 at the trough, 1.5 at the peak).
+    pub diurnal_period: usize,
+    /// Start a correlated burst storm every `burst_every`-th arrival
+    /// (`0` disables): the next [`Self::burst_len`] arrivals share one
+    /// Zipf-drawn tenant and one origin device.
+    pub burst_every: usize,
+    /// Arrivals per burst storm (floored at 1 when bursts are enabled).
+    pub burst_len: usize,
 }
 
 impl Default for FleetScenarioConfig {
@@ -372,6 +412,12 @@ impl Default for FleetScenarioConfig {
             death_every: 0,
             min_arrival_period: Duration::from_millis(30),
             seed: 2020,
+            tenants: 0,
+            best_effort_tenants: 0,
+            tenant_zipf: 1.0,
+            diurnal_period: 0,
+            burst_every: 0,
+            burst_len: 4,
         }
     }
 }
@@ -427,7 +473,33 @@ impl FleetScenarioConfig {
         if !self.skew.is_finite() {
             return Err(ConfigError::NonFiniteSkew);
         }
+        if !self.tenant_zipf.is_finite() || self.tenant_zipf < 0.0 {
+            return Err(ConfigError::InvalidTenantZipf);
+        }
         Ok(())
+    }
+
+    /// The tenant contracts this configuration implies: the hottest
+    /// [`Self::best_effort_tenants`] tenants are best-effort (hard-capped
+    /// at half the even fleet share), the rest guaranteed at an even
+    /// fleet share (`partitions · PPM / tenants`). Empty — the trivial
+    /// registry — when the tenant model is disabled.
+    #[must_use]
+    pub fn tenant_registry(&self) -> TenantRegistry {
+        let mut registry = TenantRegistry::new();
+        if self.tenants == 0 {
+            return registry;
+        }
+        let share = (u64::from(self.partitions) * PPM) / u64::from(self.tenants).max(1);
+        for k in 1..=self.tenants {
+            let spec = if k <= self.best_effort_tenants {
+                TenantSpec::best_effort(share / 2)
+            } else {
+                TenantSpec::guaranteed(share)
+            };
+            registry.register(TenantId(k), spec);
+        }
+        registry
     }
 }
 
@@ -448,6 +520,9 @@ pub enum ConfigError {
     /// `skew` is NaN or infinite — the origin draw compares it against
     /// a uniform sample, so every comparison would be vacuous.
     NonFiniteSkew,
+    /// `tenant_zipf` is NaN, infinite or negative — the popularity
+    /// weights `1/k^s` would be meaningless.
+    InvalidTenantZipf,
 }
 
 impl core::fmt::Display for ConfigError {
@@ -463,6 +538,9 @@ impl core::fmt::Display for ConfigError {
                  task-id ranges (d*100_000 per device, arrivals above them)"
             ),
             ConfigError::NonFiniteSkew => f.write_str("skew must be finite"),
+            ConfigError::InvalidTenantZipf => {
+                f.write_str("tenant_zipf must be finite and non-negative")
+            }
         }
     }
 }
@@ -548,11 +626,54 @@ impl FleetScenarioConfigBuilder {
         self
     }
 
+    /// Number of tenants (`0` disables the tenant model).
+    #[must_use]
+    pub fn tenants(mut self, tenants: u32) -> Self {
+        self.config.tenants = tenants;
+        self
+    }
+
+    /// How many of the hottest tenants run best-effort.
+    #[must_use]
+    pub fn best_effort_tenants(mut self, n: u32) -> Self {
+        self.config.best_effort_tenants = n;
+        self
+    }
+
+    /// Zipf popularity exponent for the tenant draw.
+    #[must_use]
+    pub fn tenant_zipf(mut self, s: f64) -> Self {
+        self.config.tenant_zipf = s;
+        self
+    }
+
+    /// Diurnal load-curve period in arrivals (`0` disables).
+    #[must_use]
+    pub fn diurnal_period(mut self, period: usize) -> Self {
+        self.config.diurnal_period = period;
+        self
+    }
+
+    /// Burst-storm cadence in arrivals (`0` disables).
+    #[must_use]
+    pub fn burst_every(mut self, every: usize) -> Self {
+        self.config.burst_every = every;
+        self
+    }
+
+    /// Arrivals per burst storm.
+    #[must_use]
+    pub fn burst_len(mut self, len: usize) -> Self {
+        self.config.burst_len = len;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
-    /// [`ConfigError::ZeroPartitions`], [`ConfigError::IdRangeCollision`]
-    /// or [`ConfigError::NonFiniteSkew`].
+    /// [`ConfigError::ZeroPartitions`], [`ConfigError::IdRangeCollision`],
+    /// [`ConfigError::NonFiniteSkew`] or
+    /// [`ConfigError::InvalidTenantZipf`].
     pub fn build(self) -> Result<FleetScenarioConfig, ConfigError> {
         self.config.validate()?;
         Ok(self.config)
@@ -613,6 +734,30 @@ pub struct FleetReplayOutcome {
     pub rehomed: usize,
     /// Orphans no survivor could take (diagnosed, then dropped).
     pub lost: usize,
+    /// Per-tenant slices of the replay (router counters, partition-level
+    /// sheds, and each tenant's job-weighted Ψ over the final
+    /// schedules). Empty for untenanted scenarios, which keeps the
+    /// pre-tenant metric schema unchanged.
+    pub tenants: BTreeMap<TenantId, TenantReplay>,
+}
+
+/// One tenant's slice of a fleet replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReplay {
+    /// Unique arrivals the router saw for this tenant.
+    pub arrivals: usize,
+    /// Arrivals admitted somewhere in the fleet.
+    pub admitted: usize,
+    /// Arrivals rejected (router quota/fair gate or final partition
+    /// verdict).
+    pub rejected: usize,
+    /// Active tasks of this tenant shed by partitions under overload.
+    pub shed: usize,
+    /// `admitted / arrivals` (`1.0` when no arrivals).
+    pub acceptance: f64,
+    /// Job-weighted mean Ψ over this tenant's jobs in the final
+    /// schedules (`1.0` when the tenant holds no jobs).
+    pub psi: f64,
 }
 
 impl FleetReplayOutcome {
@@ -633,6 +778,15 @@ impl FleetReplayOutcome {
         set.push("shed", self.shed as f64);
         set.push("rej_overload", self.reject_overload as f64);
         set.push("rej_infeasible", self.reject_infeasible as f64);
+        // Per-tenant columns ride behind the fixed schema and only when
+        // the replay was tenanted, so untenanted consumers (and their
+        // pinned goldens) see the exact pre-tenant column set.
+        for (tenant, t) in &self.tenants {
+            set.push(format!("{tenant}_acceptance"), t.acceptance);
+            set.push(format!("{tenant}_shed"), t.shed as f64);
+            set.push(format!("{tenant}_rej"), t.rejected as f64);
+            set.push(format!("{tenant}_psi"), t.psi);
+        }
         set
     }
 }
@@ -658,11 +812,37 @@ impl FleetScenario {
             let base: TaskSet = raw
                 .iter()
                 .enumerate()
-                .map(|(i, t)| rebuild_with_dm_priority(t, TaskId(d * 100_000 + i as u32), device))
+                .map(|(i, t)| {
+                    let rebuilt =
+                        rebuild_with_dm_priority(t, TaskId(d * 100_000 + i as u32), device);
+                    if config.tenants == 0 {
+                        rebuilt
+                    } else {
+                        // Base tasks get tenants round-robin — no RNG, so
+                        // enabling tenancy leaves the seeded parameter
+                        // stream untouched.
+                        tag_tenant(&rebuilt, TenantId((i as u32) % config.tenants + 1))
+                    }
+                })
                 .collect();
             known.extend(base.iter().map(IoTask::id));
             bases.insert(device, base);
         }
+        // Zipf popularity weights 1/k^s for the tenant draw, as a
+        // cumulative table (drawn by binary search on one uniform
+        // sample). Tenant knobs draw no randomness at all when disabled,
+        // keeping untenanted streams byte-identical to older generations.
+        let zipf_cum: Vec<f64> = {
+            let mut cum = Vec::with_capacity(config.tenants as usize);
+            let mut total = 0.0;
+            for t in 1..=config.tenants {
+                total += 1.0 / f64::from(t).powf(config.tenant_zipf);
+                cum.push(total);
+            }
+            cum
+        };
+        let zipf_total = zipf_cum.last().copied().unwrap_or(0.0);
+        let mut burst: Option<(TenantId, DeviceId, usize)> = None;
         let pool = PeriodPool::paper_default();
         let mut events = Vec::new();
         let mut at = Time::ZERO;
@@ -671,16 +851,51 @@ impl FleetScenario {
             *at
         };
         for k in 0..config.arrivals {
-            // Draw the origin device: `skew` routes to the hot device 0,
-            // the rest spreads uniformly.
-            let origin = if rng.random::<f64>() < config.skew {
-                DeviceId(0)
+            // A live burst storm pins tenant and origin (no draws);
+            // otherwise draw the origin device (`skew` routes to the hot
+            // device 0, the rest spreads uniformly), then the tenant.
+            let storming = match burst.as_mut() {
+                Some((_, _, left)) if *left > 0 => {
+                    *left -= 1;
+                    true
+                }
+                _ => false,
+            };
+            let (origin, tenant) = if storming {
+                let (tenant, origin, _) = burst.expect("storming implies a live burst");
+                (origin, tenant)
             } else {
-                DeviceId(rng.random_range(0..partitions))
+                let origin = if rng.random::<f64>() < config.skew {
+                    DeviceId(0)
+                } else {
+                    DeviceId(rng.random_range(0..partitions))
+                };
+                let tenant = if config.tenants == 0 {
+                    TenantId::ANONYMOUS
+                } else {
+                    let r = rng.random::<f64>() * zipf_total;
+                    let ix = zipf_cum.partition_point(|&c| c <= r);
+                    TenantId(ix.min(config.tenants as usize - 1) as u32 + 1)
+                };
+                if config.burst_every > 0 && (k + 1) % config.burst_every == 0 {
+                    burst = Some((tenant, origin, config.burst_len.max(1)));
+                }
+                (origin, tenant)
             };
             let period = pool.sample_at_least(config.min_arrival_period, &mut rng);
             let margin = period / 4;
             let u = 0.02 + 0.08 * rng.random::<f64>();
+            // Diurnal modulation: a triangle wave over `diurnal_period`
+            // arrivals scales demand between 0.5x (trough) and 1.5x
+            // (peak) — integer-derived, so it is exactly reproducible.
+            let u = if config.diurnal_period > 0 {
+                let p = config.diurnal_period;
+                let phase = k % p;
+                let tri = (phase.min(p - phase) as f64) / (p as f64 / 2.0);
+                u * (0.5 + tri)
+            } else {
+                u
+            };
             let wcet_us = ((period.as_micros() as f64) * u).round().max(1.0) as u64;
             let wcet = Duration::from_micros(wcet_us)
                 .min(margin)
@@ -693,6 +908,7 @@ impl FleetScenario {
                     .period(period)
                     .ideal_offset(Duration::from_micros(delta_us))
                     .margin(margin)
+                    .tenant(tenant)
                     .build()
                     .expect("generated arrival parameters are valid"),
                 id,
@@ -800,6 +1016,7 @@ impl FleetScenario {
             .map(|(_, n)| n)
             .sum();
         let aggregate = fleet.aggregate_stats();
+        let tenants = per_tenant_replay(&fleet);
         FleetReplayOutcome {
             arrivals: stats.arrivals,
             admitted: stats.admitted,
@@ -820,8 +1037,79 @@ impl FleetScenario {
             orphaned: stats.orphaned,
             rehomed: stats.rehomed,
             lost: stats.lost,
+            tenants,
         }
     }
+}
+
+/// Folds a replayed fleet's tenant state into per-tenant summaries:
+/// router counters, partition-level sheds, and each tenant's
+/// job-weighted Ψ over the final schedules (computed on the tenant's
+/// filtered job set, so one tenant's placement quality is visible even
+/// when another's jobs crowd the same partition).
+fn per_tenant_replay(fleet: &FleetScheduler) -> BTreeMap<TenantId, TenantReplay> {
+    let mut counters: BTreeMap<TenantId, TenantCounters> = fleet.stats().tenants.clone();
+    for p in fleet.partitions() {
+        for (&tenant, c) in &p.stats().tenants {
+            counters.entry(tenant).or_default().shed += c.shed;
+        }
+    }
+    if counters.is_empty() {
+        return BTreeMap::new();
+    }
+    // Job-weighted Ψ per tenant: filter each partition's jobs and
+    // schedule entries down to the tenant's task ids, score the slice,
+    // and weight by its job count.
+    let mut psi_acc: BTreeMap<TenantId, (f64, usize)> = BTreeMap::new();
+    for p in fleet.partitions() {
+        let mut ids: BTreeMap<TenantId, std::collections::BTreeSet<TaskId>> = BTreeMap::new();
+        for t in p.tasks().iter() {
+            if !t.tenant().is_anonymous() {
+                ids.entry(t.tenant()).or_default().insert(t.id());
+            }
+        }
+        for (tenant, ids) in ids {
+            let jobs: Vec<tagio_core::job::Job> = p
+                .jobs()
+                .iter()
+                .filter(|j| ids.contains(&j.id().task))
+                .cloned()
+                .collect();
+            let n = jobs.len();
+            if n == 0 {
+                continue;
+            }
+            let jobs = tagio_core::job::JobSet::from_jobs(jobs, p.jobs().hyperperiod());
+            let schedule: tagio_core::schedule::Schedule = p
+                .schedule()
+                .iter()
+                .filter(|e| ids.contains(&e.job.task))
+                .cloned()
+                .collect();
+            let slot = psi_acc.entry(tenant).or_insert((0.0, 0));
+            slot.0 += tagio_core::metrics::psi(&schedule, &jobs) * n as f64;
+            slot.1 += n;
+        }
+    }
+    counters
+        .into_iter()
+        .map(|(tenant, c)| {
+            let (sum, n) = psi_acc.get(&tenant).copied().unwrap_or((0.0, 0));
+            let replay = TenantReplay {
+                arrivals: c.arrivals,
+                admitted: c.admitted,
+                rejected: c.rejected,
+                shed: c.shed,
+                acceptance: if c.arrivals == 0 {
+                    1.0
+                } else {
+                    c.admitted as f64 / c.arrivals as f64
+                },
+                psi: if n == 0 { 1.0 } else { sum / n as f64 },
+            };
+            (tenant, replay)
+        })
+        .collect()
 }
 
 /// A malformed trace line.
@@ -869,20 +1157,29 @@ pub fn format_trace(events: &[TimedEvent]) -> String {
 /// (`crate::wal`) emit.
 pub(crate) fn format_event_body(event: &SystemEvent) -> String {
     match event {
-        SystemEvent::Arrival(t) => format!(
-            "arrive t{} d{} c={} t={} dl={} o={} delta={} theta={} p={} vmax={} vmin={}",
-            t.id().0,
-            t.device().0,
-            t.wcet().as_micros(),
-            t.period().as_micros(),
-            t.deadline().as_micros(),
-            t.release_offset().as_micros(),
-            t.ideal_offset().as_micros(),
-            t.margin().as_micros(),
-            t.priority().0,
-            t.vmax(),
-            t.vmin(),
-        ),
+        SystemEvent::Arrival(t) => {
+            let mut line = format!(
+                "arrive t{} d{} c={} t={} dl={} o={} delta={} theta={} p={} vmax={} vmin={}",
+                t.id().0,
+                t.device().0,
+                t.wcet().as_micros(),
+                t.period().as_micros(),
+                t.deadline().as_micros(),
+                t.release_offset().as_micros(),
+                t.ideal_offset().as_micros(),
+                t.margin().as_micros(),
+                t.priority().0,
+                t.vmax(),
+                t.vmin(),
+            );
+            // Trace-format v2: the tenant tag rides as a trailing
+            // optional key. Anonymous arrivals omit it, so untenanted
+            // traces (and their WAL digests) stay byte-identical to v1.
+            if !t.tenant().is_anonymous() {
+                line.push_str(&format!(" tn={}", t.tenant().0));
+            }
+            line
+        }
         SystemEvent::Departure(id) => format!("depart t{}", id.0),
         SystemEvent::ModeChange(mode) => {
             let list = if mode.active.is_empty() {
@@ -1002,6 +1299,7 @@ fn parse_arrival<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<System
     let mut prio = None;
     let mut vmax = None;
     let mut vmin = None;
+    let mut tenant = TenantId::ANONYMOUS;
     for word in words {
         let (key, value) = word
             .split_once('=')
@@ -1036,6 +1334,14 @@ fn parse_arrival<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<System
                     vmin = Some(v);
                 }
             }
+            // Trace-format v2 (optional): the arrival's tenant tag.
+            "tn" => {
+                tenant = TenantId(
+                    value
+                        .parse::<u32>()
+                        .map_err(|_| format!("bad tenant in `{word}`"))?,
+                );
+            }
             other => return Err(format!("unknown key `{other}`")),
         }
     }
@@ -1054,6 +1360,7 @@ fn parse_arrival<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<System
             vmax.ok_or_else(|| missing("vmax"))?,
             vmin.ok_or_else(|| missing("vmin"))?,
         )
+        .tenant(tenant)
         .build()
         .map_err(|e| format!("invalid arrival task: {e}"))?;
     Ok(SystemEvent::Arrival(task))
@@ -1309,6 +1616,12 @@ mod tests {
                 death_every: 0,
                 min_arrival_period: Duration::from_millis(20),
                 seed: 7,
+                tenants: 0,
+                best_effort_tenants: 0,
+                tenant_zipf: 1.0,
+                diurnal_period: 0,
+                burst_every: 0,
+                burst_len: 4,
             })
         );
 
@@ -1403,5 +1716,228 @@ mod tests {
     fn dm_priority_orders_by_period() {
         assert!(dm_priority(Duration::from_millis(10)) > dm_priority(Duration::from_millis(20)));
         assert_eq!(dm_priority(Duration::from_millis(1440)), 1);
+    }
+
+    #[test]
+    fn tenant_tags_round_trip_and_stay_off_untenanted_traces() {
+        let tenanted = FleetScenario::generate(&FleetScenarioConfig {
+            partitions: 2,
+            arrivals: 10,
+            tenants: 3,
+            ..FleetScenarioConfig::default()
+        });
+        let text = format_trace(&tenanted.events);
+        assert!(text.contains(" tn="), "tenanted arrivals carry the tag");
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed, tenanted.events, "tn= survives the round trip");
+
+        let plain = FleetScenario::generate(&FleetScenarioConfig {
+            partitions: 2,
+            arrivals: 10,
+            ..FleetScenarioConfig::default()
+        });
+        assert!(
+            !format_trace(&plain.events).contains("tn="),
+            "anonymous traffic emits the pre-tenant grammar"
+        );
+        let bad = "@12 arrive t7 d0 c=100 t=10000 dl=10000 o=0 delta=2000 \
+                   theta=1000 p=5 vmax=1 vmin=0.5 tn=x";
+        assert!(parse_trace(bad).is_err(), "non-numeric tenant tag rejected");
+    }
+
+    #[test]
+    fn tenanted_generation_tags_every_task_in_range() {
+        let cfg = FleetScenarioConfig {
+            partitions: 2,
+            arrivals: 16,
+            tenants: 3,
+            ..FleetScenarioConfig::default()
+        };
+        let s = FleetScenario::generate(&cfg);
+        for base in s.bases.values() {
+            for t in base.iter() {
+                assert!((1..=3).contains(&t.tenant().0), "base tagged round-robin");
+            }
+        }
+        for e in &s.events {
+            if let SystemEvent::Arrival(t) = &e.event {
+                assert!((1..=3).contains(&t.tenant().0), "arrival in 1..=tenants");
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_tenant_knobs_draw_no_randomness() {
+        // With the tenant model off, the Zipf exponent must be inert:
+        // the stream is byte-identical whatever its value, pinning
+        // back-compat with pre-tenant generations.
+        let base = FleetScenarioConfig {
+            partitions: 2,
+            arrivals: 12,
+            departure_permille: 300,
+            spike_every: 4,
+            ..FleetScenarioConfig::default()
+        };
+        let a = FleetScenario::generate(&base);
+        let b = FleetScenario::generate(&FleetScenarioConfig {
+            tenant_zipf: 3.5,
+            best_effort_tenants: 2,
+            burst_len: 9,
+            ..base
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn burst_storms_pin_tenant_and_origin() {
+        let cfg = FleetScenarioConfig {
+            partitions: 4,
+            arrivals: 12,
+            skew: 0.0,
+            departure_permille: 0,
+            spike_every: 0,
+            mode_change: false,
+            tenants: 4,
+            burst_every: 3,
+            burst_len: 2,
+            ..FleetScenarioConfig::default()
+        };
+        let s = FleetScenario::generate(&cfg);
+        let arrivals: Vec<&IoTask> = s
+            .events
+            .iter()
+            .filter_map(|e| match &e.event {
+                SystemEvent::Arrival(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(arrivals.len(), 12);
+        // Arrival k=2 triggers a storm: k=3 and k=4 share its tenant
+        // and origin device (and likewise down the stream whenever the
+        // trigger fires outside a live storm).
+        for (trigger, rider) in [(2usize, 3usize), (2, 4)] {
+            assert_eq!(arrivals[trigger].tenant(), arrivals[rider].tenant());
+            assert_eq!(arrivals[trigger].device(), arrivals[rider].device());
+        }
+        assert_eq!(s, FleetScenario::generate(&cfg), "storms are deterministic");
+    }
+
+    #[test]
+    fn diurnal_curve_rescales_wcet_without_perturbing_the_stream() {
+        let flat_cfg = FleetScenarioConfig {
+            partitions: 2,
+            arrivals: 10,
+            departure_permille: 0,
+            spike_every: 0,
+            mode_change: false,
+            ..FleetScenarioConfig::default()
+        };
+        let flat = FleetScenario::generate(&flat_cfg);
+        let waved = FleetScenario::generate(&FleetScenarioConfig {
+            diurnal_period: 6,
+            ..flat_cfg
+        });
+        let pick = |s: &FleetScenario| -> Vec<IoTask> {
+            s.events
+                .iter()
+                .filter_map(|e| match &e.event {
+                    SystemEvent::Arrival(t) => Some(t.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        let (a, b) = (pick(&flat), pick(&waved));
+        assert_eq!(a.len(), b.len());
+        let mut differs = false;
+        for (x, y) in a.iter().zip(&b) {
+            // The wave multiplies the drawn utilisation after the RNG
+            // draws, so everything but the wcet is untouched.
+            assert_eq!(x.id(), y.id());
+            assert_eq!(x.device(), y.device());
+            assert_eq!(x.period(), y.period());
+            assert_eq!(x.ideal_offset(), y.ideal_offset());
+            differs |= x.wcet() != y.wcet();
+        }
+        assert!(differs, "the curve visibly reshapes demand");
+    }
+
+    #[test]
+    fn tenant_registry_maps_popularity_onto_contracts() {
+        use crate::tenant::QosClass;
+        let cfg = FleetScenarioConfig {
+            partitions: 2,
+            tenants: 4,
+            best_effort_tenants: 1,
+            ..FleetScenarioConfig::default()
+        };
+        let registry = cfg.tenant_registry();
+        assert_eq!(registry.len(), 4);
+        let share = (2 * PPM) / 4;
+        let hot = registry.spec(TenantId(1));
+        assert_eq!(hot.qos, QosClass::BestEffort);
+        assert_eq!(hot.quota_ppm, share / 2, "best-effort gets a half share");
+        for k in 2..=4 {
+            let spec = registry.spec(TenantId(k));
+            assert_eq!(spec.qos, QosClass::Guaranteed);
+            assert_eq!(spec.quota_ppm, share);
+        }
+        assert!(
+            FleetScenarioConfig::default()
+                .tenant_registry()
+                .is_trivial(),
+            "disabled model implies the trivial registry"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_zipf_exponents() {
+        for bad in [f64::NAN, f64::INFINITY, -0.5] {
+            assert_eq!(
+                FleetScenarioConfig::builder()
+                    .tenants(2)
+                    .tenant_zipf(bad)
+                    .build(),
+                Err(ConfigError::InvalidTenantZipf),
+                "accepted tenant_zipf={bad}"
+            );
+        }
+        assert!(ConfigError::InvalidTenantZipf.to_string().contains("zipf"));
+    }
+
+    #[test]
+    fn tenanted_replay_reports_per_tenant_slices() {
+        let cfg = FleetScenarioConfig {
+            partitions: 2,
+            arrivals: 12,
+            tenants: 3,
+            best_effort_tenants: 1,
+            ..FleetScenarioConfig::default()
+        };
+        let s = FleetScenario::generate(&cfg);
+        let out = s.replay(
+            FleetConfig {
+                threads: 1,
+                tenants: cfg.tenant_registry(),
+                ..FleetConfig::default()
+            },
+            4,
+        );
+        assert!(!out.tenants.is_empty(), "tenanted replay slices its stats");
+        let mut admitted = 0;
+        for t in out.tenants.values() {
+            assert!(t.admitted <= t.arrivals);
+            assert!((0.0..=1.0).contains(&t.acceptance));
+            assert!((0.0..=1.0).contains(&t.psi));
+            admitted += t.admitted;
+        }
+        assert!(admitted <= out.admitted, "slices never exceed the total");
+        // The metric schema grows by exactly four columns per tenant,
+        // strictly behind the pinned fixed set.
+        let set = out.metric_set();
+        assert_eq!(set.len(), 10 + 4 * out.tenants.len());
+        for tenant in out.tenants.keys() {
+            assert!(set.get(&format!("{tenant}_acceptance")).is_some());
+            assert!(set.get(&format!("{tenant}_psi")).is_some());
+        }
     }
 }

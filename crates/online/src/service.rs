@@ -25,15 +25,18 @@
 //! Departures shrink the schedule in place. Mode changes are batches of
 //! departures and re-admissions from the known-task pool. Utilisation
 //! spikes rescale every active WCET and, when the result no longer fits,
-//! shed active tasks in quality order (smallest `Vmax` first) until it
-//! does.
+//! shed active tasks until it does — best-effort and over-quota tenants
+//! first (per the installed [`TenantRegistry`]), then in quality order
+//! (smallest `Vmax` first). With no registry installed the order is the
+//! pre-tenant quality-only one.
 
+use crate::tenant::{shed_rank, TenantCounters, TenantRegistry};
 use std::collections::BTreeMap;
 use tagio_core::event::{Mode, SystemEvent};
 use tagio_core::job::JobSet;
 use tagio_core::schedule::Schedule;
 use tagio_core::solve::{Infeasible, InfeasibleCause};
-use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet, TenantId};
 use tagio_core::{metrics, MetricSet, Metrics, ModeId};
 use tagio_sched::heuristic::repair::{
     repair_in, repair_or_resynthesize, repair_or_resynthesize_in, retime_in,
@@ -202,6 +205,11 @@ pub struct OnlineStats {
     pub admission_time: std::time::Duration,
     /// Number of admission constructions timed into `admission_time`.
     pub admission_events: usize,
+    /// Per-tenant decision counters. Anonymous traffic
+    /// ([`TenantId::ANONYMOUS`]) is never tracked here, so the map stays
+    /// empty — and every emitted metric, digest and snapshot byte stays
+    /// identical — for untenanted runs.
+    pub tenants: BTreeMap<TenantId, TenantCounters>,
 }
 
 impl OnlineStats {
@@ -249,6 +257,17 @@ impl OnlineStats {
         *self.reject_causes.entry(cause).or_insert(0) += 1;
     }
 
+    /// The mutable per-tenant counter slot for `tenant`, or `None` for
+    /// anonymous traffic (which is deliberately unaccounted so legacy
+    /// untenanted runs stay byte-identical).
+    fn tenant_entry(&mut self, tenant: TenantId) -> Option<&mut TenantCounters> {
+        if tenant.is_anonymous() {
+            None
+        } else {
+            Some(self.tenants.entry(tenant).or_default())
+        }
+    }
+
     /// Folds another partition's counters into this one — the fleet-level
     /// aggregation: every count and duration adds up, reject causes merge
     /// per cause. Note that fleet-level acceptance derived from an
@@ -277,6 +296,9 @@ impl OnlineStats {
         self.repair_events += other.repair_events;
         self.admission_time += other.admission_time;
         self.admission_events += other.admission_events;
+        for (tenant, counters) in &other.tenants {
+            self.tenants.entry(*tenant).or_default().merge(counters);
+        }
     }
 }
 
@@ -302,6 +324,13 @@ impl Metrics for OnlineStats {
         m.push("acceptance", self.acceptance_ratio());
         m.push("event_latency_us", self.mean_event_micros());
         m.push("admission_latency_us", self.mean_admission_micros());
+        // Per-tenant columns appear only when tenant-tagged traffic was
+        // seen, so untenanted emissions keep their pinned shape.
+        for (tenant, c) in &self.tenants {
+            m.push(format!("{tenant}_admitted"), c.admitted as f64);
+            m.push(format!("{tenant}_rejected"), c.rejected as f64);
+            m.push(format!("{tenant}_shed"), c.shed as f64);
+        }
         m
     }
 }
@@ -336,6 +365,10 @@ pub struct OnlineScheduler {
     quality: (f64, f64),
     /// Reused working memory for the repair ladder (lean mode only).
     scratch: RepairScratch,
+    /// Tenant quotas and QoS classes consulted by overload shedding.
+    /// The trivial (empty) registry reproduces the legacy quality-only
+    /// shedding order exactly.
+    registry: TenantRegistry,
 }
 
 impl OnlineScheduler {
@@ -357,6 +390,7 @@ impl OnlineScheduler {
             lean: true,
             quality: (1.0, 1.0),
             scratch: RepairScratch::default(),
+            registry: TenantRegistry::new(),
         }
     }
 
@@ -459,7 +493,22 @@ impl OnlineScheduler {
             lean,
             quality,
             scratch: RepairScratch::default(),
+            registry: TenantRegistry::new(),
         })
+    }
+
+    /// Installs the tenant registry consulted by overload shedding (the
+    /// fleet router shares one registry across its partitions). The
+    /// trivial registry — the default — reproduces the legacy
+    /// quality-only shedding order exactly.
+    pub fn set_tenant_registry(&mut self, registry: TenantRegistry) {
+        self.registry = registry;
+    }
+
+    /// The tenant registry in force on this partition.
+    #[must_use]
+    pub fn tenant_registry(&self) -> &TenantRegistry {
+        &self.registry
     }
 
     /// Every task ever admitted, at nominal WCET, keyed by id (the
@@ -607,9 +656,12 @@ impl OnlineScheduler {
     /// gate-saturated partition turns offers away without allocating.
     pub fn offer(&mut self, nominal: &IoTask) -> EventOutcome {
         self.stats.arrivals += 1;
+        if let Some(c) = self.stats.tenant_entry(nominal.tenant()) {
+            c.arrivals += 1;
+        }
         let id = nominal.id();
         if self.tasks.get(id).is_some() {
-            self.stats.rejected += 1;
+            self.reject_for_tenant(nominal.tenant());
             return EventOutcome::Rejected {
                 task: id,
                 reason: RejectReason::DuplicateTask,
@@ -621,7 +673,7 @@ impl OnlineScheduler {
             // the nominal utilisation first reaches the same verdict as
             // scale-then-gate, without building the scaled task at all.
             if self.overloaded_by(nominal.utilisation()) {
-                return self.gate_reject(id);
+                return self.gate_reject(id, nominal.tenant());
             }
             return self.admit_effective(nominal, nominal.retarget(self.device));
         }
@@ -629,14 +681,14 @@ impl OnlineScheduler {
         // verdict precedes the gate — the order is observable, so it is
         // preserved exactly.
         let Some(effective) = scale_task(nominal, self.spike_percent, self.device) else {
-            self.stats.rejected += 1;
+            self.reject_for_tenant(nominal.tenant());
             return EventOutcome::Rejected {
                 task: id,
                 reason: RejectReason::InvalidUnderLoad,
             };
         };
         if self.overloaded_by(effective.utilisation()) {
-            return self.gate_reject(id);
+            return self.gate_reject(id, nominal.tenant());
         }
         self.admit_effective(nominal, effective)
     }
@@ -647,10 +699,19 @@ impl OnlineScheduler {
         self.tasks.utilisation() + utilisation > 1.0 + 1e-9
     }
 
+    /// One rejection, counted fleet-wide and (for tagged traffic)
+    /// against the tenant.
+    fn reject_for_tenant(&mut self, tenant: TenantId) {
+        self.stats.rejected += 1;
+        if let Some(c) = self.stats.tenant_entry(tenant) {
+            c.rejected += 1;
+        }
+    }
+
     /// The gate's fast rejection. The diagnostic names the newcomer — it
     /// is the task that does not fit, whatever else is running.
-    fn gate_reject(&mut self, id: TaskId) -> EventOutcome {
-        self.stats.rejected += 1;
+    fn gate_reject(&mut self, id: TaskId, tenant: TenantId) -> EventOutcome {
+        self.reject_for_tenant(tenant);
         self.stats.fast_rejects += 1;
         self.stats
             .record_reject_cause(InfeasibleCause::UtilisationOverload);
@@ -678,7 +739,7 @@ impl OnlineScheduler {
             // Unreachable given the duplicate check above, but the
             // admission hot path must never panic on a hostile trace —
             // degrade to the duplicate rejection instead.
-            self.stats.rejected += 1;
+            self.reject_for_tenant(effective.tenant());
             return EventOutcome::Rejected {
                 task: id,
                 reason: RejectReason::DuplicateTask,
@@ -704,6 +765,9 @@ impl OnlineScheduler {
                 self.quality = metrics::quality(&self.schedule, &self.jobs);
                 self.pool.insert(id, nominal.retarget(self.device));
                 self.stats.admitted += 1;
+                if let Some(c) = self.stats.tenant_entry(effective.tenant()) {
+                    c.admitted += 1;
+                }
                 EventOutcome::Admitted {
                     task: id,
                     replaced,
@@ -719,7 +783,7 @@ impl OnlineScheduler {
                 } else {
                     self.cache.invalidate_for(&effective);
                 }
-                self.stats.rejected += 1;
+                self.reject_for_tenant(effective.tenant());
                 self.stats.record_reject_cause(diagnostic.cause);
                 EventOutcome::Rejected {
                     task: id,
@@ -874,6 +938,9 @@ impl OnlineScheduler {
                 None => {
                     shed.push(t.id());
                     self.stats.shed_overload += 1;
+                    if let Some(c) = self.stats.tenant_entry(t.tenant()) {
+                        c.shed += 1;
+                    }
                 }
             }
         }
@@ -881,11 +948,15 @@ impl OnlineScheduler {
         // can succeed above capacity, so those victims are decided by
         // arithmetic alone.
         while survivors.iter().map(IoTask::utilisation).sum::<f64>() > 1.0 + 1e-9 {
-            let Some(victim) = quality_victim(&survivors) else {
+            let Some(victim) = shed_victim(&self.registry, &survivors) else {
                 break;
             };
-            shed.push(survivors.remove(victim).id());
+            let victim = survivors.remove(victim);
+            shed.push(victim.id());
             self.stats.shed_overload += 1;
+            if let Some(c) = self.stats.tenant_entry(victim.tenant()) {
+                c.shed += 1;
+            }
         }
         // Then shed in quality order until a feasible schedule exists.
         loop {
@@ -940,9 +1011,11 @@ impl OnlineScheduler {
                 self.stats.shed += shed.len();
                 return EventOutcome::SpikeApplied { percent, shed };
             }
-            // Drop the task with the smallest peak quality (ties: larger
-            // id first, so older/higher-value streams survive).
-            let Some(victim) = quality_victim(&survivors) else {
+            // Drop the lowest shed rank (best-effort, then over-quota
+            // guaranteed) and, within a rank, the smallest peak quality
+            // (ties: larger id first, so older/higher-value streams
+            // survive).
+            let Some(victim) = shed_victim(&self.registry, &survivors) else {
                 // Nothing left to shed: an empty set is trivially valid.
                 self.cache.clear();
                 self.tasks = TaskSet::new();
@@ -952,8 +1025,12 @@ impl OnlineScheduler {
                 self.stats.shed += shed.len();
                 return EventOutcome::SpikeApplied { percent, shed };
             };
-            shed.push(survivors.remove(victim).id());
+            let victim = survivors.remove(victim);
+            shed.push(victim.id());
             self.stats.shed_infeasible += 1;
+            if let Some(c) = self.stats.tenant_entry(victim.tenant()) {
+                c.shed += 1;
+            }
         }
     }
 
@@ -1045,16 +1122,30 @@ impl OnlineScheduler {
     }
 }
 
-/// Index of the shedding victim: smallest peak quality `Vmax`, ties
-/// broken towards the larger id (newer streams go first). Uses the IEEE
-/// total order so a `Vmax` smuggled past the builder's finiteness check
-/// (e.g. [`IoTask::set_vmax`] with a NaN) picks a deterministic victim
-/// instead of panicking mid-shed.
-fn quality_victim(tasks: &[IoTask]) -> Option<usize> {
+/// Index of the shedding victim: lowest [`crate::tenant::ShedRank`]
+/// first (best-effort, then over-quota guaranteed, then under-quota
+/// guaranteed), and within a rank the smallest peak quality `Vmax`,
+/// ties broken towards the larger id (newer streams go first). With a
+/// trivial registry (or all-anonymous traffic) every task shares one
+/// rank, reproducing the pre-tenant quality-only order exactly. Uses
+/// the IEEE total order so a `Vmax` smuggled past the builder's
+/// finiteness check (e.g. [`IoTask::set_vmax`] with a NaN) picks a
+/// deterministic victim instead of panicking mid-shed.
+fn shed_victim(registry: &TenantRegistry, tasks: &[IoTask]) -> Option<usize> {
+    let mut usage: BTreeMap<TenantId, u64> = BTreeMap::new();
+    for t in tasks {
+        *usage.entry(t.tenant()).or_insert(0) += crate::tenant::utilisation_ppm(t);
+    }
     tasks
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| a.vmax().total_cmp(&b.vmax()).then(b.id().cmp(&a.id())))
+        .min_by(|(_, a), (_, b)| {
+            let ra = shed_rank(registry, a, usage[&a.tenant()]);
+            let rb = shed_rank(registry, b, usage[&b.tenant()]);
+            ra.cmp(&rb)
+                .then(a.vmax().total_cmp(&b.vmax()))
+                .then(b.id().cmp(&a.id()))
+        })
         .map(|(i, _)| i)
 }
 
@@ -1076,6 +1167,7 @@ fn scale_task(task: &IoTask, percent: u32, device: DeviceId) -> Option<IoTask> {
         .priority(task.priority())
         .quality(task.vmax(), task.vmin())
         .release_offset(task.release_offset())
+        .tenant(task.tenant())
         .build()
         .ok()
 }

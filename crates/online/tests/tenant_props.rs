@@ -1,0 +1,187 @@
+//! Property-based contracts of the multi-tenant service tier.
+//!
+//! Three invariants, each driven by random tenant-tagged traces:
+//!
+//! 1. **Isolation** — a best-effort aggressor with a zero quota cannot
+//!    perturb any guaranteed tenant's acceptance counters, however its
+//!    traffic interleaves with theirs (the randomised companion to the
+//!    bit-exact sweep in `tenant_isolation.rs`).
+//! 2. **Conservation** — per-tenant arrival/admission/rejection counters
+//!    partition the fleet totals exactly when every arrival is tagged.
+//! 3. **Pool-width neutrality** — tenant gating runs in sequential
+//!    staging, so worker-pool width stays a pure throughput knob for
+//!    tenant-tagged runs too: outcomes, stats and schedules are
+//!    bit-identical across widths.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tagio_core::event::SystemEvent;
+use tagio_core::task::{DeviceId, IoTask, Priority, TaskId, TaskSet, TenantId};
+use tagio_core::time::Duration;
+use tagio_online::fleet::{FleetConfig, FleetScheduler};
+use tagio_online::tenant::{TenantRegistry, TenantSpec, PPM};
+
+const DEVICES: u32 = 3;
+const AGGRESSOR: TenantId = TenantId(1);
+
+fn tenant_task(id: u32, device: u32, tenant: u32, period_ix: usize, wcet_permille: u64) -> IoTask {
+    let periods_ms = [4u64, 8, 8, 16];
+    let period = Duration::from_millis(periods_ms[period_ix % periods_ms.len()]);
+    let wcet =
+        Duration::from_micros((period.as_micros() * wcet_permille.clamp(1, 240) / 1000).max(1));
+    IoTask::builder(TaskId(id), DeviceId(device % DEVICES))
+        .wcet(wcet)
+        .period(period)
+        .ideal_offset(period / 2)
+        .margin(period / 4)
+        .priority(Priority(id % 3))
+        .quality(f64::from(id % 7) + 1.0, 0.25)
+        .tenant(TenantId(tenant))
+        .build()
+        .expect("drawn parameters are valid")
+}
+
+fn registry(guaranteed: &[u32]) -> TenantRegistry {
+    let mut r = TenantRegistry::new();
+    r.register(AGGRESSOR, TenantSpec::best_effort(0));
+    for &t in guaranteed {
+        r.register(TenantId(t), TenantSpec::guaranteed(PPM));
+    }
+    r
+}
+
+fn fleet_with(registry: TenantRegistry, threads: usize) -> FleetScheduler {
+    let mut bases = BTreeMap::new();
+    for d in 0..DEVICES {
+        bases.insert(DeviceId(d), TaskSet::default());
+    }
+    FleetScheduler::bootstrap(
+        &bases,
+        FleetConfig {
+            threads,
+            retries: 2,
+            seed: 5,
+            tenants: registry,
+            ..FleetConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// However aggressor traffic interleaves with guaranteed traffic,
+    /// deleting it from the trace leaves every guaranteed tenant's
+    /// counters, the partition schedules, and the quality bits exactly
+    /// where they were.
+    #[test]
+    fn guaranteed_acceptance_is_independent_of_aggressor_overload(
+        trace in vec((0u32..2, 0u32..DEVICES, 0usize..4, 20u64..200), 4..40),
+    ) {
+        // Slot 0 draws an aggressor arrival, slot 1 a guaranteed one
+        // (tenants 2 and 3 alternating by index).
+        let full: Vec<SystemEvent> = trace
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, device, period_ix, wcet))| {
+                let (id, tenant) = if kind == 0 {
+                    (1_000 + i as u32, 1)
+                } else {
+                    (i as u32, 2 + (i as u32 % 2))
+                };
+                SystemEvent::Arrival(tenant_task(id, device, tenant, period_ix, wcet))
+            })
+            .collect();
+        let clean: Vec<SystemEvent> = full
+            .iter()
+            .filter(|e| !matches!(e, SystemEvent::Arrival(t) if t.tenant() == AGGRESSOR))
+            .cloned()
+            .collect();
+        let mut with = fleet_with(registry(&[2, 3]), 1);
+        let mut without = fleet_with(registry(&[2, 3]), 1);
+        for e in &full {
+            let _ = with.apply(e);
+        }
+        for e in &clean {
+            let _ = without.apply(e);
+        }
+        for t in [TenantId(2), TenantId(3)] {
+            prop_assert_eq!(
+                with.stats().tenants.get(&t),
+                without.stats().tenants.get(&t),
+                "counters moved for {:?}", t
+            );
+        }
+        for (a, b) in with.partitions().iter().zip(without.partitions()) {
+            prop_assert_eq!(a.schedule(), b.schedule());
+            prop_assert_eq!(a.psi().to_bits(), b.psi().to_bits());
+        }
+    }
+
+    /// With every arrival tagged, the per-tenant counters are an exact
+    /// partition of the fleet's arrival/admission/rejection totals.
+    #[test]
+    fn tenant_counters_partition_the_fleet_totals(
+        trace in vec((1u32..4, 0u32..DEVICES, 0usize..4, 20u64..200), 1..40),
+    ) {
+        let mut registry = TenantRegistry::new();
+        registry.register(TenantId(1), TenantSpec::best_effort(250_000));
+        registry.register(TenantId(2), TenantSpec::guaranteed(PPM));
+        registry.register(TenantId(3), TenantSpec::guaranteed(500_000));
+        let mut fleet = fleet_with(registry, 1);
+        let events: Vec<SystemEvent> = trace
+            .iter()
+            .enumerate()
+            .map(|(i, &(tenant, device, period_ix, wcet))| {
+                SystemEvent::Arrival(tenant_task(i as u32, device, tenant, period_ix, wcet))
+            })
+            .collect();
+        // Mixed batch sizes so staging, retry waves and the wave-offer
+        // accounting all contribute to the counters under test.
+        for chunk in events.chunks(3) {
+            let _ = fleet.apply_batch(chunk);
+        }
+        let stats = fleet.stats();
+        let sum = |f: fn(&tagio_online::tenant::TenantCounters) -> usize| -> usize {
+            stats.tenants.values().map(f).sum()
+        };
+        prop_assert_eq!(sum(|c| c.arrivals), stats.arrivals, "arrivals partition");
+        prop_assert_eq!(sum(|c| c.admitted), stats.admitted, "admissions partition");
+        prop_assert_eq!(sum(|c| c.rejected), stats.rejected, "rejections partition");
+    }
+
+    /// Tenant-tagged runs stay bit-identical across pool widths.
+    #[test]
+    fn tenant_gating_is_pool_width_neutral(
+        trace in vec((1u32..4, 0u32..DEVICES, 0usize..4, 20u64..200), 1..32),
+    ) {
+        let mk_registry = || {
+            let mut r = TenantRegistry::new();
+            r.register(TenantId(1), TenantSpec::best_effort(150_000).with_weight(2));
+            r.register(TenantId(2), TenantSpec::guaranteed(PPM));
+            r.register(TenantId(3), TenantSpec::best_effort(400_000));
+            r
+        };
+        let events: Vec<SystemEvent> = trace
+            .iter()
+            .enumerate()
+            .map(|(i, &(tenant, device, period_ix, wcet))| {
+                SystemEvent::Arrival(tenant_task(i as u32, device, tenant, period_ix, wcet))
+            })
+            .collect();
+        let mut reference = fleet_with(mk_registry(), 1);
+        let mut wide = fleet_with(mk_registry(), 4);
+        for chunk in events.chunks(4) {
+            let _ = reference.apply_batch(chunk);
+            let _ = wide.apply_batch(chunk);
+            prop_assert_eq!(reference.stats(), wide.stats(), "stats diverged");
+            for (a, b) in reference.partitions().iter().zip(wide.partitions()) {
+                prop_assert_eq!(a.schedule(), b.schedule(), "schedule diverged");
+            }
+        }
+        // (Snapshots differ only in the `threads` config knob, so the
+        // deficit ledger is the right end-of-run state to pin.)
+        prop_assert_eq!(reference.ledger(), wide.ledger(), "ledger diverged");
+    }
+}

@@ -34,7 +34,12 @@
 //! * [`AnalysisCache::invalidate_for_departure`] keeps an outranking
 //!   entry when the leaver's WCET is below the bound *or* ties it with
 //!   another witness still present; only the departure of the last
-//!   witness can lower the max.
+//!   witness can lower the max. A leaver's WCET strictly *above* the
+//!   bound proves the leaver was not in the analysed set at all (its
+//!   membership would have raised the `max` to its WCET), so the entry
+//!   is kept exactly — this makes the arrival-then-reject purge the
+//!   admission pre-check performs a near-no-op instead of a
+//!   conservative flush.
 //!
 //! Because the entry's id is the map key, the tie direction is resolved
 //! per entry — equal-priority entries are *not* blanket-invalidated, only
@@ -219,8 +224,9 @@ impl AnalysisCache {
     /// side: an outranking entry whose bound the leaver realised is kept
     /// when another equal-WCET witness is still present (the `max` cannot
     /// drop), and only the departure of the last witness discards it. A
-    /// leaver's WCET above the cached bound means the witness bookkeeping
-    /// never saw this task — the entry is dropped conservatively.
+    /// leaver's WCET strictly above the cached bound proves the leaver
+    /// was absent from the analysed set (membership would have lifted the
+    /// `max` to its WCET) — the entry is exact as it stands and kept.
     pub fn invalidate_for_departure(&mut self, changed: &IoTask) {
         let (id, prio, wcet) = (changed.id(), changed.priority(), changed.wcet());
         self.entries.retain(|&tid, entry| {
@@ -231,11 +237,10 @@ impl AnalysisCache {
             if entry.priority < prio || (entry.priority == prio && tid > id) {
                 return false;
             }
-            // The entry outranks the leaver: the bound can only drop, and
-            // only when the last witness of the current max departs.
-            if wcet > entry.result.blocking {
-                return false;
-            }
+            // The entry outranks the leaver: the bound (a max over the
+            // outranked WCETs) can only drop, and only when the last
+            // witness of the current max departs. A WCET above the bound
+            // means the leaver never contributed to it.
             if wcet == entry.result.blocking && entry.result.blocking > Duration::ZERO {
                 if entry.blocking_ties <= 1 {
                     return false;
@@ -443,14 +448,58 @@ mod tests {
     }
 
     #[test]
-    fn departure_above_the_cached_bound_drops_conservatively() {
-        // A leaver whose WCET exceeds the cached bound was never counted
-        // as a witness — the bookkeeping cannot vouch for the entry.
+    fn departure_above_the_cached_bound_keeps_the_entry_exactly() {
+        // A leaver whose WCET exceeds the cached bound cannot have been
+        // in the analysed set: had it been, the bound — a max over the
+        // outranked WCETs — would sit at or above its WCET. Its
+        // "departure" therefore leaves outranking entries exact. (Entry
+        // 2 is still interference-invalidated: the leaver outranks it.)
         let tasks = set();
         let mut cache = AnalysisCache::new();
         assert!(cache.schedulable(&tasks));
         cache.invalidate_for_departure(&mk(9, 20, 900, 1));
-        assert!(!cache.entries.contains_key(&TaskId(0)));
+        assert!(
+            cache.entries.contains_key(&TaskId(0)),
+            "900us > 400us bound"
+        );
+        assert!(cache.entries.contains_key(&TaskId(1)));
+        assert!(!cache.entries.contains_key(&TaskId(2)));
+        // The kept entries still agree with a cold analysis.
+        let hits = cache.hits();
+        for id in [TaskId(0), TaskId(1)] {
+            assert_eq!(
+                cache.response_time(tasks.get(id).unwrap(), &tasks),
+                response_time_np_fps(tasks.get(id).unwrap(), &tasks)
+            );
+        }
+        assert_eq!(cache.hits(), hits + 2, "both answered from the cache");
+    }
+
+    #[test]
+    fn rejected_heavy_candidate_purges_back_to_a_consistent_cache() {
+        // The admission pre-check's reject path: invalidate for the
+        // arrival, probe the grown set, then purge with the departure
+        // invalidation. For a heavy candidate the arrival pass flushes
+        // everything; the probe recomputes entries *with* the candidate
+        // in the set, and the departure pass must drop every entry that
+        // saw it — leaving nothing stale.
+        let tasks = set();
+        let mut cache = AnalysisCache::new();
+        assert!(cache.schedulable(&tasks));
+        let heavy = mk(9, 20, 900, 1);
+        cache.invalidate_for_arrival(&heavy);
+        let mut grown = tasks.clone();
+        grown.push(heavy.clone()).unwrap();
+        let _ = cache.schedulable(&grown);
+        cache.invalidate_for_departure(&heavy);
+        for t in &tasks {
+            assert_eq!(
+                cache.response_time(t, &tasks),
+                response_time_np_fps(t, &tasks),
+                "entry {:?} stale after the purge",
+                t.id()
+            );
+        }
     }
 
     #[test]

@@ -159,4 +159,56 @@ proptest! {
             }
         }
     }
+
+    /// The admission pre-check's reject path: invalidate for a candidate
+    /// arrival, probe the grown set (which caches entries that *saw* the
+    /// candidate), then purge with the departure invalidation even though
+    /// the candidate was never admitted. The sharpened above-bound keep
+    /// (`invalidate_for_departure` retains outranking entries the leaver
+    /// provably never blocked) must still leave zero stale entries: after
+    /// every probe/purge cycle the cache agrees with a cold analysis of
+    /// the unchanged active set.
+    #[test]
+    fn reject_purge_leaves_no_stale_entries(
+        trace in steps(),
+        period_seed in 0usize..4,
+        prio_seed in 0u32..3,
+    ) {
+        let mut active = TaskSet::new();
+        let mut cache = AnalysisCache::new();
+        for (i, step) in trace.iter().enumerate() {
+            let id = step.slot as u32;
+            if active.get(TaskId(id)).is_none() {
+                let task = pool_task(id, period_seed + step.slot, 60, prio_seed + id);
+                cache.invalidate_for_arrival(&task);
+                active.push(task).expect("slot was inactive");
+            }
+            // Probe a never-admitted candidate, then purge it. WCETs span
+            // the full band, so the purge hits below-bound keeps, exact
+            // ties, and the above-bound keep alike.
+            let candidate = pool_task(
+                100 + i as u32,
+                period_seed + i,
+                step.wcet_permille,
+                prio_seed + i as u32,
+            );
+            cache.invalidate_for_arrival(&candidate);
+            let mut grown = active.clone();
+            grown.push(candidate.clone()).expect("candidate id is fresh");
+            let _ = cache.schedulable(&grown);
+            cache.invalidate_for_departure(&candidate);
+            prop_assert_eq!(
+                cache.schedulable(&active),
+                taskset_schedulable_np_fps(&active),
+                "set verdict diverged after purge {}", i
+            );
+            for t in &active {
+                prop_assert_eq!(
+                    cache.response_time(t, &active),
+                    response_time_np_fps(t, &active),
+                    "stale entry for {:?} after purge {}", t.id(), i
+                );
+            }
+        }
+    }
 }
