@@ -1,0 +1,165 @@
+//! `audit` — the offline certificate verifier and determinism lint.
+//!
+//! ```text
+//! audit schedule <snapshot-file>            per-partition schedule checks only
+//! audit snapshot <snapshot-file>            full snapshot verification
+//! audit wal <wal-file> [--snapshot <file>]  WAL continuity (+ digest replay)
+//! audit wal <wal-file> --repair [--out <file>]  truncate a torn tail
+//! audit trace <trace-file>                  event-trace verification
+//! audit lint [workspace-root]               source determinism lint
+//! audit gen <dir>                           emit fresh artifacts (fleet.snap, fleet.wal, trace.txt)
+//! ```
+//!
+//! Exit codes: `0` clean, `1` usage or I/O error, `2` violations
+//! (diagnostics on stderr).
+
+use std::process::ExitCode;
+use tagio_audit::report::AuditReport;
+use tagio_audit::{gen, lint, snapshot, trace, walcheck};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => {
+            if report.is_clean() {
+                println!("clean");
+                ExitCode::SUCCESS
+            } else {
+                eprint!("{report}");
+                eprintln!("{} violation(s)", report.violations.len());
+                ExitCode::from(2)
+            }
+        }
+        Err(message) => {
+            eprintln!("audit: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<AuditReport, String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "schedule" => {
+            let text = read(one_path(&args[1..])?)?;
+            let (snap, mut report) = snapshot::verify_snapshot_text(&text);
+            // Schedule-level view: keep parse failures and the per-slot
+            // classes, drop fleet-level findings.
+            if snap.is_some() {
+                report.violations.retain(|v| {
+                    use tagio_audit::ViolationClass as C;
+                    matches!(
+                        v.class,
+                        C::Overlap
+                            | C::ReleaseWindow
+                            | C::DeadlineMiss
+                            | C::WrongDuration
+                            | C::DuplicateJob
+                            | C::MissingJob
+                            | C::UnknownJob
+                    )
+                });
+            }
+            Ok(report)
+        }
+        "snapshot" => {
+            let text = read(one_path(&args[1..])?)?;
+            Ok(snapshot::verify_snapshot_text(&text).1)
+        }
+        "wal" => run_wal(&args[1..]),
+        "trace" => {
+            let text = read(one_path(&args[1..])?)?;
+            Ok(trace::verify_trace_text(&text).1)
+        }
+        "lint" => {
+            let root = match &args[1..] {
+                [] => std::path::PathBuf::from("."),
+                [root] => std::path::PathBuf::from(root),
+                _ => return Err(usage()),
+            };
+            let outcome = lint::run_lint(&root)?;
+            eprintln!("audit lint: {} file(s) scanned", outcome.checked_files);
+            Ok(outcome.to_report())
+        }
+        "gen" => {
+            let dir = std::path::PathBuf::from(one_path(&args[1..])?);
+            std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+            let artifacts = gen::generate();
+            for (name, text) in [
+                ("fleet.snap", &artifacts.snapshot_text),
+                ("fleet.wal", &artifacts.wal_text),
+                ("trace.txt", &artifacts.trace_text),
+            ] {
+                let path = dir.join(name);
+                std::fs::write(&path, text)
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                eprintln!("audit gen: wrote {}", path.display());
+            }
+            Ok(AuditReport::new())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn run_wal(args: &[String]) -> Result<AuditReport, String> {
+    let mut wal_path = None;
+    let mut snap_path = None;
+    let mut out_path = None;
+    let mut repair = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            "--snapshot" => {
+                snap_path = Some(it.next().ok_or("--snapshot needs a file")?.clone());
+            }
+            "--out" => {
+                out_path = Some(it.next().ok_or("--out needs a file")?.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path if wal_path.is_none() => wal_path = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let wal_path = wal_path.ok_or_else(usage)?;
+    let text = read(&wal_path)?;
+    if repair {
+        let (repaired, dropped) = walcheck::repair_wal_text(&text).map_err(|report| {
+            format!("log is not repairable (defects beyond a torn tail):\n{report}")
+        })?;
+        let out = out_path.unwrap_or_else(|| wal_path.clone());
+        std::fs::write(&out, &repaired).map_err(|e| format!("write {out}: {e}"))?;
+        eprintln!("audit wal: dropped {dropped} uncommitted tail byte(s), wrote {out}");
+        return Ok(AuditReport::new());
+    }
+    let (contents, mut report) = walcheck::verify_wal_text(&text);
+    if let (Some(wal), Some(snap_path)) = (contents, snap_path) {
+        let snap_text = read(&snap_path)?;
+        let (snap, snap_report) = snapshot::verify_snapshot_text(&snap_text);
+        report.merge(snap_report);
+        if let Some(snap) = snap {
+            report.merge(walcheck::verify_recovery(&snap, &wal));
+        }
+    }
+    Ok(report)
+}
+
+fn one_path(args: &[String]) -> Result<&String, String> {
+    match args {
+        [path] => Ok(path),
+        _ => Err(usage()),
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))
+}
+
+fn usage() -> String {
+    "usage: audit <schedule|snapshot|trace> <file> \
+     | audit wal <file> [--snapshot <file>] [--repair [--out <file>]] \
+     | audit lint [root] | audit gen <dir>"
+        .to_string()
+}

@@ -1,0 +1,131 @@
+//! Live commit-point certification.
+//!
+//! A [`ScheduleCertificate`] re-derives every fleet invariant from a
+//! *running* [`FleetScheduler`]'s public observation surface — the
+//! per-partition schedules and job sets, cached Ψ/Υ, ownership, and
+//! the full counter hierarchy. With the `debug-audit` feature enabled
+//! (here and in `tagio-online`), `install_commit_certification`
+//! hooks certification into the end of every `apply_batch`, so each
+//! committed epoch is certified the moment it exists.
+
+use crate::report::{AuditReport, ViolationClass};
+use crate::schedule::{verify_entries, verify_quality};
+use crate::snapshot::{verify_fleet_stats, verify_online_stats};
+use std::collections::BTreeMap;
+use tagio_core::task::TaskId;
+use tagio_online::FleetScheduler;
+
+/// The outcome of certifying one committed epoch.
+#[derive(Debug, Clone)]
+pub struct ScheduleCertificate {
+    /// The epoch the certificate covers.
+    pub epoch: usize,
+    /// Everything that failed (empty = certified).
+    pub report: AuditReport,
+}
+
+impl ScheduleCertificate {
+    /// Certifies the fleet's current (post-commit) state.
+    #[must_use]
+    pub fn certify(fleet: &FleetScheduler) -> ScheduleCertificate {
+        ScheduleCertificate {
+            epoch: fleet.stats().epochs,
+            report: certify_fleet(fleet),
+        }
+    }
+
+    /// `true` when every invariant held.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean()
+    }
+}
+
+/// Re-derives every invariant of a live fleet.
+#[must_use]
+pub fn certify_fleet(fleet: &FleetScheduler) -> AuditReport {
+    let mut report = AuditReport::new();
+    let mut active = 0usize;
+    let mut seen: BTreeMap<TaskId, usize> = BTreeMap::new();
+    for p in fleet.partitions() {
+        let device = p.device();
+        let sub = verify_entries(p.schedule().as_slice(), p.jobs());
+        for v in sub.violations {
+            report.push(v.class, format!("{device} {}", v.subject), v.detail);
+        }
+        let sub = verify_quality(p.schedule(), p.jobs(), p.psi(), p.upsilon());
+        for v in sub.violations {
+            report.push(v.class, format!("{device} {}", v.subject), v.detail);
+        }
+        verify_online_stats(&device.to_string(), p.stats(), &mut report);
+        for t in p.tasks() {
+            active += 1;
+            *seen.entry(t.id()).or_insert(0) += 1;
+            match fleet.owner_of(t.id()) {
+                Some(owned) if owned == device => {}
+                Some(owned) => report.push(
+                    ViolationClass::OwnershipViolation,
+                    format!("{}", t.id()),
+                    format!("active on {device} but owned by {owned}"),
+                ),
+                None => report.push(
+                    ViolationClass::OwnershipViolation,
+                    format!("{}", t.id()),
+                    format!("active on {device} but unowned"),
+                ),
+            }
+        }
+    }
+    for (task, holders) in &seen {
+        if *holders > 1 {
+            report.push(
+                ViolationClass::OwnershipViolation,
+                format!("{task}"),
+                format!("active on {holders} partitions"),
+            );
+        }
+    }
+    if active != fleet.active_tasks() {
+        report.push(
+            ViolationClass::OwnershipViolation,
+            "fleet owner map",
+            format!(
+                "{} owner entries vs {active} active tasks across partitions",
+                fleet.active_tasks()
+            ),
+        );
+    }
+    verify_fleet_stats(fleet.stats(), &mut report);
+    report
+}
+
+/// Installs commit-point certification: after every committed epoch
+/// the fleet is certified and any violation panics with the full
+/// report (a certificate failure *is* a determinism bug — tests must
+/// fail loudly). Returns `false` when a hook was already installed.
+///
+/// The count of certified epochs is observable via
+/// [`certified_epochs`], so suites can assert the hook actually ran.
+#[cfg(feature = "debug-audit")]
+pub fn install_commit_certification() -> bool {
+    tagio_online::commit_audit::install(Box::new(|fleet| {
+        let cert = ScheduleCertificate::certify(fleet);
+        CERTIFIED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        assert!(
+            cert.is_clean(),
+            "commit-point certificate violated at epoch {}:\n{}",
+            cert.epoch,
+            cert.report
+        );
+    }))
+}
+
+#[cfg(feature = "debug-audit")]
+static CERTIFIED: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// How many epochs the installed hook has certified in this process.
+#[cfg(feature = "debug-audit")]
+#[must_use]
+pub fn certified_epochs() -> usize {
+    CERTIFIED.load(std::sync::atomic::Ordering::Relaxed)
+}

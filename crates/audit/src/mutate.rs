@@ -1,0 +1,353 @@
+//! The mutation harness.
+//!
+//! Takes *valid* artifacts, applies a catalogue of single-field
+//! mutations (overlap a slot, break a digest, skip an epoch, corrupt a
+//! tenant counter, reorder a commit…), and reports whether the
+//! verifier named the exact violation class each mutation plants. The
+//! test suites assert every applicable mutation is detected — a
+//! silent pass means the verifier has a blind spot.
+
+use crate::report::ViolationClass;
+use crate::schedule::{verify_entries, verify_quality};
+use crate::snapshot::verify_snapshot;
+use crate::trace::verify_trace;
+use crate::walcheck::{verify_recovery, verify_wal_contents, verify_wal_text};
+use tagio_core::event::TimedEvent;
+use tagio_core::job::{JobId, JobSet};
+use tagio_core::schedule::{Schedule, ScheduleEntry};
+use tagio_core::task::TaskId;
+use tagio_core::time::{Duration, Time};
+use tagio_online::{FleetSnapshot, WalContents};
+
+/// One mutation's outcome: what was planted, what the verifier had to
+/// name, and whether it did.
+#[derive(Debug, Clone)]
+pub struct MutationOutcome {
+    /// The catalogue entry.
+    pub name: &'static str,
+    /// The violation class the mutation plants.
+    pub expected: ViolationClass,
+    /// `true` when the verifier reported that class.
+    pub detected: bool,
+}
+
+/// Schedule-level catalogue: entry mutations plus cached-quality
+/// corruption. `schedule` must verify clean against `jobs`.
+#[must_use]
+pub fn mutate_schedule(schedule: &Schedule, jobs: &JobSet) -> Vec<MutationOutcome> {
+    let base: Vec<ScheduleEntry> = schedule.as_slice().to_vec();
+    assert!(base.len() >= 2, "harness needs at least two entries");
+    let mut outcomes = Vec::new();
+    let mut entry_case =
+        |name: &'static str, expected: ViolationClass, mutate: &dyn Fn(&mut Vec<ScheduleEntry>)| {
+            let mut entries = base.clone();
+            mutate(&mut entries);
+            let detected = verify_entries(&entries, jobs).has(expected);
+            outcomes.push(MutationOutcome {
+                name,
+                expected,
+                detected,
+            });
+        };
+    entry_case("overlap-slot", ViolationClass::Overlap, &|e| {
+        e[1].start = e[0].start;
+    });
+    // A release breach needs a job released after t = 0 (a
+    // later-index release); index-0 jobs of zero-offset tasks release
+    // at the epoch start and cannot start "too early".
+    let late = base
+        .iter()
+        .position(|e| jobs.get(e.job).is_some_and(|j| j.release() > Time::ZERO))
+        .expect("harness needs a job with a nonzero release");
+    entry_case(
+        "start-before-release",
+        ViolationClass::ReleaseWindow,
+        &|e| {
+            e[late].start = Time::ZERO;
+        },
+    );
+    entry_case("miss-deadline", ViolationClass::DeadlineMiss, &|e| {
+        e[0].start += Duration::from_secs(3600);
+    });
+    entry_case("wrong-duration", ViolationClass::WrongDuration, &|e| {
+        e[0].duration += Duration::from_micros(1);
+    });
+    entry_case("duplicate-job", ViolationClass::DuplicateJob, &|e| {
+        let dup = e[0];
+        e.push(dup);
+    });
+    entry_case("drop-job", ViolationClass::MissingJob, &|e| {
+        e.remove(0);
+    });
+    entry_case("alien-job", ViolationClass::UnknownJob, &|e| {
+        let mut alien = e[0];
+        alien.job = JobId {
+            task: TaskId(u32::MAX),
+            index: 0,
+        };
+        e.push(alien);
+    });
+    // Cached-quality corruption: the bit-for-bit cross-check must see
+    // through both a wrong Ψ and a wrong Υ.
+    let (psi, upsilon) = crate::schedule::recompute_quality(schedule, jobs);
+    outcomes.push(MutationOutcome {
+        name: "corrupt-psi",
+        expected: ViolationClass::QualityMismatch,
+        detected: verify_quality(schedule, jobs, psi + 0.5, upsilon)
+            .has(ViolationClass::QualityMismatch),
+    });
+    outcomes.push(MutationOutcome {
+        name: "corrupt-upsilon",
+        expected: ViolationClass::QualityMismatch,
+        detected: verify_quality(schedule, jobs, psi, f64::from_bits(upsilon.to_bits() ^ 1))
+            .has(ViolationClass::QualityMismatch),
+    });
+    outcomes
+}
+
+/// Snapshot catalogue (struct level). `snap` must verify clean, carry
+/// at least two partitions, and its first partition at least two
+/// schedule entries. Tenant mutations apply only when tenant state is
+/// present.
+#[must_use]
+pub fn mutate_snapshot(snap: &FleetSnapshot) -> Vec<MutationOutcome> {
+    assert!(snap.partitions.len() >= 2, "harness needs two partitions");
+    assert!(
+        snap.partitions[0].entries.len() >= 2,
+        "harness needs a populated first partition"
+    );
+    let mut outcomes = Vec::new();
+    let mut case =
+        |name: &'static str, expected: ViolationClass, mutate: &dyn Fn(&mut FleetSnapshot)| {
+            let mut s = snap.clone();
+            mutate(&mut s);
+            outcomes.push(MutationOutcome {
+                name,
+                expected,
+                detected: verify_snapshot(&s).has(expected),
+            });
+        };
+    case("overlap-slot", ViolationClass::Overlap, &|s| {
+        let e = &mut s.partitions[0].entries;
+        e[1].start = e[0].start;
+    });
+    case("drop-entry", ViolationClass::MissingJob, &|s| {
+        s.partitions[0].entries.remove(0);
+    });
+    case("double-owner", ViolationClass::OwnershipViolation, &|s| {
+        let stolen = s.partitions[0].active[0].clone();
+        s.partitions[1].active.push(stolen);
+    });
+    case("orphan-owner", ViolationClass::OwnershipViolation, &|s| {
+        let device = s.partitions[0].device;
+        s.owner.insert(TaskId(u32::MAX), device);
+    });
+    case(
+        "wrong-owner-device",
+        ViolationClass::OwnershipViolation,
+        &|s| {
+            let other = s.partitions[1].device;
+            let task = s.partitions[0].active[0].id();
+            s.owner.insert(task, other);
+        },
+    );
+    case("reorder-partitions", ViolationClass::PartitionOrder, &|s| {
+        s.partitions.swap(0, 1);
+    });
+    case(
+        "corrupt-fleet-counter",
+        ViolationClass::CounterConservation,
+        &|s| {
+            s.stats.admitted += 1;
+        },
+    );
+    case(
+        "corrupt-partition-counter",
+        ViolationClass::CounterConservation,
+        &|s| {
+            s.partitions[0].stats.rejected += 1;
+        },
+    );
+    case(
+        "corrupt-shed-split",
+        ViolationClass::CounterConservation,
+        &|s| {
+            s.partitions[0].stats.shed += 1;
+        },
+    );
+    case("epoch-skew", ViolationClass::CounterConservation, &|s| {
+        s.epoch += 1;
+    });
+    if !snap.stats.tenants.is_empty() {
+        case(
+            "corrupt-tenant-counter",
+            ViolationClass::CounterConservation,
+            &|s| {
+                let c = s
+                    .stats
+                    .tenants
+                    .values_mut()
+                    .next()
+                    .expect("tenants present");
+                c.arrivals += 1;
+            },
+        );
+        case(
+            "inflate-tenant-slice",
+            ViolationClass::CounterConservation,
+            &|s| {
+                let total = s.stats.arrivals;
+                let c = s
+                    .stats
+                    .tenants
+                    .values_mut()
+                    .next()
+                    .expect("tenants present");
+                // Keep the tenant's own identity intact but blow the
+                // slice past the fleet total it partitions.
+                c.arrivals += total + 1;
+                c.admitted += total + 1;
+            },
+        );
+    }
+    outcomes
+}
+
+/// WAL catalogue (contents level, plus replay digests against `snap`).
+/// `wal` must verify clean against `snap` and hold at least three
+/// epochs.
+#[must_use]
+pub fn mutate_wal(snap: &FleetSnapshot, wal: &WalContents) -> Vec<MutationOutcome> {
+    assert!(wal.epochs.len() >= 3, "harness needs three epochs");
+    let mut outcomes = Vec::new();
+    let mut standalone =
+        |name: &'static str, expected: ViolationClass, mutate: &dyn Fn(&mut WalContents)| {
+            let mut w = wal.clone();
+            mutate(&mut w);
+            outcomes.push(MutationOutcome {
+                name,
+                expected,
+                detected: verify_wal_contents(&w).has(expected),
+            });
+        };
+    standalone("skip-epoch", ViolationClass::EpochGap, &|w| {
+        w.epochs.remove(1);
+    });
+    standalone("reorder-commit", ViolationClass::EpochGap, &|w| {
+        w.epochs.swap(0, 1);
+    });
+    standalone("break-seed", ViolationClass::SeedMismatch, &|w| {
+        w.epochs[1].seed ^= 1;
+    });
+    let mut replayed =
+        |name: &'static str, expected: ViolationClass, mutate: &dyn Fn(&mut WalContents)| {
+            let mut w = wal.clone();
+            mutate(&mut w);
+            outcomes.push(MutationOutcome {
+                name,
+                expected,
+                detected: verify_recovery(snap, &w).has(expected),
+            });
+        };
+    replayed(
+        "break-schedule-digest",
+        ViolationClass::DigestMismatch,
+        &|w| {
+            let record = w.epochs.last_mut().expect("epochs present");
+            let (_, digests) = record
+                .digests
+                .iter_mut()
+                .next()
+                .expect("record has digests");
+            digests.0 ^= 1;
+        },
+    );
+    replayed("break-stats-digest", ViolationClass::DigestMismatch, &|w| {
+        let record = w.epochs.last_mut().expect("epochs present");
+        let (_, digests) = record
+            .digests
+            .iter_mut()
+            .next()
+            .expect("record has digests");
+        digests.1 ^= 1;
+    });
+    replayed("drop-replay-event", ViolationClass::DigestMismatch, &|w| {
+        // Losing an event from a committed record must surface as
+        // divergence the moment that epoch replays.
+        let record = w.epochs.last_mut().expect("epochs present");
+        if !record.events.is_empty() {
+            record.events.remove(0);
+        }
+    });
+    outcomes
+}
+
+/// WAL text catalogue: the defects only visible in the byte stream.
+#[must_use]
+pub fn mutate_wal_text(text: &str) -> Vec<MutationOutcome> {
+    let mut outcomes = Vec::new();
+    let mut case = |name: &'static str, expected: ViolationClass, mutated: String| {
+        let (_, report) = verify_wal_text(&mutated);
+        outcomes.push(MutationOutcome {
+            name,
+            expected,
+            detected: report.has(expected),
+        });
+    };
+    // Tear the tail: cut the final commit line in half.
+    let last_commit = text.rfind("\ncommit ").expect("log has a commit");
+    case(
+        "tear-tail",
+        ViolationClass::TornTail,
+        text[..last_commit + "\ncommit ".len()].to_string(),
+    );
+    // Interior corruption: mangle the first commit verb.
+    case(
+        "corrupt-interior",
+        ViolationClass::WalMalformed,
+        text.replacen("commit ", "commix ", 1),
+    );
+    outcomes
+}
+
+/// Trace catalogue.
+#[must_use]
+pub fn mutate_trace(events: &[TimedEvent]) -> Vec<MutationOutcome> {
+    let arrivals: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e.event, tagio_core::event::SystemEvent::Arrival(_)))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        events.len() >= 2 && !arrivals.is_empty(),
+        "harness needs a populated trace"
+    );
+    let mut outcomes = Vec::new();
+    let mut case =
+        |name: &'static str, expected: ViolationClass, mutate: &dyn Fn(&mut Vec<TimedEvent>)| {
+            let mut t = events.to_vec();
+            mutate(&mut t);
+            outcomes.push(MutationOutcome {
+                name,
+                expected,
+                detected: verify_trace(&t).has(expected),
+            });
+        };
+    case("time-warp", ViolationClass::TimestampOrder, &|t| {
+        let last = t.len() - 1;
+        t[0].at = t[last].at + Duration::from_secs(1);
+    });
+    case(
+        "duplicate-arrival",
+        ViolationClass::DuplicateArrival,
+        &|t| {
+            let dup = t[arrivals[0]].clone();
+            t.push(TimedEvent {
+                at: t[t.len() - 1].at,
+                event: dup.event,
+            });
+        },
+    );
+    outcomes
+}

@@ -1,0 +1,252 @@
+//! Independent schedule verification.
+//!
+//! Re-derives every per-partition schedule invariant from the job set
+//! alone — none of the producing code paths (`Schedule::validate`, the
+//! repair ladder's `Timeline`) are consulted, and unlike `validate`
+//! (which stops at the first defect) every violation is reported.
+
+use crate::report::{AuditReport, ViolationClass};
+use tagio_core::job::{JobId, JobSet};
+use tagio_core::schedule::{Schedule, ScheduleEntry};
+use tagio_core::time::Time;
+
+/// Checks `entries` against `jobs`: exactly one entry per job, each
+/// inside its release/deadline window at WCET duration, and no two
+/// entries overlapping in time. Reports *all* violations.
+#[must_use]
+pub fn verify_entries(entries: &[ScheduleEntry], jobs: &JobSet) -> AuditReport {
+    let mut report = AuditReport::new();
+    // Pass 1 — per-entry window/duration/identity checks, plus the
+    // entry → job coverage map.
+    let mut seen: Vec<JobId> = Vec::with_capacity(entries.len());
+    for e in entries {
+        let subject = format!("job t{}#{}", e.job.task.0, e.job.index);
+        let Some(job) = jobs.get(e.job) else {
+            report.push(
+                ViolationClass::UnknownJob,
+                subject,
+                "scheduled but absent from the active job set",
+            );
+            continue;
+        };
+        if seen.contains(&e.job) {
+            report.push(
+                ViolationClass::DuplicateJob,
+                subject.clone(),
+                "scheduled more than once",
+            );
+        } else {
+            seen.push(e.job);
+        }
+        if e.duration != job.wcet() {
+            report.push(
+                ViolationClass::WrongDuration,
+                subject.clone(),
+                format!(
+                    "entry runs {}us, WCET is {}us",
+                    e.duration.as_micros(),
+                    job.wcet().as_micros()
+                ),
+            );
+        }
+        if e.start < job.release() {
+            report.push(
+                ViolationClass::ReleaseWindow,
+                subject.clone(),
+                format!(
+                    "starts at {}us before release {}us",
+                    e.start.as_micros(),
+                    job.release().as_micros()
+                ),
+            );
+        }
+        // The deadline check uses the entry's own duration (already
+        // flagged above if wrong), so a correct-duration entry past
+        // `latest_start` and a padded entry both surface here.
+        if e.start.as_micros() + e.duration.as_micros() > job.abs_deadline().as_micros() {
+            report.push(
+                ViolationClass::DeadlineMiss,
+                subject,
+                format!(
+                    "finishes at {}us past deadline {}us",
+                    e.start.as_micros() + e.duration.as_micros(),
+                    job.abs_deadline().as_micros()
+                ),
+            );
+        }
+    }
+    // Pass 2 — coverage: every job of the set must be scheduled.
+    seen.sort_unstable();
+    for job in jobs {
+        if seen.binary_search(&job.id()).is_err() {
+            report.push(
+                ViolationClass::MissingJob,
+                format!("job t{}#{}", job.id().task.0, job.id().index),
+                "active but never scheduled",
+            );
+        }
+    }
+    // Pass 3 — non-overlap, on an independently sorted copy (the
+    // artifact's own entry order is not trusted).
+    let mut spans: Vec<(u64, u64, JobId)> = entries
+        .iter()
+        .map(|e| {
+            (
+                e.start.as_micros(),
+                e.start.as_micros() + e.duration.as_micros(),
+                e.job,
+            )
+        })
+        .collect();
+    spans.sort_unstable();
+    for pair in spans.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a.1 > b.0 {
+            report.push(
+                ViolationClass::Overlap,
+                format!(
+                    "jobs t{}#{} and t{}#{}",
+                    a.2.task.0, a.2.index, b.2.task.0, b.2.index
+                ),
+                format!("[{}, {})us overlaps [{}, …)us", a.0, a.1, b.0),
+            );
+        }
+    }
+    report
+}
+
+/// Cross-checks cached Ψ/Υ against an independent recomputation,
+/// bit-for-bit. The recomputation mirrors the documented metric
+/// definition (exact-start fraction; achieved / peak quality summed in
+/// job-set order from `-0.0`) using only the `Job` quality-curve leaves
+/// — it shares no code with `tagio_core::metrics`.
+#[must_use]
+pub fn verify_quality(
+    schedule: &Schedule,
+    jobs: &JobSet,
+    cached_psi: f64,
+    cached_upsilon: f64,
+) -> AuditReport {
+    let mut report = AuditReport::new();
+    let (psi, upsilon) = recompute_quality(schedule, jobs);
+    if psi.to_bits() != cached_psi.to_bits() {
+        report.push(
+            ViolationClass::QualityMismatch,
+            "psi",
+            format!("cached {cached_psi:?} != recomputed {psi:?}"),
+        );
+    }
+    if upsilon.to_bits() != cached_upsilon.to_bits() {
+        report.push(
+            ViolationClass::QualityMismatch,
+            "upsilon",
+            format!("cached {cached_upsilon:?} != recomputed {upsilon:?}"),
+        );
+    }
+    report
+}
+
+/// The audit-side (Ψ, Υ) recomputation. Summation order matters for
+/// bit-exactness: jobs are visited in job-set order and the quality
+/// accumulator starts at `-0.0` (the fold identity of `Iterator::sum`).
+#[must_use]
+pub fn recompute_quality(schedule: &Schedule, jobs: &JobSet) -> (f64, f64) {
+    if jobs.is_empty() {
+        return (1.0, 1.0);
+    }
+    let mut index: Vec<(JobId, Time)> = schedule.iter().map(|e| (e.job, e.start)).collect();
+    index.sort_unstable();
+    let mut exact = 0usize;
+    let mut achieved = -0.0f64;
+    for job in jobs {
+        let pos = index.partition_point(|&(j, _)| j < job.id());
+        let start = match index.get(pos) {
+            Some(&(j, start)) if j == job.id() => start,
+            _ => continue,
+        };
+        if start == job.ideal_start() {
+            exact += 1;
+        }
+        achieved += job.quality_at(start);
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let psi = exact as f64 / jobs.len() as f64;
+    let peak = jobs.peak_quality();
+    let upsilon = if peak <= 0.0 || peak.is_nan() {
+        0.0
+    } else {
+        achieved / peak
+    };
+    (psi, upsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagio_core::metrics;
+    use tagio_core::schedule::entry_for;
+    use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+    use tagio_core::time::Duration;
+
+    fn mk(id: u32, delta_ms: u64) -> IoTask {
+        IoTask::builder(TaskId(id), DeviceId(0))
+            .wcet(Duration::from_micros(500))
+            .period(Duration::from_millis(8))
+            .ideal_offset(Duration::from_millis(delta_ms))
+            .margin(Duration::from_millis(1))
+            .quality(f64::from(id) + 1.0, 0.0)
+            .build()
+            .unwrap()
+    }
+
+    fn valid() -> (Schedule, JobSet) {
+        let tasks: TaskSet = vec![mk(0, 2), mk(1, 4)].into_iter().collect();
+        let jobs = JobSet::expand(&tasks);
+        let mut schedule = Schedule::new();
+        for job in &jobs {
+            schedule.insert(entry_for(job, job.ideal_start()));
+        }
+        assert!(schedule.validate(&jobs).is_ok());
+        (schedule, jobs)
+    }
+
+    #[test]
+    fn valid_schedule_is_clean() {
+        let (schedule, jobs) = valid();
+        assert!(verify_entries(schedule.as_slice(), &jobs).is_clean());
+    }
+
+    #[test]
+    fn recomputation_matches_core_metrics_bit_for_bit() {
+        let (schedule, jobs) = valid();
+        let (psi, upsilon) = recompute_quality(&schedule, &jobs);
+        assert_eq!(psi.to_bits(), metrics::psi(&schedule, &jobs).to_bits());
+        assert_eq!(
+            upsilon.to_bits(),
+            metrics::upsilon(&schedule, &jobs).to_bits()
+        );
+        assert!(verify_quality(&schedule, &jobs, psi, upsilon).is_clean());
+        assert!(verify_quality(&schedule, &jobs, psi, upsilon + 0.25)
+            .has(ViolationClass::QualityMismatch));
+    }
+
+    #[test]
+    fn every_defect_class_is_named_and_all_are_reported() {
+        let (schedule, jobs) = valid();
+        let mut entries: Vec<ScheduleEntry> = schedule.as_slice().to_vec();
+        // Two defects at once: an overlap pair and a padded duration.
+        // Unlike `Schedule::validate`, both must be reported.
+        entries[1].start = entries[0].start;
+        entries[0].duration += Duration::from_micros(1);
+        let report = verify_entries(&entries, &jobs);
+        assert!(report.has(ViolationClass::Overlap), "{report}");
+        assert!(report.has(ViolationClass::WrongDuration), "{report}");
+        assert!(report.violations.len() >= 2, "all defects reported");
+    }
+
+    #[test]
+    fn empty_set_has_unit_quality() {
+        let jobs = JobSet::from_jobs(Vec::new(), Duration::ZERO);
+        assert_eq!(recompute_quality(&Schedule::new(), &jobs), (1.0, 1.0));
+    }
+}

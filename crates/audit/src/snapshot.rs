@@ -1,0 +1,310 @@
+//! Independent fleet-snapshot verification.
+//!
+//! Re-derives the fleet's structural invariants from a
+//! [`FleetSnapshot`]'s public fields alone: partition ordering,
+//! per-partition schedule feasibility against the *re-expanded* job
+//! set, fleet-wide single ownership, and counter conservation at every
+//! level (fleet, tenant, partition). The text form is additionally
+//! required to be a parse → write byte fixed point.
+
+use crate::report::{AuditReport, ViolationClass};
+use crate::schedule::verify_entries;
+use std::collections::BTreeMap;
+use tagio_core::job::JobSet;
+use tagio_core::task::{TaskId, TaskSet};
+use tagio_online::tenant::TenantCounters;
+use tagio_online::{FleetSnapshot, FleetStats, OnlineStats, PartitionSnapshot, TenantId};
+
+/// Verifies snapshot *text*: it must parse, be a byte fixed point, and
+/// satisfy every structural invariant. Returns the parsed snapshot
+/// (when parsing succeeded) alongside the report.
+#[must_use]
+pub fn verify_snapshot_text(text: &str) -> (Option<FleetSnapshot>, AuditReport) {
+    let mut report = AuditReport::new();
+    let snap = match FleetSnapshot::parse(text) {
+        Ok(snap) => snap,
+        Err(e) => {
+            report.push(
+                ViolationClass::SnapshotMalformed,
+                format!("line {}", e.line),
+                e.message,
+            );
+            return (None, report);
+        }
+    };
+    let rewritten = snap.write();
+    if rewritten != text {
+        let at = text
+            .lines()
+            .zip(rewritten.lines())
+            .take_while(|(a, b)| a == b)
+            .count();
+        report.push(
+            ViolationClass::SnapshotNotFixedPoint,
+            format!("line {}", at + 1),
+            "parse -> write is not byte-identical to the input",
+        );
+    }
+    report.merge(verify_snapshot(&snap));
+    (Some(snap), report)
+}
+
+/// Verifies an in-memory snapshot's structural invariants.
+#[must_use]
+pub fn verify_snapshot(snap: &FleetSnapshot) -> AuditReport {
+    let mut report = AuditReport::new();
+    if snap.epoch != snap.stats.epochs {
+        report.push(
+            ViolationClass::CounterConservation,
+            "fleet epoch",
+            format!(
+                "snapshot closes epoch {} but stats count {}",
+                snap.epoch, snap.stats.epochs
+            ),
+        );
+    }
+    // Partition order: strictly increasing device ids (the commit order
+    // every deterministic phase relies on).
+    for pair in snap.partitions.windows(2) {
+        if pair[0].device >= pair[1].device {
+            report.push(
+                ViolationClass::PartitionOrder,
+                format!("{}", pair[1].device),
+                format!("follows {} out of device order", pair[0].device),
+            );
+        }
+    }
+    // Per-partition: schedule feasibility against the re-expanded job
+    // set, and the partition's own counter identities.
+    let mut owner_seen: BTreeMap<TaskId, Vec<usize>> = BTreeMap::new();
+    for (idx, p) in snap.partitions.iter().enumerate() {
+        verify_partition(p, &mut report);
+        for t in &p.active {
+            owner_seen.entry(t.id()).or_default().push(idx);
+        }
+    }
+    // Fleet-wide single ownership: the owner map and the union of the
+    // active sets must agree exactly.
+    for (&task, holders) in &owner_seen {
+        if holders.len() > 1 {
+            let devices: Vec<String> = holders
+                .iter()
+                .map(|&i| snap.partitions[i].device.to_string())
+                .collect();
+            report.push(
+                ViolationClass::OwnershipViolation,
+                format!("t{}", task.0),
+                format!(
+                    "active on {} partitions: {}",
+                    holders.len(),
+                    devices.join(", ")
+                ),
+            );
+        }
+        let device = snap.partitions[holders[0]].device;
+        match snap.owner.get(&task) {
+            Some(&owned) if owned == device => {}
+            Some(&owned) => report.push(
+                ViolationClass::OwnershipViolation,
+                format!("t{}", task.0),
+                format!("active on {device} but owned by {owned}"),
+            ),
+            None => report.push(
+                ViolationClass::OwnershipViolation,
+                format!("t{}", task.0),
+                format!("active on {device} but absent from the owner map"),
+            ),
+        }
+    }
+    for &task in snap.owner.keys() {
+        if !owner_seen.contains_key(&task) {
+            report.push(
+                ViolationClass::OwnershipViolation,
+                format!("t{}", task.0),
+                "owned but active on no partition",
+            );
+        }
+    }
+    // Fleet counter conservation.
+    verify_fleet_stats(&snap.stats, &mut report);
+    report
+}
+
+fn verify_partition(p: &PartitionSnapshot, report: &mut AuditReport) {
+    let device = p.device;
+    let mut set = TaskSet::new();
+    let mut expandable = true;
+    for t in &p.active {
+        if set.push(t.clone()).is_err() {
+            report.push(
+                ViolationClass::OwnershipViolation,
+                format!("{device} {}", t.id()),
+                "duplicated in the partition's active set",
+            );
+            expandable = false;
+        }
+    }
+    if expandable {
+        let jobs = JobSet::expand(&set);
+        let sub = verify_entries(&p.entries, &jobs);
+        for v in sub.violations {
+            report.push(v.class, format!("{device} {}", v.subject), v.detail);
+        }
+    }
+    verify_online_stats(&format!("{device}"), &p.stats, report);
+}
+
+/// The partition-level counter identities (they hold at every epoch
+/// boundary, which is the only time snapshots are captured):
+/// every offer concluded (`arrivals == admitted + rejected`), every
+/// shed victim was shed for exactly one reason, causes and fast
+/// rejections never exceed the rejections they explain, and tenant
+/// slices never exceed the totals they partition.
+pub(crate) fn verify_online_stats(subject: &str, stats: &OnlineStats, report: &mut AuditReport) {
+    if stats.arrivals != stats.admitted + stats.rejected {
+        report.push(
+            ViolationClass::CounterConservation,
+            format!("{subject} arrivals"),
+            format!(
+                "{} arrivals != {} admitted + {} rejected",
+                stats.arrivals, stats.admitted, stats.rejected
+            ),
+        );
+    }
+    if stats.shed != stats.shed_overload + stats.shed_infeasible {
+        report.push(
+            ViolationClass::CounterConservation,
+            format!("{subject} shed"),
+            format!(
+                "{} shed != {} overload + {} infeasible",
+                stats.shed, stats.shed_overload, stats.shed_infeasible
+            ),
+        );
+    }
+    if stats.fast_rejects > stats.rejected {
+        report.push(
+            ViolationClass::CounterConservation,
+            format!("{subject} fast_rejects"),
+            format!(
+                "{} exceed {} rejections",
+                stats.fast_rejects, stats.rejected
+            ),
+        );
+    }
+    let causes: usize = stats.reject_causes.values().sum();
+    if causes > stats.rejected {
+        report.push(
+            ViolationClass::CounterConservation,
+            format!("{subject} reject_causes"),
+            format!(
+                "{causes} attributed causes exceed {} rejections",
+                stats.rejected
+            ),
+        );
+    }
+    verify_tenant_slices(
+        subject,
+        &stats.tenants,
+        &[
+            ("arrivals", stats.arrivals),
+            ("admitted", stats.admitted),
+            ("rejected", stats.rejected),
+            ("shed", stats.shed),
+        ],
+        report,
+    );
+}
+
+/// Tenant counters must partition the totals they slice: each tenant's
+/// own verdicts balance (`arrivals == admitted + rejected`), the
+/// anonymous tenant never gets a slice, and summed slices never exceed
+/// the untenanted totals.
+pub(crate) fn verify_tenant_slices(
+    subject: &str,
+    tenants: &BTreeMap<TenantId, TenantCounters>,
+    totals: &[(&str, usize)],
+    report: &mut AuditReport,
+) {
+    if tenants.contains_key(&TenantId(0)) {
+        report.push(
+            ViolationClass::CounterConservation,
+            format!("{subject} tn0"),
+            "anonymous traffic must stay unsliced",
+        );
+    }
+    for (tenant, c) in tenants {
+        if c.arrivals != c.admitted + c.rejected {
+            report.push(
+                ViolationClass::CounterConservation,
+                format!("{subject} tn{}", tenant.0),
+                format!(
+                    "{} arrivals != {} admitted + {} rejected",
+                    c.arrivals, c.admitted, c.rejected
+                ),
+            );
+        }
+    }
+    for &(name, total) in totals {
+        let sliced: usize = tenants
+            .values()
+            .map(|c| match name {
+                "arrivals" => c.arrivals,
+                "admitted" => c.admitted,
+                "rejected" => c.rejected,
+                _ => c.shed,
+            })
+            .sum();
+        if sliced > total {
+            report.push(
+                ViolationClass::CounterConservation,
+                format!("{subject} tenant {name}"),
+                format!("tenant slices sum to {sliced}, exceeding the fleet total {total}"),
+            );
+        }
+    }
+}
+
+/// Fleet-level counter identities, shared by the snapshot verifier
+/// and the live commit-point certificate.
+pub(crate) fn verify_fleet_stats(stats: &FleetStats, report: &mut AuditReport) {
+    if stats.arrivals != stats.admitted + stats.rejected {
+        report.push(
+            ViolationClass::CounterConservation,
+            "fleet arrivals",
+            format!(
+                "{} arrivals != {} admitted + {} rejected",
+                stats.arrivals, stats.admitted, stats.rejected
+            ),
+        );
+    }
+    if stats.retry_admissions > stats.retries {
+        report.push(
+            ViolationClass::CounterConservation,
+            "fleet retries",
+            format!(
+                "{} retry admissions exceed {} retries",
+                stats.retry_admissions, stats.retries
+            ),
+        );
+    }
+    if stats.rehomed + stats.lost > stats.orphaned {
+        report.push(
+            ViolationClass::CounterConservation,
+            "fleet orphans",
+            format!(
+                "{} rehomed + {} lost exceed {} orphaned",
+                stats.rehomed, stats.lost, stats.orphaned
+            ),
+        );
+    }
+    verify_tenant_slices(
+        "fleet",
+        &stats.tenants,
+        &[
+            ("arrivals", stats.arrivals),
+            ("admitted", stats.admitted),
+            ("rejected", stats.rejected),
+        ],
+        report,
+    );
+}

@@ -1,0 +1,203 @@
+//! Independent WAL verification and torn-tail repair.
+//!
+//! Standalone checks (`verify_wal_text`) re-derive the log's own
+//! invariants: parseability, a single RNG seed, consecutive epochs,
+//! and a committed (not torn) tail. Given a base snapshot,
+//! `verify_recovery` replays the suffix through the ordinary pipeline
+//! and re-derives every commit digest with this crate's own FNV fold
+//! (`crate::digest`) — the producer's digest code is never consulted,
+//! so a shared producer bug cannot cancel out.
+
+use crate::digest::{rederive_schedule_digest, rederive_stats_digest};
+use crate::report::{AuditReport, ViolationClass};
+use tagio_online::wal::parse_wal;
+use tagio_online::{FleetSnapshot, WalContents};
+
+/// Verifies WAL text standalone: parse, torn tail, seed uniformity and
+/// epoch continuity. Returns the parsed contents when parsing
+/// succeeded.
+#[must_use]
+pub fn verify_wal_text(text: &str) -> (Option<WalContents>, AuditReport) {
+    let mut report = AuditReport::new();
+    let wal = match parse_wal(text) {
+        Ok(wal) => wal,
+        Err(e) => {
+            report.push(
+                ViolationClass::WalMalformed,
+                format!("line {}", e.line),
+                e.message,
+            );
+            return (None, report);
+        }
+    };
+    if wal.torn_tail {
+        report.push(
+            ViolationClass::TornTail,
+            "tail",
+            "log ends mid-record (run `audit wal --repair` to truncate)",
+        );
+    }
+    report.merge(verify_wal_contents(&wal));
+    (Some(wal), report)
+}
+
+/// The in-memory continuity checks shared by text and recovery paths.
+#[must_use]
+pub fn verify_wal_contents(wal: &WalContents) -> AuditReport {
+    let mut report = AuditReport::new();
+    for pair in wal.epochs.windows(2) {
+        if pair[1].epoch != pair[0].epoch + 1 {
+            report.push(
+                ViolationClass::EpochGap,
+                format!("epoch {}", pair[1].epoch),
+                format!(
+                    "follows epoch {}, expected {}",
+                    pair[0].epoch,
+                    pair[0].epoch + 1
+                ),
+            );
+        }
+        if pair[1].seed != pair[0].seed {
+            report.push(
+                ViolationClass::SeedMismatch,
+                format!("epoch {}", pair[1].epoch),
+                format!(
+                    "sealed under seed {}, log opened under {}",
+                    pair[1].seed, pair[0].seed
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// Replays the WAL suffix after `snap` through the ordinary
+/// `apply_batch` pipeline, re-deriving each commit line's digests
+/// independently. Reports seed mismatches, epoch gaps and digest
+/// divergence at the epoch that caused them.
+#[must_use]
+pub fn verify_recovery(snap: &FleetSnapshot, wal: &WalContents) -> AuditReport {
+    let mut report = AuditReport::new();
+    let mut fleet = match snap.restore() {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            report.push(ViolationClass::SnapshotMalformed, "snapshot", e);
+            return report;
+        }
+    };
+    let mut expected = snap.epoch + 1;
+    for record in &wal.epochs {
+        if record.epoch <= snap.epoch {
+            continue; // already folded into the snapshot
+        }
+        if record.seed != snap.config.seed {
+            report.push(
+                ViolationClass::SeedMismatch,
+                format!("epoch {}", record.epoch),
+                format!(
+                    "sealed under seed {}, snapshot runs seed {}",
+                    record.seed, snap.config.seed
+                ),
+            );
+            return report;
+        }
+        if record.epoch != expected {
+            report.push(
+                ViolationClass::EpochGap,
+                format!("epoch {}", record.epoch),
+                format!("expected epoch {expected}"),
+            );
+            return report;
+        }
+        expected += 1;
+        let _ = fleet.apply_batch(&record.events);
+        for (&device, &(schedule, stats)) in &record.digests {
+            let Some(p) = fleet.partition(device) else {
+                report.push(
+                    ViolationClass::DigestMismatch,
+                    format!("epoch {} {device}", record.epoch),
+                    "commit line names a partition the replayed fleet does not have",
+                );
+                continue;
+            };
+            let derived = rederive_schedule_digest(p.schedule().as_slice());
+            if derived != schedule {
+                report.push(
+                    ViolationClass::DigestMismatch,
+                    format!("epoch {} {device}", record.epoch),
+                    format!("schedule digest {schedule:016x} != re-derived {derived:016x}"),
+                );
+            }
+            let derived = rederive_stats_digest(p.stats());
+            if derived != stats {
+                report.push(
+                    ViolationClass::DigestMismatch,
+                    format!("epoch {} {device}", record.epoch),
+                    format!("stats digest {stats:016x} != re-derived {derived:016x}"),
+                );
+            }
+        }
+    }
+    report
+}
+
+/// Truncates a torn tail to the last committed epoch, byte-exactly:
+/// everything up to and including the final `commit` line survives
+/// unchanged; the uncommitted tail (open record, partial line, or
+/// trailing comments past the last commit) is dropped. Interior
+/// corruption is *not* repairable — the caller gets the parse report
+/// instead.
+///
+/// Returns the repaired text and the number of bytes dropped.
+///
+/// # Errors
+/// Returns the verification report when the log has defects other
+/// than a torn tail (interior corruption, epoch gaps, seed drift).
+pub fn repair_wal_text(text: &str) -> Result<(String, usize), AuditReport> {
+    let (_, report) = verify_wal_text(text);
+    let fatal: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.class != ViolationClass::TornTail)
+        .cloned()
+        .collect();
+    if !fatal.is_empty() {
+        return Err(AuditReport { violations: fatal });
+    }
+    let keep = committed_prefix_len(text);
+    Ok((text[..keep].to_string(), text.len() - keep))
+}
+
+/// The byte length of the committed prefix: up to and including the
+/// newline of the last `commit` line (0 when nothing committed).
+#[must_use]
+pub fn committed_prefix_len(text: &str) -> usize {
+    let mut keep = 0usize;
+    let mut offset = 0usize;
+    for line in text.split_inclusive('\n') {
+        offset += line.len();
+        // Only a newline-terminated commit line is a sealed record; a
+        // partial final line is torn by definition.
+        if line.ends_with('\n') && line.trim().starts_with("commit ") {
+            keep = offset;
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_prefix_stops_at_the_last_commit_line() {
+        let text = "epoch 1\nev depart t9\ncommit 1 seed=7 events=1\nepoch 2\nev depart t8\n";
+        let keep = committed_prefix_len(text);
+        assert!(text[..keep].ends_with("commit 1 seed=7 events=1\n"));
+        assert_eq!(&text[keep..], "epoch 2\nev depart t8\n");
+        // A commit line without its newline is itself torn.
+        let torn = &text[..text.len() - "epoch 2\nev depart t8\n".len() - 1];
+        assert!(torn.ends_with("events=1"));
+        assert_eq!(committed_prefix_len(torn), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end `audit` binary checks: exit code 0 on clean artifacts,
+//! 2 on violations (with diagnostics on stderr), 1 on usage/I-O
+//! errors — and the `gen`/`--repair` round trips.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn audit(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args(args)
+        .output()
+        .expect("spawn audit")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("audit exited by signal")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A scratch dir under the build's target tree, fresh per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn generated(dir: &Path) -> (PathBuf, PathBuf, PathBuf) {
+    let out = audit(&["gen", dir.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    (
+        dir.join("fleet.snap"),
+        dir.join("fleet.wal"),
+        dir.join("trace.txt"),
+    )
+}
+
+#[test]
+fn clean_artifacts_exit_zero() {
+    let dir = scratch("clean");
+    let (snap, wal, trace) = generated(&dir);
+    for args in [
+        vec!["snapshot", snap.to_str().unwrap()],
+        vec!["schedule", snap.to_str().unwrap()],
+        vec!["trace", trace.to_str().unwrap()],
+        vec!["wal", wal.to_str().unwrap()],
+        vec![
+            "wal",
+            wal.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+        ],
+    ] {
+        let out = audit(&args);
+        assert_eq!(code(&out), 0, "{args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn violations_exit_two_with_diagnostics() {
+    let dir = scratch("dirty");
+    let (snap, wal, _) = generated(&dir);
+    let text = std::fs::read_to_string(&snap).unwrap();
+    // Inflate a fleet counter: a conservation violation, not a parse error.
+    std::fs::write(&snap, text.replacen("admitted=", "admitted=9", 1)).unwrap();
+    let out = audit(&["snapshot", snap.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("counter-conservation")
+            || stderr(&out).contains("snapshot-malformed"),
+        "diagnostic names the class: {}",
+        stderr(&out)
+    );
+    // Torn WAL tail: exit 2 and the torn-tail class named.
+    let text = std::fs::read_to_string(&wal).unwrap();
+    let cut = text.rfind("\ncommit ").unwrap() + "\ncommit ".len();
+    std::fs::write(&wal, &text[..cut]).unwrap();
+    let out = audit(&["wal", wal.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert!(stderr(&out).contains("torn-tail"), "{}", stderr(&out));
+}
+
+#[test]
+fn wal_repair_round_trips() {
+    let dir = scratch("repair");
+    let (_, wal, _) = generated(&dir);
+    let full = std::fs::read_to_string(&wal).unwrap();
+    let cut = full.rfind("\ncommit ").unwrap() + "\ncommit ".len();
+    std::fs::write(&wal, &full[..cut]).unwrap();
+    let repaired = dir.join("repaired.wal");
+    let out = audit(&[
+        "wal",
+        wal.to_str().unwrap(),
+        "--repair",
+        "--out",
+        repaired.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    // Repaired log verifies clean; the torn original is untouched.
+    let out = audit(&["wal", repaired.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert_eq!(std::fs::read_to_string(&wal).unwrap(), &full[..cut]);
+}
+
+#[test]
+fn usage_and_io_errors_exit_one() {
+    for args in [
+        vec![],
+        vec!["frobnicate"],
+        vec!["snapshot"],
+        vec!["snapshot", "/nonexistent/fleet.snap"],
+        vec!["wal", "/nonexistent/fleet.wal", "--bogus-flag"],
+    ] {
+        let args: Vec<&str> = args;
+        let out = audit(&args);
+        assert_eq!(code(&out), 1, "{args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn lint_runs_clean_on_this_workspace() {
+    // The workspace root is two levels up from this crate.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let out = audit(&["lint", root.to_str().unwrap()]);
+    assert_eq!(
+        code(&out),
+        0,
+        "lint must be clean in-tree: {}",
+        stderr(&out)
+    );
+}

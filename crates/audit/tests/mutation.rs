@@ -1,0 +1,148 @@
+//! Mutation coverage: every catalogue entry must be detected, and the
+//! catalogue must cover every artifact-level violation class at least
+//! once. A silent pass here means the verifier has a blind spot.
+
+use std::collections::BTreeSet;
+use tagio_audit::report::ViolationClass;
+use tagio_audit::{gen, mutate, schedule, snapshot, trace, walcheck};
+use tagio_core::job::JobSet;
+use tagio_core::schedule::{entry_for, Schedule};
+use tagio_core::task::{DeviceId, IoTask, TaskId, TaskSet};
+use tagio_core::time::Duration;
+
+/// A standalone two-period task set: the 4 ms task releases twice in
+/// the 8 ms hyper-period, giving the catalogue a job with a nonzero
+/// release to breach.
+fn schedule_fixture() -> (Schedule, JobSet) {
+    let tasks: TaskSet = vec![
+        IoTask::builder(TaskId(0), DeviceId(0))
+            .wcet(Duration::from_micros(500))
+            .period(Duration::from_millis(4))
+            .ideal_offset(Duration::from_millis(1))
+            .margin(Duration::from_micros(500))
+            .quality(2.0, 0.0)
+            .build()
+            .unwrap(),
+        IoTask::builder(TaskId(1), DeviceId(0))
+            .wcet(Duration::from_micros(500))
+            .period(Duration::from_millis(8))
+            .ideal_offset(Duration::from_millis(3))
+            .margin(Duration::from_micros(500))
+            .quality(3.0, 0.0)
+            .build()
+            .unwrap(),
+    ]
+    .into_iter()
+    .collect();
+    let jobs = JobSet::expand(&tasks);
+    let mut sched = Schedule::new();
+    for job in &jobs {
+        sched.insert(entry_for(job, job.ideal_start()));
+    }
+    assert!(sched.validate(&jobs).is_ok());
+    (sched, jobs)
+}
+
+fn assert_all_detected(outcomes: &[mutate::MutationOutcome]) -> BTreeSet<ViolationClass> {
+    assert!(!outcomes.is_empty());
+    let mut classes = BTreeSet::new();
+    for o in outcomes {
+        assert!(
+            o.detected,
+            "mutation `{}` was NOT detected (expected {})",
+            o.name, o.expected
+        );
+        classes.insert(o.expected);
+    }
+    classes
+}
+
+#[test]
+fn schedule_catalogue_fully_detected() {
+    let (sched, jobs) = schedule_fixture();
+    // The fixture must verify clean before mutation.
+    assert!(schedule::verify_entries(sched.as_slice(), &jobs).is_clean());
+    let classes = assert_all_detected(&mutate::mutate_schedule(&sched, &jobs));
+    for class in [
+        ViolationClass::Overlap,
+        ViolationClass::ReleaseWindow,
+        ViolationClass::DeadlineMiss,
+        ViolationClass::WrongDuration,
+        ViolationClass::DuplicateJob,
+        ViolationClass::MissingJob,
+        ViolationClass::UnknownJob,
+        ViolationClass::QualityMismatch,
+    ] {
+        assert!(classes.contains(&class), "no mutation plants {class}");
+    }
+}
+
+#[test]
+fn snapshot_catalogue_fully_detected() {
+    let artifacts = gen::generate();
+    assert!(
+        snapshot::verify_snapshot(&artifacts.snapshot).is_clean(),
+        "{}",
+        snapshot::verify_snapshot(&artifacts.snapshot)
+    );
+    let classes = assert_all_detected(&mutate::mutate_snapshot(&artifacts.snapshot));
+    for class in [
+        ViolationClass::Overlap,
+        ViolationClass::MissingJob,
+        ViolationClass::OwnershipViolation,
+        ViolationClass::PartitionOrder,
+        ViolationClass::CounterConservation,
+    ] {
+        assert!(classes.contains(&class), "no mutation plants {class}");
+    }
+}
+
+#[test]
+fn wal_catalogue_fully_detected() {
+    let artifacts = gen::generate();
+    assert!(walcheck::verify_wal_contents(&artifacts.wal).is_clean());
+    assert!(
+        walcheck::verify_recovery(&artifacts.snapshot, &artifacts.wal).is_clean(),
+        "{}",
+        walcheck::verify_recovery(&artifacts.snapshot, &artifacts.wal)
+    );
+    let classes = assert_all_detected(&mutate::mutate_wal(&artifacts.snapshot, &artifacts.wal));
+    for class in [
+        ViolationClass::EpochGap,
+        ViolationClass::SeedMismatch,
+        ViolationClass::DigestMismatch,
+    ] {
+        assert!(classes.contains(&class), "no mutation plants {class}");
+    }
+}
+
+#[test]
+fn wal_text_catalogue_fully_detected() {
+    let artifacts = gen::generate();
+    let (_, report) = walcheck::verify_wal_text(&artifacts.wal_text);
+    assert!(report.is_clean(), "{report}");
+    let classes = assert_all_detected(&mutate::mutate_wal_text(&artifacts.wal_text));
+    assert!(classes.contains(&ViolationClass::TornTail));
+    assert!(classes.contains(&ViolationClass::WalMalformed));
+}
+
+#[test]
+fn trace_catalogue_fully_detected() {
+    let artifacts = gen::generate();
+    assert!(trace::verify_trace(&artifacts.events).is_clean());
+    let classes = assert_all_detected(&mutate::mutate_trace(&artifacts.events));
+    assert!(classes.contains(&ViolationClass::TimestampOrder));
+    assert!(classes.contains(&ViolationClass::DuplicateArrival));
+}
+
+#[test]
+fn snapshot_text_corruption_is_named() {
+    let artifacts = gen::generate();
+    let (parsed, report) = snapshot::verify_snapshot_text(&artifacts.snapshot_text);
+    assert!(parsed.is_some() && report.is_clean(), "{report}");
+    // Truncating mid-snapshot must surface as a parse failure, not a
+    // clean verdict on a partial artifact.
+    let cut = artifacts.snapshot_text.len() / 2;
+    let (_, report) = snapshot::verify_snapshot_text(&artifacts.snapshot_text[..cut]);
+    assert!(report.has(ViolationClass::SnapshotMalformed), "{report}");
+}

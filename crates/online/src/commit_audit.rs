@@ -1,0 +1,32 @@
+//! Commit-point certification hook (compiled only with the
+//! `debug-audit` feature).
+//!
+//! `tagio-online` cannot depend on `tagio-audit` (the auditor depends
+//! on us), so the fleet exposes a process-wide callback slot instead:
+//! the auditor installs a certification closure once via [`install`],
+//! and [`FleetScheduler::apply_batch`](crate::FleetScheduler::apply_batch)
+//! invokes it at the end of every epoch, after all phases have
+//! committed and before outcomes are returned. The slot is
+//! write-once; installing keeps the first closure for the life of the
+//! process.
+
+use crate::FleetScheduler;
+use std::sync::OnceLock;
+
+type Hook = Box<dyn Fn(&FleetScheduler) + Send + Sync>;
+
+static HOOK: OnceLock<Hook> = OnceLock::new();
+
+/// Installs the commit-certification callback. Returns `false` (and
+/// drops `hook`) if one is already installed.
+pub fn install(hook: Hook) -> bool {
+    HOOK.set(hook).is_ok()
+}
+
+/// Runs the installed callback, if any. Called by `apply_batch` at
+/// the end of every epoch.
+pub(crate) fn run(fleet: &FleetScheduler) {
+    if let Some(hook) = HOOK.get() {
+        hook(fleet);
+    }
+}

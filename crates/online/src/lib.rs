@@ -99,6 +99,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+#[cfg(feature = "debug-audit")]
+pub mod commit_audit;
 pub mod fleet;
 pub mod persist;
 pub mod scenario;

@@ -505,7 +505,9 @@ impl FleetSnapshot {
                 continue;
             }
             let mut words = text.split_whitespace();
-            let verb = words.next().expect("non-empty line has a first token");
+            let Some(verb) = words.next() else {
+                continue; // trimmed text is non-empty, so a first token exists
+            };
             match verb {
                 "epoch" => {
                     epoch = Some(
@@ -660,7 +662,9 @@ impl FleetSnapshot {
                     let SystemEvent::Arrival(task) =
                         parse_event_body(inner, &mut words).map_err(err)?
                     else {
-                        unreachable!("`arrive` bodies parse to arrivals")
+                        // `arrive` bodies parse to arrivals; anything else is
+                        // a malformed line, not a crash.
+                        return Err(err("`arrive` body did not parse to an arrival".into()));
                     };
                     if verb == "active" {
                         p.active.push(task);

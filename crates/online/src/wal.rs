@@ -173,7 +173,9 @@ pub fn parse_wal(s: &str) -> Result<WalContents, WalError> {
             continue;
         }
         let mut words = text.split_whitespace();
-        let verb = words.next().expect("non-empty line has a first token");
+        let Some(verb) = words.next() else {
+            continue; // trimmed text is non-empty, so a first token exists
+        };
         match verb {
             "epoch" => {
                 // A fresh header while a record is open is a torn tail

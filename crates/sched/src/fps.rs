@@ -65,18 +65,23 @@ impl Scheduler for FpsOffline {
                 now = all[next_release].release();
                 continue;
             }
-            // Highest priority released job; ties by earliest release then id.
-            let (slot, &idx) = pending
-                .iter()
-                .enumerate()
-                .max_by(|(_, &a), (_, &b)| {
-                    all[a]
-                        .priority()
-                        .cmp(&all[b].priority())
-                        .then(all[b].release().cmp(&all[a].release()))
-                        .then(all[b].id().task.cmp(&all[a].id().task))
-                })
-                .expect("pending is non-empty");
+            // Highest priority released job; ties by earliest release then
+            // id. The emptiness check above guarantees a candidate, so a
+            // plain argmax scan picks it without an `expect` (updating on
+            // ties keeps `Iterator::max_by`'s last-maximum semantics).
+            let mut slot = 0;
+            for s in 1..pending.len() {
+                let (a, b) = (pending[s], pending[slot]);
+                let ord = all[a]
+                    .priority()
+                    .cmp(&all[b].priority())
+                    .then(all[b].release().cmp(&all[a].release()))
+                    .then(all[b].id().task.cmp(&all[a].id().task));
+                if ord != std::cmp::Ordering::Less {
+                    slot = s;
+                }
+            }
+            let idx = pending[slot];
             pending.swap_remove(slot);
             let job = &all[idx];
             let start = now.max(job.release());

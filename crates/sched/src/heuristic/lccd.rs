@@ -316,14 +316,28 @@ impl<'a> Timeline<'a> {
         }
         match policy {
             SlotPolicy::FirstFit => fitting[0],
-            SlotPolicy::BestFit => *fitting
-                .iter()
-                .min_by_key(|&&s| (Self::usable(s), s.0))
-                .expect("fitting is non-empty"),
-            SlotPolicy::WorstFit => *fitting
-                .iter()
-                .max_by(|&&a, &&b| Self::usable(a).cmp(&Self::usable(b)).then(b.0.cmp(&a.0)))
-                .expect("fitting is non-empty"),
+            // Both ranking scans fold from the first slot instead of
+            // `min_by_key`/`max_by` + `expect`: the `fitting[0]` seed is the
+            // same non-emptiness precondition FirstFit already relies on.
+            SlotPolicy::BestFit => fitting.iter().skip(1).fold(fitting[0], |best, &s| {
+                // First minimum wins, matching `min_by_key`.
+                if (Self::usable(s), s.0) < (Self::usable(best), best.0) {
+                    s
+                } else {
+                    best
+                }
+            }),
+            SlotPolicy::WorstFit => fitting.iter().skip(1).fold(fitting[0], |best, &s| {
+                // Ties update, matching `max_by`'s last-maximum semantics.
+                let ord = Self::usable(s)
+                    .cmp(&Self::usable(best))
+                    .then(best.0.cmp(&s.0));
+                if ord == std::cmp::Ordering::Less {
+                    best
+                } else {
+                    s
+                }
+            }),
             SlotPolicy::LeastContentionCapacityDecreasing => {
                 // Selection key is (contention, usable, start), minimised.
                 // Slot starts are unique (slots are disjoint), so no two

@@ -233,7 +233,13 @@ fn try_repair(
             scratch.failed_tasks.insert(job.id().task);
             continue;
         }
-        let start = timeline.start_of(idx).expect("allocate placed the job");
+        let Some(start) = timeline.start_of(idx) else {
+            // `allocate` reported success, so the slot exists; if it ever
+            // does not, record the job as unplaceable instead of panicking.
+            scratch.unplaceable.push(job.id());
+            scratch.failed_tasks.insert(job.id().task);
+            continue;
+        };
         scratch.offsets.insert(job.id().task, start - job.release());
     }
     if !scratch.unplaceable.is_empty() {
@@ -285,12 +291,13 @@ pub fn retime_in(
         return Err(Infeasible::new(InfeasibleCause::NoFeasibleSlot).with_jobs(uncovered));
     }
     scratch.order.clear();
-    scratch
-        .order
-        .extend(jobs.iter().enumerate().map(|(idx, job)| {
-            let start = lookup_start(starts, job.id()).expect("coverage checked above");
-            (start, idx)
-        }));
+    // Coverage was checked above, so the lookup never misses; `filter_map`
+    // keeps that invariant without an `expect`.
+    scratch.order.extend(
+        jobs.iter()
+            .enumerate()
+            .filter_map(|(idx, job)| lookup_start(starts, job.id()).map(|start| (start, idx))),
+    );
     scratch.order.sort_unstable();
     let all = jobs.as_slice();
     let mut cursor = Time::ZERO;
@@ -354,6 +361,9 @@ pub fn repair_neighbourhood_in(
         let mut as_vec = std::mem::take(&mut scratch.escalated_vec);
         as_vec.clear();
         as_vec.extend(scratch.escalated.iter().copied());
+        // The set iterates in arbitrary order; sort so the disturbed
+        // list handed to `try_repair` is identical run-to-run.
+        as_vec.sort_unstable();
         let attempt = try_repair(jobs, base, &as_vec, policy, scratch);
         scratch.escalated_vec = as_vec;
         let failure = match attempt {
@@ -364,7 +374,9 @@ pub fn repair_neighbourhood_in(
         windows.clear();
         let mut grew = false;
         for &id in &failure.jobs {
-            let job = jobs.get(id).expect("failure diagnostics name real jobs");
+            // Failure diagnostics name real jobs; skip any that are not
+            // (an unknown id cannot widen the neighbourhood anyway).
+            let Some(job) = jobs.get(id) else { continue };
             windows.push((job.release(), job.abs_deadline()));
             grew |= scratch.escalated.insert(id);
         }
@@ -386,7 +398,9 @@ pub fn repair_neighbourhood_in(
             break; // stuck: the same failure would repeat verbatim
         }
     }
-    Err(last_failure.expect("at least one round ran"))
+    // At least one round ran, so a failure was recorded; the fallback only
+    // exists to keep this path panic-free.
+    Err(last_failure.unwrap_or_else(|| Infeasible::new(InfeasibleCause::NoFeasibleSlot)))
 }
 
 /// [`repair`], escalating to [`repair_neighbourhood`] and finally to a

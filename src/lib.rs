@@ -21,6 +21,7 @@
 //! | [`noc`] | `tagio-noc` | flit-level mesh NoC simulator |
 //! | [`hwcost`] | `tagio-hwcost` | Table I resource model |
 //! | [`bench`](mod@crate::bench) | `tagio-bench` | the parallel experiment engine behind the Section V binaries |
+//! | [`audit`] | `tagio-audit` | independent certificate verifier (`audit` CLI), mutation harness, determinism lint |
 //!
 //! ## Quickstart
 //!
@@ -61,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub use tagio_audit as audit;
 pub use tagio_bench as bench;
 pub use tagio_controller as controller;
 pub use tagio_core as core;
